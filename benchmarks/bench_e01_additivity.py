@@ -1,0 +1,49 @@
+"""E1 — Local accuracy of Shapley attributions (§2.1.2).
+
+Claim: Shapley feature attributions sum to f(x) − E[f] exactly for exact
+methods (TreeSHAP, exact SHAP) and approximately for sampled ones.
+"""
+
+import numpy as np
+
+from repro.shapley import (
+    ExactShapleyExplainer,
+    KernelShapExplainer,
+    SamplingShapleyExplainer,
+    TreeShapExplainer,
+)
+
+from conftest import emit, fmt_row
+
+
+def test_e01_additivity(benchmark, loan_setup):
+    data, logistic, gbm = loan_setup
+    background = data.X[:50]
+    instances = data.X[:10]
+
+    explainers = {
+        "exact_shap(logistic)": ExactShapleyExplainer(logistic, background),
+        "kernel_shap(logistic)": KernelShapExplainer(
+            logistic, background, n_samples=126
+        ),
+        "sampling_shap(logistic)": SamplingShapleyExplainer(
+            logistic, background, n_permutations=100
+        ),
+        "tree_shap(gbm)": TreeShapExplainer(gbm),
+    }
+
+    rows = [fmt_row("method", "mean |gap|", "max |gap|")]
+    gaps = {}
+    for name, explainer in explainers.items():
+        g = [explainer.explain(x).additivity_gap() for x in instances]
+        gaps[name] = g
+        rows.append(fmt_row(name.ljust(24), float(np.mean(g)), float(np.max(g))))
+    emit("E1_additivity", rows)
+
+    # Shape assertions: exact methods are exact; sampled is small but nonzero.
+    assert max(gaps["exact_shap(logistic)"]) < 1e-9
+    assert max(gaps["tree_shap(gbm)"]) < 1e-9
+    assert max(gaps["kernel_shap(logistic)"]) < 1e-6
+    assert np.mean(gaps["sampling_shap(logistic)"]) < 0.05
+
+    benchmark(lambda: TreeShapExplainer(gbm).explain(data.X[0]))

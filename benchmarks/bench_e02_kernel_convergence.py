@@ -1,0 +1,55 @@
+"""E2 — Approximation error of Kernel SHAP / sampling vs budget (§2.1.2).
+
+Claim: both approximations converge to the exact Shapley values as the
+evaluation budget grows; the error curve is monotone-decreasing in shape.
+"""
+
+import numpy as np
+
+from repro.shapley import exact_shapley, kernel_shap, permutation_shapley
+
+from conftest import emit, fmt_row
+
+N_PLAYERS = 8
+
+
+def make_game(seed: int = 5):
+    rng = np.random.default_rng(seed)
+    table = rng.normal(0, 1, 2 ** N_PLAYERS)
+
+    def v(masks):
+        masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+        return table[masks @ (1 << np.arange(N_PLAYERS))]
+
+    return v
+
+
+def test_e02_convergence(benchmark):
+    v = make_game()
+    reference = exact_shapley(v, N_PLAYERS)
+    budgets = [16, 32, 64, 128, 254]
+    rows = [fmt_row("budget", "kernel max err", "sampling max err")]
+    kernel_errors, sampling_errors = [], []
+    for budget in budgets:
+        kernel_err = []
+        sampling_err = []
+        for seed in range(5):
+            phi_k, __ = kernel_shap(v, N_PLAYERS, n_samples=budget, seed=seed)
+            kernel_err.append(np.abs(phi_k - reference).max())
+            n_perm = max(2, budget // (N_PLAYERS + 1))
+            phi_s, __ = permutation_shapley(
+                v, N_PLAYERS, n_permutations=n_perm, seed=seed
+            )
+            sampling_err.append(np.abs(phi_s - reference).max())
+        kernel_errors.append(float(np.mean(kernel_err)))
+        sampling_errors.append(float(np.mean(sampling_err)))
+        rows.append(fmt_row(budget, kernel_errors[-1], sampling_errors[-1]))
+    emit("E2_kernel_convergence", rows)
+
+    # Shape: errors shrink substantially from the smallest to largest budget,
+    # and the full-enumeration kernel run is near-exact (254 = 2^8 − 2).
+    assert kernel_errors[-1] < kernel_errors[0] * 0.5
+    assert sampling_errors[-1] < sampling_errors[0]
+    assert kernel_errors[-1] < 1e-8
+
+    benchmark(lambda: kernel_shap(v, N_PLAYERS, n_samples=128, seed=0))

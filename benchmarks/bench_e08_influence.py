@@ -1,0 +1,60 @@
+"""E8 — Influence functions track leave-one-out retraining (§2.3.2, [39]).
+
+Claim [Koh & Liang, Fig. 1]: predicted vs actual loss changes from
+removing single training points lie close to the diagonal — correlation
+near 1 for a strongly convex model — and the estimate is orders of
+magnitude cheaper than retraining.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import make_classification
+from repro.influence import InfluenceFunctions
+from repro.models import LogisticRegression
+from repro.models.metrics import pearson_correlation, spearman_correlation
+from repro.models.model_selection import train_test_split
+
+from conftest import emit, fmt_row
+
+
+def test_e08_influence(benchmark):
+    data = make_classification(200, n_features=5, class_sep=1.5, seed=51)
+    X_train, X_test, y_train, y_test = train_test_split(
+        data.X, data.y, test_size=0.3, seed=1
+    )
+    model = LogisticRegression(alpha=1.0).fit(X_train, y_train)
+    influence = InfluenceFunctions(model, X_train, y_train)
+
+    t0 = time.perf_counter()
+    estimated = influence.influence_on_loss(X_test, y_test)
+    t_influence = time.perf_counter() - t0
+
+    indices = np.arange(60)
+    t0 = time.perf_counter()
+    actual = influence.actual_retrain_deltas(
+        lambda: LogisticRegression(alpha=1.0),
+        X_test, y_test, indices,
+        lambda m, X, y: m.loss(X, y) * len(y),
+    )
+    t_retrain = time.perf_counter() - t0
+
+    pearson = pearson_correlation(estimated.values[indices], actual)
+    spearman = spearman_correlation(estimated.values[indices], actual)
+    rows = [
+        fmt_row("metric", "value"),
+        fmt_row("pearson r", pearson),
+        fmt_row("spearman rho", spearman),
+        fmt_row("influence time (s)", t_influence),
+        fmt_row("retrain time (s)", t_retrain),
+        fmt_row("speedup", t_retrain / max(t_influence, 1e-9)),
+    ]
+    emit("E8_influence", rows)
+
+    # Shape: near-diagonal agreement and a large speedup.
+    assert pearson > 0.9
+    assert spearman > 0.85
+    assert t_retrain > t_influence
+
+    benchmark(lambda: influence.influence_on_loss(X_test, y_test))

@@ -1,0 +1,54 @@
+"""E9 — Group influence: first-order degrades, second-order tracks
+(§2.3.2, [8]).
+
+Claim [Basu et al.]: for coherent groups, first-order (additive) influence
+underestimates the parameter change increasingly with group size; the
+second-order correction stays close to the retrained ground truth.
+"""
+
+import numpy as np
+
+from repro.datasets import make_classification
+from repro.influence import GroupInfluence
+from repro.models import LogisticRegression
+
+from conftest import emit, fmt_row
+
+
+def test_e09_group_influence(benchmark):
+    data = make_classification(300, n_features=5, class_sep=1.2, seed=52)
+    model = LogisticRegression(alpha=1.0).fit(data.X, data.y)
+    gi = GroupInfluence(model, data.X, data.y)
+    # Coherent groups: the top-k rows along the first informative feature.
+    coherent_order = np.argsort(data.X[:, 0])
+
+    rows = [fmt_row("group size", "1st-order err", "2nd-order err",
+                    "newton err")]
+    first_errors, second_errors = [], []
+    for size in (10, 30, 60, 90):
+        group = coherent_order[-size:]
+        actual = gi.actual_parameter_change(
+            group, lambda: LogisticRegression(alpha=1.0)
+        )
+        norm = np.linalg.norm(actual)
+        errors = {}
+        for order in ("first_order", "second_order", "newton"):
+            estimated = gi.parameter_change(group, order)
+            errors[order] = float(np.linalg.norm(estimated - actual) / norm)
+        first_errors.append(errors["first_order"])
+        second_errors.append(errors["second_order"])
+        rows.append(fmt_row(size, errors["first_order"],
+                            errors["second_order"], errors["newton"]))
+        assert errors["second_order"] <= errors["first_order"]
+        assert errors["newton"] <= errors["first_order"]
+    emit("E9_group_influence", rows)
+
+    # Shape: first-order error grows with group size; the gap to
+    # second-order widens.
+    assert first_errors[-1] > first_errors[0]
+    assert (first_errors[-1] - second_errors[-1]) > (
+        first_errors[0] - second_errors[0]
+    )
+
+    group = coherent_order[-60:]
+    benchmark(lambda: gi.parameter_change(group, "second_order"))

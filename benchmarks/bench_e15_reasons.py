@@ -1,0 +1,87 @@
+"""E15 — Sufficient reasons: provably correct, compact; model-agnostic
+checking is exponential (§2.2.2, [65]).
+
+Claim: on decision trees the sufficiency check is linear-time, reasons
+are much shorter than the decision path, and their precision is exactly 1
+by construction. The same check treated model-agnostically (enumerating
+completions) blows up exponentially in the number of free features.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import make_classification
+from repro.logic import is_sufficient, minimal_sufficient_reason, reason_to_rule
+from repro.models import DecisionTreeClassifier
+
+from conftest import emit, fmt_row
+
+
+def brute_force_is_sufficient(model, x, subset, grid, n_features):
+    """Model-agnostic sufficiency: try every grid completion (exponential)."""
+    free = [j for j in range(n_features) if j not in subset]
+    target = model.predict(np.asarray(x)[None, :])[0]
+
+    def recurse(position, current):
+        if position == len(free):
+            return model.predict(current[None, :])[0] == target
+        for value in grid:
+            current[free[position]] = value
+            if not recurse(position + 1, current):
+                return False
+        return True
+
+    return recurse(0, np.asarray(x, dtype=float).copy())
+
+
+def test_e15_reasons(benchmark):
+    results = []
+    grid = np.linspace(-3, 3, 4)
+    for n_features in (4, 6, 8):
+        data = make_classification(400, n_features=n_features,
+                                   n_informative=min(3, n_features), seed=23)
+        tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(data.X, data.y)
+        x = data.X[0]
+        reason = minimal_sufficient_reason(tree, x)
+        path_len = len({f for __, f, __, __ in tree.tree_.decision_path(x)})
+
+        t0 = time.perf_counter()
+        for __ in range(50):
+            is_sufficient(tree, x, reason)
+        t_tree = (time.perf_counter() - t0) / 50
+
+        t0 = time.perf_counter()
+        agnostic = brute_force_is_sufficient(tree, x, reason, grid, n_features)
+        t_agnostic = time.perf_counter() - t0
+        assert agnostic  # both oracles agree on the grid
+
+        rule = reason_to_rule(tree, x, reason, reference=data.X)
+        covered = data.X[rule.holds(data.X)]
+        exact_precision = (
+            float(np.mean(tree.predict(covered) == rule.outcome))
+            if covered.shape[0] else 1.0
+        )
+        results.append((n_features, len(reason), path_len, t_tree,
+                        t_agnostic, exact_precision))
+
+    rows = [fmt_row("n_features", "|reason|", "|path|", "tree check (s)",
+                    "agnostic (s)", "precision")]
+    for record in results:
+        rows.append(fmt_row(*record))
+    emit("E15_reasons", rows)
+
+    # Shape: reasons never exceed the path; the interval rendering keeps
+    # near-perfect precision (the pointwise guarantee itself is absolute
+    # and asserted via brute_force_is_sufficient above); the
+    # model-agnostic check cost explodes with dimensionality while the
+    # tree-structural check stays flat.
+    for n_features, reason_len, path_len, t_tree, __, precision in results:
+        assert reason_len <= path_len
+        assert precision >= 0.9
+    assert results[-1][4] / max(results[0][4], 1e-9) > \
+        results[-1][3] / max(results[0][3], 1e-9)
+
+    data = make_classification(400, n_features=8, seed=23)
+    tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(data.X, data.y)
+    benchmark(lambda: minimal_sufficient_reason(tree, data.X[0]))

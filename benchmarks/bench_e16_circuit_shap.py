@@ -1,0 +1,63 @@
+"""E16 — SHAP is tractable on d-DNNF circuits (§3, [6, 70]).
+
+Claim [Arenas+; Van den Broeck+]: on deterministic decomposable circuits
+the exact SHAP score of every feature is polynomial-time, while generic
+exact SHAP costs 2^d coalition evaluations — and the two agree exactly.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import make_classification
+from repro.logic import binarize_matrix, circuit_shap, compile_tree, conditional_expectation
+from repro.models import DecisionTreeClassifier
+from repro.shapley import exact_shapley
+
+from conftest import emit, fmt_row
+
+
+def test_e16_circuit_shap(benchmark):
+    rows = [fmt_row("n_features", "enum (s)", "circuit (s)", "speedup",
+                    "max |diff|")]
+    speedups = []
+    for n_features in (6, 10, 14):
+        data = make_classification(
+            500, n_features=n_features,
+            n_informative=min(4, n_features), seed=29,
+        )
+        Xb, __ = binarize_matrix(data.X)
+        tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(Xb, data.y)
+        circuit = compile_tree(tree.tree_, n_features)
+        x = Xb[0]
+        p = Xb.mean(axis=0)
+
+        t0 = time.perf_counter()
+        fast = circuit_shap(circuit, x, p)
+        t_circuit = time.perf_counter() - t0
+
+        if n_features <= 14:
+            def v(masks):
+                masks = np.atleast_2d(masks)
+                return np.array([
+                    conditional_expectation(circuit, x, m, p) for m in masks
+                ])
+
+            t0 = time.perf_counter()
+            reference = exact_shapley(v, n_features)
+            t_enum = time.perf_counter() - t0
+            diff = float(np.abs(fast - reference).max())
+            assert diff < 1e-9
+        speedup = t_enum / max(t_circuit, 1e-9)
+        speedups.append(speedup)
+        rows.append(fmt_row(n_features, t_enum, t_circuit, speedup, diff))
+    emit("E16_circuit_shap", rows)
+
+    # Shape: polynomial-vs-exponential gap widens with d.
+    assert speedups[-1] > speedups[0]
+
+    data = make_classification(500, n_features=14, n_informative=4, seed=29)
+    Xb, __ = binarize_matrix(data.X)
+    tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(Xb, data.y)
+    circuit = compile_tree(tree.tree_, 14)
+    benchmark(lambda: circuit_shap(circuit, Xb[0], Xb.mean(axis=0)))

@@ -1,0 +1,80 @@
+"""E18 — PrIU incremental updates vs full retraining (§3, [77]).
+
+Claim [Wu, Tannen & Davidson]: deletion what-ifs can be answered from
+cached training state much faster than retraining, with negligible (ridge:
+zero) parameter error, across deletion fractions.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import make_classification
+from repro.models import LogisticRegression, RidgeRegression
+from repro.unlearning import IncrementalLogistic, IncrementalRidge
+
+from conftest import emit, fmt_row
+
+
+def test_e18_priu(benchmark):
+    rng = np.random.default_rng(4)
+    n, d = 2000, 12
+    X = rng.normal(0, 1, (n, d))
+    y_reg = X @ rng.normal(0, 1, d) + rng.normal(0, 0.2, n)
+    data = make_classification(n, n_features=d, seed=5)
+    X_cls, y_cls = data.X, data.y
+
+    rows = [fmt_row("model", "del frac", "incr (s)", "retrain (s)",
+                    "speedup", "param err")]
+    speedups = []
+    for fraction in (0.01, 0.05, 0.2):
+        k = int(fraction * n)
+        delete = np.arange(k)
+
+        # ridge: exact downdate
+        incremental = IncrementalRidge(alpha=1.0).fit(X, y_reg)
+        t0 = time.perf_counter()
+        incremental.delete(delete)
+        t_incr = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        reference = RidgeRegression(alpha=1.0).fit(X[k:], y_reg[k:])
+        t_retrain = time.perf_counter() - t0
+        err = float(np.linalg.norm(
+            np.append(incremental.coef_, incremental.intercept_)
+            - reference.params
+        ) / np.linalg.norm(reference.params))
+        rows.append(fmt_row("ridge", fraction, t_incr, t_retrain,
+                            t_retrain / max(t_incr, 1e-9), err))
+        assert err < 1e-8
+
+        # logistic: Newton warm-start (best-of-3 timings to damp jitter)
+        t_incr = float("inf")
+        for __ in range(3):
+            inc_log = IncrementalLogistic(alpha=1.0).fit(X_cls, y_cls)
+            t0 = time.perf_counter()
+            inc_log.delete(delete)
+            t_incr = min(t_incr, time.perf_counter() - t0)
+        t_retrain = float("inf")
+        for __ in range(3):
+            t0 = time.perf_counter()
+            LogisticRegression(alpha=1.0).fit(X_cls[k:], y_cls[k:])
+            t_retrain = min(t_retrain, time.perf_counter() - t0)
+        err = inc_log.parameter_error_vs_retrain()
+        speedup = t_retrain / max(t_incr, 1e-9)
+        speedups.append(speedup)
+        rows.append(fmt_row("logistic", fraction, t_incr, t_retrain,
+                            speedup, err))
+        assert err < 1e-4
+    emit("E18_priu", rows)
+
+    # Shape: the incremental path wins clearly at small deletion fractions.
+    assert speedups[0] > 1.2
+
+    inc = IncrementalLogistic(alpha=1.0).fit(X_cls, y_cls)
+    state = {"next": 0}
+
+    def delete_one():
+        inc.delete([state["next"]])
+        state["next"] += 1
+
+    benchmark.pedantic(delete_one, rounds=50, iterations=1)

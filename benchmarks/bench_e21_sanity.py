@@ -1,0 +1,53 @@
+"""E21 — Sanity checks for saliency maps (§2.4, [2]).
+
+Claim [Adebayo et al.]: a faithful attribution method's maps must change
+when the model's layers are re-randomized; similarity to the original
+maps should fall markedly with randomization depth. Methods whose maps
+survive randomization are acting as input edge detectors.
+"""
+
+import numpy as np
+
+from repro.datasets import make_grid_images
+from repro.models import MLPClassifier
+from repro.unstructured import (
+    integrated_gradients,
+    model_randomization_test,
+    saliency,
+    smoothgrad,
+)
+
+from conftest import emit, fmt_row
+
+
+def test_e21_sanity(benchmark):
+    X, y, __ = make_grid_images(300, size=8, seed=71)
+    model = MLPClassifier(hidden=(24,), epochs=80, lr=0.03, seed=0).fit(X, y)
+    assert model.score(X, y) > 0.85
+
+    methods = {
+        "saliency": lambda m, x: saliency(m, x),
+        "integrated_gradients": lambda m, x: integrated_gradients(
+            m, x, n_steps=30
+        ),
+        "smoothgrad": lambda m, x: smoothgrad(m, x, n_samples=25, seed=0),
+    }
+    instances = X[:5]
+    curves = {}
+    for name, fn in methods.items():
+        results = model_randomization_test(model, fn, instances, seed=0)
+        curves[name] = [r["similarity"] for r in results]
+
+    depths = list(range(len(next(iter(curves.values())))))
+    rows = [fmt_row("layers randomized", *curves.keys())]
+    for d in depths:
+        rows.append(fmt_row(d, *[curves[name][d] for name in curves]))
+    emit("E21_sanity", rows)
+
+    # Shape: every method starts at similarity 1 and degrades
+    # substantially under full randomization — they pass the sanity check.
+    for name, curve in curves.items():
+        assert curve[0] == 1.0
+        assert curve[-1] < 0.85, name
+
+    benchmark(lambda: saliency(model, X[0]))

@@ -1,0 +1,43 @@
+"""E22 — Decision sets: the accuracy/interpretability trade-off (§2.2, [43]).
+
+Claim [Lakkaraju et al.]: sweeping the interpretability weight λ traces a
+frontier — larger λ yields smaller rule sets (fewer predicates to read)
+at a modest accuracy cost; λ = 0 recovers the most accurate but most
+complex set.
+"""
+
+import numpy as np
+
+from repro.datasets import make_loan_dataset
+from repro.rules import DecisionSetClassifier
+
+from conftest import emit, fmt_row
+
+
+def test_e22_decision_sets(benchmark):
+    train = make_loan_dataset(600, seed=7)
+    test = make_loan_dataset(600, seed=8)
+
+    rows = [fmt_row("lambda", "test acc", "n_rules", "complexity")]
+    complexities, accuracies = [], []
+    for lam in (0.0, 0.1, 0.5, 2.0):
+        model = DecisionSetClassifier(
+            max_rules=8, min_support=0.08,
+            lambda_interpretability=lam, seed=0,
+        ).fit(train)
+        acc = model.score(test.X, test.y)
+        complexities.append(model.complexity)
+        accuracies.append(acc)
+        rows.append(fmt_row(lam, acc, len(model.rules_), model.complexity))
+    emit("E22_decision_sets", rows)
+
+    majority = max(np.mean(test.y), 1 - np.mean(test.y))
+    # Shape: the frontier exists — complexity falls as λ grows, and every
+    # point stays above the majority baseline.
+    assert complexities[-1] <= complexities[0]
+    assert min(accuracies) > majority - 0.02
+    assert max(accuracies) > majority + 0.03
+
+    benchmark(lambda: DecisionSetClassifier(
+        max_rules=6, min_support=0.1, seed=0
+    ).fit(train))

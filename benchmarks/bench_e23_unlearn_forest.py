@@ -1,0 +1,72 @@
+"""E23 — Low-latency tree unlearning (§3, [59]).
+
+Claim [HedgeCut]: unlearning a training point from a maintained randomized
+ensemble is orders of magnitude faster than retraining from scratch,
+while accuracy along a deletion stream stays at parity with the
+from-scratch model.
+"""
+
+import time
+
+import numpy as np
+
+from repro.datasets import make_classification
+from repro.unlearning import UnlearnableForest
+
+from conftest import emit, fmt_row
+
+
+def test_e23_unlearn_forest(benchmark):
+    data = make_classification(800, n_features=6, class_sep=1.5, seed=92)
+    X, y = data.X, data.y
+    holdout = slice(600, None)
+    forest = UnlearnableForest(
+        n_estimators=15, max_depth=7, seed=0
+    ).fit(X[:600], y[:600])
+
+    t0 = time.perf_counter()
+    UnlearnableForest(n_estimators=15, max_depth=7, seed=0).fit(
+        X[:600], y[:600]
+    )
+    t_retrain = time.perf_counter() - t0
+
+    deletion_times = []
+    checkpoints = {}
+    for i in range(150):
+        t0 = time.perf_counter()
+        forest.delete(i)
+        deletion_times.append(time.perf_counter() - t0)
+        if i + 1 in (50, 100, 150):
+            fresh = UnlearnableForest(
+                n_estimators=15, max_depth=7, seed=0
+            ).fit(X[i + 1 : 600], y[i + 1 : 600])
+            checkpoints[i + 1] = (
+                forest.score(X[holdout], y[holdout]),
+                fresh.score(X[holdout], y[holdout]),
+            )
+
+    mean_delete = float(np.mean(deletion_times))
+    rows = [
+        fmt_row("metric", "value"),
+        fmt_row("retrain from scratch (s)", t_retrain),
+        fmt_row("mean deletion (s)", mean_delete),
+        fmt_row("speedup per deletion", t_retrain / max(mean_delete, 1e-9)),
+        fmt_row("deleted", "unlearned acc", "retrained acc"),
+    ]
+    for k, (unlearned, retrained) in checkpoints.items():
+        rows.append(fmt_row(k, unlearned, retrained))
+    emit("E23_unlearn_forest", rows)
+
+    # Shape: deletions are far cheaper than retraining and accuracy stays
+    # within a few points of the from-scratch model throughout the stream.
+    assert t_retrain / mean_delete > 20
+    for unlearned, retrained in checkpoints.values():
+        assert abs(unlearned - retrained) < 0.06
+
+    state = {"next": 150}
+
+    def delete_one():
+        forest.delete(state["next"])
+        state["next"] += 1
+
+    benchmark.pedantic(delete_one, rounds=100, iterations=1)

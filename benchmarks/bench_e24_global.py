@@ -1,0 +1,47 @@
+"""E24 — Global understanding from local explanations (§2.1.2, [46]).
+
+Claim [Lundberg et al. 2020]: averaging |SHAP| over a dataset yields a
+global importance ranking consistent with permutation importance, while
+retaining the per-instance detail single-number importances lose.
+"""
+
+import numpy as np
+
+from repro.models.metrics import spearman_correlation
+from repro.shapley import (
+    TreeShapExplainer,
+    aggregate_attributions,
+    permutation_importance,
+)
+
+from conftest import emit, fmt_row
+
+
+def test_e24_global(benchmark, loan_setup):
+    data, __, gbm = loan_setup
+    explainer = TreeShapExplainer(gbm)
+    global_shap = aggregate_attributions(
+        explainer, data.X[:80], feature_names=data.feature_names
+    )
+    perm = permutation_importance(gbm, data.X, data.y, n_repeats=5, seed=0)
+
+    rows = [fmt_row("feature", "mean |SHAP|", "perm importance")]
+    for j in global_shap.ranking():
+        rows.append(fmt_row(data.feature_names[j],
+                            float(global_shap.mean_abs[j]), float(perm[j])))
+    rho = spearman_correlation(global_shap.mean_abs, perm)
+    rows.append(fmt_row("spearman(rankings)", rho, ""))
+    emit("E24_global", rows)
+
+    # Shape: the two global orderings agree strongly, and both put
+    # credit_score (the dominant causal driver) on top.
+    assert rho > 0.6
+    top_shap = data.feature_names[global_shap.ranking()[0]]
+    top_perm = data.feature_names[int(np.argmax(perm))]
+    assert top_shap == top_perm == "credit_score"
+    # The local detail exists: per-instance attributions vary in sign.
+    j = data.feature_index("credit_score")
+    column = global_shap.matrix[:, j]
+    assert (column > 0).any() and (column < 0).any()
+
+    benchmark(lambda: aggregate_attributions(explainer, data.X[:20]))

@@ -1,0 +1,78 @@
+"""E32 — Shapley explanations for data repair (§3, [17]).
+
+Claim [Deutch et al.]: ranking tuples by their Shapley contribution to
+integrity-constraint violations identifies the culprits — greedy repair
+in responsibility order reaches consistency with (near-)minimal
+deletions, while naive orders waste repair budget.
+"""
+
+import numpy as np
+
+from repro.db import (
+    FunctionalDependency,
+    Relation,
+    greedy_repair,
+    repair_responsibility,
+)
+
+from conftest import emit, fmt_row
+
+
+def make_dirty_relation(n_groups: int = 12, group_size: int = 4,
+                        corrupt_fraction: float = 0.25, seed: int = 0
+                        ) -> tuple[Relation, set[int]]:
+    """zip → city data where a minority of tuples carry a wrong city."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    corrupted: set[int] = set()
+    for g in range(n_groups):
+        city = f"city{g}"
+        for k in range(group_size):
+            idx = len(rows)
+            value = city
+            if k == 0 and rng.random() < corrupt_fraction * group_size:
+                value = f"wrong{g}"
+                corrupted.add(idx)
+            rows.append((f"zip{g}", value, idx))
+    return Relation(["zip", "city", "rowid"], rows, name="addr"), corrupted
+
+
+def test_e32_repair(benchmark):
+    relation, corrupted = make_dirty_relation(seed=3)
+    fd = FunctionalDependency(("zip",), ("city",))
+    dirty = fd.violations(relation)
+    assert dirty > 0 and corrupted
+
+    responsibility = repair_responsibility(relation, [fd], seed=0)
+    ranking = sorted(responsibility, key=lambda i: -responsibility[i])
+    # precision@k: are the top-responsibility tuples the corrupted ones?
+    k = len(corrupted)
+    hits = len(set(ranking[:k]) & corrupted) / k
+
+    __, deleted_shapley = greedy_repair(relation, [fd], ranking=ranking)
+    rng = np.random.default_rng(1)
+    random_sizes = []
+    for __ in range(5):
+        random_ranking = [int(i) for i in rng.permutation(len(relation))]
+        ___, deleted_random = greedy_repair(
+            relation, [fd], ranking=random_ranking
+        )
+        random_sizes.append(len(deleted_random))
+
+    rows = [
+        fmt_row("quantity", "value"),
+        fmt_row("violating pairs", dirty),
+        fmt_row("corrupted tuples", len(corrupted)),
+        fmt_row("precision@k of ranking", hits),
+        fmt_row("deletions (shapley order)", len(deleted_shapley)),
+        fmt_row("deletions (random order)", float(np.mean(random_sizes))),
+    ]
+    emit("E32_repair", rows)
+
+    # Shape: the responsibility ranking surfaces the corrupted tuples and
+    # repairs with (near-)minimal deletions; random repair deletes more.
+    assert hits >= 0.8
+    assert len(deleted_shapley) <= len(corrupted) + 1
+    assert np.mean(random_sizes) >= len(deleted_shapley)
+
+    benchmark(lambda: repair_responsibility(relation, [fd], seed=0))

@@ -1,0 +1,82 @@
+"""E35 — Explanation fragility under input perturbation (§2.1.1/§2.4, [22, 73]).
+
+Claims [Ghorbani et al. "Interpretation is fragile"; Alvarez-Melis &
+Jaakkola; Smilkov et al.]:
+
+* a *sampled* surrogate (LIME, fresh neighborhood per call — the way a
+  user actually re-runs it) is markedly less locally stable than an
+  exact deterministic attribution (exact SHAP) of the same smooth model;
+* averaging over noisy copies (SmoothGrad) reduces the sensitivity of
+  signed gradient maps to input perturbations.
+"""
+
+import numpy as np
+
+from repro.datasets import make_grid_images, make_loan_dataset
+from repro.models import LogisticRegression, MLPClassifier
+from repro.shapley import ExactShapleyExplainer
+from repro.surrogate import LimeTabularExplainer
+from repro.unstructured import saliency, smoothgrad
+
+from conftest import emit, fmt_row
+
+
+def mean_relative_sensitivity(explain_fn, x, radius, n_samples=8, seed=0):
+    """Mean of ‖φ(x′) − φ(x)‖ / ‖φ(x)‖ over uniform L∞-ball neighbors."""
+    rng = np.random.default_rng(seed)
+    base = np.asarray(explain_fn(x))
+    norm = np.linalg.norm(base) or 1.0
+    out = []
+    for __ in range(n_samples):
+        neighbor = x + rng.uniform(-radius, radius, x.shape[0])
+        out.append(np.linalg.norm(np.asarray(explain_fn(neighbor)) - base) / norm)
+    return float(np.mean(out))
+
+
+def test_e35_explanation_fragility(benchmark):
+    rows = [fmt_row("explainer", "rel. sensitivity")]
+    results = {}
+
+    # Tabular: reseeded LIME vs exact SHAP on the same smooth model.
+    data = make_loan_dataset(500, seed=3)
+    model = LogisticRegression(alpha=1.0).fit(data.X, data.y)
+    x = data.X[0]
+    radius = 0.01 * float(data.X.std(axis=0).mean())
+    shap = ExactShapleyExplainer(model, data.X[:40])
+    lime = LimeTabularExplainer(model, data, n_samples=300, seed=0)
+    call_count = {"n": 0}
+
+    def lime_fn(xq):
+        call_count["n"] += 1
+        return lime.explain(xq, seed=call_count["n"]).values
+
+    results["exact_shap"] = mean_relative_sensitivity(
+        lambda xq: shap.explain(xq).values, x, radius
+    )
+    results["lime(300, reseeded)"] = mean_relative_sensitivity(
+        lime_fn, x, radius
+    )
+
+    # Gradient maps (signed): raw saliency vs SmoothGrad on an MLP.
+    X, y, __ = make_grid_images(300, size=8, seed=5)
+    mlp = MLPClassifier(hidden=(24,), epochs=60, lr=0.03, seed=0).fit(X, y)
+    results["saliency (signed)"] = mean_relative_sensitivity(
+        lambda xq: saliency(mlp, xq, signed=True).values,
+        X[0], radius=0.1, n_samples=10,
+    )
+    results["smoothgrad (signed)"] = mean_relative_sensitivity(
+        lambda xq: smoothgrad(mlp, xq, n_samples=50, seed=0,
+                              signed=True).values,
+        X[0], radius=0.1, n_samples=10,
+    )
+    for name, value in results.items():
+        rows.append(fmt_row(name.ljust(22), value))
+    emit("E35_explanation_fragility", rows)
+
+    # Shape assertions from the cited papers.
+    assert results["lime(300, reseeded)"] > 2 * results["exact_shap"]
+    assert results["smoothgrad (signed)"] < results["saliency (signed)"]
+
+    benchmark(lambda: mean_relative_sensitivity(
+        lambda xq: shap.explain(xq).values, x, radius, n_samples=3
+    ))

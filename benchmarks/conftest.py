@@ -1,0 +1,53 @@
+"""Shared helpers for the experiment benchmarks (E1–E24).
+
+Each ``bench_eNN_*.py`` regenerates one experiment from DESIGN.md's index:
+it prints the table/series the claim is about (visible with ``-s``; also
+echoed into ``benchmarks/results/ENN.txt``) and asserts the claim's
+*shape*, so the suite doubles as a regression harness for the headline
+results. The ``benchmark`` fixture times the experiment's representative
+kernel.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(experiment: str, lines: list[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    banner = f"==== {experiment} ===="
+    print()
+    print(banner)
+    for line in lines:
+        print(line)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as f:
+        f.write("\n".join([banner, *lines]) + "\n")
+
+
+def fmt_row(*cells, width: int = 14) -> str:
+    out = []
+    for cell in cells:
+        if isinstance(cell, float):
+            out.append(f"{cell:>{width}.4g}")
+        else:
+            out.append(f"{str(cell):>{width}}")
+    return " ".join(out)
+
+
+@pytest.fixture(scope="session")
+def loan_setup():
+    """Shared loan data + models used by several experiments."""
+    from repro.datasets import make_loan_dataset
+    from repro.models import GradientBoostingClassifier, LogisticRegression
+
+    data = make_loan_dataset(600, seed=7)
+    logistic = LogisticRegression(alpha=1.0).fit(data.X, data.y)
+    gbm = GradientBoostingClassifier(
+        n_estimators=25, max_depth=3, seed=0
+    ).fit(data.X, data.y)
+    return data, logistic, gbm

@@ -1,0 +1,88 @@
+"""repro — a from-scratch reproduction of the XAI landscape surveyed in
+"Explainable AI: Foundations, Applications, Opportunities for Data
+Management Research" (SIGMOD 2022).
+
+Subpackages
+-----------
+core
+    Dataset abstraction, explanation objects, samplers, explainer bases.
+models
+    From-scratch ML substrate (linear, logistic, trees, forests, GBM,
+    kNN, naive Bayes, MLP) with white-box gradient access.
+datasets
+    SCM-backed synthetic data with known ground truth.
+shapley
+    Exact/sampled/Kernel/Tree SHAP, QII, global aggregation (§2.1.2).
+surrogate
+    LIME and surrogate-model explainability plus stability indices (§2.1.1).
+causal
+    SCMs, asymmetric/causal Shapley, Shapley flow, necessity/sufficiency
+    (§2.1.3).
+counterfactual
+    DiCE-, GeCo- and recourse-style contrastive explanations (§2.1.4).
+rules
+    Anchors, decision sets, association-rule mining (§2.2).
+logic
+    Boolean-circuit compilation, sufficient reasons, tractable SHAP (§2.2.2).
+datavalue
+    Data Shapley, KNN-Shapley, distributional Shapley, LOO (§2.3.1).
+influence
+    Influence functions, group influence, tree influence (§2.3.2).
+adversarial
+    Fooling-LIME/SHAP adversarial scaffolding.
+unstructured
+    Gradient attributions and sanity checks on grids/text (§2.4).
+db
+    Mini relational engine, provenance, Shapley of tuples, complaints (§3).
+unlearning
+    PrIU incremental updates and tree unlearning (§3).
+pipelines
+    Provenance-tracked data-prep pipelines and stage blame (§3).
+"""
+
+__version__ = "1.0.0"
+
+from . import io, render, report
+from . import (
+    adversarial,
+    evaluation,
+    causal,
+    core,
+    counterfactual,
+    datasets,
+    datavalue,
+    db,
+    influence,
+    logic,
+    models,
+    pipelines,
+    rules,
+    shapley,
+    surrogate,
+    unlearning,
+    unstructured,
+)
+
+__all__ = [
+    "core",
+    "models",
+    "datasets",
+    "shapley",
+    "surrogate",
+    "causal",
+    "counterfactual",
+    "rules",
+    "logic",
+    "datavalue",
+    "influence",
+    "adversarial",
+    "evaluation",
+    "unstructured",
+    "db",
+    "unlearning",
+    "pipelines",
+    "io",
+    "render",
+    "report",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Adversarial attacks on post-hoc explainers (§2.1.1 vulnerabilities)."""
+
+from .fooling import AdversarialModel, train_ood_detector
+
+__all__ = ["AdversarialModel", "train_ood_detector"]

@@ -1,0 +1,131 @@
+"""Fooling LIME and SHAP: adversarial scaffolding [Slack et al. 2020].
+
+The attack the tutorial cites as a key vulnerability of perturbation-based
+explainers (§2.1.1): both LIME and Kernel SHAP query the model on
+*synthetic* points that are often far off the data manifold. An adversary
+therefore wraps a genuinely biased model ``f`` with an out-of-distribution
+detector and an innocuous model ``ψ``:
+
+    e(x) = f(x)   if x looks like real data,
+           ψ(x)   otherwise (i.e. for the explainer's perturbations),
+
+so deployed decisions are biased while explanations — computed almost
+entirely from perturbed queries — attribute everything to ψ's harmless
+feature. The OOD detector here is a random forest trained on real rows
+versus LIME-style perturbed rows, as in the reference attack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.sampling import GaussianPerturber
+from ..models.forest import RandomForestClassifier
+
+__all__ = ["AdversarialModel", "train_ood_detector"]
+
+
+def train_ood_detector(
+    data: TabularDataset,
+    n_perturbed: int | None = None,
+    n_estimators: int = 50,
+    seed: int = 0,
+) -> RandomForestClassifier:
+    """Random forest separating real rows (1) from perturbed rows (0).
+
+    Slack et al. train the detector on the *attacked explainer's own*
+    perturbation distribution. Both families are covered here:
+
+    * LIME-style rows — Gaussian jitter / marginal resampling around a
+      real anchor, and
+    * Kernel-SHAP-style rows — coalition hybrids splicing a random subset
+      of one real row's features into another real row.
+    """
+    rng = np.random.default_rng(seed)
+    # Half of each perturbation family keeps real vs perturbed balanced.
+    n_perturbed = (n_perturbed or data.n_samples) // 2
+    perturber = GaussianPerturber(data)
+    anchors = data.X[rng.integers(0, data.n_samples, n_perturbed)]
+    lime_like = np.vstack([
+        perturber.sample(anchor, 2, rng)[0][1] for anchor in anchors
+    ])
+    # SHAP hybrids: random coalition of anchor features over a random
+    # background row (never the trivial all/none coalitions).
+    backgrounds = data.X[rng.integers(0, data.n_samples, n_perturbed)]
+    shap_like = backgrounds.copy()
+    for row in range(n_perturbed):
+        size = int(rng.integers(1, data.n_features))
+        coalition = rng.choice(data.n_features, size=size, replace=False)
+        shap_like[row, coalition] = anchors[row, coalition]
+    perturbed = np.vstack([lime_like, shap_like])
+    X = np.vstack([data.X, perturbed])
+    y = np.concatenate([
+        np.ones(data.n_samples, dtype=int),
+        np.zeros(perturbed.shape[0], dtype=int),
+    ])
+    detector = RandomForestClassifier(
+        n_estimators=n_estimators, max_depth=10, seed=seed
+    )
+    return detector.fit(X, y)
+
+
+class AdversarialModel:
+    """The Slack et al. wrapper: biased on-distribution, innocuous off.
+
+    Parameters
+    ----------
+    biased_fn:
+        The discriminatory decision function actually used on real data.
+    innocuous_fn:
+        The cover model shown to explainers (typically a function of one
+        uncorrelated feature).
+    detector:
+        Classifier with ``predict_proba``; class 1 = "real data".
+    ood_threshold:
+        Rows whose real-data probability falls below this are routed to
+        the innocuous model.
+    """
+
+    def __init__(
+        self,
+        biased_fn,
+        innocuous_fn,
+        detector,
+        ood_threshold: float = 0.5,
+    ) -> None:
+        self.biased_fn = biased_fn
+        self.innocuous_fn = innocuous_fn
+        self.detector = detector
+        self.ood_threshold = ood_threshold
+
+    def calibrate(self, X_real: np.ndarray, target_rate: float = 0.95
+                  ) -> "AdversarialModel":
+        """Set the routing threshold so ≥ ``target_rate`` of real rows hit
+        the biased model — the adversary's tuning step in the attack."""
+        X_real = np.atleast_2d(np.asarray(X_real, dtype=float))
+        scores = self.detector.predict_proba(X_real)[:, 1]
+        self.ood_threshold = float(np.quantile(scores, 1.0 - target_rate))
+        return self
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        in_dist = self.detector.predict_proba(X)[:, 1] >= self.ood_threshold
+        out = np.where(
+            in_dist,
+            np.asarray(self.biased_fn(X), dtype=float).ravel(),
+            np.asarray(self.innocuous_fn(X), dtype=float).ravel(),
+        )
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Hard labels at the 0.5 threshold (black-box convention)."""
+        return (self(X) >= 0.5).astype(int)
+
+    def fidelity_to_bias(self, X: np.ndarray) -> float:
+        """Fraction of rows routed to the biased model — the attack's
+        success precondition on real data (should be ≈ 1)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return float(
+            np.mean(self.detector.predict_proba(X)[:, 1] >= self.ood_threshold)
+        )

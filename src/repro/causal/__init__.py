@@ -1,0 +1,25 @@
+"""Causal explanation methods (§2.1.3)."""
+
+from .asymmetric import AsymmetricShapleyExplainer, sample_topological_permutation
+from .causal_shapley import CausalShapleyExplainer
+from .cxplain import CXPlainExplainer, granger_attributions
+from .necessity import CounterfactualScores, LewisExplainer
+from .scm import StructuralCausalModel, linear_mechanism
+from .shapley_flow import FlowResult, ShapleyFlowExplainer
+from .values import conditional_value_function, interventional_value_function
+
+__all__ = [
+    "StructuralCausalModel",
+    "linear_mechanism",
+    "interventional_value_function",
+    "conditional_value_function",
+    "CausalShapleyExplainer",
+    "CXPlainExplainer",
+    "granger_attributions",
+    "AsymmetricShapleyExplainer",
+    "sample_topological_permutation",
+    "ShapleyFlowExplainer",
+    "FlowResult",
+    "LewisExplainer",
+    "CounterfactualScores",
+]

@@ -1,0 +1,128 @@
+"""Causal Shapley values [Heskes et al. 2020].
+
+Causal Shapley values keep all four Shapley axioms but replace the
+coalition value function with the interventional one,
+v(S) = E[f(X) | do(X_S = x_S)], evaluated on a structural causal model.
+For each permutation π and player i with predecessors S, the paper
+further splits the marginal contribution into
+
+* a **direct** effect — the change from plugging x_i into the model while
+  the remaining features keep their do(x_S) distribution, and
+* an **indirect** effect — the change from the intervention do(X_i = x_i)
+  shifting the distribution of i's causal descendants.
+
+Both parts are estimated here by permutation sampling against the SCM;
+their sums are the causal Shapley values, and the direct part alone
+recovers (in expectation) the marginal-SHAP behaviour, which is how E10
+shows where the two disagree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.explanation import FeatureAttribution
+from .scm import StructuralCausalModel
+
+__all__ = ["CausalShapleyExplainer"]
+
+
+class CausalShapleyExplainer:
+    """Interventional Shapley values with direct/indirect decomposition.
+
+    Parameters
+    ----------
+    model:
+        Callable or fitted model; normalized output is explained.
+    scm:
+        The causal model over (at least) the feature variables.
+    feature_order:
+        SCM variable names in model-column order.
+    n_permutations, n_samples:
+        Monte-Carlo budgets: orderings sampled, and SCM draws per
+        expectation.
+    """
+
+    method_name = "causal_shapley"
+
+    def __init__(
+        self,
+        model,
+        scm: StructuralCausalModel,
+        feature_order: list[str],
+        n_permutations: int = 40,
+        n_samples: int = 400,
+        seed: int = 0,
+    ) -> None:
+        from ..core.base import as_predict_fn
+
+        self.predict_fn = as_predict_fn(model)
+        self.scm = scm
+        self.feature_order = list(feature_order)
+        self.n_permutations = n_permutations
+        self.n_samples = n_samples
+        self.seed = seed
+
+    def _expectation(
+        self,
+        interventions: dict[str, float],
+        plug_in: dict[int, float],
+        seed: int,
+    ) -> float:
+        """E[f(X̃)] where X ~ do(interventions) and X̃ overrides columns.
+
+        ``plug_in`` replaces model-input columns *without* intervening in
+        the SCM — the device that separates direct from indirect effects.
+        """
+        values = self.scm.sample(self.n_samples, seed=seed,
+                                 interventions=interventions)
+        X = np.column_stack([values[name] for name in self.feature_order])
+        for j, value in plug_in.items():
+            X[:, j] = value
+        return float(np.mean(self.predict_fn(X)))
+
+    def explain(self, x: np.ndarray, feature_names: list[str] | None = None
+                ) -> FeatureAttribution:
+        x = np.asarray(x, dtype=float).ravel()
+        n = x.shape[0]
+        rng = np.random.default_rng(self.seed)
+        phi_direct = np.zeros(n)
+        phi_indirect = np.zeros(n)
+        counter = 0
+        for __ in range(self.n_permutations):
+            perm = rng.permutation(n)
+            coalition: dict[str, float] = {}
+            plugged: dict[int, float] = {}
+            v_prev = self._expectation(coalition, plugged, seed=self.seed + counter)
+            counter += 1
+            for player in perm:
+                name = self.feature_order[player]
+                # Direct: plug x_i into the model under the old intervention.
+                v_direct = self._expectation(
+                    coalition, {**plugged, player: float(x[player])},
+                    seed=self.seed + counter,
+                )
+                counter += 1
+                # Full: actually intervene, shifting descendants too.
+                coalition[name] = float(x[player])
+                plugged[player] = float(x[player])
+                v_full = self._expectation(
+                    coalition, plugged, seed=self.seed + counter
+                )
+                counter += 1
+                phi_direct[player] += v_direct - v_prev
+                phi_indirect[player] += v_full - v_direct
+                v_prev = v_full
+        phi_direct /= self.n_permutations
+        phi_indirect /= self.n_permutations
+        phi = phi_direct + phi_indirect
+        base = self._expectation({}, {}, seed=self.seed + counter)
+        names = feature_names or self.feature_order
+        return FeatureAttribution(
+            values=phi,
+            feature_names=names,
+            base_value=base,
+            prediction=float(self.predict_fn(x[None, :])[0]),
+            method=self.method_name,
+            meta={"direct": phi_direct, "indirect": phi_indirect},
+        )

@@ -1,0 +1,165 @@
+"""CXPlain: causal explanations via Granger-style surrogate training
+[Schwab & Karlen 2019] (§2.1.3's "surrogates with causal objective
+functions").
+
+Where LIME trains its surrogate to mimic the *model output*, CXPlain
+trains a surrogate to predict each feature's **Granger-causal
+contribution to the loss**: the loss increase from withholding the
+feature,
+
+    Δ_j(x) = ℓ(f(x_{−j}), y) − ℓ(f(x), y),
+
+normalized into an importance distribution per instance. The trained
+surrogate then explains *new* instances in one forward pass — amortized
+explanation — and a bootstrap ensemble of surrogates yields the paper's
+uncertainty estimates.
+
+The surrogate here is a gradient-boosted regressor per feature (any
+regressor from :mod:`repro.models` works); masking uses mean imputation,
+as in the reference implementation's tabular mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Explainer
+from ..core.explanation import FeatureAttribution
+from ..models.boosting import GradientBoostingRegressor
+
+__all__ = ["CXPlainExplainer", "granger_attributions"]
+
+
+def granger_attributions(
+    predict_fn,
+    X: np.ndarray,
+    y: np.ndarray,
+    mask_values: np.ndarray | None = None,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Per-instance Granger-causal loss contributions, normalized.
+
+    Returns an ``(n, d)`` matrix of non-negative importances summing to
+    1 per row. ``y`` holds binary labels; loss is cross-entropy on the
+    normalized model score.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y, dtype=float).ravel()
+    if mask_values is None:
+        mask_values = X.mean(axis=0)
+
+    def loss(scores: np.ndarray) -> np.ndarray:
+        p = np.clip(scores, eps, 1 - eps)
+        return -(y * np.log(p) + (1 - y) * np.log(1 - p))
+
+    base_loss = loss(np.asarray(predict_fn(X), dtype=float).ravel())
+    n, d = X.shape
+    deltas = np.zeros((n, d))
+    for j in range(d):
+        masked = X.copy()
+        masked[:, j] = mask_values[j]
+        deltas[:, j] = loss(
+            np.asarray(predict_fn(masked), dtype=float).ravel()
+        ) - base_loss
+    deltas = np.maximum(deltas, 0.0)
+    totals = deltas.sum(axis=1, keepdims=True)
+    # Rows where no feature mattered get a uniform distribution.
+    uniform = np.full((1, d), 1.0 / d)
+    return np.where(totals > eps, deltas / np.maximum(totals, eps), uniform)
+
+
+class CXPlainExplainer(Explainer):
+    """Amortized causal-objective surrogate explainer with uncertainty.
+
+    Parameters
+    ----------
+    n_bootstrap:
+        Number of bootstrap-resampled surrogate ensembles; their spread
+        gives per-feature uncertainty.
+    surrogate_factory:
+        Builder for the per-feature regressor (shared architecture).
+    """
+
+    method_name = "cxplain"
+
+    def __init__(
+        self,
+        model,
+        n_bootstrap: int = 5,
+        surrogate_factory=None,
+        output: str = "auto",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(model, output)
+        self.n_bootstrap = max(1, n_bootstrap)
+        self.surrogate_factory = surrogate_factory or (
+            lambda: GradientBoostingRegressor(
+                n_estimators=30, max_depth=3, seed=0
+            )
+        )
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CXPlainExplainer":
+        """Compute Granger targets on (X, y) and train the surrogates."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y).ravel()
+        self._mask_values = X.mean(axis=0)
+        targets = granger_attributions(
+            self.predict_fn, X, y, self._mask_values
+        )
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        self._ensembles: list[list] = []
+        for __ in range(self.n_bootstrap):
+            idx = rng.integers(0, X.shape[0], X.shape[0])
+            members = []
+            for j in range(self.n_features_):
+                surrogate = self.surrogate_factory()
+                surrogate.fit(X[idx], targets[idx, j])
+                members.append(surrogate)
+            self._ensembles.append(members)
+        return self
+
+    def explain(self, x: np.ndarray, feature_names: list[str] | None = None
+                ) -> FeatureAttribution:
+        """One forward pass through the surrogates — no model queries."""
+        if not hasattr(self, "_ensembles"):
+            raise RuntimeError("call fit() before explain()")
+        x = np.asarray(x, dtype=float).ravel()[None, :]
+        per_bootstrap = np.stack([
+            np.array([member.predict(x)[0] for member in members])
+            for members in self._ensembles
+        ])
+        per_bootstrap = np.maximum(per_bootstrap, 0.0)
+        sums = per_bootstrap.sum(axis=1, keepdims=True)
+        per_bootstrap = per_bootstrap / np.maximum(sums, 1e-12)
+        mean = per_bootstrap.mean(axis=0)
+        spread = per_bootstrap.std(axis=0)
+        names = feature_names or [f"x{i}" for i in range(self.n_features_)]
+        # Deliberately no model query here: amortization means explaining
+        # costs only surrogate forward passes.
+        return FeatureAttribution(
+            values=mean,
+            feature_names=names,
+            base_value=0.0,
+            prediction=None,
+            method=self.method_name,
+            meta={"uncertainty": spread, "n_bootstrap": self.n_bootstrap},
+        )
+
+    def explain_direct(self, x: np.ndarray, y: float,
+                       feature_names: list[str] | None = None
+                       ) -> FeatureAttribution:
+        """Non-amortized Granger attribution for one labeled instance."""
+        x = np.asarray(x, dtype=float).ravel()
+        values = granger_attributions(
+            self.predict_fn, x[None, :], np.asarray([y]),
+            getattr(self, "_mask_values", None),
+        )[0]
+        names = feature_names or [f"x{i}" for i in range(x.shape[0])]
+        return FeatureAttribution(
+            values=values,
+            feature_names=names,
+            prediction=float(self.predict_fn(x[None, :])[0]),
+            method="cxplain_direct",
+        )

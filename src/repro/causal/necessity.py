@@ -1,0 +1,179 @@
+"""LEWIS: probabilistic contrastive counterfactual scores [Galhotra,
+Pradhan & Salimi 2021] and the necessity/sufficiency framework of Watson
+et al. (2021).
+
+LEWIS explains a black-box algorithm with counterfactual probabilities
+computed on a structural causal model:
+
+* **Necessity** — for units that received the positive outcome with
+  attribute value a: would the outcome have been negative had the
+  attribute been a'?  P(o_{A←a'} = 0 | A = a, o = 1).
+* **Sufficiency** — for units that received the negative outcome with
+  attribute a': would setting A ← a have produced the positive outcome?
+  P(o_{A←a} = 1 | A = a', o = 0).
+* **Necessity-and-sufficiency** — over all units: P(o_{A←a} = 1 ∧
+  o_{A←a'} = 0).
+
+Counterfactuals are evaluated exactly by *noise replay*: the SCM samples
+units together with their exogenous noise, interventions re-propagate the
+same noise (twin-network semantics), so no abduction approximation enters.
+The scores drive both global explanations (ranking attributes) and
+LEWIS-style recourse (which attainable intervention maximizes the
+sufficiency of flipping *your* outcome).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scm import StructuralCausalModel
+
+__all__ = ["CounterfactualScores", "LewisExplainer"]
+
+
+@dataclass(frozen=True)
+class CounterfactualScores:
+    """Necessity / sufficiency / necessity-and-sufficiency of one contrast."""
+
+    attribute: str
+    value: float
+    contrast_value: float
+    necessity: float
+    sufficiency: float
+    necessity_sufficiency: float
+    n_units: int
+
+
+class LewisExplainer:
+    """Population-level contrastive counterfactual scores for a model.
+
+    Parameters
+    ----------
+    model:
+        The black box whose positive decisions are explained; normalized
+        to a score in [0, 1] and thresholded.
+    scm:
+        Generative causal model of the features.
+    feature_order:
+        SCM variable names in model-column order.
+    n_units:
+        Number of SCM units (with noise) the scores are estimated on.
+    """
+
+    method_name = "lewis"
+
+    def __init__(
+        self,
+        model,
+        scm: StructuralCausalModel,
+        feature_order: list[str],
+        n_units: int = 2000,
+        threshold: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        from ..core.base import as_predict_fn
+
+        self.predict_fn = as_predict_fn(model)
+        self.scm = scm
+        self.feature_order = list(feature_order)
+        self.threshold = threshold
+        self.n_units = n_units
+        self.seed = seed
+        self._values, self._noise = scm.sample(
+            n_units, seed=seed, return_noise=True
+        )
+        self._outcomes = self._decide(self._values)
+
+    def _decide(self, values: dict[str, np.ndarray]) -> np.ndarray:
+        X = np.column_stack([values[name] for name in self.feature_order])
+        return (self.predict_fn(X) >= self.threshold).astype(int)
+
+    def _counterfactual_outcomes(self, attribute: str, value: float) -> np.ndarray:
+        twin = self.scm.counterfactual(self._noise, {attribute: value})
+        return self._decide(twin)
+
+    def scores(
+        self,
+        attribute: str,
+        value: float,
+        contrast_value: float,
+        unit_mask: np.ndarray | None = None,
+    ) -> CounterfactualScores:
+        """Compute NeС/SuF/NeSuF for the contrast ``value`` vs ``contrast_value``.
+
+        ``unit_mask`` optionally restricts the population (e.g. a
+        subgroup); necessity additionally conditions on A ≈ value and a
+        positive factual outcome, sufficiency on A ≉ value and a negative
+        one, following the paper.
+        """
+        if attribute not in self.feature_order:
+            raise KeyError(f"{attribute!r} is not a model feature")
+        if unit_mask is None:
+            unit_mask = np.ones(self.n_units, dtype=bool)
+        col = self._values[attribute]
+        spread = max(float(np.std(col)), 1e-9)
+        has_value = np.abs(col - value) <= 0.25 * spread
+        out_contrast = self._counterfactual_outcomes(attribute, contrast_value)
+        out_value = self._counterfactual_outcomes(attribute, value)
+
+        nec_pool = unit_mask & has_value & (self._outcomes == 1)
+        necessity = (
+            float(np.mean(out_contrast[nec_pool] == 0)) if nec_pool.any() else 0.0
+        )
+        suf_pool = unit_mask & ~has_value & (self._outcomes == 0)
+        sufficiency = (
+            float(np.mean(out_value[suf_pool] == 1)) if suf_pool.any() else 0.0
+        )
+        nesuf = float(np.mean((out_value == 1) & (out_contrast == 0)))
+        return CounterfactualScores(
+            attribute=attribute,
+            value=value,
+            contrast_value=contrast_value,
+            necessity=necessity,
+            sufficiency=sufficiency,
+            necessity_sufficiency=nesuf,
+            n_units=int(unit_mask.sum()),
+        )
+
+    def rank_attributes(self, contrasts: dict[str, tuple[float, float]]
+                        ) -> list[CounterfactualScores]:
+        """Score several attribute contrasts and sort by NeSuF descending.
+
+        ``contrasts`` maps attribute name to ``(value, contrast_value)``.
+        This is LEWIS's global explanation: which attributes are most
+        necessary-and-sufficient for the model's decisions.
+        """
+        scored = [
+            self.scores(attr, value, contrast)
+            for attr, (value, contrast) in contrasts.items()
+        ]
+        return sorted(scored, key=lambda s: -s.necessity_sufficiency)
+
+    def recourse_options(
+        self,
+        unit_values: dict[str, float],
+        candidate_interventions: dict[str, list[float]],
+    ) -> list[tuple[str, float, float]]:
+        """LEWIS recourse: rank attainable interventions by flip probability.
+
+        For a negatively-decided individual, estimate for each candidate
+        intervention the probability that applying it flips similar units
+        (units whose features match the individual's within tolerance) to
+        the positive side, via noise replay over the matched subpopulation.
+        Returns ``(attribute, value, flip_probability)`` sorted best-first.
+        """
+        mask = np.ones(self.n_units, dtype=bool)
+        for name, value in unit_values.items():
+            col = self._values[name]
+            spread = max(float(np.std(col)), 1e-9)
+            mask &= np.abs(col - value) <= 0.5 * spread
+        mask &= self._outcomes == 0
+        options: list[tuple[str, float, float]] = []
+        for attribute, values in candidate_interventions.items():
+            for value in values:
+                out = self._counterfactual_outcomes(attribute, value)
+                flip = float(np.mean(out[mask] == 1)) if mask.any() else 0.0
+                options.append((attribute, float(value), flip))
+        return sorted(options, key=lambda o: -o[2])

@@ -1,0 +1,106 @@
+"""Interventional coalition value functions backed by an SCM.
+
+Marginal (Kernel SHAP's), conditional-by-observation, and interventional
+``do()`` value functions all answer "what is the expected model output
+when only coalition S is known?", but disagree once features are
+dependent — the disagreement the tutorial's causal section (§2.1.3) is
+about, and what experiment E10 measures. This module builds the
+``do``-based value function
+
+    v(S) = E[f(X) | do(X_S = x_S)]
+
+from a :class:`StructuralCausalModel` in the batched convention the rest
+of the Shapley code consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scm import StructuralCausalModel
+
+__all__ = ["interventional_value_function", "conditional_value_function"]
+
+
+def interventional_value_function(
+    scm: StructuralCausalModel,
+    predict_fn,
+    feature_order: list[str],
+    x: np.ndarray,
+    n_samples: int = 500,
+    seed: int = 0,
+):
+    """Batched v(S) = E[f(X) | do(X_S = x_S)] under the SCM.
+
+    Parameters
+    ----------
+    feature_order:
+        The SCM variables corresponding to model input columns, in column
+        order. Variables outside this list (e.g. the target) are sampled
+        but not fed to the model.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    if len(feature_order) != x.shape[0]:
+        raise ValueError("feature_order does not match the instance width")
+
+    def v(masks: np.ndarray) -> np.ndarray:
+        masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+        out = np.zeros(masks.shape[0])
+        for row, mask in enumerate(masks):
+            interventions = {
+                feature_order[j]: float(x[j])
+                for j in range(len(feature_order))
+                if mask[j]
+            }
+            values = scm.sample(
+                n_samples, seed=seed + row, interventions=interventions
+            )
+            X = np.column_stack([values[name] for name in feature_order])
+            out[row] = float(np.mean(predict_fn(X)))
+        return out
+
+    return v
+
+
+def conditional_value_function(
+    scm: StructuralCausalModel,
+    predict_fn,
+    feature_order: list[str],
+    x: np.ndarray,
+    n_samples: int = 300,
+    seed: int = 0,
+):
+    """Batched v(S) = E[f(X) | X_S = x_S] by rejection sampling.
+
+    The observational ("on-manifold") value function used by conditional
+    SHAP and asymmetric Shapley values. Conditioning is approximate:
+    acceptance windows default to a quarter of each variable's marginal
+    standard deviation (see :meth:`StructuralCausalModel.conditional_sample`).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+
+    def v(masks: np.ndarray) -> np.ndarray:
+        masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+        out = np.zeros(masks.shape[0])
+        for row, mask in enumerate(masks):
+            conditions = {
+                feature_order[j]: float(x[j])
+                for j in range(len(feature_order))
+                if mask[j]
+            }
+            if conditions:
+                values = scm.conditional_sample(
+                    n_samples, conditions, seed=seed + row
+                )
+            else:
+                values = scm.sample(n_samples, seed=seed + row)
+            X = np.column_stack([values[name] for name in feature_order])
+            # Conditioned coordinates are pinned exactly (the window is an
+            # acceptance region, not the intended evaluation point).
+            for j in range(len(feature_order)):
+                if mask[j]:
+                    X[:, j] = x[j]
+            out[row] = float(np.mean(predict_fn(X)))
+        return out
+
+    return v

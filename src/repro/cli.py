@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Package inventory: subpackages, experiment ids, example scripts.
+``demo``
+    A self-contained 10-second demo: trains a model on the loan data and
+    prints three renderings (SHAP bars, an anchor rule, a counterfactual).
+``experiments``
+    List the benchmark experiments (E1…) with their claims.
+``examples``
+    List the runnable example scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+__all__ = ["main"]
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__)
+)))
+
+
+def _iter_benchmarks():
+    bench_dir = os.path.join(_ROOT, "benchmarks")
+    if not os.path.isdir(bench_dir):
+        return
+    for name in sorted(os.listdir(bench_dir)):
+        match = re.match(r"bench_(e\d+)_(.+)\.py$", name)
+        if not match:
+            continue
+        path = os.path.join(bench_dir, name)
+        with open(path) as f:
+            first = f.read().split('"""')
+        claim = first[1].strip().splitlines()[0] if len(first) > 1 else ""
+        yield match.group(1).upper(), match.group(2), claim
+
+
+def cmd_info(args) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — from-scratch XAI toolkit")
+    print("\nsubpackages:")
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        module = getattr(repro, name, None)
+        doc = (module.__doc__ or "").strip().splitlines()
+        print(f"  repro.{name:<15} {doc[0] if doc else ''}")
+    benches = list(_iter_benchmarks())
+    examples_dir = os.path.join(_ROOT, "examples")
+    n_examples = len([
+        f for f in os.listdir(examples_dir) if f.endswith(".py")
+    ]) if os.path.isdir(examples_dir) else 0
+    print(f"\n{len(benches)} experiments (see `python -m repro experiments`),"
+          f" {n_examples} example scripts")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    benches = list(_iter_benchmarks())
+    if not benches:
+        print("no benchmarks directory found next to the package "
+              "(installed without the repository checkout)")
+        return 1
+    for experiment, slug, claim in benches:
+        print(f"{experiment:<5} {slug:<24} {claim}")
+    print("\nrun them with: pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def cmd_examples(args) -> int:
+    examples_dir = os.path.join(_ROOT, "examples")
+    if not os.path.isdir(examples_dir):
+        print("no examples directory found next to the package")
+        return 1
+    for name in sorted(os.listdir(examples_dir)):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(examples_dir, name)) as f:
+            content = f.read().split('"""')
+        summary = content[1].strip().splitlines()[0] if len(content) > 1 else ""
+        print(f"examples/{name:<36} {summary}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from .counterfactual import GecoExplainer
+    from .datasets import make_loan_dataset
+    from .models import GradientBoostingClassifier
+    from .render import render
+    from .rules import AnchorExplainer
+    from .shapley import TreeShapExplainer
+
+    data = make_loan_dataset(500, seed=0)
+    model = GradientBoostingClassifier(
+        n_estimators=25, max_depth=3, seed=0
+    ).fit(data.X, data.y)
+    x = data.X[int(args.instance)]
+    print(f"instance {args.instance}: {data.render_row(x)}\n")
+    attribution = TreeShapExplainer(model).explain(
+        x, feature_names=data.feature_names
+    )
+    print(render(attribution, top=5))
+    print()
+    rule = AnchorExplainer(model, data, precision_target=0.9,
+                           seed=0).explain(x)
+    print(render(rule))
+    print()
+    cf = GecoExplainer(model, data, seed=0).explain(x)
+    print(render(cf))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="from-scratch reproduction of the SIGMOD'22 XAI tutorial",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="package inventory")
+    sub.add_parser("experiments", help="list experiments E1…")
+    sub.add_parser("examples", help="list example scripts")
+    demo = sub.add_parser("demo", help="explain one loan decision 3 ways")
+    demo.add_argument("--instance", default=0, type=int,
+                      help="row of the loan dataset to explain")
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "experiments": cmd_experiments,
+        "examples": cmd_examples,
+        "demo": cmd_demo,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Core abstractions: datasets, explanation objects, samplers, base classes."""
+
+from .base import AttributionExplainer, Explainer, as_predict_fn
+from .dataset import FeatureSpec, TabularDataset
+from .explanation import (
+    CounterfactualExplanation,
+    DataAttribution,
+    FeatureAttribution,
+    Predicate,
+    RuleExplanation,
+)
+from .sampling import GaussianPerturber, MaskingSampler
+
+__all__ = [
+    "AttributionExplainer",
+    "Explainer",
+    "as_predict_fn",
+    "FeatureSpec",
+    "TabularDataset",
+    "FeatureAttribution",
+    "Predicate",
+    "RuleExplanation",
+    "CounterfactualExplanation",
+    "DataAttribution",
+    "GaussianPerturber",
+    "MaskingSampler",
+]

@@ -1,0 +1,81 @@
+"""Explainer base classes and the black-box model protocol.
+
+The library is model-agnostic at its boundaries: explainers accept either a
+plain callable ``f(X) -> outputs`` or any model from :mod:`repro.models`.
+:func:`as_predict_fn` normalizes both to a single calling convention, and
+chooses the probability of the positive class for classifiers so that every
+attribution method explains a real-valued output in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from .explanation import FeatureAttribution
+
+__all__ = ["as_predict_fn", "Explainer", "AttributionExplainer"]
+
+PredictFn = Callable[[np.ndarray], np.ndarray]
+
+
+def as_predict_fn(model, output: str = "auto") -> PredictFn:
+    """Normalize a model or callable to ``f(X) -> 1-D float array``.
+
+    Parameters
+    ----------
+    model:
+        A callable, or an object exposing ``predict_proba`` / ``predict``.
+    output:
+        * ``"auto"`` — ``predict_proba[:, 1]`` when available, else
+          ``predict``;
+        * ``"proba"`` — require ``predict_proba[:, 1]``;
+        * ``"label"`` — hard ``predict`` labels;
+        * ``"raw"`` — ``decision_function`` / raw margin when available.
+    """
+    if callable(model) and not hasattr(model, "predict"):
+        return lambda X: np.asarray(model(np.atleast_2d(X)), dtype=float).ravel()
+
+    if output == "label":
+        return lambda X: np.asarray(model.predict(np.atleast_2d(X)), dtype=float).ravel()
+    if output == "raw" and hasattr(model, "decision_function"):
+        return lambda X: np.asarray(
+            model.decision_function(np.atleast_2d(X)), dtype=float
+        ).ravel()
+    if hasattr(model, "predict_proba") and output in ("auto", "proba"):
+        def proba_fn(X: np.ndarray) -> np.ndarray:
+            p = np.asarray(model.predict_proba(np.atleast_2d(X)), dtype=float)
+            return p[:, 1] if p.ndim == 2 else p.ravel()
+
+        return proba_fn
+    if output == "proba":
+        raise TypeError(f"{type(model).__name__} has no predict_proba")
+    return lambda X: np.asarray(model.predict(np.atleast_2d(X)), dtype=float).ravel()
+
+
+class Explainer(ABC):
+    """Common base: wraps a model into a normalized prediction function."""
+
+    def __init__(self, model, output: str = "auto") -> None:
+        self.model = model
+        self.predict_fn = as_predict_fn(model, output)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """The normalized model output being explained."""
+        return self.predict_fn(X)
+
+
+class AttributionExplainer(Explainer):
+    """Base for explainers that return :class:`FeatureAttribution`."""
+
+    method_name = "attribution"
+
+    @abstractmethod
+    def explain(self, x: np.ndarray, **kwargs) -> FeatureAttribution:
+        """Explain the model output at a single instance ``x``."""
+
+    def explain_batch(self, X: np.ndarray, **kwargs) -> list[FeatureAttribution]:
+        """Explain every row of ``X`` (naive loop; methods may override)."""
+        return [self.explain(x, **kwargs) for x in np.atleast_2d(X)]

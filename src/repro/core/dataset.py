@@ -1,0 +1,203 @@
+"""Tabular dataset abstraction shared by every explainer in the library.
+
+A :class:`TabularDataset` bundles a numeric feature matrix with the metadata
+explainers need but raw arrays lack: feature names, which columns are
+categorical, per-column value domains, and summary statistics used by
+perturbation-based methods (LIME, SHAP, counterfactual search).
+
+Categorical features are stored *encoded* as small integers; the
+:class:`FeatureSpec` for the column remembers the category labels so
+explanations can be rendered in human terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["FeatureSpec", "TabularDataset"]
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Schema entry for one column of a :class:`TabularDataset`.
+
+    Parameters
+    ----------
+    name:
+        Human-readable column name (``"age"``, ``"income"``).
+    kind:
+        ``"numeric"`` or ``"categorical"``.
+    categories:
+        For categorical columns, the label of each encoded integer value;
+        ``categories[v]`` renders encoded value ``v``. Empty for numeric.
+    actionable:
+        Whether recourse/counterfactual search may change this feature.
+        Immutable attributes (e.g. birthplace) should set this to ``False``.
+    monotone:
+        Direction counterfactual search may move a numeric feature:
+        ``0`` unrestricted, ``+1`` may only increase, ``-1`` only decrease.
+        Education is a classic +1 example: recourse cannot ask a user to
+        un-earn a degree.
+    """
+
+    name: str
+    kind: str = "numeric"
+    categories: tuple[str, ...] = ()
+    actionable: bool = True
+    monotone: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("numeric", "categorical"):
+            raise ValueError(f"unknown feature kind {self.kind!r}")
+        if self.kind == "categorical" and not self.categories:
+            raise ValueError(f"categorical feature {self.name!r} needs categories")
+        if self.monotone not in (-1, 0, 1):
+            raise ValueError("monotone must be -1, 0 or +1")
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == "categorical"
+
+    def render(self, value: float) -> str:
+        """Format an encoded cell value as a human-readable string."""
+        if self.is_categorical:
+            return self.categories[int(value)]
+        return f"{value:.4g}"
+
+
+class TabularDataset:
+    """A feature matrix, target vector and column schema.
+
+    Parameters
+    ----------
+    X:
+        Feature matrix of shape ``(n_samples, n_features)``. Categorical
+        columns hold integer codes.
+    y:
+        Target vector of shape ``(n_samples,)``; class labels for
+        classification or real values for regression.
+    features:
+        One :class:`FeatureSpec` per column. Plain strings are promoted to
+        numeric specs.
+    target_name:
+        Name of the target column, used when rendering explanations.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        features: list[FeatureSpec | str] | None = None,
+        target_name: str = "outcome",
+    ) -> None:
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape[0] != X.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} entries"
+            )
+        if features is None:
+            features = [f"x{i}" for i in range(X.shape[1])]
+        if len(features) != X.shape[1]:
+            raise ValueError(
+                f"{len(features)} feature specs for {X.shape[1]} columns"
+            )
+        self.X = X
+        self.y = y
+        self.features = [
+            f if isinstance(f, FeatureSpec) else FeatureSpec(name=f)
+            for f in features
+        ]
+        self.target_name = target_name
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [f.name for f in self.features]
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self) -> str:
+        return (
+            f"TabularDataset(n_samples={self.n_samples}, "
+            f"n_features={self.n_features}, target={self.target_name!r})"
+        )
+
+    # -- schema helpers -----------------------------------------------------
+
+    def feature_index(self, name: str) -> int:
+        """Return the column index of the feature called ``name``."""
+        for i, spec in enumerate(self.features):
+            if spec.name == name:
+                return i
+        raise KeyError(f"no feature named {name!r}")
+
+    @property
+    def categorical_indices(self) -> list[int]:
+        return [i for i, f in enumerate(self.features) if f.is_categorical]
+
+    @property
+    def numeric_indices(self) -> list[int]:
+        return [i for i, f in enumerate(self.features) if not f.is_categorical]
+
+    # -- statistics used by perturbation-based explainers --------------------
+
+    def column_stats(self) -> dict[str, np.ndarray]:
+        """Per-column mean/std (numeric) and category frequencies.
+
+        Returns a dict with ``mean`` and ``std`` arrays (std floored at a
+        tiny epsilon so degenerate constant columns never divide by zero)
+        plus ``frequencies``, a list indexed by column that is ``None`` for
+        numeric columns and an empirical category distribution otherwise.
+        """
+        mean = self.X.mean(axis=0)
+        std = np.maximum(self.X.std(axis=0), 1e-12)
+        frequencies: list[np.ndarray | None] = []
+        for i, spec in enumerate(self.features):
+            if spec.is_categorical:
+                counts = np.bincount(
+                    self.X[:, i].astype(int), minlength=len(spec.categories)
+                ).astype(float)
+                frequencies.append(counts / counts.sum())
+            else:
+                frequencies.append(None)
+        return {"mean": mean, "std": std, "frequencies": frequencies}
+
+    # -- slicing -------------------------------------------------------------
+
+    def subset(self, indices: np.ndarray) -> "TabularDataset":
+        """Return a new dataset containing only the given row indices."""
+        indices = np.asarray(indices)
+        return TabularDataset(
+            self.X[indices], self.y[indices], list(self.features), self.target_name
+        )
+
+    def drop(self, indices: np.ndarray) -> "TabularDataset":
+        """Return a new dataset with the given row indices removed."""
+        mask = np.ones(self.n_samples, dtype=bool)
+        mask[np.asarray(indices)] = False
+        return TabularDataset(
+            self.X[mask], self.y[mask], list(self.features), self.target_name
+        )
+
+    def render_row(self, row: np.ndarray) -> dict[str, str]:
+        """Render one feature vector as ``{name: human-readable value}``."""
+        row = np.asarray(row).ravel()
+        return {
+            spec.name: spec.render(value)
+            for spec, value in zip(self.features, row)
+        }

@@ -1,0 +1,230 @@
+"""Explanation result objects shared across the library.
+
+Every explainer returns one of a small set of typed results rather than a
+bare array, so downstream code (rendering, benchmarks, tests) can treat all
+attribution methods interchangeably:
+
+* :class:`FeatureAttribution` — one real number per feature (LIME, SHAP,
+  QII, causal Shapley, saliency, ...).
+* :class:`RuleExplanation` — an if-then rule with precision/coverage
+  (Anchors, decision sets, sufficient reasons).
+* :class:`CounterfactualExplanation` — one or more contrastive instances.
+* :class:`DataAttribution` — one real number per *training point* (Data
+  Shapley, influence functions, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FeatureAttribution",
+    "Predicate",
+    "RuleExplanation",
+    "CounterfactualExplanation",
+    "DataAttribution",
+]
+
+
+@dataclass
+class FeatureAttribution:
+    """Per-feature importance scores for a single prediction.
+
+    Attributes
+    ----------
+    values:
+        One score per feature; sign encodes direction of influence.
+    base_value:
+        The reference output the scores are measured against (for Shapley
+        methods, the expected model output over the background).
+    prediction:
+        The model output being explained.
+    feature_names:
+        Column names aligned with ``values``.
+    method:
+        Short identifier of the producing algorithm (``"kernel_shap"``).
+    meta:
+        Free-form extras (sampling budget, convergence diagnostics, ...).
+    """
+
+    values: np.ndarray
+    feature_names: list[str]
+    base_value: float = 0.0
+    prediction: float | None = None
+    method: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.shape[0] != len(self.feature_names):
+            raise ValueError(
+                f"{self.values.shape[0]} values for "
+                f"{len(self.feature_names)} feature names"
+            )
+
+    def additivity_gap(self) -> float:
+        """|base + sum(values) − prediction|; 0 for exact Shapley methods."""
+        if self.prediction is None:
+            raise ValueError("prediction not recorded on this attribution")
+        return abs(self.base_value + float(self.values.sum()) - self.prediction)
+
+    def ranking(self) -> list[int]:
+        """Feature indices sorted by |score| descending."""
+        return list(np.argsort(-np.abs(self.values)))
+
+    def top(self, k: int = 5) -> list[tuple[str, float]]:
+        """The ``k`` most important (name, score) pairs."""
+        order = self.ranking()[:k]
+        return [(self.feature_names[i], float(self.values[i])) for i in order]
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            name: float(v) for name, v in zip(self.feature_names, self.values)
+        }
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}={v:+.3g}" for n, v in self.top(4))
+        return f"FeatureAttribution[{self.method}]({parts}, ...)"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An atomic condition on one feature: ``feature <op> value``.
+
+    ``op`` is one of ``"=="``, ``"<="``, ``">"``, ``">="``, ``"<"``.
+    ``value`` is the encoded numeric threshold or category code.
+    """
+
+    feature: int
+    op: str
+    value: float
+    feature_name: str = ""
+
+    _OPS = ("==", "<=", ">", ">=", "<", "!=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unknown predicate op {self.op!r}")
+
+    def holds(self, X: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation: boolean mask over rows of ``X``."""
+        col = np.atleast_2d(X)[:, self.feature]
+        if self.op == "==":
+            return col == self.value
+        if self.op == "!=":
+            return col != self.value
+        if self.op == "<=":
+            return col <= self.value
+        if self.op == "<":
+            return col < self.value
+        if self.op == ">=":
+            return col >= self.value
+        return col > self.value
+
+    def __str__(self) -> str:
+        name = self.feature_name or f"x{self.feature}"
+        return f"{name} {self.op} {self.value:g}"
+
+
+@dataclass
+class RuleExplanation:
+    """A conjunction of predicates with quality statistics.
+
+    ``precision`` is P(model gives the explained outcome | rule holds),
+    estimated over a perturbation or data distribution; ``coverage`` is
+    P(rule holds).
+    """
+
+    predicates: list[Predicate]
+    outcome: float
+    precision: float
+    coverage: float
+    method: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def holds(self, X: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows satisfying every predicate."""
+        X = np.atleast_2d(X)
+        mask = np.ones(X.shape[0], dtype=bool)
+        for pred in self.predicates:
+            mask &= pred.holds(X)
+        return mask
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    def __str__(self) -> str:
+        body = " AND ".join(str(p) for p in self.predicates) or "TRUE"
+        return (
+            f"IF {body} THEN outcome={self.outcome:g} "
+            f"(precision={self.precision:.3f}, coverage={self.coverage:.3f})"
+        )
+
+
+@dataclass
+class CounterfactualExplanation:
+    """A set of contrastive instances for one factual input.
+
+    Each row of ``counterfactuals`` is an instance close to ``factual``
+    for which the model output flips to ``target_outcome``.
+    """
+
+    factual: np.ndarray
+    counterfactuals: np.ndarray
+    factual_outcome: float
+    target_outcome: float
+    feature_names: list[str]
+    method: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.factual = np.asarray(self.factual, dtype=float).ravel()
+        self.counterfactuals = np.atleast_2d(
+            np.asarray(self.counterfactuals, dtype=float)
+        )
+
+    @property
+    def n_counterfactuals(self) -> int:
+        return self.counterfactuals.shape[0]
+
+    def changes(self, index: int = 0) -> dict[str, tuple[float, float]]:
+        """Features changed by counterfactual ``index``: name -> (from, to)."""
+        cf = self.counterfactuals[index]
+        return {
+            name: (float(a), float(b))
+            for name, a, b in zip(self.feature_names, self.factual, cf)
+            if not np.isclose(a, b)
+        }
+
+    def sparsity(self, index: int = 0) -> int:
+        """Number of features changed by counterfactual ``index``."""
+        return len(self.changes(index))
+
+
+@dataclass
+class DataAttribution:
+    """Per-training-point importance scores.
+
+    ``values[i]`` scores training point ``i``; the semantics (Shapley value
+    of the point, estimated loss change on removal, ...) depend on
+    ``method``.
+    """
+
+    values: np.ndarray
+    method: str = ""
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+
+    def ranking(self, ascending: bool = True) -> np.ndarray:
+        """Training indices sorted by value (ascending = most harmful first
+        for valuation methods, where low value means noise/harm)."""
+        order = np.argsort(self.values)
+        return order if ascending else order[::-1]
+
+    def top(self, k: int = 10, ascending: bool = True) -> list[tuple[int, float]]:
+        order = self.ranking(ascending)[:k]
+        return [(int(i), float(self.values[i])) for i in order]

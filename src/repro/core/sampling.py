@@ -1,0 +1,148 @@
+"""Perturbation samplers shared by LIME, Anchors and SHAP-style explainers.
+
+All local model-agnostic explainers share the same primitive: draw points
+"near" an instance, or draw points with a chosen subset of features fixed to
+the instance and the rest resampled from a background distribution. The two
+samplers here implement those primitives once so every explainer perturbs
+data the same way and the LIME-instability experiments (E4) can vary the
+sampler in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import TabularDataset
+
+__all__ = ["GaussianPerturber", "MaskingSampler"]
+
+
+class GaussianPerturber:
+    """LIME-style neighborhood sampler.
+
+    Numeric features are perturbed with Gaussian noise scaled by the
+    training-column standard deviation; categorical features are resampled
+    from their empirical marginal. The binary *interpretable representation*
+    used by LIME (1 = feature kept at its original value) is returned
+    alongside the raw perturbed rows.
+
+    Parameters
+    ----------
+    data:
+        Background dataset supplying column statistics.
+    scale:
+        Multiplier on the per-column standard deviation of the noise.
+    """
+
+    def __init__(self, data: TabularDataset, scale: float = 1.0) -> None:
+        self.data = data
+        self.scale = scale
+        stats = data.column_stats()
+        self._std = stats["std"]
+        self._frequencies = stats["frequencies"]
+
+    def sample(
+        self, x: np.ndarray, n_samples: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``n_samples`` neighbors of ``x``.
+
+        Returns ``(Z, B)`` where ``Z`` is the perturbed feature matrix and
+        ``B`` the binary interpretable matrix: ``B[s, j] == 1`` iff sample
+        ``s`` kept feature ``j`` at the original value. The first row is
+        always the unperturbed instance itself.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        d = x.shape[0]
+        Z = np.tile(x, (n_samples, 1))
+        B = np.ones((n_samples, d), dtype=float)
+        # Row 0 stays the instance itself, as in the reference LIME code.
+        flip = rng.random((n_samples, d)) < 0.5
+        flip[0, :] = False
+        for j in range(d):
+            rows = np.where(flip[:, j])[0]
+            if rows.size == 0:
+                continue
+            freq = self._frequencies[j]
+            if freq is None:
+                Z[rows, j] = x[j] + rng.normal(
+                    0.0, self._std[j] * self.scale, size=rows.size
+                )
+                B[rows, j] = 0.0
+            else:
+                draws = rng.choice(len(freq), size=rows.size, p=freq)
+                Z[rows, j] = draws
+                # A categorical draw that happens to equal the original
+                # value still counts as "kept" in the binary representation.
+                B[rows, j] = (draws == x[j]).astype(float)
+        return Z, B
+
+
+class MaskingSampler:
+    """Coalition sampler for SHAP-style explainers.
+
+    Given a binary coalition vector ``z`` (1 = feature present, i.e. fixed
+    to the explained instance), produces raw rows in which absent features
+    are imputed from a background sample — the *interventional* value
+    function of Kernel SHAP.
+    """
+
+    def __init__(
+        self,
+        background: np.ndarray,
+        max_background: int = 100,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        background = np.atleast_2d(np.asarray(background, dtype=float))
+        if background.shape[0] > max_background:
+            rng = rng or np.random.default_rng(0)
+            idx = rng.choice(background.shape[0], size=max_background, replace=False)
+            background = background[idx]
+        self.background = background
+
+    @property
+    def n_background(self) -> int:
+        return self.background.shape[0]
+
+    def expand(self, x: np.ndarray, coalitions: np.ndarray) -> np.ndarray:
+        """Materialize coalition rows against the whole background.
+
+        Parameters
+        ----------
+        x:
+            The instance being explained, shape ``(d,)``.
+        coalitions:
+            Binary matrix ``(n_coalitions, d)``.
+
+        Returns
+        -------
+        Array of shape ``(n_coalitions * n_background, d)``: for each
+        coalition, one copy of every background row with present features
+        overwritten by the instance's values. Callers average model outputs
+        over each consecutive block of ``n_background`` rows.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
+        n_c, d = coalitions.shape
+        n_b = self.n_background
+        out = np.tile(self.background, (n_c, 1))
+        for c in range(n_c):
+            block = slice(c * n_b, (c + 1) * n_b)
+            present = coalitions[c]
+            out[block][:, present] = x[present]
+        return out
+
+    def value_function(self, model_fn, x: np.ndarray):
+        """Return ``v(S)``: mean model output with coalition S fixed to x.
+
+        ``model_fn`` maps a feature matrix to a 1-D output vector. The
+        returned callable accepts a binary coalition matrix and returns one
+        averaged output per coalition.
+        """
+        n_b = self.n_background
+
+        def v(coalitions: np.ndarray) -> np.ndarray:
+            rows = self.expand(x, coalitions)
+            preds = np.asarray(model_fn(rows), dtype=float)
+            return preds.reshape(-1, n_b).mean(axis=1)
+
+        return v

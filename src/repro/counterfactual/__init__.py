@@ -1,0 +1,38 @@
+"""Counterfactual explanations and algorithmic recourse (§2.1.4)."""
+
+from .causal_projection import (
+    causal_inconsistency,
+    mechanism_residuals,
+    project_counterfactual,
+)
+from .dice import DiceExplainer
+from .geco import GecoExplainer
+from .metrics import (
+    diversity,
+    evaluate_counterfactuals,
+    mad_scale,
+    plausibility,
+    proximity,
+    sparsity,
+    validity,
+)
+from .recourse import Action, LinearRecourse, RecourseResult, recourse_audit
+
+__all__ = [
+    "DiceExplainer",
+    "GecoExplainer",
+    "project_counterfactual",
+    "causal_inconsistency",
+    "mechanism_residuals",
+    "LinearRecourse",
+    "RecourseResult",
+    "Action",
+    "recourse_audit",
+    "mad_scale",
+    "proximity",
+    "sparsity",
+    "diversity",
+    "validity",
+    "plausibility",
+    "evaluate_counterfactuals",
+]

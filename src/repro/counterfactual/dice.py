@@ -1,0 +1,178 @@
+"""DiCE-style diverse counterfactual explanations [Mothilal+ 2020].
+
+Generates a *set* of counterfactuals jointly optimizing the DiCE
+objective: each counterfactual must flip the model (hinge validity loss),
+stay close to the factual (MAD-weighted L1 proximity) and the set must be
+mutually diverse (a repulsion term standing in for DiCE's determinantal
+point process). Because the library is model-agnostic, optimization is
+gradient-free: random restarts seeded from training rows on the target
+side, followed by greedy coordinate descent on the joint loss.
+
+Feature actionability and monotonicity constraints from
+:class:`FeatureSpec` are enforced by projection, and categorical features
+move only between observed category codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Explainer
+from ..core.dataset import TabularDataset
+from ..core.explanation import CounterfactualExplanation
+from .metrics import mad_scale
+
+__all__ = ["DiceExplainer"]
+
+
+class DiceExplainer(Explainer):
+    """Diverse counterfactual generator.
+
+    Parameters
+    ----------
+    data:
+        Training data (feature ranges, MAD scale, categorical domains,
+        actionability constraints).
+    total_cfs:
+        Number of counterfactuals per query.
+    proximity_weight, diversity_weight:
+        Trade-off weights of the DiCE objective.
+    n_iterations:
+        Coordinate-descent refinement sweeps.
+    """
+
+    method_name = "dice"
+
+    def __init__(
+        self,
+        model,
+        data: TabularDataset,
+        total_cfs: int = 4,
+        proximity_weight: float = 0.5,
+        diversity_weight: float = 1.0,
+        n_iterations: int = 30,
+        threshold: float = 0.5,
+        output: str = "auto",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(model, output)
+        self.data = data
+        self.total_cfs = total_cfs
+        self.proximity_weight = proximity_weight
+        self.diversity_weight = diversity_weight
+        self.n_iterations = n_iterations
+        self.threshold = threshold
+        self.seed = seed
+        self._scale = mad_scale(data.X)
+        self._lo = data.X.min(axis=0)
+        self._hi = data.X.max(axis=0)
+
+    # -- constraint projection ---------------------------------------------------
+
+    def _project(self, candidate: np.ndarray, factual: np.ndarray) -> np.ndarray:
+        out = candidate.copy()
+        for j, spec in enumerate(self.data.features):
+            if not spec.actionable:
+                out[j] = factual[j]
+            elif spec.is_categorical:
+                out[j] = float(np.clip(round(out[j]), 0, len(spec.categories) - 1))
+            else:
+                out[j] = float(np.clip(out[j], self._lo[j], self._hi[j]))
+                if spec.monotone == +1:
+                    out[j] = max(out[j], factual[j])
+                elif spec.monotone == -1:
+                    out[j] = min(out[j], factual[j])
+        return out
+
+    # -- the DiCE loss -------------------------------------------------------------
+
+    def _validity_loss(self, scores: np.ndarray, target_high: bool) -> np.ndarray:
+        # Hinge on the margin to the decision threshold.
+        if target_high:
+            return np.maximum(0.0, self.threshold + 0.05 - scores)
+        return np.maximum(0.0, scores - self.threshold + 0.05)
+
+    def _loss(self, cfs: np.ndarray, factual: np.ndarray, target_high: bool
+              ) -> float:
+        scores = self.predict_fn(cfs)
+        validity = self._validity_loss(scores, target_high).sum()
+        prox = (np.abs(cfs - factual) / self._scale).sum(axis=1).mean()
+        div = 0.0
+        k = cfs.shape[0]
+        if k > 1:
+            for i in range(k):
+                for j in range(i + 1, k):
+                    dist = (np.abs(cfs[i] - cfs[j]) / self._scale).sum()
+                    div += 1.0 / (1.0 + dist)
+            div /= k * (k - 1) / 2.0
+        return (
+            10.0 * float(validity)
+            + self.proximity_weight * float(prox)
+            + self.diversity_weight * float(div)
+        )
+
+    # -- generation -------------------------------------------------------------------
+
+    def _initial_candidates(
+        self, factual: np.ndarray, target_high: bool, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Seed from training rows already on the target side (on-manifold)."""
+        scores = self.predict_fn(self.data.X)
+        on_target = (
+            np.where(scores >= self.threshold)[0]
+            if target_high
+            else np.where(scores < self.threshold)[0]
+        )
+        cfs = np.zeros((self.total_cfs, factual.shape[0]))
+        for k in range(self.total_cfs):
+            if on_target.size > 0:
+                donor = self.data.X[on_target[rng.integers(0, on_target.size)]]
+                # Blend toward the factual to start near it.
+                blend = rng.uniform(0.3, 0.8)
+                candidate = blend * factual + (1 - blend) * donor
+            else:
+                candidate = factual + rng.normal(0, 1, factual.shape) * self._scale
+            cfs[k] = self._project(candidate, factual)
+        return cfs
+
+    def explain(self, x: np.ndarray, seed: int | None = None
+                ) -> CounterfactualExplanation:
+        factual = np.asarray(x, dtype=float).ravel()
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        factual_score = float(self.predict_fn(factual[None, :])[0])
+        target_high = factual_score < self.threshold
+        cfs = self._initial_candidates(factual, target_high, rng)
+        actionable = [
+            j for j, spec in enumerate(self.data.features) if spec.actionable
+        ]
+        current_loss = self._loss(cfs, factual, target_high)
+        for __ in range(self.n_iterations):
+            improved = False
+            for k in range(self.total_cfs):
+                j = actionable[rng.integers(0, len(actionable))]
+                spec = self.data.features[j]
+                trial = cfs.copy()
+                if spec.is_categorical:
+                    trial[k, j] = float(rng.integers(0, len(spec.categories)))
+                else:
+                    step = rng.normal(0, 1) * self._scale[j]
+                    trial[k, j] = cfs[k, j] + step
+                trial[k] = self._project(trial[k], factual)
+                trial_loss = self._loss(trial, factual, target_high)
+                if trial_loss < current_loss:
+                    cfs, current_loss = trial, trial_loss
+                    improved = True
+            if not improved and rng.random() < 0.1:
+                # Occasional restart of the worst member escapes plateaus.
+                worst = int(rng.integers(0, self.total_cfs))
+                cfs[worst] = self._initial_candidates(factual, target_high, rng)[0]
+                current_loss = self._loss(cfs, factual, target_high)
+        return CounterfactualExplanation(
+            factual=factual,
+            counterfactuals=cfs,
+            factual_outcome=factual_score,
+            target_outcome=1.0 if target_high else 0.0,
+            feature_names=self.data.feature_names,
+            method=self.method_name,
+            meta={"loss": current_loss},
+        )

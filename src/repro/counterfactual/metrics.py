@@ -1,0 +1,114 @@
+"""Quality metrics for counterfactual explanations.
+
+The tutorial (§2.1.4) lists the desiderata a counterfactual generator must
+balance — validity, proximity, sparsity, diversity, plausibility — and
+notes that ignoring the data manifold yields "unrealistic and impossible"
+counterfactuals. These metrics make each desideratum measurable so E11 can
+compare generators on a common scale.
+
+Distances are measured in MAD units (per-feature median absolute
+deviation, as in Wachter et al. and DiCE) so that features with large raw
+scales do not dominate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.explanation import CounterfactualExplanation
+
+__all__ = [
+    "mad_scale",
+    "proximity",
+    "sparsity",
+    "diversity",
+    "validity",
+    "plausibility",
+    "evaluate_counterfactuals",
+]
+
+
+def mad_scale(X: np.ndarray) -> np.ndarray:
+    """Per-feature median absolute deviation, floored to avoid zeros."""
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    med = np.median(X, axis=0)
+    mad = np.median(np.abs(X - med), axis=0)
+    fallback = np.maximum(X.std(axis=0), 1e-9)
+    return np.where(mad > 1e-12, mad, fallback)
+
+
+def proximity(cf: CounterfactualExplanation, scale: np.ndarray) -> float:
+    """Mean MAD-normalized L1 distance from factual to counterfactuals."""
+    diffs = np.abs(cf.counterfactuals - cf.factual) / scale
+    return float(diffs.sum(axis=1).mean())
+
+
+def sparsity(cf: CounterfactualExplanation) -> float:
+    """Mean number of features changed per counterfactual."""
+    changed = ~np.isclose(cf.counterfactuals, cf.factual)
+    return float(changed.sum(axis=1).mean())
+
+
+def diversity(cf: CounterfactualExplanation, scale: np.ndarray) -> float:
+    """Mean pairwise MAD-normalized L1 distance among counterfactuals."""
+    k = cf.n_counterfactuals
+    if k < 2:
+        return 0.0
+    total, pairs = 0.0, 0
+    for i in range(k):
+        for j in range(i + 1, k):
+            total += float(
+                (np.abs(cf.counterfactuals[i] - cf.counterfactuals[j]) / scale).sum()
+            )
+            pairs += 1
+    return total / pairs
+
+
+def validity(cf: CounterfactualExplanation, predict_fn,
+             threshold: float = 0.5) -> float:
+    """Fraction of counterfactuals that actually achieve the target side.
+
+    ``target_outcome >= threshold`` means the counterfactual must score at
+    or above the threshold, else at or below.
+    """
+    scores = np.asarray(predict_fn(cf.counterfactuals), dtype=float).ravel()
+    if cf.target_outcome >= threshold:
+        return float(np.mean(scores >= threshold))
+    return float(np.mean(scores < threshold))
+
+
+def plausibility(
+    cf: CounterfactualExplanation,
+    reference: np.ndarray,
+    scale: np.ndarray,
+    k: int = 5,
+) -> float:
+    """On-manifold score: mean distance to the k nearest reference rows.
+
+    Lower is more plausible (closer to observed data). Distances are
+    MAD-normalized L1, averaged over the counterfactual set.
+    """
+    reference = np.atleast_2d(np.asarray(reference, dtype=float))
+    out = []
+    for row in cf.counterfactuals:
+        d = (np.abs(reference - row) / scale).sum(axis=1)
+        out.append(float(np.sort(d)[:k].mean()))
+    return float(np.mean(out))
+
+
+def evaluate_counterfactuals(
+    cf: CounterfactualExplanation,
+    predict_fn,
+    reference: np.ndarray,
+    threshold: float = 0.5,
+) -> dict[str, float]:
+    """All metrics at once, using ``reference`` for MAD scale and manifold."""
+    scale = mad_scale(reference)
+    return {
+        "validity": validity(cf, predict_fn, threshold),
+        "proximity": proximity(cf, scale),
+        "sparsity": sparsity(cf),
+        "diversity": diversity(cf, scale),
+        "plausibility": plausibility(cf, reference, scale),
+        "n_counterfactuals": float(cf.n_counterfactuals),
+    }

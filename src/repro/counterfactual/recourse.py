@@ -1,0 +1,226 @@
+"""Actionable recourse in linear classification [Ustun, Spangher & Liu 2019].
+
+Given a linear classifier and a person who received an unfavorable
+decision, recourse asks for the *minimum-cost set of actions* — feature
+changes restricted to actionable features and allowed directions — that
+flips the decision. Following the paper, each feature's actions are
+discretized onto a grid of values observed in the data, costs are
+percentile shifts (moving from your percentile to a higher one costs the
+percentile gap), and the optimizer searches over action combinations.
+
+The search is exact over action sets of bounded cardinality (the paper's
+IP is exact; with ≤3 changed features and grid actions, exhaustive
+enumeration is exact and fast at our scale), and a recourse *audit* runs
+it over a population to report feasibility and cost distributions —
+the fairness diagnostic the paper introduces and E12 reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+
+__all__ = ["Action", "RecourseResult", "LinearRecourse", "recourse_audit"]
+
+
+@dataclass(frozen=True)
+class Action:
+    """One feature change: set ``feature`` to ``new_value`` at ``cost``."""
+
+    feature: int
+    feature_name: str
+    old_value: float
+    new_value: float
+    cost: float
+
+
+@dataclass
+class RecourseResult:
+    """Outcome of a recourse search for one individual."""
+
+    feasible: bool
+    actions: list[Action]
+    total_cost: float
+    new_score: float
+
+    def flipset(self) -> dict[str, tuple[float, float]]:
+        """Changes as ``{feature: (from, to)}`` — the paper's flipset rows."""
+        return {a.feature_name: (a.old_value, a.new_value) for a in self.actions}
+
+
+class LinearRecourse:
+    """Minimum-cost recourse for a linear score ``w·x + b``.
+
+    Parameters
+    ----------
+    coef, intercept:
+        The linear decision function; a decision is favorable when the
+        score is ≥ 0 (callers using probabilities pass the logit).
+    data:
+        Supplies action grids (empirical percentiles) and actionability
+        constraints.
+    grid_size:
+        Number of grid points per feature.
+    max_actions:
+        Maximum number of features an action set may change.
+    """
+
+    def __init__(
+        self,
+        coef: np.ndarray,
+        intercept: float,
+        data: TabularDataset,
+        grid_size: int = 10,
+        max_actions: int = 3,
+    ) -> None:
+        self.coef = np.asarray(coef, dtype=float).ravel()
+        self.intercept = float(intercept)
+        self.data = data
+        self.grid_size = grid_size
+        self.max_actions = max_actions
+        if self.coef.shape[0] != data.n_features:
+            raise ValueError("coefficient vector does not match data width")
+        self._grids = self._build_grids()
+
+    def _build_grids(self) -> list[np.ndarray]:
+        """Percentile grids per feature (category codes for categoricals)."""
+        grids: list[np.ndarray] = []
+        for j, spec in enumerate(self.data.features):
+            if spec.is_categorical:
+                grids.append(np.arange(len(spec.categories), dtype=float))
+            else:
+                qs = np.linspace(0.02, 0.98, self.grid_size)
+                grids.append(np.unique(np.quantile(self.data.X[:, j], qs)))
+        return grids
+
+    def _percentile(self, j: int, value: float) -> float:
+        col = self.data.X[:, j]
+        return float(np.mean(col <= value))
+
+    def _candidate_actions(self, x: np.ndarray) -> list[list[Action]]:
+        """Per-feature lists of allowed actions with their costs."""
+        per_feature: list[list[Action]] = []
+        for j, spec in enumerate(self.data.features):
+            actions: list[Action] = []
+            if spec.actionable:
+                base_pct = self._percentile(j, x[j])
+                for value in self._grids[j]:
+                    if np.isclose(value, x[j]):
+                        continue
+                    if spec.monotone == +1 and value < x[j]:
+                        continue
+                    if spec.monotone == -1 and value > x[j]:
+                        continue
+                    if spec.is_categorical:
+                        cost = 1.0  # unit cost per categorical switch
+                    else:
+                        cost = abs(self._percentile(j, value) - base_pct)
+                    actions.append(
+                        Action(j, spec.name, float(x[j]), float(value), cost)
+                    )
+            per_feature.append(actions)
+        return per_feature
+
+    def score(self, x: np.ndarray) -> float:
+        return float(self.coef @ np.asarray(x, dtype=float).ravel() + self.intercept)
+
+    def find(self, x: np.ndarray) -> RecourseResult:
+        """Minimum-cost action set flipping ``x`` to a non-negative score.
+
+        Exhaustive over action sets changing at most ``max_actions``
+        features; within a chosen feature set, each feature greedily takes
+        the cheapest value that maximizes score gain per cost — then the
+        cheapest *feasible* combination is selected exactly by enumerating
+        the per-feature grids of that set.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        if self.score(x) >= 0:
+            return RecourseResult(True, [], 0.0, self.score(x))
+        per_feature = self._candidate_actions(x)
+        usable = [j for j, actions in enumerate(per_feature) if actions]
+        best: RecourseResult | None = None
+        for size in range(1, self.max_actions + 1):
+            for subset in combinations(usable, size):
+                result = self._best_for_subset(x, subset, per_feature)
+                if result is not None and (
+                    best is None or result.total_cost < best.total_cost
+                ):
+                    best = result
+            if best is not None:
+                break  # smallest cardinality wins; costs compared within it
+        if best is None:
+            return RecourseResult(False, [], float("inf"), self.score(x))
+        return best
+
+    def _best_for_subset(
+        self,
+        x: np.ndarray,
+        subset: tuple[int, ...],
+        per_feature: list[list[Action]],
+    ) -> RecourseResult | None:
+        """Cheapest feasible assignment over the product grid of ``subset``."""
+        best_cost = float("inf")
+        best_actions: list[Action] | None = None
+
+        def recurse(pos: int, current: list[Action], cost: float) -> None:
+            nonlocal best_cost, best_actions
+            if cost >= best_cost:
+                return
+            if pos == len(subset):
+                trial = x.copy()
+                for a in current:
+                    trial[a.feature] = a.new_value
+                if self.score(trial) >= 0:
+                    best_cost = cost
+                    best_actions = list(current)
+                return
+            for action in per_feature[subset[pos]]:
+                current.append(action)
+                recurse(pos + 1, current, cost + action.cost)
+                current.pop()
+
+        recurse(0, [], 0.0)
+        if best_actions is None:
+            return None
+        trial = x.copy()
+        for a in best_actions:
+            trial[a.feature] = a.new_value
+        return RecourseResult(True, best_actions, best_cost, self.score(trial))
+
+
+def recourse_audit(
+    recourse: LinearRecourse,
+    X: np.ndarray,
+    groups: np.ndarray | None = None,
+) -> dict:
+    """Population-level recourse audit (Ustun et al.'s headline tool).
+
+    Runs the search on every *denied* row of ``X`` and reports feasibility
+    rates and cost statistics, optionally broken down by a group label —
+    exposing disparities in the burden of recourse.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    denied = [i for i in range(X.shape[0]) if recourse.score(X[i]) < 0]
+    results = {i: recourse.find(X[i]) for i in denied}
+
+    def summarize(indices: list[int]) -> dict[str, float]:
+        if not indices:
+            return {"n_denied": 0, "feasible_rate": 1.0, "mean_cost": 0.0}
+        feasible = [i for i in indices if results[i].feasible]
+        costs = [results[i].total_cost for i in feasible]
+        return {
+            "n_denied": len(indices),
+            "feasible_rate": len(feasible) / len(indices),
+            "mean_cost": float(np.mean(costs)) if costs else float("inf"),
+        }
+
+    audit = {"overall": summarize(denied)}
+    if groups is not None:
+        groups = np.asarray(groups).ravel()
+        for g in np.unique(groups):
+            audit[f"group_{g}"] = summarize([i for i in denied if groups[i] == g])
+    return audit

@@ -1,0 +1,37 @@
+"""Synthetic dataset generators with known ground truth.
+
+Real counterparts (UCI Adult, German credit, COMPAS) are proprietary-ish
+download artifacts; these generators match their schemas and correlation
+structure while adding what the real data lacks — causal ground truth —
+per the substitution policy in DESIGN.md.
+"""
+
+from .income import INCOME_FEATURES, make_income_dataset
+from .loan import LOAN_FEATURES, make_loan_dataset, make_loan_scm
+from .recidivism import RECIDIVISM_FEATURES, make_recidivism_dataset
+from .synth import (
+    flip_labels,
+    make_baskets,
+    make_classification,
+    make_correlated_gaussian,
+    make_grid_images,
+    make_regression,
+    make_xor,
+)
+
+__all__ = [
+    "make_loan_dataset",
+    "make_loan_scm",
+    "LOAN_FEATURES",
+    "make_income_dataset",
+    "INCOME_FEATURES",
+    "make_recidivism_dataset",
+    "RECIDIVISM_FEATURES",
+    "make_classification",
+    "make_regression",
+    "make_correlated_gaussian",
+    "make_xor",
+    "flip_labels",
+    "make_baskets",
+    "make_grid_images",
+]

@@ -1,0 +1,61 @@
+"""COMPAS-like synthetic recidivism-risk data.
+
+Reproduces the statistical signature that made COMPAS the canonical
+fairness/XAI case study: a ``race`` attribute that is *correlated* with the
+outcome through ``priors_count`` (differential policing baked into the
+generator) but has no direct mechanism into reoffending. The adversarial
+"Fooling LIME/SHAP" experiment (E5) uses exactly this: a biased model that
+decides on ``race`` can hide behind an innocuous one on perturbations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import FeatureSpec, TabularDataset
+from ..models.logistic import sigmoid
+
+__all__ = ["make_recidivism_dataset", "RECIDIVISM_FEATURES"]
+
+RECIDIVISM_FEATURES = [
+    FeatureSpec("age", "numeric", actionable=False),
+    FeatureSpec("priors_count", "numeric", actionable=False),
+    FeatureSpec("charge_degree", "categorical", categories=("misdemeanor", "felony"),
+                actionable=False),
+    FeatureSpec("race", "categorical", categories=("group_a", "group_b"),
+                actionable=False),
+    FeatureSpec("juvenile_count", "numeric", actionable=False),
+    FeatureSpec("length_of_stay", "numeric", actionable=False),
+]
+
+
+def make_recidivism_dataset(
+    n: int = 1500, seed: int = 0, policing_bias: float = 1.5
+) -> TabularDataset:
+    """Sample a COMPAS-like two-year-recidivism dataset.
+
+    ``policing_bias`` scales how much the protected group's prior count is
+    inflated relative to identical underlying behaviour; 0 removes the
+    correlation between race and outcome entirely.
+    """
+    rng = np.random.default_rng(seed)
+    age = np.clip(rng.normal(33, 10, n), 18, 75)
+    race = (rng.random(n) < 0.45).astype(float)  # 1 = group_b (protected)
+    latent_risk = np.clip(rng.normal(0, 1, n) - 0.03 * (age - 33), -3, 3)
+    priors = np.clip(
+        np.round(
+            np.exp(0.6 * latent_risk) + policing_bias * race * rng.random(n) * 2
+        ),
+        0, 25,
+    )
+    juvenile = np.clip(np.round(rng.poisson(0.3, n) + 0.5 * (latent_risk > 1)), 0, 8)
+    charge = (rng.random(n) < sigmoid(0.5 * latent_risk)).astype(float)
+    stay = np.clip(rng.exponential(12, n) * (1 + 0.4 * charge), 0, 300)
+    # Reoffending depends on latent risk and age only — not race.
+    y = (
+        sigmoid(1.1 * latent_risk - 0.02 * (age - 33) - 0.3) > rng.random(n)
+    ).astype(int)
+    X = np.column_stack([age, priors, charge, race, juvenile, stay])
+    return TabularDataset(
+        X, y, list(RECIDIVISM_FEATURES), target_name="two_year_recid"
+    )

@@ -1,0 +1,173 @@
+"""Generic synthetic generators used across tests and benchmarks.
+
+These are deliberately simple, fully specified distributions so the
+experiments can control exactly one property at a time: feature
+correlation (for conditional vs marginal Shapley), known linear ground
+truth (for axiom tests), label noise (for data valuation), market baskets
+(for rule mining) and tiny pixel grids (for the Section-2.4 gradient
+methods).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import FeatureSpec, TabularDataset
+from ..models.logistic import sigmoid
+
+__all__ = [
+    "make_classification",
+    "make_regression",
+    "make_correlated_gaussian",
+    "make_xor",
+    "flip_labels",
+    "make_baskets",
+    "make_grid_images",
+]
+
+
+def make_classification(
+    n: int = 500,
+    n_features: int = 8,
+    n_informative: int = 4,
+    class_sep: float = 1.5,
+    seed: int = 0,
+) -> TabularDataset:
+    """Two Gaussian clusters separated along random informative directions.
+
+    The first ``n_informative`` features carry signal; the rest are pure
+    noise, giving attribution tests a known set of irrelevant features.
+    """
+    if n_informative > n_features:
+        raise ValueError("n_informative cannot exceed n_features")
+    rng = np.random.default_rng(seed)
+    y = (rng.random(n) < 0.5).astype(int)
+    X = rng.normal(0, 1, size=(n, n_features))
+    directions = rng.normal(0, 1, size=n_informative)
+    directions /= np.linalg.norm(directions)
+    shift = class_sep * directions
+    X[:, :n_informative] += np.outer(2 * y - 1, shift / 2.0)
+    return TabularDataset(X, y, [f"f{i}" for i in range(n_features)])
+
+
+def make_regression(
+    n: int = 500,
+    n_features: int = 8,
+    noise: float = 0.5,
+    seed: int = 0,
+) -> tuple[TabularDataset, np.ndarray]:
+    """Linear-model data; returns the dataset and the true coefficients."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0, 1, size=(n, n_features))
+    coef = rng.normal(0, 2, size=n_features)
+    # Zero out half the coefficients so "irrelevant feature" is testable.
+    coef[n_features // 2 :] = 0.0
+    y = X @ coef + rng.normal(0, noise, n)
+    data = TabularDataset(X, y, [f"f{i}" for i in range(n_features)])
+    return data, coef
+
+
+def make_correlated_gaussian(
+    n: int = 500,
+    n_features: int = 4,
+    rho: float = 0.8,
+    seed: int = 0,
+) -> np.ndarray:
+    """Equicorrelated Gaussian features (pairwise correlation ``rho``)."""
+    if not -1.0 / (n_features - 1) < rho < 1.0:
+        raise ValueError(f"rho={rho} gives a non-PSD covariance")
+    cov = np.full((n_features, n_features), rho)
+    np.fill_diagonal(cov, 1.0)
+    rng = np.random.default_rng(seed)
+    return rng.multivariate_normal(np.zeros(n_features), cov, size=n)
+
+
+def make_xor(n: int = 500, noise: float = 0.1, seed: int = 0) -> TabularDataset:
+    """The 2-feature XOR problem — purely interactional signal.
+
+    No single feature is marginally informative, which makes XOR the
+    canonical stress test for additive explainers like LIME.
+    """
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    X = X + rng.normal(0, noise, size=X.shape)
+    return TabularDataset(X, y, ["a", "b"])
+
+
+def flip_labels(
+    data: TabularDataset, fraction: float = 0.1, seed: int = 0
+) -> tuple[TabularDataset, np.ndarray]:
+    """Flip a random fraction of binary labels; returns (data, flipped_idx).
+
+    Used by the data-valuation experiments (E7): the flipped indices are
+    the ground-truth "bad" points a good valuation should rank lowest.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n_flip = int(round(fraction * data.n_samples))
+    flipped = rng.choice(data.n_samples, size=n_flip, replace=False)
+    y = data.y.copy()
+    y[flipped] = 1 - y[flipped]
+    return TabularDataset(data.X, y, list(data.features), data.target_name), flipped
+
+
+def make_baskets(
+    n_transactions: int = 1000,
+    n_items: int = 30,
+    n_patterns: int = 5,
+    pattern_size: int = 3,
+    pattern_prob: float = 0.25,
+    noise_items: float = 2.0,
+    seed: int = 0,
+) -> tuple[list[frozenset[int]], list[frozenset[int]]]:
+    """Market-basket transactions with planted frequent itemsets.
+
+    Returns ``(transactions, planted_patterns)``. Each transaction embeds
+    each planted pattern independently with probability ``pattern_prob``
+    and adds Poisson-many random noise items, so the planted patterns are
+    the frequent itemsets rule miners must recover.
+    """
+    rng = np.random.default_rng(seed)
+    patterns = []
+    for __ in range(n_patterns):
+        items = rng.choice(n_items, size=pattern_size, replace=False)
+        patterns.append(frozenset(int(i) for i in items))
+    transactions = []
+    for __ in range(n_transactions):
+        basket: set[int] = set()
+        for pattern in patterns:
+            if rng.random() < pattern_prob:
+                basket |= pattern
+        n_noise = rng.poisson(noise_items)
+        basket |= {int(i) for i in rng.choice(n_items, size=n_noise)}
+        transactions.append(frozenset(basket))
+    return transactions, patterns
+
+
+def make_grid_images(
+    n: int = 400, size: int = 8, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Tiny "images" for the Section-2.4 gradient-attribution methods.
+
+    Class 1 images contain a bright 3×3 patch in the top-left quadrant;
+    class 0 images contain it in the bottom-right. Returns
+    ``(X, y, relevance)`` where ``X`` is ``(n, size*size)`` flattened
+    pixels and ``relevance`` is a per-class boolean mask over pixels of
+    where the discriminative patch can appear — the ground truth saliency
+    methods should highlight.
+    """
+    rng = np.random.default_rng(seed)
+    X = rng.normal(0.0, 0.3, size=(n, size, size))
+    y = (rng.random(n) < 0.5).astype(int)
+    half = size // 2
+    relevance = np.zeros((2, size, size), dtype=bool)
+    relevance[1, :half, :half] = True
+    relevance[0, half:, half:] = True
+    for i in range(n):
+        quadrant = (0, 0) if y[i] == 1 else (half, half)
+        r = quadrant[0] + rng.integers(0, half - 2)
+        c = quadrant[1] + rng.integers(0, half - 2)
+        X[i, r : r + 3, c : c + 3] += 1.5
+    return X.reshape(n, -1), y, relevance.reshape(2, -1)

@@ -1,0 +1,64 @@
+"""Exact, efficient KNN-Shapley data valuation [Jia et al. 2019].
+
+For a k-nearest-neighbor classifier the Data Shapley value has a closed
+form: sorting training points by distance to a validation point, the
+values satisfy the backward recurrence
+
+    s_{α_N} = 1[y_{α_N} = y_val] / N,
+    s_{α_j} = s_{α_{j+1}}
+              + (1[y_{α_j} = y_val] − 1[y_{α_{j+1}} = y_val]) / k
+                · min(k, j) / j            (1-based j),
+
+so every point's exact Shapley value costs one sort per validation point
+— O(n log n) against the exponential/Monte-Carlo cost of the generic
+game. E17 reproduces the orders-of-magnitude speedup over TMC-Shapley at
+matching detection quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.explanation import DataAttribution
+
+__all__ = ["knn_shapley"]
+
+
+def knn_shapley(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    k: int = 5,
+) -> DataAttribution:
+    """Exact Data Shapley values for the k-NN utility.
+
+    The utility is the k-NN validation accuracy; values are averaged over
+    validation points (the per-point games add).
+    """
+    X_train = np.atleast_2d(np.asarray(X_train, dtype=float))
+    y_train = np.asarray(y_train).ravel()
+    X_val = np.atleast_2d(np.asarray(X_val, dtype=float))
+    y_val = np.asarray(y_val).ravel()
+    n = X_train.shape[0]
+    if k < 1 or k > n:
+        raise ValueError(f"k={k} out of range for {n} training points")
+    values = np.zeros(n)
+    # Pairwise squared distances, one validation point at a time.
+    train_sq = (X_train ** 2).sum(axis=1)
+    for x, y in zip(X_val, y_val):
+        d2 = train_sq - 2.0 * X_train @ x + float(x @ x)
+        order = np.argsort(d2, kind="stable")
+        match = (y_train[order] == y).astype(float)
+        s = np.zeros(n)
+        s[n - 1] = match[n - 1] / n
+        for j in range(n - 2, -1, -1):  # 0-based; paper's j is this + 1
+            j1 = j + 1
+            s[j] = s[j + 1] + (match[j] - match[j + 1]) / k * min(k, j1) / j1
+        values[order] += s
+    values /= X_val.shape[0]
+    return DataAttribution(
+        values=values,
+        method="knn_shapley",
+        meta={"k": k, "n_val": X_val.shape[0]},
+    )

@@ -1,0 +1,99 @@
+"""The utility function U(S): performance of a model trained on subset S.
+
+Every data-valuation method in §2.3.1 is a cooperative game over training
+points with this utility. The class wraps the (model factory, train set,
+validation set, metric) quadruple, handles the degenerate subsets Monte
+Carlo methods constantly produce (empty sets, single-class sets), and
+memoizes — permutation samplers revisit prefixes often enough that the
+cache is a large constant-factor win.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..models.metrics import accuracy
+
+__all__ = ["UtilityFunction"]
+
+
+class UtilityFunction:
+    """U(S) = metric(model trained on S, validation data).
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh unfitted model.
+    X_train, y_train:
+        The points being valued.
+    X_val, y_val:
+        Held-out data the metric is computed on.
+    metric:
+        ``metric(y_true, y_pred) -> float``; accuracy by default.
+    empty_score:
+        U(∅) and the fallback for untrainable subsets; defaults to the
+        performance of always predicting the validation majority class,
+        per Ghorbani & Zou's setup.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        X_val: np.ndarray,
+        y_val: np.ndarray,
+        metric: Callable = accuracy,
+        empty_score: float | None = None,
+        cache: bool = True,
+    ) -> None:
+        self.model_factory = model_factory
+        self.X_train = np.atleast_2d(np.asarray(X_train, dtype=float))
+        self.y_train = np.asarray(y_train).ravel()
+        self.X_val = np.atleast_2d(np.asarray(X_val, dtype=float))
+        self.y_val = np.asarray(y_val).ravel()
+        self.metric = metric
+        if empty_score is None:
+            labels, counts = np.unique(self.y_val, return_counts=True)
+            majority = labels[np.argmax(counts)]
+            empty_score = float(
+                metric(self.y_val, np.full(self.y_val.shape, majority))
+            )
+        self.empty_score = empty_score
+        self._cache: dict[tuple[int, ...], float] | None = {} if cache else None
+        self.n_evaluations = 0
+
+    @property
+    def n_points(self) -> int:
+        return self.X_train.shape[0]
+
+    def full_score(self) -> float:
+        """U of the complete training set."""
+        return self(np.arange(self.n_points))
+
+    def __call__(self, indices) -> float:
+        indices = np.asarray(indices, dtype=int).ravel()
+        key = tuple(sorted(indices.tolist()))
+        if self._cache is not None and key in self._cache:
+            return self._cache[key]
+        score = self._evaluate(indices)
+        if self._cache is not None:
+            self._cache[key] = score
+        return score
+
+    def _evaluate(self, indices: np.ndarray) -> float:
+        if indices.size == 0:
+            return self.empty_score
+        y_subset = self.y_train[indices]
+        if np.unique(y_subset).size < 2:
+            # A single-class training set predicts that class everywhere.
+            only = y_subset[0]
+            return float(
+                self.metric(self.y_val, np.full(self.y_val.shape, only))
+            )
+        self.n_evaluations += 1
+        model = self.model_factory()
+        model.fit(self.X_train[indices], y_subset)
+        return float(self.metric(self.y_val, model.predict(self.X_val)))

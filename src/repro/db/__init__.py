@@ -1,0 +1,46 @@
+"""Data-management side of XAI (§3): provenance, query explanation,
+tuple Shapley, complaint-driven debugging."""
+
+from .bias import (
+    BiasReport,
+    detect_simpsons_paradox,
+    group_difference,
+    stratified_difference,
+)
+from .complaints import Complaint, ComplaintDebugger
+from .provenance import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    Semiring,
+    WhySemiring,
+)
+from .query_explain import PredicateExplanation, explain_aggregate
+from .repair import FunctionalDependency, greedy_repair, repair_responsibility
+from .relation import Relation
+from .tuple_shapley import shapley_of_tuples
+from .why_not import QueryStep, WhyNotResult, why_not
+
+__all__ = [
+    "Relation",
+    "Semiring",
+    "BooleanSemiring",
+    "CountingSemiring",
+    "WhySemiring",
+    "LineageSemiring",
+    "shapley_of_tuples",
+    "FunctionalDependency",
+    "repair_responsibility",
+    "greedy_repair",
+    "explain_aggregate",
+    "PredicateExplanation",
+    "Complaint",
+    "BiasReport",
+    "detect_simpsons_paradox",
+    "group_difference",
+    "stratified_difference",
+    "QueryStep",
+    "WhyNotResult",
+    "why_not",
+    "ComplaintDebugger",
+]

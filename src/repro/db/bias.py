@@ -1,0 +1,139 @@
+"""OLAP bias detection and resolution (HypDB-style) [Salimi et al. 2018,
+cited as the §3 line on detecting and explaining bias in OLAP queries].
+
+A group-by average ("what is the outcome rate per treatment group?") can
+reverse sign once a confounder is controlled for — Simpson's paradox.
+HypDB detects such bias, explains it by exhibiting the confounder, and
+resolves it by reporting the *adjusted* (stratified, covariate-weighted)
+estimate instead of the naive aggregate. Reproduced here:
+
+* :func:`group_difference` — the naive aggregate contrast,
+* :func:`stratified_difference` — per-stratum contrasts and the
+  adjustment-formula estimate Σ_s P(s) · (E[y|t=1, s] − E[y|t=0, s]),
+* :func:`detect_simpsons_paradox` — flags sign reversals between the
+  naive and adjusted views and ranks candidate confounders by how much
+  conditioning on them moves the estimate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .relation import Relation
+
+__all__ = [
+    "group_difference",
+    "stratified_difference",
+    "detect_simpsons_paradox",
+    "BiasReport",
+]
+
+
+def _binary_groups(relation: Relation, treatment: str) -> tuple:
+    values = sorted({row[treatment] for row in relation.to_dicts()},
+                    key=repr)
+    if len(values) != 2:
+        raise ValueError(
+            f"treatment {treatment!r} must be binary, found {values}"
+        )
+    return values[0], values[1]
+
+
+def group_difference(
+    relation: Relation, treatment: str, outcome: str
+) -> float:
+    """Naive contrast: E[outcome | t=high] − E[outcome | t=low]."""
+    low, high = _binary_groups(relation, treatment)
+    rows = relation.to_dicts()
+    high_values = [r[outcome] for r in rows if r[treatment] == high]
+    low_values = [r[outcome] for r in rows if r[treatment] == low]
+    if not high_values or not low_values:
+        raise ValueError("a treatment group is empty")
+    return float(np.mean(high_values) - np.mean(low_values))
+
+
+def stratified_difference(
+    relation: Relation, treatment: str, outcome: str, confounder: str
+) -> tuple[float, dict]:
+    """Adjustment-formula contrast controlling for ``confounder``.
+
+    Returns ``(adjusted, per_stratum)`` where ``per_stratum`` maps each
+    confounder value to its within-stratum contrast (None when a stratum
+    lacks one of the groups — such strata are excluded from the
+    adjustment and their weight renormalized).
+    """
+    low, high = _binary_groups(relation, treatment)
+    rows = relation.to_dicts()
+    strata: dict = defaultdict(lambda: {"high": [], "low": []})
+    for r in rows:
+        bucket = "high" if r[treatment] == high else "low"
+        strata[r[confounder]][bucket].append(r[outcome])
+    per_stratum: dict = {}
+    adjusted = 0.0
+    total_weight = 0
+    for value, groups in strata.items():
+        size = len(groups["high"]) + len(groups["low"])
+        if groups["high"] and groups["low"]:
+            contrast = float(
+                np.mean(groups["high"]) - np.mean(groups["low"])
+            )
+            per_stratum[value] = contrast
+            adjusted += size * contrast
+            total_weight += size
+        else:
+            per_stratum[value] = None
+    if total_weight == 0:
+        raise ValueError("no stratum contains both treatment groups")
+    return adjusted / total_weight, per_stratum
+
+
+@dataclass
+class BiasReport:
+    """Outcome of a Simpson's-paradox scan for one candidate confounder."""
+
+    confounder: str
+    naive: float
+    adjusted: float
+    reversal: bool
+    shift: float
+    per_stratum: dict
+
+    def __str__(self) -> str:
+        marker = "REVERSAL" if self.reversal else "shift"
+        return (
+            f"{self.confounder}: naive {self.naive:+.4g} -> adjusted "
+            f"{self.adjusted:+.4g} ({marker}, |Δ|={self.shift:.4g})"
+        )
+
+
+def detect_simpsons_paradox(
+    relation: Relation,
+    treatment: str,
+    outcome: str,
+    candidate_confounders: list[str],
+) -> list[BiasReport]:
+    """Scan candidate confounders for sign reversals of the contrast.
+
+    Returns one report per candidate, sorted reversals-first then by how
+    far the adjusted estimate moved — HypDB's "explain the bias" output.
+    """
+    naive = group_difference(relation, treatment, outcome)
+    reports = []
+    for confounder in candidate_confounders:
+        adjusted, per_stratum = stratified_difference(
+            relation, treatment, outcome, confounder
+        )
+        reversal = bool(np.sign(adjusted) != np.sign(naive)
+                        and abs(adjusted) > 1e-12 and abs(naive) > 1e-12)
+        reports.append(BiasReport(
+            confounder=confounder,
+            naive=naive,
+            adjusted=adjusted,
+            reversal=reversal,
+            shift=abs(adjusted - naive),
+            per_stratum=per_stratum,
+        ))
+    return sorted(reports, key=lambda r: (not r.reversal, -r.shift))

@@ -1,0 +1,137 @@
+"""Provenance semirings [Green, Karvounarakis & Tannen 2007].
+
+The provenance machinery the tutorial's Section 3 proposes to harness for
+ML explanations. Relational operators compute annotations in any
+commutative semiring (K, ⊕, ⊗, 0, 1): joint use of tuples multiplies
+(⊗), alternative derivations add (⊕). Specializing K recovers the
+classic provenance notions:
+
+* :class:`BooleanSemiring` — set semantics (does the answer exist?),
+* :class:`CountingSemiring` — bag semantics / number of derivations,
+* :class:`WhySemiring` — why-provenance: the set of *witness sets* of
+  base-tuple ids, each witness a set of tuples jointly deriving the
+  answer,
+* :class:`LineageSemiring` — the flat set of all contributing tuples.
+
+Base-table tuples are injected via ``semiring.tag(tuple_id)``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Semiring",
+    "BooleanSemiring",
+    "CountingSemiring",
+    "WhySemiring",
+    "LineageSemiring",
+]
+
+
+class Semiring:
+    """Abstract commutative semiring over annotation values."""
+
+    zero = None
+    one = None
+
+    def plus(self, a, b):
+        """⊕ — combine alternative derivations."""
+        raise NotImplementedError
+
+    def times(self, a, b):
+        """⊗ — combine jointly used annotations."""
+        raise NotImplementedError
+
+    def tag(self, tuple_id):
+        """Annotation of a base tuple with the given id."""
+        raise NotImplementedError
+
+
+class BooleanSemiring(Semiring):
+    """({False, True}, ∨, ∧): plain set semantics."""
+
+    zero = False
+    one = True
+
+    def plus(self, a, b):
+        return a or b
+
+    def times(self, a, b):
+        return a and b
+
+    def tag(self, tuple_id):
+        return True
+
+
+class CountingSemiring(Semiring):
+    """(ℕ, +, ×): bag semantics — number of derivations."""
+
+    zero = 0
+    one = 1
+
+    def plus(self, a, b):
+        return a + b
+
+    def times(self, a, b):
+        return a * b
+
+    def tag(self, tuple_id):
+        return 1
+
+
+class WhySemiring(Semiring):
+    """Why-provenance: sets of witness sets of base-tuple ids.
+
+    Annotations are frozensets of frozensets. ⊕ unions the alternatives;
+    ⊗ pairs up witnesses (union of each pair). Absorption (dropping
+    supersets of existing witnesses) keeps annotations minimal, matching
+    the standard minimal-witness definition.
+    """
+
+    zero = frozenset()
+    one = frozenset([frozenset()])
+
+    @staticmethod
+    def _minimize(witnesses: frozenset) -> frozenset:
+        minimal = [
+            w for w in witnesses
+            if not any(other < w for other in witnesses)
+        ]
+        return frozenset(minimal)
+
+    def plus(self, a, b):
+        return self._minimize(frozenset(a) | frozenset(b))
+
+    def times(self, a, b):
+        return self._minimize(
+            frozenset(wa | wb for wa in a for wb in b)
+        )
+
+    def tag(self, tuple_id):
+        return frozenset([frozenset([tuple_id])])
+
+
+class LineageSemiring(Semiring):
+    """Lineage: the flat set of every base tuple involved in any derivation.
+
+    The standard lineage semiring (Lin(X), ⊕, ⊗, ⊥, ∅) needs a bottom
+    element distinct from the empty set; ``None`` plays ⊥ (⊕-identity and
+    ⊗-annihilator).
+    """
+
+    zero = None
+    one = frozenset()
+
+    def plus(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return frozenset(a) | frozenset(b)
+
+    def times(self, a, b):
+        if a is None or b is None:
+            return None
+        return frozenset(a) | frozenset(b)
+
+    def tag(self, tuple_id):
+        return frozenset([tuple_id])

@@ -1,0 +1,165 @@
+"""Shapley-value explanations for data repair [Deutch, Frost, Gilad &
+Sheffer 2021] (§3, "Explanations in Databases").
+
+Given integrity constraints — here functional dependencies X → Y — a
+dirty relation violates them through specific tuples. The cited work
+ranks tuples by their Shapley contribution to the *inconsistency* of the
+database, explaining "which tuples are responsible for the violations"
+and prioritizing repairs. Reproduced pieces:
+
+* :class:`FunctionalDependency` with violation counting (the
+  inconsistency measure: number of violating tuple pairs),
+* :func:`repair_responsibility` — Shapley value of each tuple in the
+  inconsistency game (reusing the tuple-Shapley machinery),
+* :func:`greedy_repair` — delete tuples in responsibility order until
+  consistency, the repair policy the explanation motivates, compared in
+  tests/benchmarks against naive orderings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .relation import Relation
+from .tuple_shapley import shapley_of_tuples
+
+__all__ = ["FunctionalDependency", "repair_responsibility", "greedy_repair"]
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """An FD ``lhs → rhs`` over attribute names."""
+
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return f"{','.join(self.lhs)} -> {','.join(self.rhs)}"
+
+    def violations(self, relation: Relation) -> int:
+        """Number of unordered tuple pairs violating the FD."""
+        lhs_idx = [relation._col(c) for c in self.lhs]
+        rhs_idx = [relation._col(c) for c in self.rhs]
+        groups: dict[tuple, dict[tuple, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for row in relation.rows:
+            key = tuple(row[i] for i in lhs_idx)
+            value = tuple(row[i] for i in rhs_idx)
+            groups[key][value] += 1
+        total = 0
+        for value_counts in groups.values():
+            counts = list(value_counts.values())
+            group_size = sum(counts)
+            same = sum(c * (c - 1) // 2 for c in counts)
+            total += group_size * (group_size - 1) // 2 - same
+        return total
+
+    def violating_tuples(self, relation: Relation) -> set[int]:
+        """Indices of tuples participating in at least one violation."""
+        lhs_idx = [relation._col(c) for c in self.lhs]
+        rhs_idx = [relation._col(c) for c in self.rhs]
+        by_key: dict[tuple, list[int]] = defaultdict(list)
+        for i, row in enumerate(relation.rows):
+            by_key[tuple(row[j] for j in lhs_idx)].append(i)
+        out: set[int] = set()
+        for members in by_key.values():
+            values = {
+                i: tuple(relation.rows[i][j] for j in rhs_idx)
+                for i in members
+            }
+            distinct = set(values.values())
+            if len(distinct) > 1:
+                out.update(members)
+        return out
+
+
+def _total_violations(relation: Relation,
+                      dependencies: list[FunctionalDependency]) -> float:
+    return float(sum(fd.violations(relation) for fd in dependencies))
+
+
+def repair_responsibility(
+    relation: Relation,
+    dependencies: list[FunctionalDependency],
+    method: str = "auto",
+    n_permutations: int = 200,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Shapley value of each tuple in the inconsistency game.
+
+    The game value of a sub-database is its total violation count, so a
+    tuple's value is its average marginal contribution to inconsistency —
+    high values mark the tuples whose removal pacifies the most
+    violations. Values sum to the dirty database's violation count.
+    Only tuples involved in some violation are endogenous (clean tuples
+    provably have value 0 and are fixed as context).
+    """
+    involved: set[int] = set()
+    for fd in dependencies:
+        involved |= fd.violating_tuples(relation)
+    if not involved:
+        return {}
+    values = shapley_of_tuples(
+        relation,
+        lambda sub: _total_violations(sub, dependencies),
+        endogenous=sorted(involved),
+        method=method,
+        n_permutations=n_permutations,
+        seed=seed,
+    )
+    return values
+
+
+def greedy_repair(
+    relation: Relation,
+    dependencies: list[FunctionalDependency],
+    ranking: list[int] | None = None,
+    **responsibility_kwargs,
+) -> tuple[Relation, list[int]]:
+    """Delete tuples (most responsible first) until the FDs hold.
+
+    Returns the repaired relation and the deleted tuple indices. A
+    ``ranking`` may be supplied to evaluate alternative repair orders;
+    by default the Shapley responsibility ordering is used, recomputed
+    after each deletion is unnecessary because deletions only shrink the
+    game (re-ranking is an easy extension).
+    """
+    if ranking is None:
+        responsibility = repair_responsibility(
+            relation, dependencies, **responsibility_kwargs
+        )
+        ranking = sorted(responsibility, key=lambda i: -responsibility[i])
+    keep = list(range(len(relation)))
+    deleted: list[int] = []
+    current = relation
+
+    def rebuild(indices: list[int]) -> Relation:
+        return Relation(
+            relation.columns,
+            [relation.rows[i] for i in indices],
+            relation.semiring,
+            [relation.annotations[i] for i in indices],
+            relation.name,
+        )
+
+    for candidate in ranking:
+        if _total_violations(current, dependencies) == 0:
+            break
+        # Deleting a tuple that no longer violates anything is wasted
+        # repair budget: skip it (earlier deletions may have pacified it).
+        position = {original: local for local, original in enumerate(keep)}
+        if candidate not in position:
+            continue
+        still_violating: set[int] = set()
+        for fd in dependencies:
+            still_violating |= fd.violating_tuples(current)
+        if position[candidate] not in still_violating:
+            continue
+        keep = [i for i in keep if i != candidate]
+        deleted.append(candidate)
+        current = rebuild(keep)
+    return current, deleted

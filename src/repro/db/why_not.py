@@ -1,0 +1,131 @@
+"""Why-not provenance: explaining *missing* query answers
+(§3, "Explanations in Databases" [49, 55]-adjacent; the picky-operator
+method of Chapman & Jagadish).
+
+"Why is tuple t not in the result?" is answered by replaying the query
+pipeline and finding the operator at which t's lineage disappears — the
+*picky* operator. A query here is an explicit sequence of named
+operators over a :class:`Relation`; the tracer follows the candidate
+tuples (those matching the user's description in the *input*) through
+each stage and reports where each was eliminated and why (filtered out,
+failed to join, projected away from the description).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .provenance import LineageSemiring
+from .relation import Relation
+
+__all__ = ["QueryStep", "WhyNotResult", "why_not"]
+
+
+@dataclass
+class QueryStep:
+    """One named operator: ``apply(relation) -> relation``."""
+
+    name: str
+    apply: Callable[[Relation], Relation]
+
+    @staticmethod
+    def select(name: str, predicate) -> "QueryStep":
+        return QueryStep(name, lambda r: r.select(predicate))
+
+    @staticmethod
+    def project(name: str, columns: list[str]) -> "QueryStep":
+        return QueryStep(name, lambda r: r.project(columns))
+
+    @staticmethod
+    def join(name: str, other: Relation) -> "QueryStep":
+        return QueryStep(name, lambda r: r.join(other))
+
+
+@dataclass
+class WhyNotResult:
+    """Explanation for one missing candidate tuple."""
+
+    candidate_index: int
+    candidate: tuple
+    picky_step: str | None
+    detail: str
+
+    def __str__(self) -> str:
+        if self.picky_step is None:
+            return (f"tuple {self.candidate} survives the whole query "
+                    f"({self.detail})")
+        return (f"tuple {self.candidate} was eliminated by "
+                f"{self.picky_step!r}: {self.detail}")
+
+
+def _tracked(relation: Relation) -> Relation:
+    """Re-annotate with lineage so tuple survival is a set membership."""
+    semiring = LineageSemiring()
+    return Relation(
+        relation.columns,
+        relation.rows,
+        semiring,
+        [semiring.tag(i) for i in range(len(relation))],
+        relation.name,
+    )
+
+
+def why_not(
+    source: Relation,
+    steps: list[QueryStep],
+    candidate_predicate: Callable[[dict], bool],
+) -> list[WhyNotResult]:
+    """Trace why source tuples matching a description miss the output.
+
+    Parameters
+    ----------
+    source:
+        The query's input relation.
+    steps:
+        The operator pipeline, applied in order.
+    candidate_predicate:
+        Describes the expected-but-missing answer in terms of the
+        *source* schema (e.g. ``lambda t: t["name"] == "ann"``).
+
+    Returns
+    -------
+    One :class:`WhyNotResult` per matching source tuple: the first
+    operator whose output no longer carries the tuple's lineage, or a
+    note that the tuple actually survives (the answer isn't missing).
+    """
+    candidates = [
+        i for i, row in enumerate(source.rows)
+        if candidate_predicate(dict(zip(source.columns, row)))
+    ]
+    if not candidates:
+        raise ValueError("no source tuple matches the candidate description")
+    current = _tracked(source)
+    alive: dict[int, bool] = {i: True for i in candidates}
+    results: dict[int, WhyNotResult] = {}
+    for step in steps:
+        nxt = step.apply(current)
+        surviving: set[int] = set()
+        for annotation in nxt.annotations:
+            if annotation:
+                surviving |= set(annotation)
+        for i in candidates:
+            if alive[i] and i not in surviving:
+                alive[i] = False
+                results[i] = WhyNotResult(
+                    candidate_index=i,
+                    candidate=source.rows[i],
+                    picky_step=step.name,
+                    detail=f"lineage lost at operator {step.name!r} "
+                           f"({len(current)} -> {len(nxt)} tuples)",
+                )
+        current = nxt
+    for i in candidates:
+        if alive[i]:
+            results[i] = WhyNotResult(
+                candidate_index=i,
+                candidate=source.rows[i],
+                picky_step=None,
+                detail="its lineage reaches the final result",
+            )
+    return [results[i] for i in candidates]

@@ -1,0 +1,24 @@
+"""Quantitative evaluation of explanations (§3, user study & evaluation)."""
+
+from .faithfulness import (
+    comprehensiveness,
+    curve_auc,
+    deletion_curve,
+    faithfulness_report,
+    insertion_curve,
+    monotonicity,
+    sufficiency,
+)
+from .robustness import lipschitz_estimate, max_sensitivity
+
+__all__ = [
+    "deletion_curve",
+    "insertion_curve",
+    "curve_auc",
+    "comprehensiveness",
+    "sufficiency",
+    "monotonicity",
+    "faithfulness_report",
+    "max_sensitivity",
+    "lipschitz_estimate",
+]

@@ -1,0 +1,180 @@
+"""Quantitative faithfulness metrics for feature attributions.
+
+Section 3's "User study and evaluation" discussion notes that evaluating
+explanations is itself an open problem and that recent work exposed
+vulnerabilities in common strategies [Jacovi & Goldberg 2020]. The
+pre-user-study, automatable proxies implemented here are the standard
+deletion/insertion protocol family:
+
+* **deletion curve** — remove features most-important-first (replace by a
+  baseline) and track the model score; a faithful attribution makes the
+  score collapse quickly → *low* area under the curve.
+* **insertion curve** — start from the baseline and add features
+  most-important-first; faithful → *high* area.
+* **comprehensiveness / sufficiency** (ERASER-style) — score drop from
+  removing the top-k set, and score retained by keeping only the top-k.
+* **monotonicity** — do marginal score gains track the attribution
+  order?
+
+All metrics are relative: they only rank attribution methods against
+each other (and against a random-order control, which E25 includes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.explanation import FeatureAttribution
+
+__all__ = [
+    "deletion_curve",
+    "insertion_curve",
+    "curve_auc",
+    "comprehensiveness",
+    "sufficiency",
+    "monotonicity",
+    "faithfulness_report",
+]
+
+
+def _order_from(attribution, n: int) -> np.ndarray:
+    if isinstance(attribution, FeatureAttribution):
+        return np.asarray(attribution.ranking())
+    return np.asarray(attribution, dtype=int).ravel()
+
+
+def deletion_curve(
+    predict_fn,
+    x: np.ndarray,
+    attribution,
+    baseline: np.ndarray,
+) -> np.ndarray:
+    """Model scores after deleting 0, 1, ..., d features (importance order).
+
+    Deleted features take the baseline's values. Length d+1; entry 0 is
+    the unmodified score.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    baseline = np.asarray(baseline, dtype=float).ravel()
+    order = _order_from(attribution, x.shape[0])
+    rows = np.tile(x, (x.shape[0] + 1, 1))
+    for step, feature in enumerate(order, start=1):
+        rows[step:, feature] = baseline[feature]
+    return np.asarray(predict_fn(rows), dtype=float)
+
+
+def insertion_curve(
+    predict_fn,
+    x: np.ndarray,
+    attribution,
+    baseline: np.ndarray,
+) -> np.ndarray:
+    """Scores after inserting 0, 1, ..., d features into the baseline."""
+    x = np.asarray(x, dtype=float).ravel()
+    baseline = np.asarray(baseline, dtype=float).ravel()
+    order = _order_from(attribution, x.shape[0])
+    rows = np.tile(baseline, (x.shape[0] + 1, 1))
+    for step, feature in enumerate(order, start=1):
+        rows[step:, feature] = x[feature]
+    return np.asarray(predict_fn(rows), dtype=float)
+
+
+def curve_auc(curve: np.ndarray) -> float:
+    """Normalized trapezoidal area under a deletion/insertion curve."""
+    curve = np.asarray(curve, dtype=float).ravel()
+    if curve.shape[0] < 2:
+        raise ValueError("a curve needs at least two points")
+    return float(np.trapezoid(curve, dx=1.0) / (curve.shape[0] - 1))
+
+
+def _direction(predict_fn, x: np.ndarray, baseline: np.ndarray) -> float:
+    """+1 if f(x) ≥ f(baseline) else −1.
+
+    Deleting an instance's important features moves its score *toward*
+    the baseline; the sign makes that movement positive regardless of
+    which side of the baseline the instance sits on (the ERASER metrics'
+    predicted-class trick, generalized to scores).
+    """
+    f_x = float(np.asarray(predict_fn(np.asarray(x, dtype=float)[None, :]))[0])
+    f_b = float(
+        np.asarray(predict_fn(np.asarray(baseline, dtype=float)[None, :]))[0]
+    )
+    return 1.0 if f_x >= f_b else -1.0
+
+
+def comprehensiveness(
+    predict_fn, x: np.ndarray, attribution, baseline: np.ndarray, k: int = 3
+) -> float:
+    """Directed score movement from deleting the top-k features.
+
+    Positive and large when removing the flagged features pushes the
+    score toward the baseline — the features really carried the
+    prediction.
+    """
+    curve = deletion_curve(predict_fn, x, attribution, baseline)
+    return float((curve[0] - curve[k]) * _direction(predict_fn, x, baseline))
+
+
+def sufficiency(
+    predict_fn, x: np.ndarray, attribution, baseline: np.ndarray, k: int = 3
+) -> float:
+    """Directed score movement from inserting only the top-k features.
+
+    Positive and large when the flagged features alone recover the
+    prediction from the baseline.
+    """
+    curve = insertion_curve(predict_fn, x, attribution, baseline)
+    return float((curve[k] - curve[0]) * _direction(predict_fn, x, baseline))
+
+
+def monotonicity(
+    predict_fn, x: np.ndarray, attribution, baseline: np.ndarray
+) -> float:
+    """Spearman correlation between attribution rank and insertion gains.
+
+    1 means each feature's marginal contribution when inserted in
+    importance order strictly shrinks down the ranking — the attribution
+    order is consistent with the model's behaviour.
+    """
+    from ..models.metrics import spearman_correlation
+
+    curve = insertion_curve(predict_fn, x, attribution, baseline)
+    gains = np.abs(np.diff(curve))
+    ranks = np.arange(gains.shape[0], 0, -1)  # descending importance
+    if np.allclose(gains, gains[0]):
+        return 0.0
+    return spearman_correlation(ranks.astype(float), gains)
+
+
+def faithfulness_report(
+    predict_fn,
+    X: np.ndarray,
+    explainer,
+    baseline: np.ndarray,
+    k: int = 3,
+    **explain_kwargs,
+) -> dict[str, float]:
+    """Average all faithfulness metrics for one explainer over ``X``."""
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    deletion_aucs, insertion_aucs = [], []
+    comp, suff, mono = [], [], []
+    for x in X:
+        attribution = explainer.explain(x, **explain_kwargs)
+        sign = _direction(predict_fn, x, baseline)
+        deletion = deletion_curve(predict_fn, x, attribution, baseline)
+        insertion = insertion_curve(predict_fn, x, attribution, baseline)
+        # Direction-corrected movement curves: higher AUC = more faithful
+        # for both, comparable across instances on either side of the
+        # baseline.
+        deletion_aucs.append(curve_auc((deletion[0] - deletion) * sign))
+        insertion_aucs.append(curve_auc((insertion - insertion[0]) * sign))
+        comp.append(comprehensiveness(predict_fn, x, attribution, baseline, k))
+        suff.append(sufficiency(predict_fn, x, attribution, baseline, k))
+        mono.append(monotonicity(predict_fn, x, attribution, baseline))
+    return {
+        "deletion_auc": float(np.mean(deletion_aucs)),
+        "insertion_auc": float(np.mean(insertion_aucs)),
+        "comprehensiveness": float(np.mean(comp)),
+        "sufficiency": float(np.mean(suff)),
+        "monotonicity": float(np.mean(mono)),
+    }

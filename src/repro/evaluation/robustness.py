@@ -1,0 +1,76 @@
+"""Explanation robustness metrics.
+
+Complementing faithfulness, robustness asks how much an explanation
+changes when the *input* barely does — the fragility that the tutorial's
+vulnerability discussion (Ghorbani et al.'s "Interpretation of neural
+networks is fragile") is about. Two standard estimates:
+
+* **max sensitivity** (Yeh et al. 2019) — the largest attribution change
+  over sampled perturbations within an L∞ ball,
+* **local Lipschitz estimate** (Alvarez-Melis & Jaakkola 2018) — the
+  largest ratio ‖φ(x) − φ(x')‖ / ‖x − x'‖ over the same ball.
+
+Both treat the explainer as a function of the input and are agnostic to
+the attribution method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_sensitivity", "lipschitz_estimate"]
+
+
+def _perturbed_attributions(
+    explainer, x: np.ndarray, radius: float, n_samples: int, seed: int,
+    **explain_kwargs,
+):
+    rng = np.random.default_rng(seed)
+    x = np.asarray(x, dtype=float).ravel()
+    base = np.asarray(explainer.explain(x, **explain_kwargs).values)
+    pairs = []
+    for __ in range(n_samples):
+        delta = rng.uniform(-radius, radius, x.shape[0])
+        neighbor = x + delta
+        values = np.asarray(
+            explainer.explain(neighbor, **explain_kwargs).values
+        )
+        pairs.append((neighbor, values))
+    return base, pairs
+
+
+def max_sensitivity(
+    explainer,
+    x: np.ndarray,
+    radius: float = 0.1,
+    n_samples: int = 10,
+    seed: int = 0,
+    **explain_kwargs,
+) -> float:
+    """max over sampled ‖x' − x‖∞ ≤ radius of ‖φ(x') − φ(x)‖₂."""
+    base, pairs = _perturbed_attributions(
+        explainer, x, radius, n_samples, seed, **explain_kwargs
+    )
+    return float(max(
+        np.linalg.norm(values - base) for __, values in pairs
+    ))
+
+
+def lipschitz_estimate(
+    explainer,
+    x: np.ndarray,
+    radius: float = 0.1,
+    n_samples: int = 10,
+    seed: int = 0,
+    **explain_kwargs,
+) -> float:
+    """max over sampled neighbors of ‖φ(x') − φ(x)‖ / ‖x' − x‖."""
+    x = np.asarray(x, dtype=float).ravel()
+    base, pairs = _perturbed_attributions(
+        explainer, x, radius, n_samples, seed, **explain_kwargs
+    )
+    ratios = [
+        np.linalg.norm(values - base) / max(np.linalg.norm(neighbor - x), 1e-12)
+        for neighbor, values in pairs
+    ]
+    return float(max(ratios))

@@ -1,0 +1,7 @@
+"""Influence-based training-data explanations (§2.3.2)."""
+
+from .group import GroupInfluence
+from .influence_functions import InfluenceFunctions
+from .tree_influence import LeafInfluence
+
+__all__ = ["InfluenceFunctions", "GroupInfluence", "LeafInfluence"]

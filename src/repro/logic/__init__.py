@@ -1,0 +1,39 @@
+"""Logic-based explanation methods (§2.2.2) and tractable SHAP (§3)."""
+
+from .circuit import (
+    AndNode,
+    Literal,
+    OrNode,
+    TrueNode,
+    binarize_matrix,
+    compile_tree,
+    conditional_expectation,
+    model_count,
+)
+from .circuit_shap import circuit_shap
+from .reasons import (
+    all_minimal_sufficient_reasons,
+    is_sufficient,
+    minimal_sufficient_reason,
+    necessary_features,
+    possible_classes,
+    reason_to_rule,
+)
+
+__all__ = [
+    "Literal",
+    "AndNode",
+    "OrNode",
+    "TrueNode",
+    "compile_tree",
+    "conditional_expectation",
+    "model_count",
+    "binarize_matrix",
+    "circuit_shap",
+    "possible_classes",
+    "is_sufficient",
+    "minimal_sufficient_reason",
+    "all_minimal_sufficient_reasons",
+    "necessary_features",
+    "reason_to_rule",
+]

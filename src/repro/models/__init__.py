@@ -1,0 +1,33 @@
+"""From-scratch ML substrate: models, metrics, preprocessing, selection."""
+
+from .base import BaseModel, ClassifierMixin, DifferentiableModel, RegressorMixin
+from .boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from .forest import RandomForestClassifier
+from .gam import ExplainableBoostingClassifier
+from .knn import KNeighborsClassifier
+from .linear import LinearRegression, RidgeRegression
+from .logistic import LogisticRegression, sigmoid
+from .mlp import MLPClassifier
+from .naive_bayes import GaussianNB
+from .tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeStructure
+
+__all__ = [
+    "BaseModel",
+    "ClassifierMixin",
+    "RegressorMixin",
+    "DifferentiableModel",
+    "LinearRegression",
+    "RidgeRegression",
+    "LogisticRegression",
+    "sigmoid",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "TreeStructure",
+    "RandomForestClassifier",
+    "ExplainableBoostingClassifier",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "KNeighborsClassifier",
+    "GaussianNB",
+    "MLPClassifier",
+]

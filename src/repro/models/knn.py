@@ -1,0 +1,61 @@
+"""k-nearest-neighbor classifier.
+
+Beyond ordinary prediction, the model exposes ``kneighbors`` because the
+exact KNN-Shapley data-valuation algorithm (:mod:`repro.datavalue.knn_shapley`)
+is derived directly from the sorted-distance structure of a kNN classifier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseModel, ClassifierMixin
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(ClassifierMixin, BaseModel):
+    """Majority-vote kNN with Euclidean distance."""
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be positive")
+        self.n_neighbors = n_neighbors
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = self._check_Xy(X, y)
+        self.classes_, self._encoded = self._encode_labels(y)
+        self._X = X
+        if self.n_neighbors > X.shape[0]:
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds {X.shape[0]} samples"
+            )
+        return self
+
+    def kneighbors(self, X: np.ndarray, n_neighbors: int | None = None):
+        """Distances and training indices of each row's nearest neighbors.
+
+        Returns ``(distances, indices)`` of shape ``(n_queries, k)``, both
+        sorted by increasing distance.
+        """
+        self._check_fitted("_X")
+        X = self._check_X(X)
+        k = n_neighbors or self.n_neighbors
+        # Squared Euclidean distances without materializing differences.
+        d2 = (
+            (X ** 2).sum(axis=1)[:, None]
+            - 2.0 * X @ self._X.T
+            + (self._X ** 2).sum(axis=1)[None, :]
+        )
+        np.maximum(d2, 0.0, out=d2)
+        idx = np.argsort(d2, axis=1, kind="stable")[:, :k]
+        dist = np.sqrt(np.take_along_axis(d2, idx, axis=1))
+        return dist, idx
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        __, idx = self.kneighbors(X)
+        votes = self._encoded[idx]
+        proba = np.zeros((idx.shape[0], len(self.classes_)))
+        for k in range(len(self.classes_)):
+            proba[:, k] = (votes == k).mean(axis=1)
+        return proba

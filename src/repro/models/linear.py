@@ -1,0 +1,102 @@
+"""Linear regression models with white-box gradient access.
+
+Both models minimize a (possibly L2-regularized) squared-error objective
+
+    L(θ) = 1/2 Σ_i (x_i·w + b − y_i)² + λ/2 ||w||²
+
+and expose per-sample gradients and the exact Hessian of L, which is what
+influence functions (:mod:`repro.influence`) and PrIU incremental updates
+(:mod:`repro.unlearning.priu`) differentiate through. The intercept is the
+last entry of the flat parameter vector and is never regularized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import DifferentiableModel, RegressorMixin
+
+__all__ = ["LinearRegression", "RidgeRegression"]
+
+
+class RidgeRegression(RegressorMixin, DifferentiableModel):
+    """Closed-form L2-regularized least squares.
+
+    Parameters
+    ----------
+    alpha:
+        L2 penalty strength λ (0 recovers ordinary least squares).
+    sample_weight support:
+        ``fit`` accepts per-sample weights, which PrIU uses to express
+        deletions as down-weighting.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "RidgeRegression":
+        X, y = self._check_Xy(X, y)
+        y = y.astype(float)
+        n, d = X.shape
+        Xb = np.hstack([X, np.ones((n, 1))])
+        if sample_weight is None:
+            sample_weight = np.ones(n)
+        w = np.asarray(sample_weight, dtype=float)
+        reg = self.alpha * np.eye(d + 1)
+        reg[d, d] = 0.0  # never regularize the intercept
+        A = Xb.T @ (w[:, None] * Xb) + reg
+        b = Xb.T @ (w * y)
+        theta = np.linalg.solve(A, b)
+        self.coef_ = theta[:d]
+        self.intercept_ = float(theta[d])
+        self._n_features = d
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("coef_")
+        X = self._check_X(X)
+        return X @ self.coef_ + self.intercept_
+
+    # -- DifferentiableModel interface ---------------------------------------
+
+    @property
+    def params(self) -> np.ndarray:
+        self._check_fitted("coef_")
+        return np.append(self.coef_, self.intercept_)
+
+    def set_params_vector(self, theta: np.ndarray) -> None:
+        theta = np.asarray(theta, dtype=float).ravel()
+        self.coef_ = theta[:-1].copy()
+        self.intercept_ = float(theta[-1])
+        self._n_features = theta.shape[0] - 1
+
+    def grad(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-sample ∇_θ of the *unregularized* squared loss."""
+        X, y = self._check_Xy(X, y)
+        residual = self.predict(X) - y.astype(float)
+        Xb = np.hstack([X, np.ones((X.shape[0], 1))])
+        return residual[:, None] * Xb
+
+    def hessian(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Hessian of the full objective (data term + L2 penalty)."""
+        X = self._check_X(X)
+        n, d = X.shape
+        Xb = np.hstack([X, np.ones((n, 1))])
+        H = Xb.T @ Xb
+        reg = self.alpha * np.eye(d + 1)
+        reg[d, d] = 0.0
+        return H + reg
+
+
+class LinearRegression(RidgeRegression):
+    """Ordinary least squares (ridge with λ = 0)."""
+
+    def __init__(self) -> None:
+        super().__init__(alpha=0.0)

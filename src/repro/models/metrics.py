@@ -1,0 +1,157 @@
+"""Evaluation metrics for the model substrate and the benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "confusion_matrix",
+    "log_loss",
+    "roc_auc",
+    "mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "spearman_correlation",
+    "pearson_correlation",
+]
+
+
+def _as_1d(a) -> np.ndarray:
+    return np.asarray(a).ravel()
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly-matching predictions."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Counts ``C[i, j]`` of true label ``labels[i]`` predicted as ``labels[j]``."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {label: i for i, label in enumerate(labels)}
+    C = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        C[index[t], index[p]] += 1
+    return C
+
+
+def precision(y_true, y_pred, positive=1) -> float:
+    """TP / (TP + FP); 0 when nothing is predicted positive."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    predicted_pos = y_pred == positive
+    if not predicted_pos.any():
+        return 0.0
+    return float(np.mean(y_true[predicted_pos] == positive))
+
+
+def recall(y_true, y_pred, positive=1) -> float:
+    """TP / (TP + FN); 0 when there are no positives."""
+    y_true, y_pred = _as_1d(y_true), _as_1d(y_pred)
+    actual_pos = y_true == positive
+    if not actual_pos.any():
+        return 0.0
+    return float(np.mean(y_pred[actual_pos] == positive))
+
+
+def f1_score(y_true, y_pred, positive=1) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred, positive)
+    r = recall(y_true, y_pred, positive)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)
+
+
+def log_loss(y_true, y_proba, eps: float = 1e-12) -> float:
+    """Binary cross-entropy; ``y_proba`` is P(class 1)."""
+    y_true = _as_1d(y_true).astype(float)
+    p = np.clip(_as_1d(y_proba).astype(float), eps, 1.0 - eps)
+    return float(-np.mean(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p)))
+
+
+def roc_auc(y_true, y_score) -> float:
+    """Area under the ROC curve via the rank statistic (handles ties)."""
+    y_true = _as_1d(y_true).astype(int)
+    y_score = _as_1d(y_score).astype(float)
+    n_pos = int((y_true == 1).sum())
+    n_neg = y_true.shape[0] - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc needs both classes present")
+    # Midranks give the tie-corrected Mann-Whitney U statistic.
+    order = np.argsort(y_score)
+    ranks = np.empty_like(order, dtype=float)
+    sorted_scores = y_score[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[y_true == 1].sum())
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return u / (n_pos * n_neg)
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    y_true, y_pred = _as_1d(y_true).astype(float), _as_1d(y_pred).astype(float)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    y_true, y_pred = _as_1d(y_true).astype(float), _as_1d(y_pred).astype(float)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination."""
+    y_true, y_pred = _as_1d(y_true).astype(float), _as_1d(y_pred).astype(float)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _rankdata(a: np.ndarray) -> np.ndarray:
+    """Midranks of ``a`` (average rank for ties), 1-based."""
+    order = np.argsort(a)
+    ranks = np.empty(len(a), dtype=float)
+    sorted_a = a[order]
+    i = 0
+    while i < len(a):
+        j = i
+        while j + 1 < len(a) and sorted_a[j + 1] == sorted_a[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def pearson_correlation(a, b) -> float:
+    """Pearson r; 0 when either input is constant.
+
+    Computed on standardized values and clipped to [−1, 1]: forming the
+    product of two near-denormal standard deviations first would lose all
+    precision for tiny-variance inputs.
+    """
+    a, b = _as_1d(a).astype(float), _as_1d(b).astype(float)
+    sa, sb = a.std(), b.std()
+    if sa == 0.0 or sb == 0.0:
+        return 0.0
+    za = (a - a.mean()) / sa
+    zb = (b - b.mean()) / sb
+    return float(np.clip(np.mean(za * zb), -1.0, 1.0))
+
+
+def spearman_correlation(a, b) -> float:
+    """Spearman rank correlation (Pearson on midranks)."""
+    a, b = _as_1d(a), _as_1d(b)
+    return pearson_correlation(_rankdata(a.astype(float)), _rankdata(b.astype(float)))

@@ -1,0 +1,172 @@
+"""Small multilayer perceptron with manual backpropagation.
+
+The MLP exists so the gradient-based attribution methods of the tutorial's
+Section 2.4 (saliency maps, integrated gradients, SmoothGrad, sanity
+checks) have a differentiable model to explain. Accordingly it exposes
+
+* ``input_gradient(x)`` — ∂ output / ∂ input, the saliency primitive,
+* ``randomize_layer(i)`` — re-initialize one layer in place, the
+  model-randomization operation of the saliency sanity checks [Adebayo+18].
+
+Training is plain mini-batch SGD with momentum on either squared error
+(regression) or sigmoid cross-entropy (binary classification).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseModel, ClassifierMixin
+from .logistic import sigmoid
+
+__all__ = ["MLPClassifier"]
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+class MLPClassifier(ClassifierMixin, BaseModel):
+    """Binary classifier: ReLU hidden layers, sigmoid output.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer widths, e.g. ``(32, 16)``.
+    epochs, batch_size, lr, momentum:
+        SGD hyperparameters.
+    l2:
+        Weight decay coefficient.
+    """
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (32,),
+        epochs: int = 200,
+        batch_size: int = 32,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.momentum = momentum
+        self.l2 = l2
+        self.seed = seed
+
+    # -- initialization ---------------------------------------------------------
+
+    def _init_layers(self, d: int, rng: np.random.Generator) -> None:
+        sizes = [d, *self.hidden, 1]
+        self.weights_: list[np.ndarray] = []
+        self.biases_: list[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialization for ReLU
+            self.weights_.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights_)
+
+    def randomize_layer(self, layer: int, seed: int = 0) -> None:
+        """Re-initialize one layer's weights (saliency sanity checks)."""
+        self._check_fitted("weights_")
+        rng = np.random.default_rng(seed)
+        fan_in, fan_out = self.weights_[layer].shape
+        self.weights_[layer] = rng.normal(
+            0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out)
+        )
+        self.biases_[layer] = np.zeros(fan_out)
+
+    # -- forward / backward -------------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Raw output and pre-activations of every layer (for backprop)."""
+        activations = [X]
+        h = X
+        for i in range(self.n_layers - 1):
+            h = _relu(h @ self.weights_[i] + self.biases_[i])
+            activations.append(h)
+        raw = (h @ self.weights_[-1] + self.biases_[-1]).ravel()
+        return raw, activations
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = self._check_Xy(X, y)
+        self.classes_, encoded = self._encode_labels(y)
+        if len(self.classes_) != 2:
+            raise ValueError("MLPClassifier is binary")
+        t = encoded.astype(float)
+        rng = np.random.default_rng(self.seed)
+        self._init_layers(X.shape[1], rng)
+        velocity_w = [np.zeros_like(w) for w in self.weights_]
+        velocity_b = [np.zeros_like(b) for b in self.biases_]
+        n = X.shape[0]
+        for __ in range(self.epochs):
+            perm = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = perm[start : start + self.batch_size]
+                grads_w, grads_b = self._backward(X[batch], t[batch])
+                for i in range(self.n_layers):
+                    grads_w[i] += self.l2 * self.weights_[i]
+                    velocity_w[i] = self.momentum * velocity_w[i] - self.lr * grads_w[i]
+                    velocity_b[i] = self.momentum * velocity_b[i] - self.lr * grads_b[i]
+                    self.weights_[i] += velocity_w[i]
+                    self.biases_[i] += velocity_b[i]
+        return self
+
+    def _backward(self, X: np.ndarray, t: np.ndarray):
+        raw, activations = self._forward(X)
+        p = sigmoid(raw)
+        batch = X.shape[0]
+        delta = ((p - t) / batch)[:, None]  # dL/draw for cross-entropy
+        grads_w = [np.zeros_like(w) for w in self.weights_]
+        grads_b = [np.zeros_like(b) for b in self.biases_]
+        for i in range(self.n_layers - 1, -1, -1):
+            grads_w[i] = activations[i].T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights_[i].T) * (activations[i] > 0)
+        return grads_w, grads_b
+
+    # -- prediction ----------------------------------------------------------------
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("weights_")
+        raw, __ = self._forward(self._check_X(X))
+        return raw
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        p1 = sigmoid(self.decision_function(X))
+        return np.column_stack([1.0 - p1, p1])
+
+    # -- attribution primitive --------------------------------------------------------
+
+    def input_gradient(self, X: np.ndarray, of: str = "raw") -> np.ndarray:
+        """Gradient of the output w.r.t. each input feature.
+
+        Parameters
+        ----------
+        of:
+            ``"raw"`` — gradient of the pre-sigmoid score (standard for
+            saliency methods); ``"proba"`` — gradient of P(class 1).
+
+        Returns
+        -------
+        Array with the same shape as ``X``.
+        """
+        self._check_fitted("weights_")
+        X = self._check_X(X)
+        raw, activations = self._forward(X)
+        delta = np.ones((X.shape[0], 1))
+        if of == "proba":
+            p = sigmoid(raw)
+            delta = (p * (1.0 - p))[:, None]
+        elif of != "raw":
+            raise ValueError(f"unknown gradient target {of!r}")
+        for i in range(self.n_layers - 1, 0, -1):
+            delta = (delta @ self.weights_[i].T) * (activations[i] > 0)
+        return delta @ self.weights_[0].T

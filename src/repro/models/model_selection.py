@@ -1,0 +1,97 @@
+"""Train/test splitting and cross-validation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["train_test_split", "KFold", "cross_val_score"]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_size: float = 0.25,
+    seed: int = 0,
+    stratify: bool = False,
+):
+    """Random split into train and test partitions.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of rows assigned to the test partition (0 < f < 1).
+    stratify:
+        Preserve the class proportions of ``y`` in both partitions.
+
+    Returns
+    -------
+    ``(X_train, X_test, y_train, y_test)``.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    n = X.shape[0]
+    if stratify:
+        test_idx: list[int] = []
+        for label in np.unique(y):
+            members = np.where(y == label)[0]
+            members = rng.permutation(members)
+            k = max(1, int(round(test_size * members.size)))
+            test_idx.extend(members[:k].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[test_idx] = True
+    else:
+        perm = rng.permutation(n)
+        k = max(1, int(round(test_size * n)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[perm[:k]] = True
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be at least 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int):
+        """Yield ``(train_indices, test_indices)`` pairs."""
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            indices = np.random.default_rng(self.seed).permutation(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+def cross_val_score(
+    model_factory,
+    X: np.ndarray,
+    y: np.ndarray,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Fit a fresh model per fold and return per-fold ``score`` values.
+
+    ``model_factory`` is a zero-argument callable returning an unfitted
+    model, so folds never share state.
+    """
+    X = np.asarray(X)
+    y = np.asarray(y)
+    scores = []
+    for train, test in KFold(n_splits=n_splits, seed=seed).split(X.shape[0]):
+        model = model_factory().fit(X[train], y[train])
+        scores.append(model.score(X[test], y[test]))
+    return np.asarray(scores)

@@ -1,0 +1,147 @@
+"""Feature preprocessing: scaling and encoding transformers.
+
+Transformers follow fit/transform and support ``inverse_transform`` where
+it is well defined, which counterfactual explainers rely on to map search
+results back to the original feature space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler", "OneHotEncoder", "LabelEncoder"]
+
+
+class StandardScaler:
+    """Center to zero mean and scale to unit variance, column-wise."""
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.mean_ = X.mean(axis=0)
+        self.scale_ = X.std(axis=0)
+        self.scale_[self.scale_ == 0.0] = 1.0
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each column to the ``[0, 1]`` range observed at fit time."""
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.min_ = X.min(axis=0)
+        self.range_ = X.max(axis=0) - self.min_
+        self.range_[self.range_ == 0.0] = 1.0
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X * self.range_ + self.min_
+
+
+class OneHotEncoder:
+    """Expand integer-coded categorical columns into indicator columns.
+
+    Parameters
+    ----------
+    categorical_indices:
+        Which columns of the input are categorical; remaining columns pass
+        through unchanged, appended after the indicators in input order.
+    """
+
+    def __init__(self, categorical_indices: list[int]) -> None:
+        self.categorical_indices = sorted(categorical_indices)
+
+    def fit(self, X: np.ndarray) -> "OneHotEncoder":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.categories_ = {
+            j: np.unique(X[:, j].astype(int)) for j in self.categorical_indices
+        }
+        self.n_input_features_ = X.shape[1]
+        # Output layout: for each input column in order, either its block of
+        # indicator columns or the single passthrough column.
+        self._slices: dict[int, slice] = {}
+        offset = 0
+        for j in range(self.n_input_features_):
+            width = len(self.categories_[j]) if j in self.categories_ else 1
+            self._slices[j] = slice(offset, offset + width)
+            offset += width
+        self.n_output_features_ = offset
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if X.shape[1] != self.n_input_features_:
+            raise ValueError(
+                f"expected {self.n_input_features_} columns, got {X.shape[1]}"
+            )
+        out = np.zeros((X.shape[0], self.n_output_features_))
+        for j in range(self.n_input_features_):
+            block = self._slices[j]
+            if j in self.categories_:
+                cats = self.categories_[j]
+                codes = X[:, j].astype(int)
+                for k, cat in enumerate(cats):
+                    out[:, block.start + k] = (codes == cat).astype(float)
+            else:
+                out[:, block.start] = X[:, j]
+        return out
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.zeros((X.shape[0], self.n_input_features_))
+        for j in range(self.n_input_features_):
+            block = self._slices[j]
+            if j in self.categories_:
+                cats = self.categories_[j]
+                out[:, j] = cats[np.argmax(X[:, block], axis=1)]
+            else:
+                out[:, j] = X[:, block.start]
+        return out
+
+    def output_feature_of(self, input_feature: int) -> slice:
+        """The slice of output columns derived from an input column."""
+        return self._slices[input_feature]
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integers 0..K-1."""
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        self._index = {label: i for i, label in enumerate(self.classes_)}
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        y = np.asarray(y).ravel()
+        try:
+            return np.array([self._index[label] for label in y], dtype=int)
+        except KeyError as exc:
+            raise ValueError(f"unseen label {exc.args[0]!r}") from exc
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes, dtype=int).ravel()
+        return self.classes_[codes]

@@ -1,0 +1,342 @@
+"""CART decision trees (classifier and regressor) built from scratch.
+
+The fitted tree is exported as flat parallel arrays (``feature``,
+``threshold``, ``children_left``, ``children_right``, ``value``,
+``n_node_samples``) — the representation TreeSHAP (:mod:`repro.shapley.tree`),
+the logic-based explainers (:mod:`repro.logic`) and the tree-influence
+method (:mod:`repro.influence.tree_influence`) all traverse.
+
+Splits are of the form ``x[feature] <= threshold`` going left. Numeric
+split search is vectorized: per candidate feature the node's rows are
+sorted once and all prefix splits are scored together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import BaseModel, ClassifierMixin, RegressorMixin
+
+__all__ = ["TreeStructure", "DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+_LEAF = -1
+
+
+@dataclass
+class TreeStructure:
+    """Flat array representation of a fitted binary tree.
+
+    ``feature[n] == -1`` marks node ``n`` as a leaf. ``value`` holds the
+    node prediction: class-probability vectors for classifiers (shape
+    ``(n_nodes, n_classes)``), scalars for regressors (``(n_nodes, 1)``).
+    ``n_node_samples`` is the training "cover" used by path-dependent
+    TreeSHAP.
+    """
+
+    feature: list[int] = field(default_factory=list)
+    threshold: list[float] = field(default_factory=list)
+    children_left: list[int] = field(default_factory=list)
+    children_right: list[int] = field(default_factory=list)
+    value: list[np.ndarray] = field(default_factory=list)
+    n_node_samples: list[float] = field(default_factory=list)
+
+    def add_node(self, value: np.ndarray, n_samples: float) -> int:
+        """Append a leaf node and return its id."""
+        node = len(self.feature)
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.children_left.append(_LEAF)
+        self.children_right.append(_LEAF)
+        self.value.append(np.atleast_1d(np.asarray(value, dtype=float)))
+        self.n_node_samples.append(float(n_samples))
+        return node
+
+    def make_split(self, node: int, feature: int, threshold: float,
+                   left: int, right: int) -> None:
+        """Turn leaf ``node`` into an internal node."""
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.children_left[node] = left
+        self.children_right[node] = right
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @property
+    def n_leaves(self) -> int:
+        return sum(1 for f in self.feature if f == _LEAF)
+
+    def is_leaf(self, node: int) -> bool:
+        return self.feature[node] == _LEAF
+
+    def depth(self, node: int = 0) -> int:
+        """Height of the subtree rooted at ``node`` (leaf = 0)."""
+        if self.is_leaf(node):
+            return 0
+        return 1 + max(
+            self.depth(self.children_left[node]),
+            self.depth(self.children_right[node]),
+        )
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf node id reached by each row of ``X``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        out = np.zeros(X.shape[0], dtype=int)
+        for i, x in enumerate(X):
+            node = 0
+            while not self.is_leaf(node):
+                if x[self.feature[node]] <= self.threshold[node]:
+                    node = self.children_left[node]
+                else:
+                    node = self.children_right[node]
+            out[i] = node
+        return out
+
+    def decision_path(self, x: np.ndarray) -> list[tuple[int, int, float, bool]]:
+        """Internal nodes on the root-to-leaf path of ``x``.
+
+        Each entry is ``(node, feature, threshold, went_left)``.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        path = []
+        node = 0
+        while not self.is_leaf(node):
+            went_left = x[self.feature[node]] <= self.threshold[node]
+            path.append((node, self.feature[node], self.threshold[node], bool(went_left)))
+            node = self.children_left[node] if went_left else self.children_right[node]
+        return path
+
+    def predict_value(self, X: np.ndarray) -> np.ndarray:
+        """Stacked leaf values for each row of ``X``."""
+        leaves = self.apply(X)
+        return np.stack([self.value[n] for n in leaves])
+
+    def used_features(self) -> set[int]:
+        """Feature indices tested anywhere in the tree."""
+        return {f for f in self.feature if f != _LEAF}
+
+
+class _BaseDecisionTree(BaseModel):
+    """Shared recursive CART builder; subclasses define the impurity."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        self.seed = seed
+
+    # Subclass hooks -----------------------------------------------------------
+
+    def _node_value(self, y: np.ndarray, sw: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity_reduction(
+        self, y_sorted: np.ndarray, sw_sorted: np.ndarray
+    ) -> np.ndarray:
+        """Score every prefix split of a sorted node.
+
+        Returns an array ``gain[k]`` for splitting after position ``k``
+        (left = first k+1 rows); larger is better. Weighted by sample count.
+        """
+        raise NotImplementedError
+
+    # Builder --------------------------------------------------------------------
+
+    def _fit_tree(
+        self, X: np.ndarray, y: np.ndarray, sample_weight: np.ndarray | None
+    ) -> TreeStructure:
+        n, d = X.shape
+        if sample_weight is None:
+            sample_weight = np.ones(n)
+        sw = np.asarray(sample_weight, dtype=float)
+        rng = np.random.default_rng(self.seed)
+        tree = TreeStructure()
+        self._build(tree, X, y, sw, np.arange(n), depth=0, rng=rng)
+        return tree
+
+    def _build(
+        self,
+        tree: TreeStructure,
+        X: np.ndarray,
+        y: np.ndarray,
+        sw: np.ndarray,
+        idx: np.ndarray,
+        depth: int,
+        rng: np.random.Generator,
+    ) -> int:
+        node = tree.add_node(
+            self._node_value(y[idx], sw[idx]), float(sw[idx].sum())
+        )
+        if (
+            idx.size < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or self._is_pure(y[idx])
+        ):
+            return node
+        split = self._best_split(X, y, sw, idx, rng)
+        if split is None:
+            return node
+        feature, threshold = split
+        left_mask = X[idx, feature] <= threshold
+        left_idx, right_idx = idx[left_mask], idx[~left_mask]
+        left = self._build(tree, X, y, sw, left_idx, depth + 1, rng)
+        right = self._build(tree, X, y, sw, right_idx, depth + 1, rng)
+        tree.make_split(node, feature, threshold, left, right)
+        return node
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return np.unique(y).size <= 1
+
+    def _candidate_features(self, d: int, rng: np.random.Generator) -> np.ndarray:
+        if self.max_features is None or self.max_features >= d:
+            return np.arange(d)
+        return rng.choice(d, size=self.max_features, replace=False)
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sw: np.ndarray,
+        idx: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[int, float] | None:
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        for feature in self._candidate_features(X.shape[1], rng):
+            col = X[idx, feature]
+            order = np.argsort(col, kind="mergesort")
+            col_sorted = col[order]
+            # Splits are only valid between distinct consecutive values.
+            distinct = col_sorted[1:] != col_sorted[:-1]
+            if not distinct.any():
+                continue
+            gains = self._impurity_reduction(y[idx][order], sw[idx][order])
+            k_count = np.arange(1, idx.size)
+            valid = (
+                distinct
+                & (k_count >= self.min_samples_leaf)
+                & (idx.size - k_count >= self.min_samples_leaf)
+            )
+            gains = np.where(valid, gains, -np.inf)
+            k = int(np.argmax(gains))
+            if gains[k] > best_gain:
+                best_gain = float(gains[k])
+                threshold = 0.5 * (col_sorted[k] + col_sorted[k + 1])
+                best = (int(feature), float(threshold))
+        return best
+
+
+class DecisionTreeClassifier(ClassifierMixin, _BaseDecisionTree):
+    """CART classifier with gini or entropy impurity."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        criterion: str = "gini",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(max_depth, min_samples_split, min_samples_leaf,
+                         max_features, seed)
+        if criterion not in ("gini", "entropy"):
+            raise ValueError(f"unknown criterion {criterion!r}")
+        self.criterion = criterion
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        X, y = self._check_Xy(X, y)
+        self.classes_, encoded = self._encode_labels(y)
+        self.n_classes_ = len(self.classes_)
+        self.n_features_ = X.shape[1]
+        self.tree_ = self._fit_tree(X, encoded, sample_weight)
+        return self
+
+    def _node_value(self, y: np.ndarray, sw: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y.astype(int), weights=sw, minlength=self.n_classes_)
+        total = counts.sum()
+        return counts / total if total > 0 else np.full(self.n_classes_, 1.0 / self.n_classes_)
+
+    def _impurity_reduction(self, y_sorted, sw_sorted) -> np.ndarray:
+        n = y_sorted.shape[0]
+        onehot = np.zeros((n, self.n_classes_))
+        onehot[np.arange(n), y_sorted.astype(int)] = 1.0
+        onehot *= sw_sorted[:, None]
+        left_counts = np.cumsum(onehot, axis=0)[:-1]  # after position k
+        total_counts = left_counts[-1] + onehot[-1]
+        right_counts = total_counts[None, :] - left_counts
+        left_n = left_counts.sum(axis=1)
+        right_n = right_counts.sum(axis=1)
+        total_n = left_n + right_n
+
+        def impurity(counts: np.ndarray, size: np.ndarray) -> np.ndarray:
+            p = counts / np.maximum(size, 1e-12)[:, None]
+            if self.criterion == "gini":
+                return 1.0 - (p ** 2).sum(axis=1)
+            safe = np.where(p > 0, p, 1.0)  # log2(1) = 0 kills the term
+            return -(p * np.log2(safe)).sum(axis=1)
+
+        parent = impurity(total_counts[None, :], total_n[:1])[0]
+        child = (
+            left_n * impurity(left_counts, left_n)
+            + right_n * impurity(right_counts, right_n)
+        ) / np.maximum(total_n, 1e-12)
+        return (parent - child) * total_n
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("tree_")
+        return self.tree_.predict_value(self._check_X(X))
+
+
+class DecisionTreeRegressor(RegressorMixin, _BaseDecisionTree):
+    """CART regressor minimizing weighted squared error."""
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
+        X, y = self._check_Xy(X, y)
+        self.n_features_ = X.shape[1]
+        self.tree_ = self._fit_tree(X, y.astype(float), sample_weight)
+        return self
+
+    def _node_value(self, y: np.ndarray, sw: np.ndarray) -> np.ndarray:
+        total = sw.sum()
+        mean = float((sw * y).sum() / total) if total > 0 else 0.0
+        return np.array([mean])
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return bool(np.ptp(y) < 1e-12) if y.size else True
+
+    def _impurity_reduction(self, y_sorted, sw_sorted) -> np.ndarray:
+        # Variance reduction via weighted prefix sums of y and y².
+        wy = sw_sorted * y_sorted
+        wy2 = sw_sorted * y_sorted ** 2
+        cw = np.cumsum(sw_sorted)
+        cwy = np.cumsum(wy)
+        cwy2 = np.cumsum(wy2)
+        total_w, total_wy, total_wy2 = cw[-1], cwy[-1], cwy2[-1]
+        left_w, left_wy, left_wy2 = cw[:-1], cwy[:-1], cwy2[:-1]
+        right_w = total_w - left_w
+        right_wy = total_wy - left_wy
+        right_wy2 = total_wy2 - left_wy2
+
+        def sse(w, s1, s2):
+            # Σ w y² − (Σ w y)² / Σ w, guarded against empty sides.
+            return s2 - np.where(w > 0, s1 ** 2 / np.maximum(w, 1e-12), 0.0)
+
+        parent_sse = sse(total_w, total_wy, total_wy2)
+        child_sse = sse(left_w, left_wy, left_wy2) + sse(right_w, right_wy, right_wy2)
+        return parent_sse - child_sse
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted("tree_")
+        return self.tree_.predict_value(self._check_X(X)).ravel()

@@ -1,0 +1,13 @@
+"""Provenance-tracked data-prep pipelines and stage blame (§3)."""
+
+from .blame import intervention_blame, provenance_blame
+from .pipeline import ProvenancePipeline, RowProvenance, Stage, StageReport
+
+__all__ = [
+    "Stage",
+    "StageReport",
+    "RowProvenance",
+    "ProvenancePipeline",
+    "provenance_blame",
+    "intervention_blame",
+]

@@ -1,0 +1,80 @@
+"""Stage-level blame for model errors, via provenance + interventions.
+
+Closes the loop the tutorial sketches in §3: data-based explanations
+(influence functions, data Shapley) point at *training rows*; provenance
+lifts that to *pipeline stages*; stage ablation then verifies the blame
+causally.
+
+Two complementary scores per stage:
+
+* **provenance blame** — how concentrated the harmful rows (as ranked by
+  a data-attribution method) are among the rows the stage modified:
+  the harmful-row rate among modified rows over the base rate (a lift).
+* **intervention blame** — the model-quality change from re-running the
+  pipeline with the stage ablated, the causal ground truth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.explanation import DataAttribution
+from .pipeline import ProvenancePipeline, RowProvenance
+
+__all__ = ["provenance_blame", "intervention_blame"]
+
+
+def provenance_blame(
+    provenance: list[RowProvenance],
+    attribution: DataAttribution,
+    stage_names: list[str],
+    harmful_quantile: float = 0.1,
+) -> dict[str, float]:
+    """Lift of harmful rows among each stage's modified rows.
+
+    ``attribution`` scores the pipeline's *output* rows (lower = more
+    harmful, the convention of every valuation method here). A stage
+    whose modified rows are disproportionately harmful gets lift > 1.
+    """
+    values = attribution.values
+    if len(values) != len(provenance):
+        raise ValueError("attribution does not match provenance length")
+    n_harmful = max(1, int(round(harmful_quantile * len(values))))
+    harmful = set(np.argsort(values)[:n_harmful].tolist())
+    base_rate = len(harmful) / len(values)
+    blame: dict[str, float] = {}
+    for stage in stage_names:
+        modified = [
+            i for i, record in enumerate(provenance)
+            if stage in record.modified_by
+        ]
+        if not modified:
+            blame[stage] = 0.0
+            continue
+        rate = sum(1 for i in modified if i in harmful) / len(modified)
+        blame[stage] = rate / base_rate
+    return blame
+
+
+def intervention_blame(
+    pipeline: ProvenancePipeline,
+    raw_data: TabularDataset,
+    model_factory,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+) -> dict[str, float]:
+    """Causal stage blame: test-accuracy gain from ablating each stage.
+
+    Positive blame means the pipeline is *better off without* the stage —
+    the stage is hurting the model.
+    """
+    full_output, __, __ = pipeline.run(raw_data)
+    full_model = model_factory().fit(full_output.X, full_output.y)
+    full_score = full_model.score(X_test, y_test)
+    blame: dict[str, float] = {}
+    for stage in pipeline.stages:
+        ablated = pipeline.run_without(raw_data, stage.name)
+        model = model_factory().fit(ablated.X, ablated.y)
+        blame[stage.name] = float(model.score(X_test, y_test) - full_score)
+    return blame

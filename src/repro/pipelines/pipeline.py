@@ -1,0 +1,146 @@
+"""Provenance-tracked ML data-preparation pipelines.
+
+Section 3's "Provenance-Based Explanations" direction: training-data
+errors are often *introduced or exacerbated by preparation stages*, so
+holding stages accountable requires tracking each row's journey through
+the pipeline. A :class:`ProvenancePipeline` is a sequence of named stages
+over a :class:`TabularDataset`; running it records, per output row,
+
+* which input row it descends from (row-level where-provenance), and
+* which stages *modified* it (transformation provenance).
+
+Stage callables receive and return ``(X, y)`` plus a boolean keep-mask
+and a modified-mask, via the small :class:`Stage` adapter zoo below
+(filters, imputers, per-row transforms, label editors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+
+__all__ = ["Stage", "StageReport", "ProvenancePipeline", "RowProvenance"]
+
+
+@dataclass
+class Stage:
+    """One pipeline stage.
+
+    ``transform(X, y) -> (X', y', keep_mask, modified_mask)`` where masks
+    are over the *input* rows of the stage: ``keep_mask`` marks survivors
+    (X'/y' contain exactly those rows, in order), ``modified_mask`` marks
+    rows whose features or label the stage changed.
+    """
+
+    name: str
+    transform: Callable
+
+    @staticmethod
+    def filter_rows(name: str, predicate: Callable[[np.ndarray], np.ndarray]
+                    ) -> "Stage":
+        """Keep rows where ``predicate(X)`` (vectorized) is true."""
+
+        def run(X, y):
+            keep = np.asarray(predicate(X), dtype=bool)
+            return X[keep], y[keep], keep, np.zeros(X.shape[0], dtype=bool)
+
+        return Stage(name, run)
+
+    @staticmethod
+    def map_rows(name: str, fn: Callable[[np.ndarray], np.ndarray]) -> "Stage":
+        """Rewrite the feature matrix; rows differing from input count as
+        modified."""
+
+        def run(X, y):
+            X_new = np.asarray(fn(X.copy()), dtype=float)
+            modified = ~np.all(np.isclose(X_new, X), axis=1)
+            keep = np.ones(X.shape[0], dtype=bool)
+            return X_new, y, keep, modified
+
+        return Stage(name, run)
+
+    @staticmethod
+    def relabel(name: str, fn: Callable[[np.ndarray, np.ndarray], np.ndarray]
+                ) -> "Stage":
+        """Rewrite labels via ``fn(X, y) -> y'``."""
+
+        def run(X, y):
+            y_new = np.asarray(fn(X, y.copy()))
+            modified = y_new != y
+            keep = np.ones(X.shape[0], dtype=bool)
+            return X, y_new, keep, modified
+
+        return Stage(name, run)
+
+
+@dataclass
+class StageReport:
+    """What one stage did during a run."""
+
+    name: str
+    n_in: int
+    n_out: int
+    n_modified: int
+
+
+@dataclass
+class RowProvenance:
+    """Journey of one *output* row through the pipeline."""
+
+    source_row: int
+    modified_by: list[str] = field(default_factory=list)
+
+
+class ProvenancePipeline:
+    """Run stages over a dataset while recording row-level provenance."""
+
+    def __init__(self, stages: list[Stage]) -> None:
+        names = [s.name for s in stages]
+        if len(set(names)) != len(names):
+            raise ValueError("stage names must be unique")
+        self.stages = list(stages)
+
+    def run(self, data: TabularDataset
+            ) -> tuple[TabularDataset, list[RowProvenance], list[StageReport]]:
+        """Execute the pipeline.
+
+        Returns the output dataset, per-output-row provenance, and
+        per-stage reports.
+        """
+        X = data.X.copy()
+        y = data.y.copy()
+        provenance = [RowProvenance(i) for i in range(data.n_samples)]
+        reports: list[StageReport] = []
+        for stage in self.stages:
+            X_new, y_new, keep, modified = stage.transform(X, y)
+            keep = np.asarray(keep, dtype=bool)
+            modified = np.asarray(modified, dtype=bool)
+            if X_new.shape[0] != int(keep.sum()):
+                raise ValueError(
+                    f"stage {stage.name!r}: output rows do not match keep mask"
+                )
+            surviving: list[RowProvenance] = []
+            for i in np.where(keep)[0]:
+                record = provenance[i]
+                if modified[i]:
+                    record.modified_by.append(stage.name)
+                surviving.append(record)
+            reports.append(StageReport(
+                stage.name, X.shape[0], X_new.shape[0], int(modified.sum())
+            ))
+            X, y, provenance = X_new, y_new, surviving
+        output = TabularDataset(X, y, list(data.features), data.target_name)
+        return output, provenance, reports
+
+    def run_without(self, data: TabularDataset, stage_name: str
+                    ) -> TabularDataset:
+        """Ablate one stage and re-run — the intervention used for blame."""
+        remaining = [s for s in self.stages if s.name != stage_name]
+        if len(remaining) == len(self.stages):
+            raise KeyError(f"no stage named {stage_name!r}")
+        output, __, __ = ProvenancePipeline(remaining).run(data)
+        return output

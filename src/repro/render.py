@@ -1,0 +1,104 @@
+"""Terminal rendering for explanation objects.
+
+Every explanation type gets a compact, dependency-free textual rendering
+— signed bar charts for attributions, rule cards, change tables for
+counterfactuals — so examples, logs and CLI output share one look.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .core.explanation import (
+    CounterfactualExplanation,
+    DataAttribution,
+    FeatureAttribution,
+    RuleExplanation,
+)
+
+__all__ = ["render_attribution", "render_rule", "render_counterfactual",
+           "render_data_attribution", "render"]
+
+
+def render_attribution(att: FeatureAttribution, top: int = 8,
+                       width: int = 28) -> str:
+    """Signed horizontal bar chart of the top-|value| features."""
+    order = att.ranking()[:top]
+    peak = max(float(np.abs(att.values).max()), 1e-12)
+    name_width = max((len(att.feature_names[i]) for i in order), default=4)
+    lines = [f"[{att.method or 'attribution'}]"]
+    if att.prediction is not None:
+        lines[0] += f"  prediction={att.prediction:.4g}"
+        if att.base_value:
+            lines[0] += f"  base={att.base_value:.4g}"
+    half = width // 2
+    for i in order:
+        value = float(att.values[i])
+        bar_len = int(round(abs(value) / peak * half))
+        if value >= 0:
+            bar = " " * half + "|" + "█" * bar_len
+        else:
+            bar = " " * (half - bar_len) + "█" * bar_len + "|"
+        lines.append(
+            f"  {att.feature_names[i]:>{name_width}} {bar:<{width + 1}} "
+            f"{value:+.4g}"
+        )
+    return "\n".join(lines)
+
+
+def render_rule(rule: RuleExplanation) -> str:
+    """Multi-line rule card."""
+    lines = [f"[{rule.method or 'rule'}]"]
+    if rule.predicates:
+        lines.append("  IF   " + str(rule.predicates[0]))
+        for predicate in rule.predicates[1:]:
+            lines.append("  AND  " + str(predicate))
+    else:
+        lines.append("  IF   TRUE")
+    lines.append(f"  THEN outcome = {rule.outcome:g}")
+    lines.append(
+        f"       precision {rule.precision:.3f} | coverage {rule.coverage:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def render_counterfactual(cf: CounterfactualExplanation,
+                          max_options: int = 3) -> str:
+    """Change tables for the first few counterfactual options."""
+    lines = [
+        f"[{cf.method or 'counterfactual'}]  "
+        f"{cf.factual_outcome:.3f} -> target {cf.target_outcome:g}"
+    ]
+    for k in range(min(cf.n_counterfactuals, max_options)):
+        changes = cf.changes(k)
+        lines.append(f"  option {k + 1} ({len(changes)} changes):")
+        if not changes:
+            lines.append("    (no changes)")
+        for name, (old, new) in changes.items():
+            lines.append(f"    {name}: {old:.4g} -> {new:.4g}")
+    return "\n".join(lines)
+
+
+def render_data_attribution(att: DataAttribution, top: int = 5) -> str:
+    """Most harmful and most helpful training points."""
+    lines = [f"[{att.method or 'data attribution'}]"]
+    lines.append("  most harmful (lowest value):")
+    for index, value in att.top(top, ascending=True):
+        lines.append(f"    point {index}: {value:+.5g}")
+    lines.append("  most helpful (highest value):")
+    for index, value in att.top(top, ascending=False):
+        lines.append(f"    point {index}: {value:+.5g}")
+    return "\n".join(lines)
+
+
+def render(explanation, **kwargs) -> str:
+    """Dispatch to the matching renderer."""
+    if isinstance(explanation, FeatureAttribution):
+        return render_attribution(explanation, **kwargs)
+    if isinstance(explanation, RuleExplanation):
+        return render_rule(explanation)
+    if isinstance(explanation, CounterfactualExplanation):
+        return render_counterfactual(explanation, **kwargs)
+    if isinstance(explanation, DataAttribution):
+        return render_data_attribution(explanation, **kwargs)
+    raise TypeError(f"no renderer for {type(explanation).__name__}")

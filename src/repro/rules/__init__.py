@@ -1,0 +1,31 @@
+"""Rule-based explanations and rule mining (§2.2)."""
+
+from .anchors import AnchorExplainer
+from .apriori import AssociationRule, apriori, association_rules
+from .bandit import KLLucb, kl_bernoulli, kl_lower_bound, kl_upper_bound
+from .decision_set import DecisionSetClassifier
+from .fpgrowth import FPTree, fpgrowth
+from .weak_supervision import (
+    ABSTAIN,
+    LabelingFunction,
+    LabelModel,
+    generate_candidate_lfs,
+)
+
+__all__ = [
+    "AnchorExplainer",
+    "DecisionSetClassifier",
+    "apriori",
+    "association_rules",
+    "AssociationRule",
+    "fpgrowth",
+    "ABSTAIN",
+    "LabelingFunction",
+    "LabelModel",
+    "generate_candidate_lfs",
+    "FPTree",
+    "KLLucb",
+    "kl_bernoulli",
+    "kl_lower_bound",
+    "kl_upper_bound",
+]

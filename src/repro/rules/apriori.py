@@ -1,0 +1,122 @@
+"""Apriori frequent-itemset and association-rule mining [Agrawal & Srikant].
+
+The tutorial (§2.2.1) positions rule mining as the data-management
+community's foundational contribution to rule-based explanation. Apriori
+is the classic level-wise algorithm: candidates of size k are joins of
+frequent (k−1)-itemsets, pruned by the anti-monotone support property
+before a counting pass over the transactions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from itertools import combinations
+
+__all__ = ["AssociationRule", "apriori", "association_rules"]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """``antecedent → consequent`` with standard quality measures."""
+
+    antecedent: frozenset
+    consequent: frozenset
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        lhs = "{" + ", ".join(map(str, sorted(self.antecedent))) + "}"
+        rhs = "{" + ", ".join(map(str, sorted(self.consequent))) + "}"
+        return (
+            f"{lhs} -> {rhs} (support={self.support:.3f}, "
+            f"confidence={self.confidence:.3f}, lift={self.lift:.2f})"
+        )
+
+
+def apriori(
+    transactions: list[frozenset], min_support: float
+) -> dict[frozenset, float]:
+    """All itemsets with support ≥ ``min_support``; returns {itemset: support}.
+
+    Support is the fraction of transactions containing the itemset.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    n = len(transactions)
+    if n == 0:
+        return {}
+    min_count = min_support * n
+
+    # Level 1: count single items.
+    counts: dict[frozenset, int] = defaultdict(int)
+    for t in transactions:
+        for item in t:
+            counts[frozenset([item])] += 1
+    frequent = {
+        itemset: c for itemset, c in counts.items() if c >= min_count
+    }
+    result = dict(frequent)
+    k = 2
+    while frequent:
+        # Candidate generation: join frequent (k−1)-itemsets sharing a
+        # (k−2)-prefix, then prune candidates with an infrequent subset.
+        prev = sorted(frequent, key=lambda s: sorted(map(str, s)))
+        candidates: set[frozenset] = set()
+        for i in range(len(prev)):
+            for j in range(i + 1, len(prev)):
+                union = prev[i] | prev[j]
+                if len(union) != k:
+                    continue
+                if all(
+                    frozenset(sub) in frequent
+                    for sub in combinations(union, k - 1)
+                ):
+                    candidates.add(union)
+        if not candidates:
+            break
+        counts = defaultdict(int)
+        for t in transactions:
+            if len(t) < k:
+                continue
+            for candidate in candidates:
+                if candidate <= t:
+                    counts[candidate] += 1
+        frequent = {c: cnt for c, cnt in counts.items() if cnt >= min_count}
+        result.update(frequent)
+        k += 1
+    return {itemset: c / n for itemset, c in result.items()}
+
+
+def association_rules(
+    itemsets: dict[frozenset, float],
+    min_confidence: float = 0.5,
+) -> list[AssociationRule]:
+    """Derive rules from mined itemsets.
+
+    For each frequent itemset I and non-empty proper subset A:
+    confidence(A → I∖A) = support(I)/support(A); rules below
+    ``min_confidence`` are dropped. Lift divides by the consequent's
+    support. Rules whose sub-supports were pruned by the miner are
+    skipped (their confidence cannot be computed).
+    """
+    rules: list[AssociationRule] = []
+    for itemset, support in itemsets.items():
+        if len(itemset) < 2:
+            continue
+        for size in range(1, len(itemset)):
+            for antecedent_items in combinations(sorted(itemset, key=str), size):
+                antecedent = frozenset(antecedent_items)
+                consequent = itemset - antecedent
+                if antecedent not in itemsets or consequent not in itemsets:
+                    continue
+                confidence = support / itemsets[antecedent]
+                if confidence < min_confidence:
+                    continue
+                lift = confidence / itemsets[consequent]
+                rules.append(
+                    AssociationRule(antecedent, consequent, support,
+                                    confidence, lift)
+                )
+    return sorted(rules, key=lambda r: (-r.confidence, -r.support))

@@ -1,0 +1,145 @@
+"""KL-LUCB multi-armed bandit for best-arm identification.
+
+Anchors [Ribeiro+ 2018] frames rule search as pure-exploration bandits:
+each candidate rule is an arm whose pulls are Bernoulli draws "does the
+model agree with the anchored prediction on a perturbed sample satisfying
+the rule?". KL-LUCB (Kaufmann & Kalyanakrishnan 2013) adaptively samples
+arms until the top arms are separated with confidence, using
+Kullback-Leibler confidence intervals, which are much tighter than
+Hoeffding for Bernoulli means near 0 or 1 — precisely the high-precision
+regime anchors live in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["kl_bernoulli", "kl_upper_bound", "kl_lower_bound", "KLLucb"]
+
+
+def kl_bernoulli(p: float, q: float) -> float:
+    """KL(Bern(p) ‖ Bern(q)) with the usual 0·log0 = 0 conventions."""
+    p = min(max(p, 1e-12), 1.0 - 1e-12)
+    q = min(max(q, 1e-12), 1.0 - 1e-12)
+    return p * np.log(p / q) + (1.0 - p) * np.log((1.0 - p) / (1.0 - q))
+
+
+def kl_upper_bound(p_hat: float, n: int, beta: float) -> float:
+    """Largest q with n·KL(p̂ ‖ q) ≤ β (upper confidence bound).
+
+    KL(p̂ ‖ q) is increasing in q above p̂, so bisect on [p̂, 1].
+    """
+    if n == 0:
+        return 1.0
+    level = beta / n
+    if kl_bernoulli(p_hat, 1.0 - 1e-12) <= level:
+        return 1.0
+    lower, upper = p_hat, 1.0
+    for __ in range(40):
+        mid = 0.5 * (lower + upper)
+        if kl_bernoulli(p_hat, mid) > level:
+            upper = mid
+        else:
+            lower = mid
+    return 0.5 * (lower + upper)
+
+
+def kl_lower_bound(p_hat: float, n: int, beta: float) -> float:
+    """Smallest q with n·KL(p̂ ‖ q) ≤ β (lower confidence bound).
+
+    KL(p̂ ‖ q) is decreasing in q below p̂, so bisect on [0, p̂] with the
+    opposite orientation.
+    """
+    if n == 0:
+        return 0.0
+    level = beta / n
+    if kl_bernoulli(p_hat, 1e-12) <= level:
+        return 0.0
+    lower, upper = 0.0, p_hat
+    for __ in range(40):
+        mid = 0.5 * (lower + upper)
+        if kl_bernoulli(p_hat, mid) > level:
+            lower = mid
+        else:
+            upper = mid
+    return 0.5 * (lower + upper)
+
+
+class KLLucb:
+    """Pure-exploration top-k identification with KL confidence bounds.
+
+    Parameters
+    ----------
+    sample_fns:
+        One Bernoulli sampler per arm; each call returns a batch mean and
+        batch size (batching amortizes model calls).
+    delta:
+        Failure probability of the confidence statement.
+    """
+
+    def __init__(
+        self,
+        sample_fns: list[Callable[[int], float]],
+        delta: float = 0.05,
+        batch_size: int = 10,
+    ) -> None:
+        self.sample_fns = sample_fns
+        self.delta = delta
+        self.batch_size = batch_size
+        n_arms = len(sample_fns)
+        self.counts = np.zeros(n_arms, dtype=int)
+        self.means = np.zeros(n_arms)
+
+    def _beta(self, t: int) -> float:
+        """Exploration rate from the KL-LUCB paper (simplified constants)."""
+        n_arms = len(self.sample_fns)
+        return np.log(5.0 * n_arms * max(t, 1) ** 1.1 / self.delta)
+
+    def _pull(self, arm: int) -> None:
+        batch_mean = self.sample_fns[arm](self.batch_size)
+        n_old = self.counts[arm]
+        self.counts[arm] = n_old + self.batch_size
+        self.means[arm] = (
+            self.means[arm] * n_old + batch_mean * self.batch_size
+        ) / self.counts[arm]
+
+    def top_arms(
+        self, k: int = 1, epsilon: float = 0.05, max_pulls: int = 20000
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Identify the ``k`` best arms to ε-accuracy.
+
+        Returns ``(top_indices, means, counts)``. Stops when the lower
+        bound of the worst retained arm exceeds the upper bound of the
+        best rejected arm minus ε, or on budget exhaustion.
+        """
+        n_arms = len(self.sample_fns)
+        if k >= n_arms:
+            for arm in range(n_arms):
+                self._pull(arm)
+            return np.arange(n_arms), self.means.copy(), self.counts.copy()
+        for arm in range(n_arms):
+            self._pull(arm)
+        t = 1
+        while int(self.counts.sum()) < max_pulls:
+            beta = self._beta(t)
+            order = np.argsort(-self.means)
+            top, rest = order[:k], order[k:]
+            lows = np.array([
+                kl_lower_bound(self.means[a], int(self.counts[a]), beta)
+                for a in top
+            ])
+            highs = np.array([
+                kl_upper_bound(self.means[a], int(self.counts[a]), beta)
+                for a in rest
+            ])
+            weakest_top = top[int(np.argmin(lows))]
+            strongest_rest = rest[int(np.argmax(highs))]
+            if highs.max() - lows.min() <= epsilon:
+                break
+            self._pull(weakest_top)
+            self._pull(strongest_rest)
+            t += 1
+        order = np.argsort(-self.means)
+        return order[:k], self.means.copy(), self.counts.copy()

@@ -1,0 +1,220 @@
+"""Interpretable decision sets [Lakkaraju, Bach & Leskovec 2016].
+
+A decision set is an *unordered* collection of independent if-then rules.
+Lakkaraju et al. learn one by (1) mining a candidate pool of high-support
+class-conditional rules and (2) selecting a subset that jointly optimizes
+accuracy and interpretability: few rules, short rules, little overlap,
+and every class covered. The original paper optimizes the (submodular)
+objective with smooth local search; at our scale a greedy build followed
+by swap-based local search reaches the same trade-off frontier and is the
+documented simplification (DESIGN.md).
+
+The learned object doubles as a *global explanation* of a black box when
+fit on the black box's predictions instead of ground-truth labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.explanation import Predicate, RuleExplanation
+from .apriori import apriori
+
+__all__ = ["DecisionSetClassifier"]
+
+
+class DecisionSetClassifier:
+    """Rule-set classifier with a joint accuracy/interpretability objective.
+
+    Parameters
+    ----------
+    n_bins:
+        Quantile bins for numeric features (rule predicates are bins).
+    min_support:
+        Support threshold for candidate rule mining, per class.
+    max_rule_length:
+        Predicates allowed per rule (the tutorial notes >5 is unreadable).
+    max_rules:
+        Rule budget of the final set.
+    lambda_interpretability:
+        Trade-off weight: 0 = pure accuracy, larger = smaller/cleaner set.
+    """
+
+    def __init__(
+        self,
+        n_bins: int = 4,
+        min_support: float = 0.05,
+        max_rule_length: int = 3,
+        max_rules: int = 8,
+        lambda_interpretability: float = 0.1,
+        n_local_search: int = 50,
+        seed: int = 0,
+    ) -> None:
+        self.n_bins = n_bins
+        self.min_support = min_support
+        self.max_rule_length = max_rule_length
+        self.max_rules = max_rules
+        self.lambda_interpretability = lambda_interpretability
+        self.n_local_search = n_local_search
+        self.seed = seed
+
+    # -- discretization -------------------------------------------------------
+
+    def _make_items(self, data: TabularDataset) -> tuple[list, np.ndarray]:
+        """Encode each row as a set of (feature, bin) items.
+
+        Returns the per-feature predicate table and an ``(n, d)`` integer
+        bin matrix.
+        """
+        predicates: list[list[list[Predicate]]] = []
+        bins = np.zeros((data.n_samples, data.n_features), dtype=int)
+        for j, spec in enumerate(data.features):
+            col = data.X[:, j]
+            if spec.is_categorical:
+                edges = None
+                values = sorted(set(col.astype(int)))
+                table = [
+                    [Predicate(j, "==", float(v), spec.name)] for v in values
+                ]
+                code = {v: k for k, v in enumerate(values)}
+                bins[:, j] = [code[int(v)] for v in col]
+            else:
+                qs = np.linspace(0, 1, self.n_bins + 1)[1:-1]
+                edges = np.unique(np.quantile(col, qs))
+                bins[:, j] = np.searchsorted(edges, col, side="right")
+                table = []
+                for b in range(len(edges) + 1):
+                    preds: list[Predicate] = []
+                    if b > 0:
+                        preds.append(Predicate(j, ">", float(edges[b - 1]), spec.name))
+                    if b < len(edges):
+                        preds.append(Predicate(j, "<=", float(edges[b]), spec.name))
+                    table.append(preds)
+            predicates.append(table)
+        return predicates, bins
+
+    def _mine_candidates(self, data: TabularDataset) -> list[RuleExplanation]:
+        predicates, bins = self._make_items(data)
+        self._predicate_table = predicates
+        candidates: list[RuleExplanation] = []
+        for label in np.unique(data.y):
+            member_rows = bins[data.y == label]
+            transactions = [
+                frozenset((j, int(row[j])) for j in range(data.n_features))
+                for row in member_rows
+            ]
+            itemsets = apriori(transactions, self.min_support)
+            for itemset in itemsets:
+                if not 1 <= len(itemset) <= self.max_rule_length:
+                    continue
+                preds = []
+                for j, b in itemset:
+                    preds.extend(predicates[j][b])
+                rule = RuleExplanation(
+                    predicates=preds, outcome=float(label),
+                    precision=0.0, coverage=0.0, method="decision_set",
+                )
+                mask = rule.holds(data.X)
+                if not mask.any():
+                    continue
+                rule.coverage = float(mask.mean())
+                rule.precision = float(np.mean(data.y[mask] == label))
+                candidates.append(rule)
+        return candidates
+
+    # -- objective ---------------------------------------------------------------
+
+    def _objective(self, rules: list[RuleExplanation],
+                   data: TabularDataset) -> float:
+        """Accuracy − λ·(size + length + overlap − class coverage)."""
+        if not rules:
+            return -np.inf
+        accuracy = float(np.mean(self._predict_with(rules, data.X) == data.y))
+        total_length = sum(len(r) for r in rules)
+        masks = [r.holds(data.X) for r in rules]
+        overlap = 0.0
+        for i in range(len(rules)):
+            for j in range(i + 1, len(rules)):
+                overlap += float(np.mean(masks[i] & masks[j]))
+        covered_classes = {r.outcome for r in rules}
+        class_bonus = len(covered_classes) / max(len(np.unique(data.y)), 1)
+        penalty = (
+            len(rules) / self.max_rules
+            + total_length / (self.max_rules * self.max_rule_length)
+            + overlap
+            - class_bonus
+        )
+        return accuracy - self.lambda_interpretability * penalty
+
+    def _predict_with(self, rules: list[RuleExplanation], X: np.ndarray
+                      ) -> np.ndarray:
+        X = np.atleast_2d(X)
+        votes = np.full(X.shape[0], self._default_class, dtype=float)
+        best_precision = np.zeros(X.shape[0])
+        for rule in rules:
+            mask = rule.holds(X)
+            better = mask & (rule.precision > best_precision)
+            votes[better] = rule.outcome
+            best_precision[better] = rule.precision
+        return votes
+
+    # -- fitting -------------------------------------------------------------------
+
+    def fit(self, data: TabularDataset) -> "DecisionSetClassifier":
+        rng = np.random.default_rng(self.seed)
+        labels, counts = np.unique(data.y, return_counts=True)
+        self._default_class = float(labels[np.argmax(counts)])
+        pool = self._mine_candidates(data)
+        if not pool:
+            self.rules_ = []
+            return self
+        # Greedy build.
+        chosen: list[RuleExplanation] = []
+        current = -np.inf
+        while len(chosen) < self.max_rules:
+            best_rule, best_score = None, current
+            for rule in pool:
+                if rule in chosen:
+                    continue
+                score = self._objective(chosen + [rule], data)
+                if score > best_score:
+                    best_rule, best_score = rule, score
+            if best_rule is None:
+                break
+            chosen.append(best_rule)
+            current = best_score
+        # Local search: random swaps that improve the objective.
+        for __ in range(self.n_local_search):
+            if not chosen:
+                break
+            out_idx = int(rng.integers(0, len(chosen)))
+            in_rule = pool[int(rng.integers(0, len(pool)))]
+            if in_rule in chosen:
+                continue
+            trial = chosen[:out_idx] + chosen[out_idx + 1 :] + [in_rule]
+            score = self._objective(trial, data)
+            if score > current:
+                chosen, current = trial, score
+        self.rules_ = chosen
+        self.objective_ = current
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "rules_"):
+            raise RuntimeError("call fit() first")
+        return self._predict_with(self.rules_, X)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y).ravel()))
+
+    def describe(self) -> str:
+        """Human-readable listing of the learned rule set."""
+        lines = [str(rule) for rule in self.rules_]
+        lines.append(f"ELSE predict {self._default_class:g}")
+        return "\n".join(lines)
+
+    @property
+    def complexity(self) -> int:
+        """Total number of predicates across the set (reading cost)."""
+        return sum(len(r) for r in self.rules_)

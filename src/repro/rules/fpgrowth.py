@@ -1,0 +1,129 @@
+"""FP-Growth frequent-pattern mining [Han, Pei & Yin 2000].
+
+FP-Growth avoids Apriori's candidate generation entirely: transactions
+are compressed into a prefix tree (the FP-tree) whose shared paths encode
+co-occurrence, and frequent itemsets are mined by recursively building
+*conditional* FP-trees for each item's prefix paths. At low support
+thresholds, where Apriori's candidate sets explode combinatorially,
+FP-Growth's two-pass construction wins by orders of magnitude — the
+crossover E14 measures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["fpgrowth", "FPTree"]
+
+
+class _FPNode:
+    __slots__ = ("item", "count", "parent", "children")
+
+    def __init__(self, item, parent) -> None:
+        self.item = item
+        self.count = 0
+        self.parent = parent
+        self.children: dict = {}
+
+
+class FPTree:
+    """Prefix tree over support-ordered transactions with item header links."""
+
+    def __init__(self) -> None:
+        self.root = _FPNode(None, None)
+        self.header: dict = defaultdict(list)  # item -> nodes holding it
+
+    def insert(self, items: list, count: int = 1) -> None:
+        """Insert one support-ordered transaction with multiplicity."""
+        node = self.root
+        for item in items:
+            child = node.children.get(item)
+            if child is None:
+                child = _FPNode(item, node)
+                node.children[item] = child
+                self.header[item].append(child)
+            child.count += count
+            node = child
+
+    def prefix_paths(self, item) -> list[tuple[list, int]]:
+        """All root-to-parent paths above occurrences of ``item``."""
+        paths = []
+        for node in self.header[item]:
+            path = []
+            parent = node.parent
+            while parent is not None and parent.item is not None:
+                path.append(parent.item)
+                parent = parent.parent
+            paths.append((path[::-1], node.count))
+        return paths
+
+
+def fpgrowth(
+    transactions: list[frozenset], min_support: float
+) -> dict[frozenset, float]:
+    """All itemsets with support ≥ ``min_support``; returns {itemset: support}.
+
+    Produces exactly the same result set as :func:`repro.rules.apriori.apriori`
+    (the property-based tests assert this), with a different complexity
+    profile.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    n = len(transactions)
+    if n == 0:
+        return {}
+    min_count = min_support * n
+
+    item_counts: dict = defaultdict(int)
+    for t in transactions:
+        for item in t:
+            item_counts[item] += 1
+    frequent_items = {
+        item: c for item, c in item_counts.items() if c >= min_count
+    }
+    # Deterministic support-descending order (ties broken by repr).
+    order = {
+        item: rank
+        for rank, item in enumerate(
+            sorted(frequent_items, key=lambda i: (-frequent_items[i], str(i)))
+        )
+    }
+
+    tree = FPTree()
+    for t in transactions:
+        items = sorted(
+            (i for i in t if i in frequent_items), key=lambda i: order[i]
+        )
+        if items:
+            tree.insert(items)
+
+    result: dict[frozenset, int] = {}
+
+    def mine(tree: FPTree, suffix: frozenset) -> None:
+        # Process items bottom-up (least frequent first).
+        items = sorted(tree.header, key=lambda i: -order.get(i, -1))
+        for item in items:
+            count = sum(node.count for node in tree.header[item])
+            if count < min_count:
+                continue
+            new_suffix = suffix | {item}
+            result[new_suffix] = count
+            conditional = FPTree()
+            # Conditional pattern base: prefix paths weighted by counts.
+            path_item_counts: dict = defaultdict(int)
+            paths = tree.prefix_paths(item)
+            for path, path_count in paths:
+                for p_item in path:
+                    path_item_counts[p_item] += path_count
+            keep = {i for i, c in path_item_counts.items() if c >= min_count}
+            non_empty = False
+            for path, path_count in paths:
+                filtered = [i for i in path if i in keep]
+                if filtered:
+                    conditional.insert(filtered, path_count)
+                    non_empty = True
+            if non_empty:
+                mine(conditional, new_suffix)
+
+    mine(tree, frozenset())
+    return {itemset: c / n for itemset, c in result.items()}

@@ -1,0 +1,239 @@
+"""Rule-based weak supervision: labeling functions and a label model
+(§2.2.1, [7 Snorkel, 19 adaptive rule discovery, 71 Snuba]).
+
+The tutorial's rule-mining section points at the data-management line
+that turned rules from *descriptions* into *labelers*: users (or an
+automatic generator) write noisy labeling functions (LFs), a label model
+estimates each LF's accuracy without ground truth, and probabilistic
+training labels come out. Three pieces reproduced here:
+
+* :class:`LabelingFunction` — a rule that votes 0/1 or abstains (−1),
+  wrapping either a callable or a :class:`RuleExplanation`;
+* :class:`LabelModel` — per-LF accuracy estimation by EM under the
+  one-coin conditional-independence model (the classic Dawid-Skene
+  special case Snorkel's matrix-completion estimator generalizes), plus
+  weighted probabilistic inference;
+* :func:`generate_candidate_lfs` — Snuba-style automatic synthesis of
+  threshold/equality LFs from a small labeled seed set, filtered by
+  seed precision and mutual redundancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.dataset import TabularDataset
+from ..core.explanation import Predicate, RuleExplanation
+
+__all__ = ["ABSTAIN", "LabelingFunction", "LabelModel", "generate_candidate_lfs"]
+
+ABSTAIN = -1
+
+
+@dataclass
+class LabelingFunction:
+    """A noisy rule labeler: returns 0, 1 or ABSTAIN per row."""
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+
+    @staticmethod
+    def from_rule(rule: RuleExplanation, name: str) -> "LabelingFunction":
+        """LF voting ``rule.outcome`` where the rule holds, abstaining
+        elsewhere."""
+
+        def fn(X: np.ndarray) -> np.ndarray:
+            X = np.atleast_2d(X)
+            votes = np.full(X.shape[0], ABSTAIN)
+            votes[rule.holds(X)] = int(rule.outcome)
+            return votes
+
+        return LabelingFunction(name, fn)
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        votes = np.asarray(self.fn(np.atleast_2d(X)), dtype=int).ravel()
+        if not set(np.unique(votes)) <= {ABSTAIN, 0, 1}:
+            raise ValueError(f"LF {self.name!r} emitted labels outside "
+                             "{-1, 0, 1}")
+        return votes
+
+
+class LabelModel:
+    """One-coin Dawid-Skene label model fitted by EM.
+
+    Each LF j has an unknown accuracy a_j = P(vote = y | vote ≠ abstain);
+    conditioned on the true label, LF votes are independent. EM
+    alternates estimating posteriors P(y = 1 | votes) and accuracies.
+
+    Three regularizations keep the estimate in the data-supported basin
+    (with *unipolar*, rarely-overlapping LFs the unregularized likelihood
+    actually prefers a degenerate label-switched solution):
+
+    * MAP M-step — Beta pseudo-counts pulling toward ``accuracy_prior``;
+    * the better-than-chance constraint a_j ∈ [0.5, 0.95] (Snorkel's
+      modelling assumption), which pins the label polarity;
+    * bounded EM — ``n_iter`` defaults to a moderate 30 steps, by which
+      point the accuracy estimates have converged to the informative
+      region while the slow drift toward the boundary has not begun
+      (the analogue of Snorkel's fixed training-epoch budget).
+    """
+
+    def __init__(self, n_iter: int = 30, tol: float = 1e-6,
+                 prior: float = 0.5, accuracy_prior: float = 0.7,
+                 prior_strength: float = 20.0) -> None:
+        if not 0.5 < accuracy_prior < 1.0:
+            raise ValueError("accuracy_prior must be in (0.5, 1)")
+        self.n_iter = n_iter
+        self.tol = tol
+        self.prior = prior
+        self.accuracy_prior = accuracy_prior
+        self.prior_strength = prior_strength
+
+    def fit(self, votes: np.ndarray) -> "LabelModel":
+        """Fit on the LF vote matrix (n_rows, n_lfs) with −1 = abstain."""
+        votes = np.atleast_2d(np.asarray(votes, dtype=int))
+        n, m = votes.shape
+        active = votes != ABSTAIN
+        if not active.any():
+            raise ValueError("every labeling function abstained everywhere")
+        accuracies = np.full(m, 0.7)
+        posterior = np.full(n, self.prior)
+        for __ in range(self.n_iter):
+            # E-step: P(y=1 | votes) under current accuracies.
+            log_odds = np.full(n, np.log(self.prior / (1 - self.prior)))
+            for j in range(m):
+                a = np.clip(accuracies[j], 1e-4, 1 - 1e-4)
+                agree1 = active[:, j] & (votes[:, j] == 1)
+                agree0 = active[:, j] & (votes[:, j] == 0)
+                log_odds[agree1] += np.log(a / (1 - a))
+                log_odds[agree0] += np.log((1 - a) / a)
+            new_posterior = 1.0 / (1.0 + np.exp(-log_odds))
+            # M-step: MAP accuracy per LF with Beta pseudo-counts.
+            pseudo_agree = self.accuracy_prior * self.prior_strength
+            new_accuracies = accuracies.copy()
+            for j in range(m):
+                mask = active[:, j]
+                if not mask.any():
+                    continue
+                p = new_posterior[mask]
+                agree = np.where(votes[mask, j] == 1, p, 1 - p)
+                estimate = float(
+                    (agree.sum() + pseudo_agree)
+                    / (mask.sum() + self.prior_strength)
+                )
+                # Better-than-chance constraint: the one-coin model is
+                # only identifiable up to a global label swap; assuming
+                # every LF beats a coin flip (Snorkel's assumption too)
+                # pins the polarity and removes the degenerate fixpoint.
+                new_accuracies[j] = min(max(estimate, 0.5), 0.95)
+            shift = np.abs(new_posterior - posterior).max()
+            posterior, accuracies = new_posterior, new_accuracies
+            if shift < self.tol:
+                break
+        self.accuracies_ = accuracies
+        self._train_posterior = posterior
+        return self
+
+    def predict_proba(self, votes: np.ndarray) -> np.ndarray:
+        """P(y = 1 | votes) for new vote rows under the fitted model."""
+        if not hasattr(self, "accuracies_"):
+            raise RuntimeError("call fit() first")
+        votes = np.atleast_2d(np.asarray(votes, dtype=int))
+        n = votes.shape[0]
+        log_odds = np.full(n, np.log(self.prior / (1 - self.prior)))
+        for j in range(votes.shape[1]):
+            a = np.clip(self.accuracies_[j], 1e-4, 1 - 1e-4)
+            active = votes[:, j] != ABSTAIN
+            agree1 = active & (votes[:, j] == 1)
+            agree0 = active & (votes[:, j] == 0)
+            log_odds[agree1] += np.log(a / (1 - a))
+            log_odds[agree0] += np.log((1 - a) / a)
+        return 1.0 / (1.0 + np.exp(-log_odds))
+
+    def predict(self, votes: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(votes) >= 0.5).astype(int)
+
+    @staticmethod
+    def majority_vote(votes: np.ndarray, tie: float = 0.5,
+                      seed: int = 0) -> np.ndarray:
+        """The unweighted baseline: per-row majority of non-abstentions."""
+        votes = np.atleast_2d(np.asarray(votes, dtype=int))
+        rng = np.random.default_rng(seed)
+        out = np.zeros(votes.shape[0], dtype=int)
+        for i, row in enumerate(votes):
+            cast = row[row != ABSTAIN]
+            if cast.size == 0:
+                out[i] = int(rng.random() < tie)
+            else:
+                ones = (cast == 1).mean()
+                if ones == 0.5:
+                    out[i] = int(rng.random() < tie)
+                else:
+                    out[i] = int(ones > 0.5)
+        return out
+
+
+def generate_candidate_lfs(
+    seed_data: TabularDataset,
+    min_precision: float = 0.8,
+    min_coverage: float = 0.05,
+    max_lfs: int = 20,
+    n_thresholds: int = 4,
+) -> list[LabelingFunction]:
+    """Snuba-style LF synthesis from a small labeled seed set.
+
+    Candidates are single-predicate threshold/equality rules per feature;
+    those meeting precision and coverage bars on the seed are kept,
+    greedily preferring LFs that label rows not yet covered (Snuba's
+    diversity heuristic).
+    """
+    candidates: list[tuple[RuleExplanation, np.ndarray]] = []
+    X, y = seed_data.X, seed_data.y
+    for j, spec in enumerate(seed_data.features):
+        if spec.is_categorical:
+            values = np.unique(X[:, j])
+            predicate_sets = [
+                [Predicate(j, "==", float(v), spec.name)] for v in values
+            ]
+        else:
+            qs = np.linspace(0, 1, n_thresholds + 2)[1:-1]
+            thresholds = np.unique(np.quantile(X[:, j], qs))
+            predicate_sets = []
+            for t in thresholds:
+                predicate_sets.append([Predicate(j, "<=", float(t), spec.name)])
+                predicate_sets.append([Predicate(j, ">", float(t), spec.name)])
+        for predicates in predicate_sets:
+            for label in (0, 1):
+                rule = RuleExplanation(
+                    predicates=predicates, outcome=float(label),
+                    precision=0.0, coverage=0.0, method="snuba_lf",
+                )
+                mask = rule.holds(X)
+                if mask.mean() < min_coverage:
+                    continue
+                precision = float(np.mean(y[mask] == label))
+                if precision < min_precision:
+                    continue
+                rule.precision = precision
+                rule.coverage = float(mask.mean())
+                candidates.append((rule, mask))
+    # Greedy diverse selection.
+    chosen: list[LabelingFunction] = []
+    covered = np.zeros(X.shape[0], dtype=bool)
+    candidates.sort(key=lambda c: -c[0].precision)
+    while candidates and len(chosen) < max_lfs:
+        best_idx = max(
+            range(len(candidates)),
+            key=lambda i: (~covered & candidates[i][1]).sum(),
+        )
+        rule, mask = candidates.pop(best_idx)
+        if (~covered & mask).sum() == 0 and chosen:
+            break
+        covered |= mask
+        chosen.append(LabelingFunction.from_rule(
+            rule, name=f"lf_{len(chosen)}[{rule.predicates[0]}=>{rule.outcome:g}]"
+        ))
+    return chosen

@@ -1,0 +1,19 @@
+"""Surrogate-model explainability (§2.1.1): LIME and stability analysis."""
+
+from .distill import TreeDistiller
+from .lime import LimeTabularExplainer, forward_select, weighted_ridge
+from .lime_text import LimeTextExplainer
+from .lmt import LinearModelTree
+from .stability import csi, stability_report, vsi
+
+__all__ = [
+    "LimeTabularExplainer",
+    "LimeTextExplainer",
+    "TreeDistiller",
+    "LinearModelTree",
+    "weighted_ridge",
+    "forward_select",
+    "vsi",
+    "csi",
+    "stability_report",
+]

@@ -1,0 +1,96 @@
+"""Global surrogate distillation (§2.1.1).
+
+Where LIME fits a local surrogate around one instance, distillation fits
+one *globally* interpretable model — here a shallow CART tree — to the
+black box's own predictions over the data distribution. The distilled
+tree's fidelity (agreement with the black box on held-out data) quantifies
+how much of the model's behaviour a human-sized tree can capture, the
+trade-off the tutorial highlights for surrogate methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.base import Explainer, as_predict_fn
+from ..models.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = ["TreeDistiller"]
+
+
+class TreeDistiller(Explainer):
+    """Distill a black box into a shallow decision tree.
+
+    Parameters
+    ----------
+    max_depth:
+        Interpretability budget of the surrogate.
+    task:
+        ``"classification"`` thresholds black-box scores at 0.5 and fits a
+        classification tree; ``"regression"`` fits the raw scores.
+    augment:
+        Extra perturbed samples drawn around the data (Gaussian, per-column
+        std) to densify the distillation set; 0 uses the data alone.
+    """
+
+    def __init__(
+        self,
+        model,
+        max_depth: int = 3,
+        task: str = "classification",
+        augment: int = 0,
+        output: str = "auto",
+        seed: int = 0,
+    ) -> None:
+        super().__init__(model, output)
+        if task not in ("classification", "regression"):
+            raise ValueError(f"unknown task {task!r}")
+        self.max_depth = max_depth
+        self.task = task
+        self.augment = augment
+        self.seed = seed
+
+    def fit(self, X: np.ndarray) -> "TreeDistiller":
+        """Fit the surrogate tree to the black box's outputs on ``X``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        if self.augment > 0:
+            rng = np.random.default_rng(self.seed)
+            std = np.maximum(X.std(axis=0), 1e-12)
+            extra = (
+                X[rng.integers(0, X.shape[0], self.augment)]
+                + rng.normal(0, 1, (self.augment, X.shape[1])) * std * 0.5
+            )
+            X = np.vstack([X, extra])
+        scores = self.predict_fn(X)
+        if self.task == "classification":
+            targets = (scores >= 0.5).astype(int)
+            self.surrogate_ = DecisionTreeClassifier(max_depth=self.max_depth)
+        else:
+            targets = scores
+            self.surrogate_ = DecisionTreeRegressor(max_depth=self.max_depth)
+        self.surrogate_.fit(X, targets)
+        return self
+
+    def fidelity(self, X: np.ndarray) -> float:
+        """Agreement between surrogate and black box on ``X``.
+
+        Classification: fraction of matching hard labels. Regression: R²
+        of the surrogate against the black-box scores.
+        """
+        if not hasattr(self, "surrogate_"):
+            raise RuntimeError("call fit() before fidelity()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        scores = self.predict_fn(X)
+        if self.task == "classification":
+            return float(
+                np.mean(self.surrogate_.predict(X) == (scores >= 0.5).astype(int))
+            )
+        pred = self.surrogate_.predict(X)
+        ss_res = float(np.sum((scores - pred) ** 2))
+        ss_tot = float(np.sum((scores - scores.mean()) ** 2))
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0
+
+    @property
+    def n_leaves(self) -> int:
+        """Size of the explanation a human must read."""
+        return self.surrogate_.tree_.n_leaves

@@ -1,0 +1,16 @@
+"""Machine unlearning / incremental model maintenance (§3)."""
+
+from .forest import UnlearnableForest, UnlearnableTree
+from .priu import (
+    IncrementalLogistic,
+    IncrementalRidge,
+    timed_deletion_comparison,
+)
+
+__all__ = [
+    "IncrementalRidge",
+    "IncrementalLogistic",
+    "timed_deletion_comparison",
+    "UnlearnableForest",
+    "UnlearnableTree",
+]

@@ -1,0 +1,241 @@
+"""Low-latency unlearning for randomized tree ensembles (HedgeCut-style)
+[Schelter, Grafberger & Dunning 2021].
+
+HedgeCut maintains extremely randomized trees so that removing a training
+point takes sub-millisecond time instead of a full retrain. The variant
+here keeps HedgeCut's architectural ideas at our scale:
+
+* every node caches the sample indices and class counts it was built on,
+  so a deletion is a root-to-leaf walk decrementing counts — predictions
+  (majority of leaf counts) update instantly;
+* split *robustness* is monitored: when deletions have eroded more than
+  a fraction ρ of a subtree's samples since it was (re)built, the subtree
+  is rebuilt from its updated sample set — the analogue of HedgeCut's
+  non-robust-split handling (DESIGN.md records the simplification of the
+  exact split-variance criterion).
+
+E23 measures deletion latency against retrain-from-scratch and accuracy
+parity along a deletion stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnlearnableTree", "UnlearnableForest"]
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "indices",
+                 "counts", "built_size")
+
+    def __init__(self) -> None:
+        self.feature = -1
+        self.threshold = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.indices: set[int] = set()
+        self.counts = np.zeros(2)
+        self.built_size = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class UnlearnableTree:
+    """One extremely randomized tree with cached per-node state."""
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        n_candidates: int = 8,
+        rebuild_fraction: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.n_candidates = n_candidates
+        self.rebuild_fraction = rebuild_fraction
+        self.rng = np.random.default_rng(seed)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "UnlearnableTree":
+        self._X = np.atleast_2d(np.asarray(X, dtype=float))
+        self._y = np.asarray(y, dtype=int).ravel()
+        if set(np.unique(self._y)) - {0, 1}:
+            raise ValueError("UnlearnableTree expects 0/1 labels")
+        self._alive = np.ones(self._X.shape[0], dtype=bool)
+        self.root = self._build(set(range(self._X.shape[0])), depth=0)
+        return self
+
+    # -- construction -------------------------------------------------------------
+
+    def _counts(self, indices: set[int]) -> np.ndarray:
+        counts = np.zeros(2)
+        for i in indices:
+            counts[self._y[i]] += 1
+        return counts
+
+    def _build(self, indices: set[int], depth: int) -> _Node:
+        node = _Node()
+        node.indices = set(indices)
+        node.counts = self._counts(indices)
+        node.built_size = len(indices)
+        if (
+            depth >= self.max_depth
+            or len(indices) < 2 * self.min_samples_leaf
+            or node.counts.min() == 0
+        ):
+            return node
+        split = self._random_split(indices)
+        if split is None:
+            return node
+        feature, threshold = split
+        left_idx = {i for i in indices if self._X[i, feature] <= threshold}
+        right_idx = indices - left_idx
+        if (
+            len(left_idx) < self.min_samples_leaf
+            or len(right_idx) < self.min_samples_leaf
+        ):
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(left_idx, depth + 1)
+        node.right = self._build(right_idx, depth + 1)
+        return node
+
+    def _random_split(self, indices: set[int]) -> tuple[int, float] | None:
+        """Extra-trees split: best of a few fully random (feature, cut)."""
+        rows = np.fromiter(indices, dtype=int)
+        best, best_gain = None, 1e-12
+        parent_counts = self._counts(indices)
+        total = parent_counts.sum()
+
+        def gini(counts: np.ndarray) -> float:
+            s = counts.sum()
+            if s == 0:
+                return 0.0
+            p = counts / s
+            return 1.0 - float((p ** 2).sum())
+
+        parent_gini = gini(parent_counts)
+        for __ in range(self.n_candidates):
+            feature = int(self.rng.integers(0, self._X.shape[1]))
+            col = self._X[rows, feature]
+            lo, hi = col.min(), col.max()
+            if lo == hi:
+                continue
+            threshold = float(self.rng.uniform(lo, hi))
+            left_mask = col <= threshold
+            left_counts = np.zeros(2)
+            for i, is_left in zip(rows, left_mask):
+                if is_left:
+                    left_counts[self._y[i]] += 1
+            right_counts = parent_counts - left_counts
+            nl, nr = left_counts.sum(), right_counts.sum()
+            if nl == 0 or nr == 0:
+                continue
+            gain = parent_gini - (
+                nl * gini(left_counts) + nr * gini(right_counts)
+            ) / total
+            if gain > best_gain:
+                best_gain = gain
+                best = (feature, threshold)
+        return best
+
+    # -- serving ------------------------------------------------------------------
+
+    def _leaf(self, x: np.ndarray) -> _Node:
+        node = self.root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def predict_proba_one(self, x: np.ndarray) -> float:
+        counts = self._leaf(np.asarray(x, dtype=float).ravel()).counts
+        total = counts.sum()
+        return float(counts[1] / total) if total > 0 else 0.5
+
+    # -- unlearning ----------------------------------------------------------------
+
+    def delete(self, index: int) -> None:
+        """Remove one training point; O(depth), plus occasional rebuilds."""
+        if not self._alive[index]:
+            raise ValueError(f"point {index} already deleted")
+        self._alive[index] = False
+        x = self._X[index]
+        label = self._y[index]
+        node = self.root
+        path: list[_Node] = []
+        while True:
+            path.append(node)
+            node.indices.discard(index)
+            node.counts[label] -= 1
+            if node.is_leaf:
+                break
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        # Robustness maintenance: rebuild the shallowest eroded subtree.
+        for depth, visited in enumerate(path):
+            eroded = visited.built_size - len(visited.indices)
+            if (
+                visited.built_size > 0
+                and eroded / visited.built_size > self.rebuild_fraction
+            ):
+                rebuilt = self._build(visited.indices, depth)
+                visited.feature = rebuilt.feature
+                visited.threshold = rebuilt.threshold
+                visited.left = rebuilt.left
+                visited.right = rebuilt.right
+                visited.counts = rebuilt.counts
+                visited.built_size = rebuilt.built_size
+                break
+
+
+class UnlearnableForest:
+    """Ensemble of :class:`UnlearnableTree` with instant deletions."""
+
+    def __init__(
+        self,
+        n_estimators: int = 20,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        rebuild_fraction: float = 0.3,
+        seed: int = 0,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.rebuild_fraction = rebuild_fraction
+        self.seed = seed
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "UnlearnableForest":
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            tree = UnlearnableTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                rebuild_fraction=self.rebuild_fraction,
+                seed=self.seed + t,
+            )
+            self.trees_.append(tree.fit(X, y))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        p1 = np.array([
+            np.mean([tree.predict_proba_one(x) for tree in self.trees_])
+            for x in X
+        ])
+        return np.column_stack([1.0 - p1, p1])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(int)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y).ravel()))
+
+    def delete(self, index: int) -> None:
+        """Unlearn one training point from every tree."""
+        for tree in self.trees_:
+            tree.delete(index)

@@ -1,0 +1,24 @@
+"""Explanations for unstructured data (§2.4): gradients, sanity checks, text."""
+
+from .attribution import (
+    gradient_times_input,
+    integrated_gradients,
+    occlusion,
+    saliency,
+    smoothgrad,
+)
+from .sanity import attribution_similarity, model_randomization_test
+from .text import BagOfWords, TextPipeline, make_sentiment_corpus
+
+__all__ = [
+    "saliency",
+    "gradient_times_input",
+    "integrated_gradients",
+    "smoothgrad",
+    "occlusion",
+    "model_randomization_test",
+    "attribution_similarity",
+    "BagOfWords",
+    "TextPipeline",
+    "make_sentiment_corpus",
+]

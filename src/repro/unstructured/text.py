@@ -1,0 +1,93 @@
+"""Minimal text-classification substrate for LIME-text (§2.4).
+
+A bag-of-words vectorizer plus a convenience pipeline wrapping any
+classifier from :mod:`repro.models`, exposing the ``list[str] -> scores``
+interface :class:`repro.surrogate.lime_text.LimeTextExplainer` consumes.
+Includes a tiny synthetic sentiment corpus generator so tests and
+examples run without external data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BagOfWords", "TextPipeline", "make_sentiment_corpus"]
+
+_POSITIVE = ("great", "excellent", "wonderful", "loved", "amazing", "perfect")
+_NEGATIVE = ("terrible", "awful", "boring", "hated", "poor", "disappointing")
+_NEUTRAL = (
+    "the", "movie", "film", "plot", "acting", "was", "a", "with", "story",
+    "and", "ending", "character", "scene", "music", "i", "it", "very",
+)
+
+
+def make_sentiment_corpus(
+    n: int = 300, length: int = 12, seed: int = 0
+) -> tuple[list[str], np.ndarray]:
+    """Synthetic movie-review-like documents with sentiment labels.
+
+    Positive documents mix neutral filler with positive cue words and
+    vice versa; cue density controls difficulty.
+    """
+    rng = np.random.default_rng(seed)
+    docs: list[str] = []
+    labels = (rng.random(n) < 0.5).astype(int)
+    for label in labels:
+        cues = _POSITIVE if label == 1 else _NEGATIVE
+        words = []
+        for __ in range(length):
+            if rng.random() < 0.25:
+                words.append(cues[rng.integers(0, len(cues))])
+            else:
+                words.append(_NEUTRAL[rng.integers(0, len(_NEUTRAL))])
+        docs.append(" ".join(words))
+    return docs, labels
+
+
+class BagOfWords:
+    """Term-frequency vectorizer over a whitespace-token vocabulary."""
+
+    def fit(self, documents: list[str]) -> "BagOfWords":
+        vocabulary: set[str] = set()
+        for doc in documents:
+            vocabulary.update(doc.split())
+        self.vocabulary_ = sorted(vocabulary)
+        self._index = {w: i for i, w in enumerate(self.vocabulary_)}
+        return self
+
+    def transform(self, documents: list[str]) -> np.ndarray:
+        if not hasattr(self, "vocabulary_"):
+            raise RuntimeError("call fit() first")
+        X = np.zeros((len(documents), len(self.vocabulary_)))
+        for row, doc in enumerate(documents):
+            for word in doc.split():
+                col = self._index.get(word)
+                if col is not None:
+                    X[row, col] += 1.0
+        return X
+
+    def fit_transform(self, documents: list[str]) -> np.ndarray:
+        return self.fit(documents).transform(documents)
+
+
+class TextPipeline:
+    """Vectorizer + classifier exposed as ``predict_fn(list[str])``."""
+
+    def __init__(self, model_factory) -> None:
+        self.model_factory = model_factory
+        self.vectorizer = BagOfWords()
+
+    def fit(self, documents: list[str], labels: np.ndarray) -> "TextPipeline":
+        X = self.vectorizer.fit_transform(documents)
+        self.model_ = self.model_factory()
+        self.model_.fit(X, np.asarray(labels).ravel())
+        return self
+
+    def predict_proba_docs(self, documents: list[str]) -> np.ndarray:
+        """P(class 1) for each document — LIME-text's query interface."""
+        X = self.vectorizer.transform(documents)
+        return self.model_.predict_proba(X)[:, 1]
+
+    def score(self, documents: list[str], labels: np.ndarray) -> float:
+        X = self.vectorizer.transform(documents)
+        return self.model_.score(X, np.asarray(labels).ravel())

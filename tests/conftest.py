@@ -1,0 +1,73 @@
+"""Shared fixtures: small datasets and pre-trained models.
+
+Everything is session-scoped and deterministic so the suite stays fast;
+tests must not mutate fixture objects (copy first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    make_classification,
+    make_income_dataset,
+    make_loan_dataset,
+    make_loan_scm,
+)
+from repro.models import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LogisticRegression,
+)
+from repro.models.model_selection import train_test_split
+
+
+@pytest.fixture(scope="session")
+def loan_data():
+    return make_loan_dataset(500, seed=11)
+
+
+@pytest.fixture(scope="session")
+def loan_scm():
+    return make_loan_scm()
+
+
+@pytest.fixture(scope="session")
+def income_data():
+    return make_income_dataset(400, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_classification():
+    return make_classification(300, n_features=6, n_informative=3, seed=5)
+
+
+@pytest.fixture(scope="session")
+def loan_split(loan_data):
+    return train_test_split(loan_data.X, loan_data.y, test_size=0.3, seed=3)
+
+
+@pytest.fixture(scope="session")
+def loan_logistic(loan_split):
+    X_train, __, y_train, __ = loan_split
+    return LogisticRegression(alpha=1.0).fit(X_train, y_train)
+
+
+@pytest.fixture(scope="session")
+def loan_gbm(loan_split):
+    X_train, __, y_train, __ = loan_split
+    return GradientBoostingClassifier(
+        n_estimators=25, max_depth=3, seed=0
+    ).fit(X_train, y_train)
+
+
+@pytest.fixture(scope="session")
+def small_tree(small_classification):
+    data = small_classification
+    return DecisionTreeClassifier(max_depth=4, seed=0).fit(data.X, data.y)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

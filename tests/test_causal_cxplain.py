@@ -1,0 +1,88 @@
+"""Tests for the CXPlain causal-objective surrogate explainer."""
+
+import numpy as np
+import pytest
+
+from repro.causal import CXPlainExplainer, granger_attributions
+from repro.datasets import make_classification
+from repro.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_classification(400, n_features=5, n_informative=2,
+                               class_sep=2.5, seed=7)
+    model = LogisticRegression(alpha=0.5).fit(data.X, data.y)
+    return data, model
+
+
+class TestGrangerAttributions:
+    def test_rows_are_distributions(self, setup):
+        data, model = setup
+        from repro.core.base import as_predict_fn
+
+        A = granger_attributions(as_predict_fn(model), data.X[:50],
+                                 data.y[:50])
+        assert A.shape == (50, 5)
+        assert np.all(A >= 0)
+        assert np.allclose(A.sum(axis=1), 1.0)
+
+    def test_informative_features_dominate(self, setup):
+        data, model = setup
+        from repro.core.base import as_predict_fn
+
+        A = granger_attributions(as_predict_fn(model), data.X[:100],
+                                 data.y[:100])
+        means = A.mean(axis=0)
+        assert means[:2].sum() > means[2:].sum()
+
+    def test_useless_model_gives_uniform(self):
+        X = np.random.default_rng(0).normal(0, 1, (30, 4))
+        y = np.zeros(30)
+        A = granger_attributions(lambda Z: np.full(len(Z), 0.5), X, y)
+        assert np.allclose(A, 0.25)
+
+
+class TestCXPlainExplainer:
+    def test_amortized_explanations_match_signal(self, setup):
+        data, model = setup
+        explainer = CXPlainExplainer(model, n_bootstrap=3, seed=0)
+        explainer.fit(data.X[:300], data.y[:300])
+        top_hits = 0
+        for x in data.X[300:310]:
+            att = explainer.explain(x)
+            if att.ranking()[0] in (0, 1):
+                top_hits += 1
+            assert np.all(att.values >= 0)
+            assert att.values.sum() == pytest.approx(1.0, abs=1e-6)
+            assert att.meta["uncertainty"].shape == (5,)
+        assert top_hits >= 7
+
+    def test_explain_before_fit_raises(self, setup):
+        data, model = setup
+        with pytest.raises(RuntimeError):
+            CXPlainExplainer(model).explain(data.X[0])
+
+    def test_direct_mode(self, setup):
+        data, model = setup
+        explainer = CXPlainExplainer(model, n_bootstrap=1, seed=0)
+        explainer.fit(data.X[:100], data.y[:100])
+        att = explainer.explain_direct(data.X[0], data.y[0])
+        assert att.values.sum() == pytest.approx(1.0)
+
+    def test_amortized_needs_no_model_queries(self, setup):
+        data, model = setup
+        calls = {"n": 0}
+        from repro.core.base import as_predict_fn
+
+        inner = as_predict_fn(model)
+
+        def counting(X):
+            calls["n"] += 1
+            return inner(X)
+
+        explainer = CXPlainExplainer(counting, n_bootstrap=2, seed=0)
+        explainer.fit(data.X[:100], data.y[:100])
+        before = calls["n"]
+        explainer.explain(data.X[0])
+        assert calls["n"] == before  # only surrogate forward passes

@@ -1,0 +1,91 @@
+"""Tests for the structural causal model substrate."""
+
+import numpy as np
+import pytest
+
+from repro.causal import StructuralCausalModel, linear_mechanism
+
+
+def chain_scm():
+    scm = StructuralCausalModel()
+    scm.add_variable("a", [], lambda p, u: u,
+                     noise=lambda rng, n: rng.normal(0, 1, n))
+    scm.add_variable("b", ["a"], linear_mechanism({"a": 2.0}, intercept=1.0),
+                     noise=lambda rng, n: rng.normal(0, 0.1, n))
+    scm.add_variable("c", ["b"], linear_mechanism({"b": -1.0}),
+                     noise=lambda rng, n: rng.normal(0, 0.1, n))
+    return scm
+
+
+def test_topological_order_and_parents():
+    scm = chain_scm()
+    assert scm.variables == ["a", "b", "c"]
+    assert scm.parents("c") == ["b"]
+    assert scm.topological_index() == {"a": 0, "b": 1, "c": 2}
+
+
+def test_parent_must_exist_first():
+    scm = StructuralCausalModel()
+    with pytest.raises(ValueError):
+        scm.add_variable("child", ["ghost"], lambda p, u: u)
+
+
+def test_duplicate_variable_rejected():
+    scm = chain_scm()
+    with pytest.raises(ValueError):
+        scm.add_variable("a", [], lambda p, u: u)
+
+
+def test_observational_means_follow_mechanisms():
+    scm = chain_scm()
+    values = scm.sample(20_000, seed=0)
+    assert values["a"].mean() == pytest.approx(0.0, abs=0.05)
+    assert values["b"].mean() == pytest.approx(1.0, abs=0.05)
+    assert values["c"].mean() == pytest.approx(-1.0, abs=0.05)
+
+
+def test_intervention_breaks_upstream_dependence():
+    scm = chain_scm()
+    forced = scm.sample(5_000, seed=1, interventions={"b": 10.0})
+    assert np.all(forced["b"] == 10.0)
+    assert forced["c"].mean() == pytest.approx(-10.0, abs=0.05)
+    # a is unaffected by intervening downstream
+    assert forced["a"].mean() == pytest.approx(0.0, abs=0.1)
+    # and b no longer correlates with a
+    assert abs(np.corrcoef(forced["a"], forced["c"])[0, 1]) < 0.05
+
+
+def test_sample_matrix_column_order():
+    scm = chain_scm()
+    M = scm.sample_matrix(100, ["c", "a"], seed=2)
+    values = scm.sample(100, seed=2)
+    assert np.allclose(M[:, 0], values["c"])
+    assert np.allclose(M[:, 1], values["a"])
+
+
+def test_counterfactual_replay_is_exact():
+    scm = chain_scm()
+    values, noise = scm.sample(500, seed=3, return_noise=True)
+    # Replay without intervention reproduces the factual world exactly.
+    replay = scm.counterfactual(noise)
+    for name in scm.variables:
+        assert np.allclose(replay[name], values[name])
+    # Counterfactual world: do(a = a + 1) shifts b by exactly 2.
+    twin = scm.counterfactual(noise, {"a": values["a"] + 1.0})
+    assert np.allclose(twin["b"] - values["b"], 2.0)
+
+
+def test_conditional_sample_respects_condition():
+    scm = chain_scm()
+    cond = scm.conditional_sample(200, {"a": 1.0}, seed=4)
+    assert np.all(np.abs(cond["a"] - 1.0) <= 0.3)
+    # b | a≈1 concentrates near 3
+    assert cond["b"].mean() == pytest.approx(3.0, abs=0.3)
+
+
+def test_conditional_sample_impossible_condition_raises():
+    scm = chain_scm()
+    with pytest.raises(RuntimeError):
+        scm.conditional_sample(
+            10, {"a": 100.0}, tolerance={"a": 0.01}, max_batches=3
+        )

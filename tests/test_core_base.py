@@ -1,0 +1,56 @@
+"""Tests for repro.core.base model normalization."""
+
+import numpy as np
+import pytest
+
+from repro.core import as_predict_fn
+from repro.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    rng = np.random.default_rng(0)
+    X = rng.normal(0, 1, (100, 3))
+    y = (X[:, 0] > 0).astype(int)
+    return LogisticRegression(alpha=0.5).fit(X, y), X
+
+
+def test_plain_callable_passthrough():
+    fn = as_predict_fn(lambda X: X[:, 0] * 2)
+    out = fn(np.array([[3.0, 1.0]]))
+    assert out.tolist() == [6.0]
+
+
+def test_auto_prefers_predict_proba(fitted):
+    model, X = fitted
+    fn = as_predict_fn(model)
+    out = fn(X[:5])
+    assert np.all((out >= 0) & (out <= 1))
+    assert np.allclose(out, model.predict_proba(X[:5])[:, 1])
+
+
+def test_label_output(fitted):
+    model, X = fitted
+    fn = as_predict_fn(model, output="label")
+    assert set(np.unique(fn(X))) <= {0.0, 1.0}
+
+
+def test_raw_output_uses_decision_function(fitted):
+    model, X = fitted
+    fn = as_predict_fn(model, output="raw")
+    assert np.allclose(fn(X[:5]), model.decision_function(X[:5]))
+
+
+def test_proba_requires_predict_proba():
+    class OnlyPredict:
+        def predict(self, X):
+            return np.zeros(len(X))
+
+    with pytest.raises(TypeError):
+        as_predict_fn(OnlyPredict(), output="proba")
+
+
+def test_single_row_input_accepted(fitted):
+    model, X = fitted
+    fn = as_predict_fn(model)
+    assert fn(X[0]).shape == (1,)

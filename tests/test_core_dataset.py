@@ -1,0 +1,91 @@
+"""Tests for repro.core.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureSpec, TabularDataset
+
+
+def make_data():
+    X = np.array([[1.0, 0], [2.0, 1], [3.0, 1], [4.0, 0]])
+    y = np.array([0, 1, 1, 0])
+    features = [
+        FeatureSpec("size"),
+        FeatureSpec("color", "categorical", categories=("red", "blue")),
+    ]
+    return TabularDataset(X, y, features, target_name="label")
+
+
+def test_basic_shape_properties():
+    data = make_data()
+    assert data.n_samples == 4
+    assert data.n_features == 2
+    assert len(data) == 4
+    assert data.feature_names == ["size", "color"]
+    assert "label" in repr(data)
+
+
+def test_rejects_mismatched_shapes():
+    with pytest.raises(ValueError):
+        TabularDataset(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(ValueError):
+        TabularDataset(np.zeros((3, 2)), np.zeros(3), ["only_one"])
+    with pytest.raises(ValueError):
+        TabularDataset(np.zeros(3), np.zeros(3))
+
+
+def test_string_features_promoted_to_numeric_specs():
+    data = TabularDataset(np.zeros((2, 2)), np.zeros(2), ["a", "b"])
+    assert all(not f.is_categorical for f in data.features)
+
+
+def test_feature_spec_validation():
+    with pytest.raises(ValueError):
+        FeatureSpec("x", "categorical")  # no categories
+    with pytest.raises(ValueError):
+        FeatureSpec("x", "weird_kind")
+    with pytest.raises(ValueError):
+        FeatureSpec("x", monotone=2)
+
+
+def test_feature_index_and_categorical_split():
+    data = make_data()
+    assert data.feature_index("color") == 1
+    with pytest.raises(KeyError):
+        data.feature_index("missing")
+    assert data.categorical_indices == [1]
+    assert data.numeric_indices == [0]
+
+
+def test_column_stats():
+    data = make_data()
+    stats = data.column_stats()
+    assert stats["mean"][0] == pytest.approx(2.5)
+    assert stats["frequencies"][0] is None
+    freq = stats["frequencies"][1]
+    assert freq == pytest.approx([0.5, 0.5])
+    assert np.all(stats["std"] > 0)
+
+
+def test_column_stats_constant_column_has_positive_std():
+    data = TabularDataset(np.ones((5, 1)), np.zeros(5))
+    assert data.column_stats()["std"][0] > 0
+
+
+def test_subset_and_drop():
+    data = make_data()
+    sub = data.subset(np.array([0, 2]))
+    assert sub.n_samples == 2
+    assert sub.X[1, 0] == 3.0
+    dropped = data.drop(np.array([0]))
+    assert dropped.n_samples == 3
+    assert dropped.X[0, 0] == 2.0
+    # originals untouched
+    assert data.n_samples == 4
+
+
+def test_render_row_uses_category_labels():
+    data = make_data()
+    rendered = data.render_row(data.X[1])
+    assert rendered["color"] == "blue"
+    assert rendered["size"] == "2"

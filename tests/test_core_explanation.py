@@ -1,0 +1,103 @@
+"""Tests for repro.core.explanation result objects."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CounterfactualExplanation,
+    DataAttribution,
+    FeatureAttribution,
+    Predicate,
+    RuleExplanation,
+)
+
+
+class TestFeatureAttribution:
+    def test_ranking_and_top(self):
+        att = FeatureAttribution(
+            values=np.array([0.1, -2.0, 0.5]),
+            feature_names=["a", "b", "c"],
+        )
+        assert att.ranking() == [1, 2, 0]
+        assert att.top(2) == [("b", -2.0), ("c", 0.5)]
+
+    def test_additivity_gap(self):
+        att = FeatureAttribution(
+            values=np.array([1.0, 2.0]),
+            feature_names=["a", "b"],
+            base_value=0.5,
+            prediction=3.5,
+        )
+        assert att.additivity_gap() == pytest.approx(0.0)
+        att.prediction = 4.0
+        assert att.additivity_gap() == pytest.approx(0.5)
+
+    def test_additivity_gap_requires_prediction(self):
+        att = FeatureAttribution(np.array([1.0]), ["a"])
+        with pytest.raises(ValueError):
+            att.additivity_gap()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureAttribution(np.array([1.0, 2.0]), ["only"])
+
+    def test_as_dict(self):
+        att = FeatureAttribution(np.array([1.5]), ["a"])
+        assert att.as_dict() == {"a": 1.5}
+
+
+class TestPredicate:
+    def test_all_operators(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        assert Predicate(0, "==", 2.0).holds(X).tolist() == [False, True, False]
+        assert Predicate(0, "!=", 2.0).holds(X).tolist() == [True, False, True]
+        assert Predicate(0, "<=", 2.0).holds(X).tolist() == [True, True, False]
+        assert Predicate(0, "<", 2.0).holds(X).tolist() == [True, False, False]
+        assert Predicate(0, ">=", 2.0).holds(X).tolist() == [False, True, True]
+        assert Predicate(0, ">", 2.0).holds(X).tolist() == [False, False, True]
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate(0, "~", 1.0)
+
+    def test_str_uses_feature_name(self):
+        assert str(Predicate(0, ">", 1.0, "age")) == "age > 1"
+
+
+class TestRuleExplanation:
+    def test_holds_is_conjunction(self):
+        rule = RuleExplanation(
+            predicates=[Predicate(0, ">", 1.0), Predicate(1, "<=", 0.5)],
+            outcome=1.0, precision=0.9, coverage=0.2,
+        )
+        X = np.array([[2.0, 0.3], [2.0, 0.9], [0.5, 0.3]])
+        assert rule.holds(X).tolist() == [True, False, False]
+        assert len(rule) == 2
+
+    def test_empty_rule_holds_everywhere(self):
+        rule = RuleExplanation([], outcome=1.0, precision=1.0, coverage=1.0)
+        assert rule.holds(np.zeros((3, 2))).all()
+        assert "TRUE" in str(rule)
+
+
+class TestCounterfactualExplanation:
+    def test_changes_and_sparsity(self):
+        cf = CounterfactualExplanation(
+            factual=np.array([1.0, 2.0, 3.0]),
+            counterfactuals=np.array([[1.0, 5.0, 3.0], [0.0, 2.0, 9.0]]),
+            factual_outcome=0.2,
+            target_outcome=1.0,
+            feature_names=["a", "b", "c"],
+        )
+        assert cf.n_counterfactuals == 2
+        assert cf.changes(0) == {"b": (2.0, 5.0)}
+        assert cf.sparsity(0) == 1
+        assert cf.sparsity(1) == 2
+
+
+class TestDataAttribution:
+    def test_ranking_directions(self):
+        att = DataAttribution(np.array([0.3, -1.0, 0.7]))
+        assert att.ranking(ascending=True).tolist() == [1, 0, 2]
+        assert att.ranking(ascending=False).tolist() == [2, 0, 1]
+        assert att.top(1) == [(1, -1.0)]

@@ -1,0 +1,120 @@
+"""Tests for DiCE- and GeCo-style counterfactual generators + metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import as_predict_fn
+from repro.core.explanation import CounterfactualExplanation
+from repro.counterfactual import (
+    DiceExplainer,
+    GecoExplainer,
+    evaluate_counterfactuals,
+    mad_scale,
+    validity,
+)
+
+
+@pytest.fixture(scope="module")
+def denied_instance(loan_data, loan_logistic):
+    fn = as_predict_fn(loan_logistic)
+    scores = fn(loan_data.X)
+    denied = np.where(scores < 0.4)[0]
+    return loan_data.X[denied[0]]
+
+
+class TestMetrics:
+    def test_mad_scale_positive_and_robust(self, loan_data):
+        scale = mad_scale(loan_data.X)
+        assert np.all(scale > 0)
+        # inserting a wild outlier barely moves the MAD
+        X = loan_data.X.copy()
+        X[0] = X[0] * 1e6
+        shifted = mad_scale(X)
+        assert np.all(shifted < scale * 10)
+
+    def test_validity_directions(self):
+        cf = CounterfactualExplanation(
+            factual=np.zeros(2),
+            counterfactuals=np.array([[1.0, 0.0], [0.0, 0.0]]),
+            factual_outcome=0.0,
+            target_outcome=1.0,
+            feature_names=["a", "b"],
+        )
+        fn = lambda X: X[:, 0]  # score = first feature
+        assert validity(cf, fn, threshold=0.5) == 0.5
+
+
+@pytest.mark.parametrize("explainer_cls", [DiceExplainer, GecoExplainer])
+class TestGenerators:
+    def test_counterfactuals_flip_the_model(
+        self, explainer_cls, loan_data, loan_logistic, denied_instance
+    ):
+        explainer = explainer_cls(loan_logistic, loan_data, seed=0)
+        cf = explainer.explain(denied_instance)
+        fn = as_predict_fn(loan_logistic)
+        metrics = evaluate_counterfactuals(cf, fn, loan_data.X)
+        assert metrics["validity"] >= 0.5
+        assert cf.factual_outcome < 0.5
+        assert cf.target_outcome == 1.0
+
+    def test_immutable_features_never_change(
+        self, explainer_cls, loan_data, loan_logistic, denied_instance
+    ):
+        explainer = explainer_cls(loan_logistic, loan_data, seed=1)
+        cf = explainer.explain(denied_instance)
+        for j, spec in enumerate(loan_data.features):
+            if not spec.actionable:
+                assert np.allclose(
+                    cf.counterfactuals[:, j], cf.factual[j]
+                ), spec.name
+
+    def test_monotone_constraints_respected(
+        self, explainer_cls, loan_data, loan_logistic, denied_instance
+    ):
+        explainer = explainer_cls(loan_logistic, loan_data, seed=2)
+        cf = explainer.explain(denied_instance)
+        for j, spec in enumerate(loan_data.features):
+            if spec.monotone == +1:
+                assert np.all(
+                    cf.counterfactuals[:, j] >= cf.factual[j] - 1e-9
+                ), spec.name
+
+
+def test_dice_produces_diverse_set(loan_data, loan_logistic, denied_instance):
+    dice = DiceExplainer(loan_logistic, loan_data, total_cfs=4, seed=0)
+    cf = dice.explain(denied_instance)
+    assert cf.n_counterfactuals == 4
+    fn = as_predict_fn(loan_logistic)
+    metrics = evaluate_counterfactuals(cf, fn, loan_data.X)
+    assert metrics["diversity"] > 0
+
+
+def test_geco_is_sparser_than_dice(loan_data, loan_logistic, denied_instance):
+    fn = as_predict_fn(loan_logistic)
+    dice = DiceExplainer(loan_logistic, loan_data, seed=0).explain(denied_instance)
+    geco = GecoExplainer(loan_logistic, loan_data, seed=0).explain(denied_instance)
+    m_dice = evaluate_counterfactuals(dice, fn, loan_data.X)
+    m_geco = evaluate_counterfactuals(geco, fn, loan_data.X)
+    assert m_geco["sparsity"] <= m_dice["sparsity"] + 0.5
+
+
+def test_geco_custom_constraint_enforced(loan_data, loan_logistic,
+                                         denied_instance):
+    j = loan_data.feature_index("credit_score")
+    cap = denied_instance[j] + 40.0
+
+    def no_big_credit_jump(candidate, factual):
+        return candidate[j] <= cap
+
+    geco = GecoExplainer(
+        loan_logistic, loan_data, constraints=[no_big_credit_jump], seed=3
+    )
+    cf = geco.explain(denied_instance)
+    assert np.all(cf.counterfactuals[:, j] <= cap + 1e-9)
+
+
+def test_already_approved_instance_targets_denial(loan_data, loan_logistic):
+    fn = as_predict_fn(loan_logistic)
+    approved = loan_data.X[np.argmax(fn(loan_data.X))]
+    cf = GecoExplainer(loan_logistic, loan_data, seed=4).explain(approved)
+    assert cf.target_outcome == 0.0

@@ -1,0 +1,109 @@
+"""Tests for causally consistent counterfactual projection."""
+
+import numpy as np
+import pytest
+
+from repro.causal import StructuralCausalModel, linear_mechanism
+from repro.core.explanation import CounterfactualExplanation
+from repro.counterfactual import causal_inconsistency, project_counterfactual
+
+
+@pytest.fixture(scope="module")
+def chain_scm():
+    """education → income → savings (all linear, deterministic-ish)."""
+    scm = StructuralCausalModel()
+    scm.add_variable("education", [], lambda p, u: u,
+                     noise=lambda rng, n: rng.normal(2, 1, n))
+    scm.add_variable("income", ["education"],
+                     linear_mechanism({"education": 2.0}, intercept=1.0),
+                     noise=lambda rng, n: rng.normal(0, 0.5, n))
+    scm.add_variable("savings", ["income"],
+                     linear_mechanism({"income": 0.5}),
+                     noise=lambda rng, n: rng.normal(0, 0.2, n))
+    return scm
+
+
+ORDER = ["education", "income", "savings"]
+
+
+def test_intervention_propagates_downstream(chain_scm):
+    factual = np.array([2.0, 5.5, 3.0])
+    # A naive counterfactual raises education but freezes income/savings.
+    naive = np.array([4.0, 5.5, 3.0])
+    projected = project_counterfactual(chain_scm, ORDER, factual, naive)
+    # education pinned to the requested value
+    assert projected[0] == pytest.approx(4.0)
+    # income re-derived: old noise = 5.5 − (2·2 + 1) = 0.5 → 2·4+1+0.5
+    assert projected[1] == pytest.approx(9.5)
+    # savings re-derived from the new income with its own noise
+    old_savings_noise = 3.0 - 0.5 * 5.5
+    assert projected[2] == pytest.approx(0.5 * 9.5 + old_savings_noise)
+
+
+def test_explicitly_changed_downstream_values_are_respected(chain_scm):
+    factual = np.array([2.0, 5.5, 3.0])
+    # The counterfactual also changes income explicitly: both are
+    # interventions, so income stays at its requested value.
+    cf = np.array([4.0, 20.0, 3.0])
+    projected = project_counterfactual(chain_scm, ORDER, factual, cf)
+    assert projected[1] == pytest.approx(20.0)
+    # savings follows the intervened income
+    old_savings_noise = 3.0 - 0.5 * 5.5
+    assert projected[2] == pytest.approx(0.5 * 20.0 + old_savings_noise)
+
+
+def test_no_change_is_a_fixed_point(chain_scm):
+    factual = np.array([2.0, 5.5, 3.0])
+    projected = project_counterfactual(chain_scm, ORDER, factual, factual)
+    assert np.allclose(projected, factual)
+
+
+def test_upstream_only_change_projects_to_itself_upstream(chain_scm):
+    factual = np.array([2.0, 5.5, 3.0])
+    cf = np.array([2.0, 5.5, 9.0])  # savings is a sink: no descendants
+    projected = project_counterfactual(chain_scm, ORDER, factual, cf)
+    assert np.allclose(projected, cf)
+
+
+class TestInconsistency:
+    def test_zero_for_projected_counterfactual(self, chain_scm):
+        factual = np.array([2.0, 5.5, 3.0])
+        consistent = project_counterfactual(
+            chain_scm, ORDER, factual, np.array([4.0, 5.5, 3.0])
+        )
+        cf = CounterfactualExplanation(
+            factual=factual, counterfactuals=consistent[None, :],
+            factual_outcome=0.0, target_outcome=1.0, feature_names=ORDER,
+        )
+        # education is the declared action; everything downstream must
+        # satisfy its mechanism exactly.
+        gap = causal_inconsistency(
+            chain_scm, ORDER, cf, np.ones(3), exempt={"education"}
+        )
+        assert gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_frozen_descendants(self, chain_scm):
+        factual = np.array([2.0, 5.5, 3.0])
+        naive = np.array([4.0, 5.5, 3.0])
+        cf = CounterfactualExplanation(
+            factual=factual, counterfactuals=naive[None, :],
+            factual_outcome=0.0, target_outcome=1.0, feature_names=ORDER,
+        )
+        gap = causal_inconsistency(
+            chain_scm, ORDER, cf, np.ones(3), exempt={"education"}
+        )
+        assert gap > 1.0  # income alone violates its mechanism by 4
+
+    def test_per_variable_residuals(self, chain_scm):
+        from repro.counterfactual import mechanism_residuals
+
+        factual = np.array([2.0, 5.5, 3.0])
+        naive = np.array([4.0, 5.5, 3.0])  # income frozen under new education
+        residuals = mechanism_residuals(
+            chain_scm, ORDER, factual, naive, np.ones(3),
+            exempt={"education"},
+        )
+        # income should be 2·4 + 1 + 0.5 = 9.5, found 5.5: residual 4.
+        assert residuals["income"] == pytest.approx(4.0)
+        # savings' parent (income) did not change: mechanism still holds.
+        assert residuals["savings"] == pytest.approx(0.0)

@@ -1,0 +1,156 @@
+"""Tests for the synthetic dataset generators and their ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    flip_labels,
+    make_baskets,
+    make_classification,
+    make_correlated_gaussian,
+    make_grid_images,
+    make_income_dataset,
+    make_loan_dataset,
+    make_loan_scm,
+    make_recidivism_dataset,
+    make_regression,
+    make_xor,
+)
+from repro.models import LogisticRegression
+from repro.models.metrics import pearson_correlation
+
+
+class TestLoan:
+    def test_schema_and_determinism(self):
+        a = make_loan_dataset(200, seed=5)
+        b = make_loan_dataset(200, seed=5)
+        assert np.allclose(a.X, b.X)
+        assert a.feature_names[0] == "age"
+        assert not a.features[a.feature_index("gender")].actionable
+        assert a.features[a.feature_index("education")].monotone == +1
+
+    def test_learnable(self):
+        data = make_loan_dataset(800, seed=6)
+        model = LogisticRegression(alpha=1.0).fit(data.X, data.y)
+        assert model.score(data.X, data.y) > max(
+            data.y.mean(), 1 - data.y.mean()
+        )
+
+    def test_gender_gap_injected_and_removable(self):
+        biased = make_loan_dataset(3000, seed=7, gender_gap=1.5)
+        fair = make_loan_dataset(3000, seed=7, gender_gap=0.0)
+        g = biased.feature_index("gender")
+        inc = biased.feature_index("income")
+        gap_biased = (
+            biased.X[biased.X[:, g] == 1, inc].mean()
+            - biased.X[biased.X[:, g] == 0, inc].mean()
+        )
+        gap_fair = (
+            fair.X[fair.X[:, g] == 1, inc].mean()
+            - fair.X[fair.X[:, g] == 0, inc].mean()
+        )
+        assert gap_biased > 1.0
+        assert abs(gap_fair) < 0.15
+
+    def test_scm_consistency(self):
+        data, scm = make_loan_dataset(300, seed=8, return_scm=True)
+        values = scm.sample(300, seed=8)
+        assert np.allclose(values["age"], data.X[:, 0])
+        assert np.allclose(values["approved"].astype(int), data.y)
+
+    def test_no_direct_gender_effect_on_approval(self):
+        # Approval given identical mediators must not depend on gender:
+        # intervene on all of approval's parents and flip gender.
+        scm = make_loan_scm()
+        fixed = {"credit_score": 700.0, "income": 5.0, "savings": 3.0}
+        male = scm.sample(4000, seed=9, interventions={**fixed, "gender": 1.0})
+        female = scm.sample(4000, seed=9, interventions={**fixed, "gender": 0.0})
+        assert male["approved"].mean() == pytest.approx(
+            female["approved"].mean(), abs=0.03
+        )
+
+
+class TestOtherTabular:
+    def test_income_schema(self):
+        data = make_income_dataset(300, seed=1)
+        assert data.n_features == 7
+        assert data.features[4].is_categorical
+        assert 0.1 < data.y.mean() < 0.9
+
+    def test_recidivism_bias_knob(self):
+        biased = make_recidivism_dataset(3000, seed=2, policing_bias=2.0)
+        neutral = make_recidivism_dataset(3000, seed=2, policing_bias=0.0)
+        r = biased.feature_index("race")
+        p = biased.feature_index("priors_count")
+        corr_biased = pearson_correlation(biased.X[:, r], biased.X[:, p])
+        corr_neutral = pearson_correlation(neutral.X[:, r], neutral.X[:, p])
+        assert corr_biased > corr_neutral + 0.05
+
+
+class TestSynth:
+    def test_classification_informative_features(self):
+        data = make_classification(2000, n_features=6, n_informative=2,
+                                   class_sep=3.0, seed=3)
+        for j in range(2):
+            by_class = abs(
+                data.X[data.y == 1, j].mean() - data.X[data.y == 0, j].mean()
+            )
+            assert by_class >= 0.0  # informative can be split across dims
+        # noise features have no class signal
+        for j in range(2, 6):
+            gap = abs(
+                data.X[data.y == 1, j].mean() - data.X[data.y == 0, j].mean()
+            )
+            assert gap < 0.2
+
+    def test_classification_validation(self):
+        with pytest.raises(ValueError):
+            make_classification(10, n_features=2, n_informative=5)
+
+    def test_regression_returns_true_coefficients(self):
+        data, coef = make_regression(500, n_features=6, noise=0.01, seed=4)
+        assert np.all(coef[3:] == 0.0)
+        from repro.models import LinearRegression
+
+        fitted = LinearRegression().fit(data.X, data.y)
+        assert np.allclose(fitted.coef_, coef, atol=0.05)
+
+    def test_correlated_gaussian_correlation(self):
+        X = make_correlated_gaussian(5000, n_features=3, rho=0.7, seed=5)
+        empirical = np.corrcoef(X.T)
+        off_diag = empirical[np.triu_indices(3, 1)]
+        assert np.allclose(off_diag, 0.7, atol=0.05)
+        with pytest.raises(ValueError):
+            make_correlated_gaussian(10, n_features=3, rho=-0.9)
+
+    def test_xor_no_marginal_signal(self):
+        data = make_xor(4000, noise=0.0, seed=6)
+        for j in range(2):
+            gap = abs(
+                data.X[data.y == 1, j].mean() - data.X[data.y == 0, j].mean()
+            )
+            assert gap < 0.1
+
+    def test_flip_labels_ground_truth(self):
+        data = make_classification(200, seed=7)
+        noisy, flipped = flip_labels(data, fraction=0.2, seed=8)
+        assert flipped.shape[0] == 40
+        changed = np.where(noisy.y != data.y)[0]
+        assert set(changed) == set(flipped)
+        with pytest.raises(ValueError):
+            flip_labels(data, fraction=1.5)
+
+    def test_baskets_patterns_are_frequent(self):
+        transactions, patterns = make_baskets(500, pattern_prob=0.4, seed=9)
+        for pattern in patterns:
+            support = np.mean([pattern <= t for t in transactions])
+            assert support > 0.2
+
+    def test_grid_images_discriminative(self):
+        X, y, relevance = make_grid_images(300, size=8, seed=10)
+        assert X.shape == (300, 64)
+        assert relevance.shape == (2, 64)
+        # class-1 images are brighter in the top-left quadrant
+        class1_mean = X[y == 1][:, relevance[1]].mean()
+        class0_mean = X[y == 0][:, relevance[1]].mean()
+        assert class1_mean > class0_mean + 0.1

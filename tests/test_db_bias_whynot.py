@@ -1,0 +1,123 @@
+"""Tests for OLAP bias detection (Simpson's paradox) and why-not tracing."""
+
+import numpy as np
+import pytest
+
+from repro.db import (
+    QueryStep,
+    Relation,
+    detect_simpsons_paradox,
+    group_difference,
+    stratified_difference,
+    why_not,
+)
+
+
+def berkeley_style_relation(seed: int = 0) -> Relation:
+    """Classic admissions paradox: women apply to the harder department
+    but have higher per-department admission rates."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for dept, base_rate, men, women in [
+        ("easy", 0.8, 400, 100), ("hard", 0.3, 100, 400),
+    ]:
+        for gender, n in (("m", men), ("f", women)):
+            rate = base_rate + (0.05 if gender == "f" else 0.0)
+            admitted = rng.random(n) < rate
+            rows += [(gender, dept, int(a)) for a in admitted]
+    return Relation(["gender", "dept", "admitted"], rows, name="adm")
+
+
+class TestBiasDetection:
+    def test_naive_contrast_direction(self):
+        r = berkeley_style_relation()
+        naive = group_difference(r, "gender", "admitted")
+        # groups sorted by repr: 'f' < 'm' → contrast is m − f > 0
+        assert naive > 0.1
+
+    def test_stratified_reverses(self):
+        r = berkeley_style_relation()
+        adjusted, per_stratum = stratified_difference(
+            r, "gender", "admitted", "dept"
+        )
+        assert adjusted < 0  # within departments, women do better
+        assert set(per_stratum) == {"easy", "hard"}
+        assert all(v is not None and v < 0.05 for v in per_stratum.values())
+
+    def test_detector_flags_reversal_first(self):
+        r = berkeley_style_relation()
+        # add an irrelevant candidate confounder
+        rng = np.random.default_rng(1)
+        noise = [("x" if rng.random() < 0.5 else "y") for __ in range(len(r))]
+        r2 = Relation(
+            ["gender", "dept", "admitted", "noise"],
+            [row + (z,) for row, z in zip(r.rows, noise)],
+            name="adm2",
+        )
+        reports = detect_simpsons_paradox(
+            r2, "gender", "admitted", ["noise", "dept"]
+        )
+        assert reports[0].confounder == "dept"
+        assert reports[0].reversal
+        assert not reports[1].reversal
+        assert reports[0].shift > reports[1].shift
+        assert "REVERSAL" in str(reports[0])
+
+    def test_non_binary_treatment_rejected(self):
+        r = Relation(["t", "y"], [(1, 0), (2, 1), (3, 0)])
+        with pytest.raises(ValueError):
+            group_difference(r, "t", "y")
+
+    def test_stratum_missing_group_excluded(self):
+        r = Relation(
+            ["t", "y", "s"],
+            [("a", 1, "s1"), ("b", 0, "s1"), ("a", 1, "s2")],
+        )
+        adjusted, per_stratum = stratified_difference(r, "t", "y", "s")
+        assert per_stratum["s2"] is None
+        assert adjusted == pytest.approx(-1.0)  # only s1 counts; b − a
+
+
+class TestWhyNot:
+    @pytest.fixture()
+    def pipeline(self):
+        emp = Relation(
+            ["name", "dept", "salary"],
+            [("ann", "cs", 100), ("bob", "cs", 40), ("cal", "ee", 90)],
+            name="emp",
+        )
+        dept = Relation(["dept", "building"], [("cs", "X")], name="dept")
+        steps = [
+            QueryStep.select("high_earners", lambda t: t["salary"] > 50),
+            QueryStep.join("with_building", dept),
+            QueryStep.project("names", ["name"]),
+        ]
+        return emp, steps
+
+    def test_identifies_picky_operator(self, pipeline):
+        emp, steps = pipeline
+        results = why_not(emp, steps, lambda t: t["name"] == "bob")
+        assert results[0].picky_step == "high_earners"
+
+    def test_join_as_picky_operator(self, pipeline):
+        emp, steps = pipeline
+        results = why_not(emp, steps, lambda t: t["name"] == "cal")
+        assert results[0].picky_step == "with_building"
+
+    def test_surviving_tuple_reported(self, pipeline):
+        emp, steps = pipeline
+        results = why_not(emp, steps, lambda t: t["name"] == "ann")
+        assert results[0].picky_step is None
+        assert "survives" in str(results[0])
+
+    def test_multiple_candidates(self, pipeline):
+        emp, steps = pipeline
+        results = why_not(emp, steps, lambda t: t["dept"] == "cs")
+        by_name = {r.candidate[0]: r for r in results}
+        assert by_name["ann"].picky_step is None
+        assert by_name["bob"].picky_step == "high_earners"
+
+    def test_no_candidate_rejected(self, pipeline):
+        emp, steps = pipeline
+        with pytest.raises(ValueError):
+            why_not(emp, steps, lambda t: t["name"] == "ghost")

@@ -1,0 +1,80 @@
+"""Tests for complaint-driven training-data debugging (Rain-style)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_loan_dataset
+from repro.db import Complaint, ComplaintDebugger
+from repro.models import LogisticRegression
+from repro.models.model_selection import train_test_split
+
+
+@pytest.fixture(scope="module")
+def debug_setup():
+    data = make_loan_dataset(500, seed=81)
+    # Corrupt a slice of labels to create something worth complaining about.
+    rng = np.random.default_rng(3)
+    corrupted = rng.choice(data.n_samples, size=50, replace=False)
+    y = data.y.copy()
+    y[corrupted] = 1 - y[corrupted]
+    X_train, X_serve, y_train, __ = train_test_split(
+        data.X, y, test_size=0.3, seed=0
+    )
+    model = LogisticRegression(alpha=1.0).fit(X_train, y_train)
+    debugger = ComplaintDebugger(model, X_train, y_train, X_serve)
+    return debugger, X_serve
+
+
+def test_complaint_validation():
+    with pytest.raises(ValueError):
+        Complaint(scope=np.ones(3, dtype=bool), direction="diagonal")
+
+
+def test_aggregate_hard_vs_relaxed(debug_setup):
+    debugger, X_serve = debug_setup
+    complaint = Complaint(scope=np.ones(X_serve.shape[0], dtype=bool))
+    hard = debugger.aggregate(complaint)
+    relaxed = debugger.aggregate(complaint, relaxed=True)
+    assert hard == int(hard)
+    assert abs(hard - relaxed) < X_serve.shape[0] * 0.5
+
+
+def test_ranking_moves_aggregate_in_complained_direction(debug_setup):
+    debugger, X_serve = debug_setup
+    scope = X_serve[:, 1] == 1.0
+    complaint = Complaint(scope=scope, direction="lower")
+    ranking = debugger.rank_training_points(complaint)
+    fix = debugger.fix_rate(
+        complaint, ranking, k=25,
+        model_factory=lambda: LogisticRegression(alpha=1.0),
+    )
+    assert fix["movement"] >= 0
+    assert fix["after"] <= fix["before"]
+
+
+def test_influence_ranking_beats_random(debug_setup, rng):
+    debugger, X_serve = debug_setup
+    scope = np.ones(X_serve.shape[0], dtype=bool)
+    complaint = Complaint(scope=scope, direction="lower")
+    ranking = debugger.rank_training_points(complaint)
+    guided = debugger.fix_rate(
+        complaint, ranking, k=30,
+        model_factory=lambda: LogisticRegression(alpha=1.0),
+    )
+    random_movements = []
+    for __ in range(5):
+        random_ranking = rng.permutation(len(ranking))
+        random_fix = debugger.fix_rate(
+            complaint, random_ranking, k=30,
+            model_factory=lambda: LogisticRegression(alpha=1.0),
+        )
+        random_movements.append(random_fix["movement"])
+    assert guided["movement"] > np.mean(random_movements)
+
+
+def test_higher_direction_reverses_ranking(debug_setup):
+    debugger, X_serve = debug_setup
+    scope = np.ones(X_serve.shape[0], dtype=bool)
+    lower = debugger.rank_training_points(Complaint(scope, "lower"))
+    higher = debugger.rank_training_points(Complaint(scope, "higher"))
+    assert lower[0] == higher[-1]

@@ -1,0 +1,104 @@
+"""Property-based tests of the semiring laws for every provenance domain."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import (
+    BooleanSemiring,
+    CountingSemiring,
+    LineageSemiring,
+    WhySemiring,
+)
+
+SEMIRINGS = {
+    "boolean": BooleanSemiring(),
+    "counting": CountingSemiring(),
+    "why": WhySemiring(),
+    "lineage": LineageSemiring(),
+}
+
+# Element generators per semiring: small closed universes so hypothesis
+# explores the algebra rather than the representation.
+ids = st.integers(0, 4)
+
+
+def elements(name):
+    if name == "boolean":
+        return st.booleans()
+    if name == "counting":
+        return st.integers(0, 20)
+    if name == "why":
+        return st.frozensets(st.frozensets(ids, max_size=3), max_size=3).map(
+            WhySemiring._minimize
+        )
+    # lineage: None (= ⊥) or a frozenset
+    return st.one_of(st.none(), st.frozensets(ids, max_size=4))
+
+
+@pytest.mark.parametrize("name", list(SEMIRINGS))
+class TestSemiringLaws:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_plus_commutative_associative(self, name, data):
+        K = SEMIRINGS[name]
+        elems = elements(name)
+        a, b, c = (data.draw(elems) for __ in range(3))
+        assert K.plus(a, b) == K.plus(b, a)
+        assert K.plus(K.plus(a, b), c) == K.plus(a, K.plus(b, c))
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_times_commutative_associative(self, name, data):
+        K = SEMIRINGS[name]
+        elems = elements(name)
+        a, b, c = (data.draw(elems) for __ in range(3))
+        assert K.times(a, b) == K.times(b, a)
+        assert K.times(K.times(a, b), c) == K.times(a, K.times(b, c))
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_identities(self, name, data):
+        K = SEMIRINGS[name]
+        a = data.draw(elements(name))
+        assert K.plus(a, K.zero) == a
+        assert K.times(a, K.one) == a
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_zero_annihilates(self, name, data):
+        K = SEMIRINGS[name]
+        a = data.draw(elements(name))
+        assert K.times(a, K.zero) == K.zero
+
+
+# Distributivity holds absolutely for boolean/counting/lineage; the
+# why-semiring satisfies it modulo witness absorption (the standard
+# quotient), which _minimize normalizes — asserted separately.
+@pytest.mark.parametrize("name", ["boolean", "counting", "lineage", "why"])
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_distributivity(name, data):
+    K = SEMIRINGS[name]
+    elems = elements(name)
+    a, b, c = (data.draw(elems) for __ in range(3))
+    left = K.times(a, K.plus(b, c))
+    right = K.plus(K.times(a, b), K.times(a, c))
+    if name == "why":
+        left = WhySemiring._minimize(left)
+        right = WhySemiring._minimize(right)
+    assert left == right
+
+
+def test_why_tag_and_minimize():
+    K = WhySemiring()
+    assert K.tag("t1") == frozenset([frozenset(["t1"])])
+    bloated = frozenset([frozenset(["a"]), frozenset(["a", "b"])])
+    assert K._minimize(bloated) == frozenset([frozenset(["a"])])
+
+
+def test_lineage_bottom_behaviour():
+    K = LineageSemiring()
+    assert K.plus(None, frozenset(["x"])) == frozenset(["x"])
+    assert K.times(None, frozenset(["x"])) is None
+    assert K.times(K.tag("a"), K.tag("b")) == frozenset(["a", "b"])

@@ -1,0 +1,113 @@
+"""Tests for the mini relational engine and its provenance propagation."""
+
+import pytest
+
+from repro.db import CountingSemiring, Relation, WhySemiring
+
+
+@pytest.fixture()
+def employees():
+    return Relation(
+        ["name", "dept", "salary"],
+        [("ann", "cs", 100), ("bob", "cs", 120), ("cal", "ee", 90),
+         ("dee", "ee", 200), ("eve", "cs", 110)],
+        name="emp",
+    )
+
+
+@pytest.fixture()
+def departments():
+    return Relation(
+        ["dept", "building"],
+        [("cs", "X"), ("ee", "Y"), ("me", "Z")],
+        name="dept",
+    )
+
+
+def test_schema_validation():
+    with pytest.raises(ValueError):
+        Relation(["a", "b"], [(1,)])
+    with pytest.raises(ValueError):
+        Relation(["a"], [(1,)], annotations=[])
+
+
+def test_select_keeps_annotations(employees):
+    rich = employees.select(lambda t: t["salary"] > 100)
+    assert len(rich) == 3
+    assert {t[0] for t in rich} == {"bob", "dee", "eve"}
+    # annotations still identify the original base tuples
+    assert rich.annotations[0] == frozenset([frozenset(["emp:1"])])
+
+
+def test_project_merges_duplicate_witnesses(employees):
+    depts = employees.project(["dept"])
+    assert len(depts) == 2
+    cs_annotation = depts.annotations[depts.rows.index(("cs",))]
+    # why-provenance: three alternative single-tuple witnesses
+    assert cs_annotation == frozenset([
+        frozenset(["emp:0"]), frozenset(["emp:1"]), frozenset(["emp:4"])
+    ])
+
+
+def test_join_multiplies_annotations(employees, departments):
+    joined = employees.join(departments)
+    assert len(joined) == 5
+    assert joined.columns == ["name", "dept", "salary", "building"]
+    first = joined.annotations[0]
+    # the witness pairs the employee tuple with its department tuple
+    assert first == frozenset([frozenset(["emp:0", "dept:0"])])
+
+
+def test_join_drops_unmatched(employees, departments):
+    joined = employees.join(departments)
+    assert all(t[3] in ("X", "Y") for t in joined)  # no 'me' building
+
+
+def test_union_set_semantics(employees):
+    cs = employees.select(lambda t: t["dept"] == "cs")
+    rich = employees.select(lambda t: t["salary"] >= 110)
+    both = cs.union(rich)
+    names = {t[0] for t in both}
+    assert names == {"ann", "bob", "eve", "dee"}
+    assert len(both) == 4  # duplicates merged
+
+
+def test_union_requires_same_schema(employees, departments):
+    with pytest.raises(ValueError):
+        employees.union(departments)
+
+
+def test_group_by_aggregates(employees):
+    for agg, column, expected in [
+        ("count", None, {("cs", 3), ("ee", 2)}),
+        ("sum", "salary", {("cs", 330), ("ee", 290)}),
+        ("avg", "salary", {("cs", 110.0), ("ee", 145.0)}),
+        ("min", "salary", {("cs", 100), ("ee", 90)}),
+        ("max", "salary", {("cs", 120), ("ee", 200)}),
+    ]:
+        result = employees.group_by(["dept"], agg, column)
+        assert set(result.rows) == expected
+
+
+def test_group_by_validation(employees):
+    with pytest.raises(ValueError):
+        employees.group_by(["dept"], "median", "salary")
+    with pytest.raises(ValueError):
+        employees.group_by(["dept"], "sum")
+
+
+def test_counting_semiring_counts_derivations():
+    r = Relation(["a"], [(1,), (1,), (2,)], semiring=CountingSemiring())
+    projected = r.project(["a"])
+    counts = dict(zip([t[0] for t in projected], projected.annotations))
+    assert counts == {1: 2, 2: 1}
+
+
+def test_to_dicts(employees):
+    dicts = employees.to_dicts()
+    assert dicts[0] == {"name": "ann", "dept": "cs", "salary": 100}
+
+
+def test_missing_column_keyerror(employees):
+    with pytest.raises(KeyError):
+        employees.project(["ghost"])

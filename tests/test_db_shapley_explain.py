@@ -1,0 +1,124 @@
+"""Tests for Shapley-of-tuples and intervention-based query explanation."""
+
+import numpy as np
+import pytest
+
+from repro.db import Relation, explain_aggregate, shapley_of_tuples
+
+
+@pytest.fixture()
+def sales():
+    return Relation(
+        ["region", "product", "amount"],
+        [("east", "widget", 10.0), ("east", "gadget", 30.0),
+         ("west", "widget", 5.0), ("west", "gadget", 100.0),
+         ("east", "widget", 20.0)],
+        name="sales",
+    )
+
+
+def total_amount(rel):
+    return sum(t["amount"] for t in rel.to_dicts())
+
+
+class TestTupleShapley:
+    def test_additive_query_gives_per_tuple_amounts(self, sales):
+        phi = shapley_of_tuples(sales, total_amount)
+        amounts = [t[2] for t in sales.rows]
+        for i, amount in enumerate(amounts):
+            assert phi[i] == pytest.approx(amount)
+
+    def test_efficiency_for_nonadditive_query(self, sales):
+        def max_amount(rel):
+            values = [t["amount"] for t in rel.to_dicts()]
+            return max(values) if values else 0.0
+
+        phi = shapley_of_tuples(sales, max_amount)
+        assert sum(phi.values()) == pytest.approx(max_amount(sales))
+        # the max tuple carries most of the credit
+        assert max(phi, key=phi.get) == 3
+
+    def test_boolean_query_responsibility(self, sales):
+        def east_has_gadget(rel):
+            return float(any(
+                t["region"] == "east" and t["product"] == "gadget"
+                for t in rel.to_dicts()
+            ))
+
+        phi = shapley_of_tuples(sales, east_has_gadget)
+        assert phi[1] == pytest.approx(1.0)  # sole witness gets all credit
+        for i in (0, 2, 3, 4):
+            assert phi[i] == pytest.approx(0.0)
+
+    def test_exogenous_tuples_fixed(self, sales):
+        phi = shapley_of_tuples(sales, total_amount, endogenous=[0, 1])
+        assert set(phi) == {0, 1}
+        assert sum(phi.values()) == pytest.approx(10.0 + 30.0)
+
+    def test_sampling_close_to_exact(self, sales):
+        def skewed(rel):
+            values = sorted(t["amount"] for t in rel.to_dicts())
+            return sum(v * (i + 1) for i, v in enumerate(values))
+
+        exact = shapley_of_tuples(sales, skewed, method="exact")
+        sampled = shapley_of_tuples(
+            sales, skewed, method="sampling", n_permutations=400, seed=0
+        )
+        for i in exact:
+            assert sampled[i] == pytest.approx(exact[i], abs=3.0)
+
+    def test_unknown_method_rejected(self, sales):
+        with pytest.raises(ValueError):
+            shapley_of_tuples(sales, total_amount, method="guess")
+
+
+class TestExplainAggregate:
+    def test_top_explanation_is_the_outlier_group(self, sales):
+        explanations = explain_aggregate(
+            sales, total_amount, direction="lower", top_k=3
+        )
+        # Removing the gadget product (or west/gadget tuples) drops the
+        # total the most: the 100.0 tuple dominates.
+        assert "gadget" in explanations[0].description or \
+            "west" in explanations[0].description
+        assert explanations[0].score > 0
+
+    def test_scores_are_actual_interventions(self, sales):
+        for explanation in explain_aggregate(sales, total_amount, top_k=5):
+            remaining = sales.select(
+                lambda t, p=explanation.predicate: not p(t)
+            )
+            assert explanation.after_removal == pytest.approx(
+                total_amount(remaining)
+            )
+            assert explanation.n_removed == len(sales) - len(remaining)
+
+    def test_direction_higher(self, sales):
+        def avg_amount(rel):
+            values = [t["amount"] for t in rel.to_dicts()]
+            return sum(values) / len(values) if values else 0.0
+
+        explanations = explain_aggregate(
+            sales, avg_amount, direction="higher", top_k=3
+        )
+        # Raising the average means removing cheap tuples.
+        assert explanations[0].after_removal > avg_amount(sales)
+
+    def test_normalization_penalizes_mass_deletion(self, sales):
+        raw = explain_aggregate(sales, total_amount, top_k=10)
+        normalized = explain_aggregate(
+            sales, total_amount, top_k=10, normalize=True
+        )
+        raw_best = raw[0]
+        norm_best = normalized[0]
+        assert norm_best.n_removed <= raw_best.n_removed
+
+    def test_invalid_direction(self, sales):
+        with pytest.raises(ValueError):
+            explain_aggregate(sales, total_amount, direction="sideways")
+
+    def test_conjunctions_refine_explanations(self, sales):
+        explanations = explain_aggregate(
+            sales, total_amount, top_k=20, use_conjunctions=True
+        )
+        assert any(" AND " in e.description for e in explanations)

@@ -1,0 +1,140 @@
+"""Tests for the faithfulness and robustness evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.explanation import FeatureAttribution
+from repro.evaluation import (
+    comprehensiveness,
+    curve_auc,
+    deletion_curve,
+    faithfulness_report,
+    insertion_curve,
+    lipschitz_estimate,
+    max_sensitivity,
+    monotonicity,
+    sufficiency,
+)
+
+
+def linear_model(weights):
+    weights = np.asarray(weights, dtype=float)
+    return lambda X: np.atleast_2d(X) @ weights
+
+
+def attribution_for(x, weights):
+    x = np.asarray(x, dtype=float)
+    return FeatureAttribution(
+        values=np.asarray(weights) * x,
+        feature_names=[f"f{i}" for i in range(len(x))],
+    )
+
+
+class TestCurves:
+    def test_deletion_endpoints(self):
+        weights = [3.0, 1.0, 0.0]
+        model = linear_model(weights)
+        x = np.array([1.0, 1.0, 1.0])
+        baseline = np.zeros(3)
+        curve = deletion_curve(model, x, attribution_for(x, weights), baseline)
+        assert curve[0] == pytest.approx(4.0)   # untouched
+        assert curve[-1] == pytest.approx(0.0)  # fully deleted
+        # deleting most-important first: 4 -> 1 -> 0 -> 0
+        assert curve.tolist() == pytest.approx([4.0, 1.0, 0.0, 0.0])
+
+    def test_insertion_deletion_complementarity(self):
+        weights = [3.0, 1.0, 0.0]
+        model = linear_model(weights)
+        x = np.array([1.0, 1.0, 1.0])
+        baseline = np.zeros(3)
+        att = attribution_for(x, weights)
+        deletion = deletion_curve(model, x, att, baseline)
+        insertion = insertion_curve(model, x, att, baseline)
+        # linear model identity: ins[k] + del[k] = f(x) + f(baseline)
+        total = model(x[None, :])[0] + model(baseline[None, :])[0]
+        assert np.allclose(insertion + deletion, total)
+
+    def test_good_order_beats_bad_order(self):
+        weights = [5.0, 1.0, 0.1, 0.0]
+        model = linear_model(weights)
+        x = np.ones(4)
+        baseline = np.zeros(4)
+        good = deletion_curve(model, x, np.array([0, 1, 2, 3]), baseline)
+        bad = deletion_curve(model, x, np.array([3, 2, 1, 0]), baseline)
+        assert curve_auc(good) < curve_auc(bad)
+
+    def test_auc_validation(self):
+        with pytest.raises(ValueError):
+            curve_auc(np.array([1.0]))
+
+
+class TestPointMetrics:
+    def test_comprehensiveness_and_sufficiency(self):
+        weights = [3.0, 1.0, 0.0]
+        model = linear_model(weights)
+        x = np.ones(3)
+        baseline = np.zeros(3)
+        att = attribution_for(x, weights)
+        assert comprehensiveness(model, x, att, baseline, k=1) == \
+            pytest.approx(3.0)
+        assert sufficiency(model, x, att, baseline, k=1) == pytest.approx(3.0)
+
+    def test_monotonicity_perfect_for_true_order(self):
+        weights = [5.0, 2.0, 0.5]
+        model = linear_model(weights)
+        x = np.ones(3)
+        baseline = np.zeros(3)
+        att = attribution_for(x, weights)
+        assert monotonicity(model, x, att, baseline) == pytest.approx(1.0)
+
+
+def test_faithfulness_report_ranks_real_vs_random(loan_data, loan_logistic):
+    from repro.core.base import as_predict_fn
+    from repro.shapley import ExactShapleyExplainer
+
+    predict = as_predict_fn(loan_logistic)
+    baseline = loan_data.X.mean(axis=0)
+
+    class RandomExplainer:
+        def __init__(self, seed=0):
+            self.rng = np.random.default_rng(seed)
+
+        def explain(self, x):
+            return FeatureAttribution(
+                self.rng.normal(0, 1, loan_data.n_features),
+                loan_data.feature_names,
+            )
+
+    shap_report = faithfulness_report(
+        predict, loan_data.X[:10],
+        ExactShapleyExplainer(loan_logistic, loan_data.X[:40]),
+        baseline,
+    )
+    random_report = faithfulness_report(
+        predict, loan_data.X[:10], RandomExplainer(), baseline
+    )
+    assert shap_report["comprehensiveness"] >= \
+        random_report["comprehensiveness"]
+    assert shap_report["insertion_auc"] >= random_report["insertion_auc"]
+
+
+class TestRobustness:
+    class SmoothExplainer:
+        """Attribution = 2x (Lipschitz constant 2 per coordinate)."""
+
+        def explain(self, x):
+            x = np.asarray(x, dtype=float).ravel()
+            return FeatureAttribution(2.0 * x, [f"f{i}" for i in range(len(x))])
+
+    def test_lipschitz_of_linear_explainer(self):
+        estimate = lipschitz_estimate(
+            self.SmoothExplainer(), np.zeros(3), radius=0.5, n_samples=30,
+        )
+        assert estimate == pytest.approx(2.0, abs=0.01)
+
+    def test_max_sensitivity_scales_with_radius(self):
+        small = max_sensitivity(self.SmoothExplainer(), np.zeros(3),
+                                radius=0.1, n_samples=20)
+        large = max_sensitivity(self.SmoothExplainer(), np.zeros(3),
+                                radius=1.0, n_samples=20)
+        assert large > small

@@ -1,0 +1,147 @@
+"""Cross-module integration scenarios mirroring the tutorial's narrative."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import as_predict_fn
+
+
+def test_one_instance_many_explainers_agree_on_top_feature(
+    loan_data, loan_logistic
+):
+    """Feature-based explainers (§2.1) should broadly agree on an easy,
+    near-linear model: the same feature family dominates."""
+    from repro.shapley import ExactShapleyExplainer, KernelShapExplainer
+    from repro.surrogate import LimeTabularExplainer
+
+    x = loan_data.X[int(np.argmax(loan_data.X[:, -1]))]  # max credit score
+    background = loan_data.X[:40]
+    exact = ExactShapleyExplainer(loan_logistic, background).explain(x)
+    kernel = KernelShapExplainer(
+        loan_logistic, background, n_samples=126
+    ).explain(x)
+    # SHAP variants must agree exactly; LIME at least on sign of the top.
+    assert exact.ranking()[0] == kernel.ranking()[0]
+    lime = LimeTabularExplainer(
+        loan_logistic, loan_data, n_samples=1500, seed=0
+    ).explain(x)
+    top = exact.ranking()[0]
+    assert np.sign(lime.values[top]) == np.sign(exact.values[top])
+
+
+def test_counterfactual_is_consistent_with_recourse(loan_data, loan_logistic):
+    """§2.1.4: the recourse flipset must itself be a valid counterfactual."""
+    from repro.counterfactual import LinearRecourse
+
+    fn = as_predict_fn(loan_logistic)
+    recourse = LinearRecourse(
+        loan_logistic.coef_, loan_logistic.intercept_, loan_data
+    )
+    denied = next(x for x in loan_data.X if recourse.score(x) < 0)
+    result = recourse.find(denied)
+    assert result.feasible
+    flipped = denied.copy()
+    for action in result.actions:
+        flipped[action.feature] = action.new_value
+    assert fn(flipped[None, :])[0] >= 0.5
+
+
+def test_rule_and_reason_precision_relationship(small_classification):
+    """§2.2: a logically sufficient reason is an anchor with precision 1
+    under ANY perturbation distribution over the free features."""
+    from repro.logic import minimal_sufficient_reason, reason_to_rule
+    from repro.models import DecisionTreeClassifier
+
+    data = small_classification
+    tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(data.X, data.y)
+    x = data.X[0]
+    reason = minimal_sufficient_reason(tree, x)
+    rule = reason_to_rule(tree, x, reason, reference=data.X)
+    rng = np.random.default_rng(0)
+    # adversarially resample the free features from a wide distribution
+    rows = np.tile(x, (500, 1))
+    free = [j for j in range(data.n_features) if j not in reason]
+    rows[:, free] = rng.normal(0, 10, (500, len(free)))
+    predictions = tree.predict(rows)
+    assert np.all(predictions == rule.outcome)
+
+
+def test_data_shapley_and_influence_agree_on_harmful_points():
+    """§2.3: both training-data attribution families should flag the
+    same flipped labels."""
+    from repro.datasets import make_classification
+    from repro.datavalue import UtilityFunction, tmc_shapley
+    from repro.influence import InfluenceFunctions
+    from repro.models import LogisticRegression
+    from repro.models.model_selection import train_test_split
+
+    data = make_classification(120, n_features=4, class_sep=2.5, seed=111)
+    X_train, X_val, y_train, y_val = train_test_split(
+        data.X, data.y, test_size=0.35, seed=0
+    )
+    rng = np.random.default_rng(1)
+    flipped = rng.choice(X_train.shape[0], size=6, replace=False)
+    y_train[flipped] = 1 - y_train[flipped]
+    model = LogisticRegression(alpha=1.0).fit(X_train, y_train)
+
+    shapley = tmc_shapley(
+        UtilityFunction(lambda: LogisticRegression(alpha=1.0),
+                        X_train, y_train, X_val, y_val),
+        n_permutations=50, seed=0,
+    )
+    influence = InfluenceFunctions(model, X_train, y_train).influence_on_loss(
+        X_val, y_val
+    )
+    k = 15
+    shapley_worst = set(shapley.ranking()[:k].tolist())
+    influence_worst = set(influence.ranking()[:k].tolist())
+    flipped_set = set(flipped.tolist())
+    assert len(shapley_worst & flipped_set) >= 3
+    assert len(influence_worst & flipped_set) >= 3
+
+
+def test_unlearning_after_valuation_improves_model():
+    """Close the valuation loop: drop the lowest-valued points, accuracy
+    on clean validation should not degrade (usually improves)."""
+    from repro.datasets import make_classification
+    from repro.datavalue import knn_shapley
+    from repro.models import KNeighborsClassifier
+    from repro.models.model_selection import train_test_split
+
+    data = make_classification(300, n_features=4, class_sep=1.8, seed=113)
+    X_train, X_val, y_train, y_val = train_test_split(
+        data.X, data.y, test_size=0.3, seed=0
+    )
+    rng = np.random.default_rng(2)
+    flipped = rng.choice(X_train.shape[0], size=25, replace=False)
+    y_train[flipped] = 1 - y_train[flipped]
+    values = knn_shapley(X_train, y_train, X_val, y_val, k=5)
+    keep = values.ranking()[30:]  # drop the 30 lowest-valued points
+    before = KNeighborsClassifier(5).fit(X_train, y_train).score(X_val, y_val)
+    after = KNeighborsClassifier(5).fit(
+        X_train[keep], y_train[keep]
+    ).score(X_val, y_val)
+    assert after >= before
+
+
+def test_tutorial_pipeline_scm_to_explanations(loan_scm):
+    """§2.1.3 + §2.1.2 composition: causal and marginal Shapley run on the
+    same SCM-backed instance and both satisfy their efficiency axioms."""
+    from repro.causal import CausalShapleyExplainer
+    from repro.datasets import make_loan_dataset
+    from repro.models import LogisticRegression
+    from repro.shapley import ExactShapleyExplainer
+
+    data = make_loan_dataset(400, seed=23)
+    model = LogisticRegression(alpha=1.0).fit(data.X, data.y)
+    x = data.X[0]
+    marginal = ExactShapleyExplainer(model, data.X[:40]).explain(x)
+    causal = CausalShapleyExplainer(
+        model, loan_scm, data.feature_names,
+        n_permutations=12, n_samples=250, seed=0,
+    ).explain(x)
+    assert marginal.additivity_gap() < 1e-9
+    assert causal.additivity_gap() < 0.25  # Monte-Carlo tolerance
+    # gender has no descendant-free direct path: its direct effect is ~0
+    g = data.feature_index("gender")
+    assert abs(causal.meta["direct"][g]) < 0.1

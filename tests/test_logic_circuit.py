@@ -1,0 +1,130 @@
+"""Tests for circuit compilation, model counting and tractable SHAP."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.logic import (
+    AndNode,
+    Literal,
+    OrNode,
+    TrueNode,
+    binarize_matrix,
+    circuit_shap,
+    compile_tree,
+    conditional_expectation,
+    model_count,
+)
+from repro.models import DecisionTreeClassifier
+from repro.shapley import exact_shapley
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    data = make_classification(400, n_features=5, seed=17)
+    Xb, __ = binarize_matrix(data.X)
+    tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(Xb, data.y)
+    circuit = compile_tree(tree.tree_, 5, positive_class=1)
+    return tree, circuit, Xb
+
+
+class TestCircuitStructure:
+    def test_and_rejects_shared_variables(self):
+        with pytest.raises(ValueError):
+            AndNode([Literal(0, True), Literal(0, False)])
+
+    def test_or_requires_smoothness(self):
+        with pytest.raises(ValueError):
+            OrNode([Literal(0, True), Literal(1, True)])
+
+    def test_true_node_always_true(self):
+        assert TrueNode(3).evaluate(np.zeros(5, dtype=bool))
+
+    def test_compile_requires_binary_features(self):
+        data = make_classification(200, n_features=3, n_informative=2, seed=18)
+        tree = DecisionTreeClassifier(max_depth=3).fit(data.X, data.y)
+        with pytest.raises(ValueError):
+            compile_tree(tree.tree_, 3)
+
+
+class TestCompiledCircuit:
+    def test_agrees_with_tree_everywhere(self, compiled):
+        tree, circuit, __ = compiled
+        # exhaustive over all 2^5 assignments
+        for code in range(32):
+            assignment = np.array(
+                [(code >> j) & 1 for j in range(5)], dtype=float
+            )
+            expected = tree.predict(assignment[None, :])[0] == 1
+            assert circuit.evaluate(assignment.astype(bool)) == expected
+
+    def test_smooth_over_all_variables(self, compiled):
+        __, circuit, __ = compiled
+        assert circuit.variables == frozenset(range(5))
+
+    def test_model_count_matches_enumeration(self, compiled):
+        tree, circuit, __ = compiled
+        count = sum(
+            int(tree.predict(np.array(
+                [(code >> j) & 1 for j in range(5)], dtype=float
+            )[None, :])[0] == 1)
+            for code in range(32)
+        )
+        assert model_count(circuit, 5) == count
+
+    def test_conditional_expectation_uniform(self, compiled):
+        __, circuit, __ = compiled
+        p = np.full(5, 0.5)
+        nothing_fixed = conditional_expectation(
+            circuit, np.zeros(5, dtype=bool), np.zeros(5, dtype=bool), p
+        )
+        assert nothing_fixed == pytest.approx(model_count(circuit, 5) / 32)
+
+    def test_conditional_expectation_full_mask_is_indicator(self, compiled):
+        tree, circuit, Xb = compiled
+        x = Xb[0].astype(bool)
+        value = conditional_expectation(
+            circuit, x, np.ones(5, dtype=bool), np.full(5, 0.5)
+        )
+        assert value == float(tree.predict(Xb[:1])[0] == 1)
+
+
+class TestCircuitShap:
+    def test_matches_exact_enumeration(self, compiled):
+        __, circuit, Xb = compiled
+        p = Xb.mean(axis=0)
+        for row in (0, 3, 11):
+            x = Xb[row]
+
+            def v(masks):
+                masks = np.atleast_2d(masks)
+                return np.array([
+                    conditional_expectation(circuit, x, m, p) for m in masks
+                ])
+
+            reference = exact_shapley(v, 5)
+            fast = circuit_shap(circuit, x, p)
+            assert np.allclose(fast, reference, atol=1e-10)
+
+    def test_efficiency(self, compiled):
+        __, circuit, Xb = compiled
+        p = np.full(5, 0.5)
+        x = Xb[2]
+        phi = circuit_shap(circuit, x, p)
+        f_x = float(circuit.evaluate(x.astype(bool)))
+        expectation = model_count(circuit, 5) / 32
+        assert phi.sum() == pytest.approx(f_x - expectation, abs=1e-10)
+
+    def test_wrong_feature_count_rejected(self, compiled):
+        __, circuit, __ = compiled
+        with pytest.raises(ValueError):
+            circuit_shap(circuit, np.zeros(7))
+
+
+def test_binarize_matrix_round_trip_thresholds():
+    X = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+    Xb, thresholds = binarize_matrix(X)
+    assert thresholds.tolist() == [2.0, 20.0]
+    assert set(np.unique(Xb)) <= {0.0, 1.0}
+    Xb2, __ = binarize_matrix(X, thresholds)
+    assert np.allclose(Xb, Xb2)

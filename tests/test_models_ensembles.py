@@ -1,0 +1,101 @@
+"""Tests for random forest and gradient boosting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_xor
+from repro.models import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+)
+
+
+class TestRandomForest:
+    def test_beats_or_matches_single_stump_on_xor(self):
+        data = make_xor(400, noise=0.05, seed=1)
+        stump = DecisionTreeClassifier(max_depth=1).fit(data.X, data.y)
+        forest = RandomForestClassifier(
+            n_estimators=30, max_depth=5, seed=0
+        ).fit(data.X, data.y)
+        assert forest.score(data.X, data.y) > stump.score(data.X, data.y)
+
+    def test_probabilities_are_tree_averages(self):
+        data = make_classification(200, seed=2)
+        forest = RandomForestClassifier(n_estimators=10, max_depth=3, seed=0)
+        forest.fit(data.X, data.y)
+        proba = forest.predict_proba(data.X[:5])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        manual = np.mean(
+            [t.predict_proba(data.X[:5]) for t in forest.estimators_], axis=0
+        )
+        assert np.allclose(proba, manual)
+
+    def test_deterministic_given_seed(self):
+        data = make_classification(150, seed=3)
+        a = RandomForestClassifier(n_estimators=5, seed=42).fit(data.X, data.y)
+        b = RandomForestClassifier(n_estimators=5, seed=42).fit(data.X, data.y)
+        assert np.allclose(a.predict_proba(data.X), b.predict_proba(data.X))
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+
+class TestGradientBoosting:
+    def test_classifier_improves_with_stages(self):
+        data = make_classification(400, seed=4, class_sep=1.0)
+        weak = GradientBoostingClassifier(n_estimators=2, max_depth=2, seed=0)
+        strong = GradientBoostingClassifier(n_estimators=60, max_depth=2, seed=0)
+        assert (
+            strong.fit(data.X, data.y).score(data.X, data.y)
+            >= weak.fit(data.X, data.y).score(data.X, data.y)
+        )
+
+    def test_decision_function_is_staged_sum(self):
+        data = make_classification(150, seed=5)
+        gbm = GradientBoostingClassifier(n_estimators=8, max_depth=2, seed=0)
+        gbm.fit(data.X, data.y)
+        raw = np.full(10, gbm.init_raw_)
+        for tree in gbm.estimators_:
+            raw += gbm.learning_rate * tree.predict(data.X[:10])
+        assert np.allclose(raw, gbm.decision_function(data.X[:10]))
+
+    def test_staged_predictions_converge_to_final(self):
+        data = make_classification(150, seed=6)
+        gbm = GradientBoostingClassifier(n_estimators=5, max_depth=2, seed=0)
+        gbm.fit(data.X, data.y)
+        stages = list(gbm.staged_raw_predict(data.X[:4]))
+        assert len(stages) == 5
+        assert np.allclose(stages[-1], gbm.decision_function(data.X[:4]))
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier().fit(
+                np.zeros((6, 1)), np.array([0, 1, 2, 0, 1, 2])
+            )
+
+    def test_subsample_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_regressor_fits_smooth_function(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0, 1, (300, 1))
+        y = np.sin(6 * X[:, 0])
+        gbm = GradientBoostingRegressor(n_estimators=80, max_depth=3, seed=0)
+        assert gbm.fit(X, y).score(X, y) > 0.95
+
+    def test_newton_leaf_values_match_formula(self):
+        # With a single depth-0 stage the leaf value must be Σg/(Σh+λ).
+        data = make_classification(100, seed=8)
+        gbm = GradientBoostingClassifier(
+            n_estimators=1, max_depth=0, learning_rate=1.0, seed=0
+        ).fit(data.X, data.y)
+        from repro.models.logistic import sigmoid
+
+        t = (data.y == gbm.classes_[1]).astype(float)
+        p0 = sigmoid(np.full(len(t), gbm.init_raw_))
+        expected = (t - p0).sum() / ((p0 * (1 - p0)).sum() + gbm.leaf_l2)
+        assert gbm.estimators_[0].tree_.value[0][0] == pytest.approx(expected)

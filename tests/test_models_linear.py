@@ -1,0 +1,98 @@
+"""Tests for linear/ridge regression, including the white-box interface."""
+
+import numpy as np
+import pytest
+
+from repro.models import LinearRegression, RidgeRegression
+
+
+@pytest.fixture(scope="module")
+def linear_problem():
+    rng = np.random.default_rng(1)
+    X = rng.normal(0, 1, (200, 4))
+    coef = np.array([2.0, -1.0, 0.5, 0.0])
+    y = X @ coef + 3.0 + rng.normal(0, 0.01, 200)
+    return X, y, coef
+
+
+def test_ols_recovers_coefficients(linear_problem):
+    X, y, coef = linear_problem
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.coef_, coef, atol=0.02)
+    assert model.intercept_ == pytest.approx(3.0, abs=0.02)
+    assert model.score(X, y) > 0.999
+
+
+def test_ridge_shrinks_toward_zero(linear_problem):
+    X, y, __ = linear_problem
+    ols = LinearRegression().fit(X, y)
+    ridge = RidgeRegression(alpha=1000.0).fit(X, y)
+    assert np.linalg.norm(ridge.coef_) < np.linalg.norm(ols.coef_)
+
+
+def test_intercept_not_regularized():
+    # With a huge penalty and constant-shifted targets, the intercept must
+    # still absorb the mean.
+    X = np.random.default_rng(0).normal(0, 1, (100, 2))
+    y = np.full(100, 7.0)
+    model = RidgeRegression(alpha=1e6).fit(X, y)
+    assert model.intercept_ == pytest.approx(7.0, abs=0.01)
+
+
+def test_sample_weights_equal_duplication():
+    rng = np.random.default_rng(2)
+    X = rng.normal(0, 1, (50, 2))
+    y = X @ np.array([1.0, 2.0]) + rng.normal(0, 0.1, 50)
+    weighted = RidgeRegression(alpha=0.1).fit(
+        X, y, sample_weight=np.array([2.0] * 25 + [1.0] * 25)
+    )
+    duplicated = RidgeRegression(alpha=0.1).fit(
+        np.vstack([X[:25], X]), np.concatenate([y[:25], y])
+    )
+    assert np.allclose(weighted.coef_, duplicated.coef_, atol=1e-8)
+
+
+def test_grad_matches_finite_differences(linear_problem):
+    X, y, __ = linear_problem
+    model = RidgeRegression(alpha=0.5).fit(X, y)
+    theta = model.params
+    g = model.grad(X[:3], y[:3]).sum(axis=0)
+    eps = 1e-6
+    for j in range(theta.shape[0]):
+        bumped = theta.copy()
+        bumped[j] += eps
+        model.set_params_vector(bumped)
+        loss_hi = 0.5 * np.sum((model.predict(X[:3]) - y[:3]) ** 2)
+        bumped[j] -= 2 * eps
+        model.set_params_vector(bumped)
+        loss_lo = 0.5 * np.sum((model.predict(X[:3]) - y[:3]) ** 2)
+        assert g[j] == pytest.approx((loss_hi - loss_lo) / (2 * eps), rel=1e-4)
+    model.set_params_vector(theta)
+
+
+def test_hessian_shape_and_symmetry(linear_problem):
+    X, y, __ = linear_problem
+    model = RidgeRegression(alpha=0.5).fit(X, y)
+    H = model.hessian(X, y)
+    assert H.shape == (5, 5)
+    assert np.allclose(H, H.T)
+    assert np.all(np.linalg.eigvalsh(H) > 0)
+
+
+def test_gradient_zero_at_optimum_for_unregularized():
+    rng = np.random.default_rng(3)
+    X = rng.normal(0, 1, (80, 3))
+    y = X @ np.array([1.0, -2.0, 0.3]) + 1.0
+    model = LinearRegression().fit(X, y)
+    total_grad = model.grad(X, y).sum(axis=0)
+    assert np.allclose(total_grad, 0.0, atol=1e-8)
+
+
+def test_negative_alpha_rejected():
+    with pytest.raises(ValueError):
+        RidgeRegression(alpha=-1.0)
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        RidgeRegression().predict(np.zeros((2, 2)))

@@ -1,0 +1,96 @@
+"""Tests for logistic regression and its white-box interface."""
+
+import numpy as np
+import pytest
+
+from repro.models import LogisticRegression, sigmoid
+
+
+@pytest.fixture(scope="module")
+def separable():
+    rng = np.random.default_rng(4)
+    X = rng.normal(0, 1, (300, 3))
+    logits = 2.0 * X[:, 0] - 1.0 * X[:, 1]
+    y = (sigmoid(logits) > rng.random(300)).astype(int)
+    return X, y
+
+
+def test_sigmoid_stability_and_range():
+    z = np.array([-1000.0, -10.0, 0.0, 10.0, 1000.0])
+    p = sigmoid(z)
+    assert np.all(np.isfinite(p))
+    assert p[0] == pytest.approx(0.0, abs=1e-12)
+    assert p[2] == pytest.approx(0.5)
+    assert p[4] == pytest.approx(1.0, abs=1e-12)
+
+
+def test_learns_signal_direction(separable):
+    X, y = separable
+    model = LogisticRegression(alpha=0.5).fit(X, y)
+    assert model.coef_[0] > 0.5
+    assert model.coef_[1] < -0.2
+    assert model.score(X, y) > 0.75
+
+
+def test_predict_proba_rows_sum_to_one(separable):
+    X, y = separable
+    model = LogisticRegression().fit(X, y)
+    proba = model.predict_proba(X[:20])
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert np.all(proba >= 0)
+
+
+def test_rejects_multiclass():
+    X = np.zeros((6, 2))
+    y = np.array([0, 1, 2, 0, 1, 2])
+    with pytest.raises(ValueError):
+        LogisticRegression().fit(X, y)
+
+
+def test_arbitrary_label_values(separable):
+    X, y = separable
+    model = LogisticRegression(alpha=0.5).fit(X, np.where(y == 1, "yes", "no"))
+    assert set(model.predict(X[:10])) <= {"yes", "no"}
+
+
+def test_gradient_zero_at_optimum(separable):
+    X, y = separable
+    model = LogisticRegression(alpha=1.0, tol=1e-12).fit(X, y)
+    reg_grad = np.append(model.alpha * model.coef_, 0.0)
+    total = model.grad(X, y).sum(axis=0) + reg_grad
+    assert np.allclose(total, 0.0, atol=1e-6)
+
+
+def test_grad_matches_finite_differences(separable):
+    X, y = separable
+    model = LogisticRegression(alpha=0.5).fit(X, y)
+    theta = model.params
+    g = model.grad(X[:5], y[:5]).sum(axis=0)
+    eps = 1e-6
+    for j in range(theta.shape[0]):
+        bumped = theta.copy()
+        bumped[j] += eps
+        model.set_params_vector(bumped)
+        hi = model.loss(X[:5], y[:5]) * 5
+        bumped[j] -= 2 * eps
+        model.set_params_vector(bumped)
+        lo = model.loss(X[:5], y[:5]) * 5
+        assert g[j] == pytest.approx((hi - lo) / (2 * eps), abs=1e-4)
+    model.set_params_vector(theta)
+
+
+def test_hessian_positive_definite(separable):
+    X, y = separable
+    model = LogisticRegression(alpha=1.0).fit(X, y)
+    H = model.hessian(X, y)
+    assert np.allclose(H, H.T)
+    assert np.all(np.linalg.eigvalsh(H) > 0)
+
+
+def test_sample_weight_zero_equals_removal(separable):
+    X, y = separable
+    w = np.ones(X.shape[0])
+    w[:50] = 0.0
+    weighted = LogisticRegression(alpha=1.0).fit(X, y, sample_weight=w)
+    removed = LogisticRegression(alpha=1.0).fit(X[50:], y[50:])
+    assert np.allclose(weighted.coef_, removed.coef_, atol=1e-6)

@@ -1,0 +1,106 @@
+"""Tests for the metrics module, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.metrics import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    pearson_correlation,
+    precision,
+    r2_score,
+    recall,
+    roc_auc,
+    spearman_correlation,
+)
+
+
+def test_accuracy_basic():
+    assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+
+def test_confusion_matrix_counts():
+    C = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+    assert C.tolist() == [[1, 1], [0, 2]]
+    assert C.sum() == 4
+
+
+def test_precision_recall_f1_consistency():
+    y_true = [1, 1, 0, 0, 1]
+    y_pred = [1, 0, 1, 0, 1]
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    assert p == pytest.approx(2 / 3)
+    assert r == pytest.approx(2 / 3)
+    assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+
+def test_degenerate_precision_recall():
+    assert precision([1, 1], [0, 0]) == 0.0
+    assert recall([0, 0], [1, 1]) == 0.0
+    assert f1_score([0, 0], [0, 0]) == 0.0
+
+
+def test_log_loss_perfect_and_bad():
+    assert log_loss([1, 0], [1.0, 0.0]) < 1e-10
+    assert log_loss([1, 0], [0.5, 0.5]) == pytest.approx(np.log(2))
+    assert np.isfinite(log_loss([1], [0.0]))  # clipped
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000)
+        s = rng.random(2000)
+        assert roc_auc(y, s) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_give_half_credit(self):
+        assert roc_auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc([1, 1], [0.1, 0.9])
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 200)
+        s = rng.random(200)
+        assert roc_auc(y, s) == pytest.approx(roc_auc(y, np.exp(3 * s)))
+
+
+def test_regression_metrics():
+    y, p = [1.0, 2.0, 3.0], [1.0, 2.0, 5.0]
+    assert mean_squared_error(y, p) == pytest.approx(4 / 3)
+    assert mean_absolute_error(y, p) == pytest.approx(2 / 3)
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, [2.0, 2.0, 2.0]) == 0.0
+
+
+class TestCorrelations:
+    def test_pearson_known_value(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert pearson_correlation(a, 2 * a + 1) == pytest.approx(1.0)
+        assert pearson_correlation(a, -a) == pytest.approx(-1.0)
+        assert pearson_correlation(a, np.ones(3)) == 0.0
+
+    def test_spearman_monotone_invariance(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 100)
+        assert spearman_correlation(a, np.exp(a)) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_pearson_bounded(self, values):
+        a = np.asarray(values)
+        b = np.sin(a) + 0.5 * a
+        r = pearson_correlation(a, b)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9

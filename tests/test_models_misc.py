@@ -1,0 +1,115 @@
+"""Tests for kNN, Gaussian naive Bayes and the MLP."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.models import GaussianNB, KNeighborsClassifier, MLPClassifier
+from repro.models.preprocessing import StandardScaler
+
+
+class TestKNN:
+    def test_k1_memorizes_training_data(self):
+        data = make_classification(100, seed=1)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(data.X, data.y)
+        assert knn.score(data.X, data.y) == 1.0
+
+    def test_kneighbors_sorted_and_self_first(self):
+        data = make_classification(80, seed=2)
+        knn = KNeighborsClassifier(n_neighbors=5).fit(data.X, data.y)
+        dist, idx = knn.kneighbors(data.X[:3])
+        assert np.all(np.diff(dist, axis=1) >= 0)
+        assert idx[:, 0].tolist() == [0, 1, 2]
+        assert np.allclose(dist[:, 0], 0.0)
+
+    def test_k_validation(self):
+        data = make_classification(20, seed=3)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=30).fit(data.X, data.y)
+
+    def test_proba_is_vote_fraction(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([0, 0, 1, 1])
+        knn = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        proba = knn.predict_proba(np.array([[0.05]]))[0]
+        assert proba[0] == pytest.approx(2 / 3)
+
+
+class TestGaussianNB:
+    def test_separates_shifted_gaussians(self):
+        rng = np.random.default_rng(4)
+        X = np.vstack([rng.normal(-2, 1, (100, 2)), rng.normal(2, 1, (100, 2))])
+        y = np.array([0] * 100 + [1] * 100)
+        nb = GaussianNB().fit(X, y)
+        assert nb.score(X, y) > 0.95
+        assert nb.class_prior_.tolist() == [0.5, 0.5]
+
+    def test_handles_constant_feature(self):
+        X = np.column_stack([np.ones(60), np.linspace(-1, 1, 60)])
+        y = (X[:, 1] > 0).astype(int)
+        nb = GaussianNB().fit(X, y)
+        proba = nb.predict_proba(X)
+        assert np.all(np.isfinite(proba))
+        assert nb.score(X, y) > 0.9
+
+    def test_proba_normalized(self):
+        data = make_classification(100, seed=5)
+        proba = GaussianNB().fit(data.X, data.y).predict_proba(data.X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestMLP:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        data = make_classification(300, n_features=4, seed=6, class_sep=2.0)
+        X = StandardScaler().fit_transform(data.X)
+        model = MLPClassifier(hidden=(16,), epochs=120, seed=0).fit(X, data.y)
+        return model, X, data.y
+
+    def test_learns_separable_data(self, trained):
+        model, X, y = trained
+        assert model.score(X, y) > 0.85
+
+    def test_input_gradient_matches_finite_differences(self, trained):
+        model, X, __ = trained
+        x = X[0].copy()
+        grad = model.input_gradient(x[None, :])[0]
+        eps = 1e-5
+        for j in range(x.shape[0]):
+            hi, lo = x.copy(), x.copy()
+            hi[j] += eps
+            lo[j] -= eps
+            fd = (
+                model.decision_function(hi[None, :])[0]
+                - model.decision_function(lo[None, :])[0]
+            ) / (2 * eps)
+            assert grad[j] == pytest.approx(fd, abs=1e-4)
+
+    def test_proba_gradient_scaling(self, trained):
+        model, X, __ = trained
+        raw_grad = model.input_gradient(X[:1], of="raw")[0]
+        proba_grad = model.input_gradient(X[:1], of="proba")[0]
+        from repro.models.logistic import sigmoid
+
+        p = sigmoid(model.decision_function(X[:1]))[0]
+        assert np.allclose(proba_grad, raw_grad * p * (1 - p), atol=1e-10)
+        with pytest.raises(ValueError):
+            model.input_gradient(X[:1], of="nonsense")
+
+    def test_randomize_layer_changes_predictions(self, trained):
+        import copy
+
+        model, X, __ = trained
+        clone = copy.deepcopy(model)
+        before = clone.decision_function(X[:20])
+        clone.randomize_layer(0, seed=9)
+        after = clone.decision_function(X[:20])
+        assert not np.allclose(before, after)
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(ValueError):
+            MLPClassifier(epochs=1).fit(
+                np.zeros((6, 2)), np.array([0, 1, 2, 0, 1, 2])
+            )

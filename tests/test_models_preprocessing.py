@@ -1,0 +1,89 @@
+"""Tests for preprocessing transformers, with round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.models.preprocessing import (
+    LabelEncoder,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(5, 3, (200, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_not_divided_by_zero(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    @given(arrays(np.float64, (7, 3),
+                  elements=st.floats(-1e6, 1e6)))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip(self, X):
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X,
+                           atol=1e-6 * (1 + np.abs(X).max()))
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.normal(0, 10, (100, 2))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == pytest.approx(0.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_round_trip(self, rng):
+        X = rng.normal(0, 10, (50, 4))
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+
+class TestOneHotEncoder:
+    def test_expansion_layout(self):
+        X = np.array([[0.0, 1.5], [1.0, 2.5], [2.0, 3.5]])
+        enc = OneHotEncoder([0]).fit(X)
+        Z = enc.transform(X)
+        assert Z.shape == (3, 4)  # 3 categories + 1 passthrough
+        assert Z[:, :3].sum(axis=1).tolist() == [1.0, 1.0, 1.0]
+        assert Z[:, 3].tolist() == [1.5, 2.5, 3.5]
+        assert enc.output_feature_of(0) == slice(0, 3)
+        assert enc.output_feature_of(1) == slice(3, 4)
+
+    def test_round_trip(self, rng):
+        X = np.column_stack([
+            rng.integers(0, 4, 50).astype(float),
+            rng.normal(0, 1, 50),
+            rng.integers(0, 2, 50).astype(float),
+        ])
+        enc = OneHotEncoder([0, 2]).fit(X)
+        assert np.allclose(enc.inverse_transform(enc.transform(X)), X)
+
+    def test_wrong_width_rejected(self):
+        enc = OneHotEncoder([0]).fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            enc.transform(np.zeros((3, 5)))
+
+
+class TestLabelEncoder:
+    def test_round_trip_strings(self):
+        y = ["cat", "dog", "cat", "bird"]
+        enc = LabelEncoder().fit(y)
+        codes = enc.transform(y)
+        assert codes.dtype == int
+        assert list(enc.inverse_transform(codes)) == y
+
+    def test_unseen_label_rejected(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            enc.transform(["c"])

@@ -1,0 +1,64 @@
+"""Tests for train/test splitting and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.models import LogisticRegression
+from repro.models.model_selection import KFold, cross_val_score, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        X = np.arange(100).reshape(50, 2).astype(float)
+        y = np.arange(50)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.2, seed=0)
+        assert Xtr.shape[0] + Xte.shape[0] == 50
+        assert set(ytr) | set(yte) == set(range(50))
+        assert set(ytr) & set(yte) == set()
+
+    def test_test_size_fraction(self):
+        X = np.zeros((100, 1))
+        y = np.zeros(100)
+        __, Xte, __, __ = train_test_split(X, y, test_size=0.3, seed=1)
+        assert Xte.shape[0] == 30
+
+    def test_stratified_preserves_proportions(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.zeros((100, 1))
+        __, __, ytr, yte = train_test_split(
+            X, y, test_size=0.25, seed=2, stratify=True
+        )
+        assert np.mean(yte) == pytest.approx(0.2, abs=0.05)
+        assert np.mean(ytr) == pytest.approx(0.2, abs=0.05)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((10, 1)), np.zeros(10), test_size=1.5)
+
+
+class TestKFold:
+    def test_every_index_tested_exactly_once(self):
+        folds = list(KFold(n_splits=5, seed=0).split(53))
+        tested = np.concatenate([test for __, test in folds])
+        assert sorted(tested.tolist()) == list(range(53))
+
+    def test_train_test_disjoint_per_fold(self):
+        for train, test in KFold(n_splits=4, seed=1).split(40):
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 40
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=10).split(5))
+
+
+def test_cross_val_score_reasonable():
+    data = make_classification(250, seed=9, class_sep=2.0)
+    scores = cross_val_score(
+        lambda: LogisticRegression(alpha=1.0), data.X, data.y, n_splits=4
+    )
+    assert scores.shape == (4,)
+    assert scores.mean() > 0.8

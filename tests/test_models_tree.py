@@ -1,0 +1,107 @@
+"""Tests for CART trees and the exported TreeStructure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification, make_xor
+from repro.models import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+def test_fits_axis_aligned_concept_perfectly():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, (300, 2))
+    y = (X[:, 0] > 0.2).astype(int)
+    tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+    assert tree.score(X, y) == 1.0
+    # The root split should be on feature 0 near 0.2.
+    assert tree.tree_.feature[0] == 0
+    assert tree.tree_.threshold[0] == pytest.approx(0.2, abs=0.05)
+
+
+def test_solves_xor_given_enough_depth():
+    # Greedy CART needs extra depth on XOR: no single split has gain, so
+    # the first cuts land wherever sampling noise points (the classic
+    # interaction blind spot the tutorial's LIME critique relies on too).
+    data = make_xor(400, noise=0.0, seed=1)
+    tree = DecisionTreeClassifier(max_depth=6).fit(data.X, data.y)
+    assert tree.score(data.X, data.y) > 0.97
+
+
+def test_max_depth_respected():
+    data = make_classification(300, seed=2)
+    tree = DecisionTreeClassifier(max_depth=3).fit(data.X, data.y)
+    assert tree.tree_.depth(0) <= 3
+
+
+def test_min_samples_leaf_respected():
+    data = make_classification(200, seed=3)
+    tree = DecisionTreeClassifier(min_samples_leaf=20).fit(data.X, data.y)
+    structure = tree.tree_
+    leaves = [n for n in range(structure.n_nodes) if structure.is_leaf(n)]
+    assert all(structure.n_node_samples[n] >= 20 for n in leaves)
+
+
+def test_predict_proba_matches_leaf_composition():
+    data = make_classification(300, seed=4)
+    tree = DecisionTreeClassifier(max_depth=2).fit(data.X, data.y)
+    proba = tree.predict_proba(data.X)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    leaves = tree.tree_.apply(data.X)
+    for leaf in np.unique(leaves):
+        members = leaves == leaf
+        empirical = np.mean(data.y[members] == tree.classes_[1])
+        assert proba[members][0][1] == pytest.approx(empirical)
+
+
+def test_entropy_criterion_works():
+    data = make_classification(200, seed=5)
+    tree = DecisionTreeClassifier(max_depth=4, criterion="entropy")
+    assert tree.fit(data.X, data.y).score(data.X, data.y) > 0.8
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier(criterion="nope")
+
+
+def test_decision_path_consistent_with_apply():
+    data = make_classification(100, seed=6)
+    tree = DecisionTreeClassifier(max_depth=4).fit(data.X, data.y)
+    x = data.X[0]
+    path = tree.tree_.decision_path(x)
+    node = 0
+    for recorded, feature, threshold, went_left in path:
+        assert recorded == node
+        assert went_left == (x[feature] <= threshold)
+        node = (tree.tree_.children_left[node] if went_left
+                else tree.tree_.children_right[node])
+    assert node == tree.tree_.apply(x[None, :])[0]
+
+
+def test_sample_weight_shifts_leaf_probabilities():
+    X = np.array([[0.0], [0.0], [1.0]])
+    y = np.array([0, 1, 1])
+    w = np.array([10.0, 1.0, 1.0])
+    tree = DecisionTreeClassifier(max_depth=0).fit(X, y, sample_weight=w)
+    proba = tree.predict_proba(np.array([[0.0]]))[0]
+    assert proba[0] == pytest.approx(10 / 12)
+
+
+class TestRegressor:
+    def test_recovers_piecewise_constant(self):
+        X = np.linspace(0, 1, 200)[:, None]
+        y = np.where(X[:, 0] > 0.5, 3.0, -1.0)
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert tree.score(X, y) == pytest.approx(1.0)
+        assert tree.tree_.threshold[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_deeper_trees_reduce_training_error(self):
+        rng = np.random.default_rng(7)
+        X = rng.uniform(0, 1, (300, 2))
+        y = np.sin(5 * X[:, 0]) + X[:, 1] ** 2
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y).score(X, y)
+        deep = DecisionTreeRegressor(max_depth=6).fit(X, y).score(X, y)
+        assert deep > shallow
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(8).normal(0, 1, (50, 3))
+        tree = DecisionTreeRegressor().fit(X, np.full(50, 2.5))
+        assert tree.tree_.n_nodes == 1
+        assert tree.predict(X)[0] == pytest.approx(2.5)

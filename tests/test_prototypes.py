@@ -1,0 +1,127 @@
+"""Tests for MMD-critic prototypes and criticisms."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.prototypes import (
+    PrototypeClassifier,
+    mmd_squared,
+    rbf_kernel,
+    select_criticisms,
+    select_prototypes,
+)
+
+
+@pytest.fixture(scope="module")
+def clusters():
+    """Three well-separated Gaussian clusters + a handful of outliers."""
+    rng = np.random.default_rng(3)
+    centers = np.array([[0.0, 0.0], [6.0, 0.0], [0.0, 6.0]])
+    X = np.vstack([
+        rng.normal(0, 0.5, (60, 2)) + center for center in centers
+    ])
+    outliers = np.array([[12.0, 12.0], [-8.0, 3.0]])
+    return np.vstack([X, outliers]), outliers
+
+
+class TestKernelAndMMD:
+    def test_kernel_properties(self, clusters):
+        X, __ = clusters
+        K = rbf_kernel(X, X)
+        assert np.allclose(np.diag(K), 1.0)
+        assert np.allclose(K, K.T)
+        assert np.all((K >= 0) & (K <= 1))
+
+    def test_mmd_zero_for_full_set(self, clusters):
+        X, __ = clusters
+        assert mmd_squared(X, np.arange(X.shape[0])) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_mmd_positive_for_bad_subset(self, clusters):
+        X, __ = clusters
+        # prototypes from a single cluster misrepresent the data
+        assert mmd_squared(X, np.arange(5)) > 0.01
+
+    def test_empty_prototype_set_rejected(self, clusters):
+        X, __ = clusters
+        with pytest.raises(ValueError):
+            mmd_squared(X, np.array([], dtype=int))
+
+
+class TestSelection:
+    def test_prototypes_cover_all_clusters(self, clusters):
+        X, __ = clusters
+        idx = select_prototypes(X, 3)
+        clusters_hit = {int(i // 60) for i in idx if i < 180}
+        assert clusters_hit == {0, 1, 2}
+
+    def test_greedy_decreases_mmd(self, clusters):
+        X, __ = clusters
+        idx = select_prototypes(X, 8)
+        mmds = [
+            mmd_squared(X, idx[: k + 1]) for k in range(len(idx))
+        ]
+        # non-strictly decreasing overall trend: final ≪ first
+        assert mmds[-1] < mmds[0] * 0.5
+
+    def test_prototypes_beat_random_subsets(self, clusters, rng):
+        X, __ = clusters
+        idx = select_prototypes(X, 5)
+        greedy_mmd = mmd_squared(X, idx)
+        random_mmds = [
+            mmd_squared(X, rng.choice(X.shape[0], 5, replace=False))
+            for __ in range(20)
+        ]
+        assert greedy_mmd <= np.median(random_mmds)
+
+    def test_criticisms_are_atypical_relative_to_prototypes(self, clusters):
+        # Criticisms mark where the prototype summary misrepresents the
+        # data: they must sit much farther from their nearest prototype
+        # than a typical point does.
+        X, __ = clusters
+        prototypes = select_prototypes(X, 6)
+        criticisms = select_criticisms(X, prototypes, 5)
+        P = X[prototypes]
+
+        def nearest_prototype_distance(x):
+            return float(np.min(np.linalg.norm(P - x, axis=1)))
+
+        criticism_dist = np.mean([
+            nearest_prototype_distance(X[i]) for i in criticisms
+        ])
+        population_dist = np.mean([
+            nearest_prototype_distance(x) for x in X
+        ])
+        assert criticism_dist > 1.5 * population_dist
+
+    def test_criticisms_exclude_prototypes(self, clusters):
+        X, __ = clusters
+        prototypes = select_prototypes(X, 6)
+        criticisms = select_criticisms(X, prototypes, 10)
+        assert not set(criticisms.tolist()) & set(prototypes.tolist())
+
+    def test_bounds_validation(self, clusters):
+        X, __ = clusters
+        with pytest.raises(ValueError):
+            select_prototypes(X, 0)
+        with pytest.raises(ValueError):
+            select_prototypes(X, X.shape[0] + 1)
+
+
+class TestPrototypeClassifier:
+    def test_near_model_accuracy_with_few_prototypes(self):
+        data = make_classification(400, n_features=4, class_sep=2.5, seed=5)
+        clf = PrototypeClassifier(n_prototypes_per_class=5).fit(
+            data.X, data.y
+        )
+        assert clf.score(data.X, data.y) > 0.8
+        # the summary is tiny relative to the data
+        assert len(clf.prototypes_) == 10
+
+    def test_more_prototypes_do_not_hurt_much(self):
+        data = make_classification(400, n_features=4, class_sep=2.0, seed=6)
+        small = PrototypeClassifier(3).fit(data.X, data.y).score(data.X, data.y)
+        large = PrototypeClassifier(15).fit(data.X, data.y).score(data.X, data.y)
+        assert large >= small - 0.05

@@ -1,0 +1,106 @@
+"""Tests for actionable recourse on linear classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.counterfactual import LinearRecourse, recourse_audit
+
+
+@pytest.fixture(scope="module")
+def recourse(loan_data, loan_logistic):
+    return LinearRecourse(
+        loan_logistic.coef_, loan_logistic.intercept_, loan_data,
+        grid_size=8, max_actions=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def denied_rows(loan_data, recourse):
+    return [
+        x for x in loan_data.X if recourse.score(x) < 0
+    ][:10]
+
+
+def test_already_positive_needs_no_actions(loan_data, recourse):
+    positive = next(x for x in loan_data.X if recourse.score(x) >= 0)
+    result = recourse.find(positive)
+    assert result.feasible
+    assert result.actions == []
+    assert result.total_cost == 0.0
+
+
+def test_found_actions_actually_flip(denied_rows, recourse):
+    for x in denied_rows:
+        result = recourse.find(x)
+        if not result.feasible:
+            continue
+        flipped = x.copy()
+        for action in result.actions:
+            flipped[action.feature] = action.new_value
+        assert recourse.score(flipped) >= 0
+        assert result.new_score >= 0
+
+
+def test_actions_only_touch_actionable_features(loan_data, denied_rows,
+                                                recourse):
+    non_actionable = {
+        j for j, f in enumerate(loan_data.features) if not f.actionable
+    }
+    for x in denied_rows:
+        result = recourse.find(x)
+        for action in result.actions:
+            assert action.feature not in non_actionable
+
+
+def test_monotone_directions_respected(loan_data, denied_rows, recourse):
+    for x in denied_rows:
+        result = recourse.find(x)
+        for action in result.actions:
+            spec = loan_data.features[action.feature]
+            if spec.monotone == +1:
+                assert action.new_value >= action.old_value
+
+
+def test_costs_are_percentile_shifts(loan_data, recourse, denied_rows):
+    for x in denied_rows[:3]:
+        result = recourse.find(x)
+        for action in result.actions:
+            spec = loan_data.features[action.feature]
+            if spec.is_categorical:
+                assert action.cost == 1.0
+            else:
+                col = loan_data.X[:, action.feature]
+                expected = abs(
+                    np.mean(col <= action.new_value)
+                    - np.mean(col <= action.old_value)
+                )
+                assert action.cost == pytest.approx(expected)
+
+
+def test_flipset_rendering(denied_rows, recourse):
+    result = recourse.find(denied_rows[0])
+    flipset = result.flipset()
+    assert len(flipset) == len(result.actions)
+    for name, (old, new) in flipset.items():
+        assert old != new
+
+
+def test_audit_structure_and_group_breakdown(loan_data, recourse):
+    X = loan_data.X[:120]
+    groups = X[:, loan_data.feature_index("gender")]
+    audit = recourse_audit(recourse, X, groups=groups)
+    assert "overall" in audit
+    assert "group_0.0" in audit and "group_1.0" in audit
+    overall = audit["overall"]
+    assert overall["n_denied"] > 0
+    assert 0.0 <= overall["feasible_rate"] <= 1.0
+    # group counts partition the overall denials
+    assert (
+        audit["group_0.0"]["n_denied"] + audit["group_1.0"]["n_denied"]
+        == overall["n_denied"]
+    )
+
+
+def test_mismatched_coef_width_rejected(loan_data):
+    with pytest.raises(ValueError):
+        LinearRecourse(np.zeros(3), 0.0, loan_data)

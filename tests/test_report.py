@@ -1,0 +1,57 @@
+"""Tests for the multi-method decision report."""
+
+import numpy as np
+import pytest
+
+from repro.report import decision_report
+
+
+@pytest.fixture(scope="module")
+def report(loan_data, loan_gbm):
+    return decision_report(loan_gbm, loan_data, loan_data.X[0], seed=0)
+
+
+def test_contains_all_sections(report):
+    for heading in (
+        "# Decision report",
+        "## Why — feature attribution",
+        "## Cross-check — local surrogate (LIME)",
+        "## When — anchor rule",
+        "## What would change it — counterfactual",
+        "## Trust — faithfulness spot-check",
+    ):
+        assert heading in report
+
+
+def test_decision_line_present(report, loan_gbm, loan_data):
+    from repro.core.base import as_predict_fn
+
+    score = as_predict_fn(loan_gbm)(loan_data.X[:1])[0]
+    expected = "POSITIVE" if score >= 0.5 else "NEGATIVE"
+    assert f"**Decision:** {expected}" in report
+    assert f"score {score:.3f}" in report
+
+
+def test_input_features_listed(report, loan_data):
+    for name in loan_data.feature_names:
+        assert f"- {name}:" in report
+
+
+def test_attribution_additivity_reported(report):
+    assert "additivity check" in report
+    # exact SHAP on 7 features → a tiny gap is reported
+    line = next(l for l in report.splitlines() if "additivity" in l)
+    gap = float(line.split("=")[-1].strip())
+    assert gap < 1e-6
+
+
+def test_wide_inputs_fall_back_to_kernel_shap(loan_gbm, loan_data):
+    report = decision_report(
+        loan_gbm, loan_data, loan_data.X[1], max_shap_features=3, seed=0
+    )
+    assert "Kernel SHAP (sampled)" in report
+
+
+def test_renderable_blocks_fenced(report):
+    assert report.count("```") % 2 == 0
+    assert report.count("```") >= 6  # three fenced blocks

@@ -1,0 +1,76 @@
+"""Tests for interpretable decision sets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_loan_dataset
+from repro.rules import DecisionSetClassifier
+
+
+@pytest.fixture(scope="module")
+def fitted(loan_data):
+    return DecisionSetClassifier(
+        max_rules=6, min_support=0.08, seed=0
+    ).fit(loan_data)
+
+
+def test_beats_majority_baseline(fitted, loan_data):
+    majority = max(np.mean(loan_data.y), 1 - np.mean(loan_data.y))
+    assert fitted.score(loan_data.X, loan_data.y) > majority
+
+
+def test_rule_budget_respected(fitted):
+    assert len(fitted.rules_) <= 6
+    assert all(len(rule) <= 3 for rule in fitted.rules_)
+
+
+def test_rules_have_sane_statistics(fitted):
+    for rule in fitted.rules_:
+        assert 0.0 < rule.coverage <= 1.0
+        assert 0.0 <= rule.precision <= 1.0
+
+
+def test_describe_lists_rules_and_default(fitted):
+    text = fitted.describe()
+    assert "ELSE" in text
+    assert text.count("IF") == len(fitted.rules_)
+
+
+def test_complexity_counts_predicates(fitted):
+    assert fitted.complexity == sum(len(r) for r in fitted.rules_)
+
+
+def test_interpretability_weight_shrinks_rule_sets(loan_data):
+    loose = DecisionSetClassifier(
+        max_rules=8, lambda_interpretability=0.0, seed=1
+    ).fit(loan_data)
+    tight = DecisionSetClassifier(
+        max_rules=8, lambda_interpretability=1.0, seed=1
+    ).fit(loan_data)
+    assert tight.complexity <= loose.complexity
+
+
+def test_generalizes_to_fresh_sample():
+    train = make_loan_dataset(500, seed=31)
+    test = make_loan_dataset(500, seed=32)
+    model = DecisionSetClassifier(max_rules=6, seed=0).fit(train)
+    majority = max(np.mean(test.y), 1 - np.mean(test.y))
+    assert model.score(test.X, test.y) > majority - 0.02
+
+
+def test_predict_before_fit_raises(loan_data):
+    with pytest.raises(RuntimeError):
+        DecisionSetClassifier().predict(loan_data.X)
+
+
+def test_explains_black_box_predictions(loan_data, loan_gbm):
+    # Global surrogate use: fit the decision set on model predictions.
+    from repro.core.dataset import TabularDataset
+
+    surrogate_target = loan_gbm.predict(loan_data.X)
+    surrogate_data = TabularDataset(
+        loan_data.X, surrogate_target, list(loan_data.features)
+    )
+    ds = DecisionSetClassifier(max_rules=6, seed=2).fit(surrogate_data)
+    agreement = np.mean(ds.predict(loan_data.X) == surrogate_target)
+    assert agreement > 0.75

@@ -1,0 +1,103 @@
+"""Tests for Apriori and FP-Growth, including the equivalence property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import make_baskets
+from repro.rules import apriori, association_rules, fpgrowth
+
+
+SIMPLE = [
+    frozenset({"a", "b", "c"}),
+    frozenset({"a", "b"}),
+    frozenset({"a", "c"}),
+    frozenset({"b", "c"}),
+    frozenset({"a", "b", "c"}),
+]
+
+
+class TestApriori:
+    def test_supports_on_known_transactions(self):
+        itemsets = apriori(SIMPLE, min_support=0.5)
+        assert itemsets[frozenset({"a"})] == pytest.approx(0.8)
+        assert itemsets[frozenset({"a", "b"})] == pytest.approx(0.6)
+        assert frozenset({"a", "b", "c"}) not in itemsets  # support 0.4
+
+    def test_anti_monotonicity(self):
+        itemsets = apriori(SIMPLE, min_support=0.2)
+        for itemset, support in itemsets.items():
+            for item in itemset:
+                subset = itemset - {item}
+                if subset:
+                    assert itemsets[subset] >= support - 1e-12
+
+    def test_empty_and_validation(self):
+        assert apriori([], 0.5) == {}
+        with pytest.raises(ValueError):
+            apriori(SIMPLE, 0.0)
+        with pytest.raises(ValueError):
+            apriori(SIMPLE, 1.5)
+
+
+class TestFPGrowth:
+    def test_matches_apriori_on_known_data(self):
+        for support in (0.2, 0.4, 0.6):
+            a = apriori(SIMPLE, support)
+            f = fpgrowth(SIMPLE, support)
+            assert a.keys() == f.keys()
+            for k in a:
+                assert a[k] == pytest.approx(f[k])
+
+    def test_recovers_planted_patterns(self):
+        transactions, patterns = make_baskets(
+            600, n_items=25, n_patterns=3, pattern_prob=0.35, seed=2
+        )
+        found = fpgrowth(transactions, min_support=0.2)
+        for pattern in patterns:
+            assert pattern in found, f"planted pattern {pattern} missed"
+
+    @given(st.lists(
+        st.frozensets(st.integers(0, 8), min_size=0, max_size=5),
+        min_size=1, max_size=40,
+    ), st.sampled_from([0.1, 0.25, 0.5]))
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, transactions, support):
+        a = apriori(transactions, support)
+        f = fpgrowth(transactions, support)
+        assert a.keys() == f.keys()
+        for k in a:
+            assert a[k] == pytest.approx(f[k])
+
+
+class TestAssociationRules:
+    def test_confidence_and_lift(self):
+        itemsets = apriori(SIMPLE, 0.2)
+        rules = association_rules(itemsets, min_confidence=0.7)
+        by_parts = {
+            (rule.antecedent, rule.consequent): rule for rule in rules
+        }
+        key = (frozenset({"a"}), frozenset({"b"}))
+        assert key in by_parts
+        rule = by_parts[key]
+        assert rule.confidence == pytest.approx(0.6 / 0.8)
+        assert rule.lift == pytest.approx((0.6 / 0.8) / 0.8)
+
+    def test_sorted_by_confidence(self):
+        itemsets = apriori(SIMPLE, 0.2)
+        rules = association_rules(itemsets, min_confidence=0.0)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_min_confidence_filters(self):
+        itemsets = apriori(SIMPLE, 0.2)
+        assert all(
+            r.confidence >= 0.9
+            for r in association_rules(itemsets, min_confidence=0.9)
+        )
+
+    def test_rule_rendering(self):
+        itemsets = apriori(SIMPLE, 0.2)
+        rules = association_rules(itemsets, 0.5)
+        assert "->" in str(rules[0])

@@ -1,0 +1,125 @@
+"""Tests for labeling functions, the label model and Snuba-style LF
+generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import TabularDataset
+from repro.core.explanation import Predicate, RuleExplanation
+from repro.datasets import make_classification
+from repro.rules import (
+    ABSTAIN,
+    LabelingFunction,
+    LabelModel,
+    generate_candidate_lfs,
+)
+
+
+def make_noisy_lfs(y: np.ndarray, accuracies, coverages, seed=0):
+    """Synthetic LFs with known accuracy/coverage against labels y."""
+    rng = np.random.default_rng(seed)
+    votes = []
+    for accuracy, coverage in zip(accuracies, coverages):
+        column = np.full(y.shape[0], ABSTAIN)
+        active = rng.random(y.shape[0]) < coverage
+        correct = rng.random(y.shape[0]) < accuracy
+        column[active & correct] = y[active & correct]
+        column[active & ~correct] = 1 - y[active & ~correct]
+        votes.append(column)
+    return np.column_stack(votes)
+
+
+class TestLabelingFunction:
+    def test_rule_wrapper_votes_and_abstains(self):
+        rule = RuleExplanation(
+            predicates=[Predicate(0, ">", 0.5)],
+            outcome=1.0, precision=0.9, coverage=0.3,
+        )
+        lf = LabelingFunction.from_rule(rule, "gt_half")
+        votes = lf(np.array([[0.9], [0.1]]))
+        assert votes.tolist() == [1, ABSTAIN]
+
+    def test_invalid_outputs_rejected(self):
+        lf = LabelingFunction("bad", lambda X: np.full(len(X), 7))
+        with pytest.raises(ValueError):
+            lf(np.zeros((3, 1)))
+
+
+class TestLabelModel:
+    @pytest.fixture(scope="class")
+    def noisy_setup(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, 800)
+        votes = make_noisy_lfs(
+            y,
+            accuracies=[0.9, 0.85, 0.6, 0.55],
+            coverages=[0.6, 0.5, 0.7, 0.7],
+            seed=2,
+        )
+        return y, votes
+
+    def test_recovers_accuracy_ordering(self, noisy_setup):
+        __, votes = noisy_setup
+        model = LabelModel().fit(votes)
+        a = model.accuracies_
+        assert a[0] > a[2] and a[1] > a[3]
+        assert a[0] == pytest.approx(0.9, abs=0.08)
+
+    def test_beats_majority_vote(self, noisy_setup):
+        y, votes = noisy_setup
+        model = LabelModel().fit(votes)
+        weighted = np.mean(model.predict(votes) == y)
+        majority = np.mean(LabelModel.majority_vote(votes) == y)
+        assert weighted >= majority
+
+    def test_proba_in_unit_interval(self, noisy_setup):
+        __, votes = noisy_setup
+        model = LabelModel().fit(votes)
+        p = model.predict_proba(votes[:50])
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_all_abstain_rejected(self):
+        with pytest.raises(ValueError):
+            LabelModel().fit(np.full((10, 3), ABSTAIN))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LabelModel().predict(np.zeros((2, 2), dtype=int))
+
+
+class TestGenerateCandidateLfs:
+    @pytest.fixture(scope="class")
+    def seed_data(self):
+        data = make_classification(120, n_features=4, n_informative=2,
+                                   class_sep=2.5, seed=9)
+        return data
+
+    def test_generated_lfs_meet_bars(self, seed_data):
+        lfs = generate_candidate_lfs(seed_data, min_precision=0.85,
+                                     min_coverage=0.1)
+        assert 1 <= len(lfs) <= 20
+        for lf in lfs:
+            votes = lf(seed_data.X)
+            cast = votes != ABSTAIN
+            assert cast.mean() >= 0.1
+            precision = np.mean(seed_data.y[cast] == votes[cast])
+            assert precision >= 0.85
+
+    def test_pipeline_labels_unseen_data(self):
+        # One generation process: a small labeled seed and a large
+        # unlabeled pool from the same distribution.
+        full = make_classification(720, n_features=4, n_informative=2,
+                                   class_sep=2.5, seed=9)
+        seed_data = TabularDataset(
+            full.X[:120], full.y[:120], list(full.features)
+        )
+        pool = TabularDataset(full.X[120:], full.y[120:], list(full.features))
+        lfs = generate_candidate_lfs(seed_data, min_precision=0.85)
+        votes = np.column_stack([lf(pool.X) for lf in lfs])
+        model = LabelModel().fit(votes)
+        labeled = votes[(votes != ABSTAIN).any(axis=1)]
+        covered = (votes != ABSTAIN).any(axis=1)
+        predictions = model.predict(votes[covered])
+        agreement = np.mean(predictions == pool.y[covered])
+        assert covered.mean() > 0.5
+        assert agreement > 0.8

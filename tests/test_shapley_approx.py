@@ -1,0 +1,131 @@
+"""Tests for sampling and Kernel SHAP approximations against the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.shapley import (
+    KernelShapExplainer,
+    SamplingShapleyExplainer,
+    exact_shapley,
+    kernel_shap,
+    permutation_shapley,
+    shapley_kernel_weight,
+)
+
+
+def linear_game(weights):
+    def v(masks):
+        return np.atleast_2d(masks).astype(float) @ weights
+
+    return v
+
+
+class TestPermutationSampling:
+    def test_exact_on_additive_game(self):
+        weights = np.array([1.0, 2.0, -3.0, 0.5])
+        phi, err = permutation_shapley(linear_game(weights), 4,
+                                       n_permutations=10, seed=0)
+        # Additive games have zero-variance marginals: exact regardless of m.
+        assert np.allclose(phi, weights)
+        assert np.allclose(err, 0.0, atol=1e-12)
+
+    def test_converges_to_exact_on_random_game(self):
+        rng = np.random.default_rng(5)
+        table = rng.normal(0, 1, 2 ** 5)
+
+        def v(masks):
+            masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+            return table[masks @ (1 << np.arange(5))]
+
+        reference = exact_shapley(v, 5)
+        coarse, __ = permutation_shapley(v, 5, n_permutations=20, seed=1)
+        fine, __ = permutation_shapley(v, 5, n_permutations=800, seed=1)
+        assert np.abs(fine - reference).max() < np.abs(coarse - reference).max()
+        assert np.abs(fine - reference).max() < 0.1
+
+    def test_antithetic_reduces_error(self):
+        rng = np.random.default_rng(7)
+        table = rng.normal(0, 1, 2 ** 6)
+
+        def v(masks):
+            masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+            return table[masks @ (1 << np.arange(6))]
+
+        reference = exact_shapley(v, 6)
+        errors = {"anti": [], "plain": []}
+        for seed in range(5):
+            anti, __ = permutation_shapley(v, 6, 100, antithetic=True, seed=seed)
+            plain, __ = permutation_shapley(v, 6, 100, antithetic=False, seed=seed)
+            errors["anti"].append(np.abs(anti - reference).mean())
+            errors["plain"].append(np.abs(plain - reference).mean())
+        assert np.mean(errors["anti"]) <= np.mean(errors["plain"]) * 1.25
+
+
+class TestKernelShap:
+    def test_kernel_weight_formula(self):
+        # n=4, |S|=1: 3 / (C(4,1)·1·3) = 1/4.
+        assert shapley_kernel_weight(4, 1) == pytest.approx(0.25)
+        assert shapley_kernel_weight(4, 0) == float("inf")
+        assert shapley_kernel_weight(4, 4) == float("inf")
+        # symmetric in size
+        assert shapley_kernel_weight(5, 2) == pytest.approx(
+            shapley_kernel_weight(5, 3)
+        )
+
+    def test_exact_with_full_enumeration(self):
+        rng = np.random.default_rng(9)
+        table = rng.normal(0, 1, 2 ** 6)
+
+        def v(masks):
+            masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+            return table[masks @ (1 << np.arange(6))]
+
+        reference = exact_shapley(v, 6)
+        phi, base = kernel_shap(v, 6, n_samples=2 ** 6)
+        assert np.allclose(phi, reference, atol=1e-8)
+        assert base == pytest.approx(table[0])
+
+    def test_efficiency_holds_even_when_sampled(self):
+        rng = np.random.default_rng(11)
+        table = rng.normal(0, 1, 2 ** 10)
+
+        def v(masks):
+            masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+            return table[masks @ (1 << np.arange(10))]
+
+        phi, base = kernel_shap(v, 10, n_samples=200, seed=3)
+        assert base + phi.sum() == pytest.approx(table[-1], abs=1e-8)
+
+    def test_single_player(self):
+        phi, base = kernel_shap(linear_game(np.array([2.0])), 1)
+        assert phi[0] == pytest.approx(2.0)
+        assert base == pytest.approx(0.0)
+
+
+class TestExplainersOnModel:
+    def test_kernel_matches_exact_explainer(self, loan_logistic, loan_data):
+        from repro.shapley import ExactShapleyExplainer
+
+        background = loan_data.X[:30]
+        x = loan_data.X[2]
+        exact = ExactShapleyExplainer(
+            loan_logistic, background, max_background=30
+        ).explain(x)
+        kernel = KernelShapExplainer(
+            loan_logistic, background, n_samples=2 ** 7 - 2, max_background=30
+        ).explain(x)
+        assert np.allclose(exact.values, kernel.values, atol=1e-6)
+
+    def test_sampling_close_to_exact(self, loan_logistic, loan_data):
+        from repro.shapley import ExactShapleyExplainer
+
+        background = loan_data.X[:30]
+        x = loan_data.X[2]
+        exact = ExactShapleyExplainer(
+            loan_logistic, background, max_background=30
+        ).explain(x)
+        sampled = SamplingShapleyExplainer(
+            loan_logistic, background, n_permutations=300, max_background=30
+        ).explain(x)
+        assert np.abs(exact.values - sampled.values).max() < 0.02
+        assert "std_err" in sampled.meta

@@ -1,0 +1,140 @@
+"""Tests for exact Shapley values, including the axioms (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shapley import ExactShapleyExplainer, all_coalitions, exact_shapley
+
+
+def test_all_coalitions_count_and_order():
+    subsets = all_coalitions(3)
+    assert len(subsets) == 8
+    assert subsets[0] == ()
+    assert subsets[-1] == (0, 1, 2)
+
+
+def test_additive_game_gives_per_player_value():
+    weights = np.array([1.0, -2.0, 3.0])
+
+    def v(masks):
+        return np.atleast_2d(masks).astype(float) @ weights
+
+    phi = exact_shapley(v, 3)
+    assert np.allclose(phi, weights)
+
+
+def test_symmetric_interaction_split_equally():
+    # v(S) = 1 iff both players present: each gets 1/2.
+    def v(masks):
+        masks = np.atleast_2d(masks)
+        return (masks[:, 0] & masks[:, 1]).astype(float)
+
+    phi = exact_shapley(v, 2)
+    assert np.allclose(phi, [0.5, 0.5])
+
+
+def test_glove_game():
+    # Classic: players 0,1 own left gloves, 2 owns a right glove;
+    # v = number of pairs. Known Shapley values (1/6, 1/6, 4/6).
+    def v(masks):
+        masks = np.atleast_2d(masks)
+        lefts = masks[:, 0].astype(int) + masks[:, 1].astype(int)
+        rights = masks[:, 2].astype(int)
+        return np.minimum(lefts, rights).astype(float)
+
+    phi = exact_shapley(v, 3)
+    assert np.allclose(phi, [1 / 6, 1 / 6, 4 / 6])
+
+
+def test_too_many_players_rejected():
+    with pytest.raises(ValueError):
+        exact_shapley(lambda m: np.zeros(len(np.atleast_2d(m))), 25)
+
+
+class TestAxiomsOnRandomGames:
+    """Property-based verification of the four Shapley axioms."""
+
+    @staticmethod
+    def random_game(seed: int, n: int):
+        rng = np.random.default_rng(seed)
+        table = rng.normal(0, 1, 2 ** n)
+        table[0] = 0.0
+
+        def v(masks):
+            masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+            idx = masks @ (1 << np.arange(n))
+            return table[idx]
+
+        return v, table
+
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_efficiency(self, seed, n):
+        v, table = self.random_game(seed, n)
+        phi = exact_shapley(v, n)
+        assert phi.sum() == pytest.approx(table[-1] - table[0], abs=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_null_player(self, seed):
+        # Make player 2 null by copying values from games without it.
+        n = 3
+        v, table = self.random_game(seed, n)
+        t = table.copy()
+        for s in range(2 ** n):
+            if s & 4:
+                t[s] = t[s & ~4]
+
+        def v_null(masks):
+            masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+            return t[masks @ (1 << np.arange(n))]
+
+        phi = exact_shapley(v_null, n)
+        assert phi[2] == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_symmetry(self, seed):
+        # Symmetrize players 0 and 1 by averaging over the swap.
+        n = 3
+        __, table = self.random_game(seed, n)
+
+        def swap_bits(s):
+            b0, b1 = s & 1, (s >> 1) & 1
+            return (s & ~3) | (b0 << 1) | b1
+
+        t = np.array([(table[s] + table[swap_bits(s)]) / 2
+                      for s in range(2 ** n)])
+
+        def v_sym(masks):
+            masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+            return t[masks @ (1 << np.arange(n))]
+
+        phi = exact_shapley(v_sym, n)
+        assert phi[0] == pytest.approx(phi[1], abs=1e-9)
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity(self, seed_a, seed_b):
+        n = 3
+        va, ta = self.random_game(seed_a, n)
+        vb, tb = self.random_game(seed_b, n)
+
+        def v_sum(masks):
+            return va(masks) + 2.0 * vb(masks)
+
+        phi = exact_shapley(v_sum, n)
+        expected = exact_shapley(va, n) + 2.0 * exact_shapley(vb, n)
+        assert np.allclose(phi, expected, atol=1e-9)
+
+
+def test_explainer_additivity_on_model(loan_logistic, loan_data):
+    explainer = ExactShapleyExplainer(
+        loan_logistic, loan_data.X[:40], max_background=40
+    )
+    att = explainer.explain(loan_data.X[0], feature_names=loan_data.feature_names)
+    assert att.additivity_gap() < 1e-10
+    assert att.feature_names == loan_data.feature_names
+    assert att.meta["n_evaluations"] == 2 ** loan_data.n_features

@@ -1,0 +1,98 @@
+"""Tests for Shapley interaction values."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_xor
+from repro.models import DecisionTreeClassifier
+from repro.shapley import (
+    InteractionExplainer,
+    exact_shapley,
+    shapley_interaction_values,
+)
+
+
+def random_game(seed: int, n: int):
+    rng = np.random.default_rng(seed)
+    table = rng.normal(0, 1, 2 ** n)
+    table[0] = 0.0
+
+    def v(masks):
+        masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+        return table[masks @ (1 << np.arange(n))]
+
+    return v, table
+
+
+class TestInteractionMatrix:
+    def test_pure_interaction_game(self):
+        def v(masks):
+            masks = np.atleast_2d(masks)
+            return (masks[:, 0] & masks[:, 1]).astype(float)
+
+        M = shapley_interaction_values(v, 2)
+        assert M[0, 1] == pytest.approx(0.5)
+        assert M[0, 0] == pytest.approx(0.0)
+        assert M[1, 1] == pytest.approx(0.0)
+
+    def test_additive_game_has_no_interactions(self):
+        weights = np.array([1.0, -2.0, 3.0])
+
+        def v(masks):
+            return np.atleast_2d(masks).astype(float) @ weights
+
+        M = shapley_interaction_values(v, 3)
+        off_diag = M - np.diag(np.diag(M))
+        assert np.allclose(off_diag, 0.0, atol=1e-12)
+        assert np.allclose(np.diag(M), weights)
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_rows_sum_to_shapley_values(self, seed):
+        v, __ = random_game(seed, 4)
+        M = shapley_interaction_values(v, 4)
+        phi = exact_shapley(v, 4)
+        assert np.allclose(M.sum(axis=1), phi, atol=1e-10)
+
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_total_efficiency_and_symmetry(self, seed):
+        v, table = random_game(seed, 4)
+        M = shapley_interaction_values(v, 4)
+        assert M.sum() == pytest.approx(table[-1] - table[0], abs=1e-10)
+        assert np.allclose(M, M.T)
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            shapley_interaction_values(lambda m: np.zeros(1), 20)
+
+
+class TestInteractionExplainer:
+    def test_xor_interaction_detected(self):
+        """The §2.1.2 criticism: additive scores miss XOR; the
+        interaction index finds it."""
+        data = make_xor(600, noise=0.0, seed=2)
+        tree = DecisionTreeClassifier(max_depth=6, seed=0).fit(data.X, data.y)
+        explainer = InteractionExplainer(tree, data.X[:80])
+        x = np.array([0.6, 0.6])  # deep inside a quadrant
+        att = explainer.explain(x, feature_names=["a", "b"])
+        matrix = att.meta["interactions"]
+        # the pairwise term dominates both main effects
+        assert abs(matrix[0, 1]) > abs(matrix[0, 0])
+        assert abs(matrix[0, 1]) > abs(matrix[1, 1])
+        top = explainer.strongest_interactions(x, k=1,
+                                               feature_names=["a", "b"])
+        assert {top[0][0], top[0][1]} == {"a", "b"}
+
+    def test_matrix_consistent_with_exact_shap(self, loan_logistic, loan_data):
+        explainer = InteractionExplainer(
+            loan_logistic, loan_data.X[:30], max_background=30
+        )
+        x = loan_data.X[0]
+        att = explainer.explain(x)
+        from repro.shapley import ExactShapleyExplainer
+
+        reference = ExactShapleyExplainer(
+            loan_logistic, loan_data.X[:30], max_background=30
+        ).explain(x)
+        assert np.allclose(
+            att.meta["interactions"].sum(axis=1), reference.values, atol=1e-9
+        )

@@ -1,0 +1,80 @@
+"""Tests for QII and global aggregation of local explanations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.models import GradientBoostingClassifier, LogisticRegression
+from repro.shapley import (
+    QIIExplainer,
+    TreeShapExplainer,
+    aggregate_attributions,
+    permutation_importance,
+    set_qii,
+    unary_qii,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = make_classification(300, n_features=5, n_informative=2, seed=21)
+    model = LogisticRegression(alpha=0.5).fit(data.X, data.y)
+    return data, model
+
+
+def test_unary_qii_ranks_informative_features(setup):
+    data, model = setup
+    from repro.core.base import as_predict_fn
+
+    fn = as_predict_fn(model)
+    scores = np.mean(
+        [np.abs(unary_qii(fn, x, data.X, n_samples=200)) for x in data.X[:10]],
+        axis=0,
+    )
+    # informative features are 0 and 1
+    assert min(scores[0], scores[1]) > max(scores[2:])
+
+
+def test_set_qii_empty_set_is_zero(setup):
+    data, model = setup
+    from repro.core.base import as_predict_fn
+
+    assert set_qii(as_predict_fn(model), data.X[0], data.X, []) == 0.0
+
+
+def test_qii_explainer_additivity(setup):
+    data, model = setup
+    explainer = QIIExplainer(model, data.X[:80], n_permutations=30,
+                             n_samples=60, seed=0)
+    att = explainer.explain(data.X[0])
+    # Shapley QII is efficient w.r.t. its own game by construction.
+    assert att.additivity_gap() < 1e-9
+
+
+def test_global_aggregation_and_ranking(setup):
+    data, __ = setup
+    gbm = GradientBoostingClassifier(n_estimators=15, max_depth=2, seed=0)
+    gbm.fit(data.X, data.y)
+    explainer = TreeShapExplainer(gbm)
+    global_att = aggregate_attributions(explainer, data.X[:40])
+    assert global_att.matrix.shape == (40, 5)
+    ranking = global_att.ranking()
+    assert set(ranking[:2]) <= {0, 1, 2}  # informative features dominate
+    top = global_att.top(2)
+    assert len(top) == 2 and top[0][1] >= top[1][1]
+
+
+def test_permutation_importance_identifies_signal(setup):
+    data, model = setup
+    imp = permutation_importance(model, data.X, data.y, n_repeats=3, seed=0)
+    assert imp.shape == (5,)
+    assert max(imp[0], imp[1]) > max(np.abs(imp[2:]))
+
+
+def test_shap_and_permutation_importance_agree_on_top_feature(setup):
+    data, __ = setup
+    gbm = GradientBoostingClassifier(n_estimators=20, max_depth=2, seed=0)
+    gbm.fit(data.X, data.y)
+    shap_global = aggregate_attributions(TreeShapExplainer(gbm), data.X[:40])
+    perm = permutation_importance(gbm, data.X, data.y, n_repeats=3, seed=1)
+    assert shap_global.ranking()[0] == int(np.argmax(perm))

@@ -1,0 +1,107 @@
+"""Tests for TreeSHAP against the brute-force EXPVALUE oracle."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.models import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+)
+from repro.shapley import TreeShapExplainer, exact_shapley, tree_expected_value
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_classification(300, n_features=6, seed=13)
+
+
+def assert_matches_oracle(explainer, X, rows=(0, 5, 17)):
+    for i in rows:
+        fast = explainer.explain(X[i]).values
+        reference = exact_shapley(explainer.value_function(X[i]), X.shape[1])
+        assert np.allclose(fast, reference, atol=1e-10), f"row {i}"
+
+
+def test_classifier_tree_matches_exact(data):
+    tree = DecisionTreeClassifier(max_depth=5, seed=0).fit(data.X, data.y)
+    assert_matches_oracle(TreeShapExplainer(tree), data.X)
+
+
+def test_regressor_tree_matches_exact(data):
+    y = data.X[:, 0] * 2 + data.X[:, 1] ** 2
+    tree = DecisionTreeRegressor(max_depth=5).fit(data.X, y)
+    assert_matches_oracle(TreeShapExplainer(tree), data.X)
+
+
+def test_gbm_matches_exact(data):
+    gbm = GradientBoostingClassifier(n_estimators=10, max_depth=3, seed=0)
+    gbm.fit(data.X, data.y)
+    assert_matches_oracle(TreeShapExplainer(gbm), data.X, rows=(0, 3))
+
+
+def test_gbm_regressor_matches_exact(data):
+    y = data.X[:, 0] - 0.5 * data.X[:, 2]
+    gbm = GradientBoostingRegressor(n_estimators=8, max_depth=2, seed=0)
+    gbm.fit(data.X, y)
+    assert_matches_oracle(TreeShapExplainer(gbm), data.X, rows=(0, 3))
+
+
+def test_forest_matches_exact(data):
+    forest = RandomForestClassifier(n_estimators=5, max_depth=4, seed=0)
+    forest.fit(data.X, data.y)
+    assert_matches_oracle(TreeShapExplainer(forest), data.X, rows=(0,))
+
+
+def test_local_accuracy_additivity(data):
+    gbm = GradientBoostingClassifier(n_estimators=15, max_depth=3, seed=0)
+    gbm.fit(data.X, data.y)
+    explainer = TreeShapExplainer(gbm)
+    for i in range(8):
+        att = explainer.explain(data.X[i])
+        assert att.additivity_gap() < 1e-9
+
+
+def test_expected_value_matches_empty_coalition(data):
+    tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(data.X, data.y)
+    explainer = TreeShapExplainer(tree)
+    v = explainer.value_function(data.X[0])
+    empty = v(np.zeros((1, data.n_features), dtype=bool))[0]
+    assert explainer.expected_value == pytest.approx(empty)
+
+
+def test_full_coalition_is_model_output(data):
+    tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(data.X, data.y)
+    explainer = TreeShapExplainer(tree)
+    x = data.X[7]
+    v = explainer.value_function(x)
+    full = v(np.ones((1, data.n_features), dtype=bool))[0]
+    assert full == pytest.approx(tree.predict_proba(x[None, :])[0, 1])
+
+
+def test_expvalue_respects_mask(data):
+    tree = DecisionTreeClassifier(max_depth=4, seed=0).fit(data.X, data.y)
+    x = data.X[0]
+    all_present = np.ones(data.n_features, dtype=bool)
+    assert tree_expected_value(tree.tree_, x, all_present, 1) == pytest.approx(
+        tree.predict_proba(x[None, :])[0, 1]
+    )
+
+
+def test_irrelevant_feature_gets_zero(data):
+    # Train on a single informative feature; other columns never split.
+    y = (data.X[:, 0] > 0).astype(int)
+    tree = DecisionTreeClassifier(max_depth=3, seed=0).fit(data.X, y)
+    att = TreeShapExplainer(tree).explain(data.X[0])
+    used = tree.tree_.used_features()
+    for j in range(data.n_features):
+        if j not in used:
+            assert att.values[j] == 0.0
+
+
+def test_unsupported_model_rejected():
+    with pytest.raises(TypeError):
+        TreeShapExplainer(object())

@@ -1,0 +1,102 @@
+"""Tests for LIME (tabular and text) and the weighted-regression core."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate import (
+    LimeTabularExplainer,
+    LimeTextExplainer,
+    forward_select,
+    weighted_ridge,
+)
+
+
+class TestWeightedRidge:
+    def test_recovers_exact_fit_with_uniform_weights(self, rng):
+        Z = rng.normal(0, 1, (100, 3))
+        coef_true = np.array([1.0, -2.0, 0.5])
+        y = Z @ coef_true + 4.0
+        coef, intercept = weighted_ridge(Z, y, np.ones(100), alpha=1e-8)
+        assert np.allclose(coef, coef_true, atol=1e-5)
+        assert intercept == pytest.approx(4.0, abs=1e-5)
+
+    def test_weights_focus_the_fit(self, rng):
+        # Two regimes; heavy weights on the first should recover its slope.
+        Z = np.linspace(-1, 1, 200)[:, None]
+        y = np.where(Z[:, 0] < 0, 2.0 * Z[:, 0], -1.0 * Z[:, 0])
+        w = np.where(Z[:, 0] < 0, 100.0, 0.01)
+        coef, __ = weighted_ridge(Z, y, w, alpha=1e-6)
+        assert coef[0] == pytest.approx(2.0, abs=0.05)
+
+
+def test_forward_select_finds_informative_columns(rng):
+    Z = rng.normal(0, 1, (300, 6))
+    y = 3.0 * Z[:, 1] + 2.0 * Z[:, 4] + rng.normal(0, 0.1, 300)
+    chosen = forward_select(Z, y, np.ones(300), n_select=2)
+    assert set(chosen) == {1, 4}
+
+
+class TestLimeTabular:
+    def test_keep_coefficient_sign_tracks_feature_value(
+        self, loan_data, loan_logistic
+    ):
+        # LIME's coefficient on the binary "kept" indicator is positive
+        # when keeping the value helps the prediction: a high credit
+        # score should get a positive coefficient, a low one negative.
+        lime = LimeTabularExplainer(
+            loan_logistic, loan_data, n_samples=1500, seed=0
+        )
+        j = loan_data.feature_index("credit_score")
+        scores = loan_data.X[:, j]
+        hi = int(np.argmax(scores))
+        lo = int(np.argmin(scores))
+        att_hi = lime.explain(loan_data.X[hi])
+        att_lo = lime.explain(loan_data.X[lo])
+        assert att_hi.values[j] > 0
+        assert att_lo.values[j] < 0
+        assert att_hi.feature_names == loan_data.feature_names
+        assert 0.0 <= att_hi.meta["fidelity_r2"] <= 1.0
+
+    def test_sparse_explanation_respects_budget(self, loan_data, loan_logistic):
+        lime = LimeTabularExplainer(
+            loan_logistic, loan_data, n_samples=400, n_select=3, seed=0
+        )
+        att = lime.explain(loan_data.X[1])
+        assert np.count_nonzero(att.values) <= 3
+        assert len(att.meta["selected"]) == 3
+
+    def test_seed_controls_reproducibility(self, loan_data, loan_logistic):
+        lime = LimeTabularExplainer(loan_logistic, loan_data, n_samples=300)
+        a = lime.explain(loan_data.X[0], seed=5)
+        b = lime.explain(loan_data.X[0], seed=5)
+        c = lime.explain(loan_data.X[0], seed=6)
+        assert np.allclose(a.values, b.values)
+        assert not np.allclose(a.values, c.values)
+
+
+class TestLimeText:
+    @staticmethod
+    def keyword_model(docs):
+        # Score = presence of the word "good" minus presence of "bad".
+        return np.array([
+            1.0 * ("good" in d.split()) - 1.0 * ("bad" in d.split()) + 0.5
+            for d in docs
+        ])
+
+    def test_attributes_to_cue_words(self):
+        explainer = LimeTextExplainer(self.keyword_model, n_samples=300, seed=0)
+        att = explainer.explain("the movie was good but the plot was bad")
+        scores = att.as_dict()
+        assert scores["good"] > 0.5
+        assert scores["bad"] < -0.5
+        assert abs(scores["movie"]) < 0.2
+
+    def test_empty_document_rejected(self):
+        explainer = LimeTextExplainer(self.keyword_model)
+        with pytest.raises(ValueError):
+            explainer.explain("")
+
+    def test_vocabulary_is_distinct_words(self):
+        explainer = LimeTextExplainer(self.keyword_model, n_samples=50, seed=0)
+        att = explainer.explain("spam spam spam good")
+        assert sorted(att.feature_names) == ["good", "spam"]

@@ -1,0 +1,81 @@
+"""Tests for the linear-model-tree surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.surrogate import LinearModelTree
+
+
+@pytest.fixture(scope="module")
+def piecewise_setup(rng_module=None):
+    """A black box with two linear regimes split on feature 0."""
+    rng = np.random.default_rng(11)
+    X = rng.uniform(-2, 2, (600, 3))
+
+    def model(Z):
+        left = 3.0 * Z[:, 1] + 1.0
+        right = -2.0 * Z[:, 2] + 5.0
+        return np.where(Z[:, 0] <= 0.0, left, right)
+
+    return X, model
+
+
+def test_recovers_regime_structure(piecewise_setup):
+    X, model = piecewise_setup
+    lmt = LinearModelTree(model, max_depth=1).fit(X)
+    assert lmt.n_contexts == 2
+    assert lmt.fidelity(X) > 0.98
+
+
+def test_local_coefficients_match_active_regime(piecewise_setup):
+    X, model = piecewise_setup
+    lmt = LinearModelTree(model, max_depth=1, alpha=1e-6).fit(X)
+    left_instance = np.array([-1.0, 0.5, 0.5])
+    right_instance = np.array([1.0, 0.5, 0.5])
+    left = lmt.explain(left_instance)
+    right = lmt.explain(right_instance)
+    assert left.values[1] == pytest.approx(3.0, abs=0.1)
+    assert abs(left.values[2]) < 0.1
+    assert right.values[2] == pytest.approx(-2.0, abs=0.1)
+    assert abs(right.values[1]) < 0.1
+    assert left.meta["leaf"] != right.meta["leaf"]
+
+
+def test_context_rule_describes_the_region(piecewise_setup):
+    X, model = piecewise_setup
+    lmt = LinearModelTree(model, max_depth=1).fit(X)
+    rule = lmt.context_of(np.array([-1.0, 0.0, 0.0]),
+                          feature_names=["a", "b", "c"])
+    assert len(rule) == 1
+    assert rule.predicates[0].feature == 0
+    assert rule.predicates[0].op == "<="
+
+
+def test_beats_single_linear_surrogate(piecewise_setup):
+    X, model = piecewise_setup
+    flat = LinearModelTree(model, max_depth=0).fit(X)
+    deep = LinearModelTree(model, max_depth=2).fit(X)
+    assert deep.fidelity(X) > flat.fidelity(X)
+
+
+def test_surrogate_predict_composes_leaves(piecewise_setup):
+    X, model = piecewise_setup
+    lmt = LinearModelTree(model, max_depth=1).fit(X)
+    predictions = lmt.surrogate_predict(X[:50])
+    assert predictions.shape == (50,)
+    assert np.corrcoef(predictions, model(X[:50]))[0, 1] > 0.99
+
+
+def test_unfitted_raises(piecewise_setup):
+    X, model = piecewise_setup
+    with pytest.raises(RuntimeError):
+        LinearModelTree(model).explain(X[0])
+
+
+def test_constant_black_box_handled():
+    X = np.random.default_rng(0).normal(0, 1, (100, 2))
+    lmt = LinearModelTree(lambda Z: np.full(len(Z), 0.7), max_depth=2).fit(X)
+    assert lmt.n_contexts == 1
+    att = lmt.explain(X[0])
+    assert np.allclose(att.values, 0.0)
+    assert att.base_value == pytest.approx(0.7)

@@ -1,0 +1,91 @@
+"""Tests for LIME stability indices and global tree distillation."""
+
+import numpy as np
+import pytest
+
+from repro.core.explanation import FeatureAttribution
+from repro.surrogate import TreeDistiller, csi, stability_report, vsi
+
+
+def fake_runs(value_sets):
+    return [
+        FeatureAttribution(np.asarray(values, dtype=float),
+                           [f"f{i}" for i in range(len(values))])
+        for values in value_sets
+    ]
+
+
+class TestVSI:
+    def test_identical_runs_are_perfectly_stable(self):
+        runs = fake_runs([[3.0, 2.0, 1.0, 0.0]] * 4)
+        assert vsi(runs, top_k=2) == 1.0
+
+    def test_disjoint_selections_are_unstable(self):
+        runs = fake_runs([[5.0, 4.0, 0.0, 0.0], [0.0, 0.0, 5.0, 4.0]])
+        assert vsi(runs, top_k=2) == 0.0
+
+    def test_partial_overlap(self):
+        runs = fake_runs([[5.0, 4.0, 0.1, 0.0], [5.0, 0.1, 4.0, 0.0]])
+        # top-2 sets {0,1} and {0,2}: Jaccard 1/3.
+        assert vsi(runs, top_k=2) == pytest.approx(1 / 3)
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValueError):
+            vsi(fake_runs([[1.0]]))
+
+
+class TestCSI:
+    def test_tight_coefficients_stable(self):
+        runs = fake_runs([[1.0, 2.0], [1.01, 2.01], [0.99, 1.99]])
+        assert csi(runs, top_k=2) == 1.0
+
+    def test_outlier_run_reduces_csi(self):
+        runs = fake_runs([[1.0, 2.0]] * 5 + [[50.0, 2.0]])
+        assert csi(runs, top_k=2) < 1.0
+
+
+def test_stability_report_on_real_lime(loan_data, loan_logistic):
+    from repro.surrogate import LimeTabularExplainer
+
+    lime = LimeTabularExplainer(loan_logistic, loan_data, n_samples=300)
+    report = stability_report(lime, loan_data.X[0], n_runs=4, top_k=3)
+    assert set(report) == {"vsi", "csi", "mean_fidelity"}
+    assert 0.0 <= report["vsi"] <= 1.0
+    assert 0.0 <= report["csi"] <= 1.0
+
+
+def test_more_samples_do_not_reduce_stability(loan_data, loan_logistic):
+    from repro.surrogate import LimeTabularExplainer
+
+    small = LimeTabularExplainer(loan_logistic, loan_data, n_samples=100)
+    large = LimeTabularExplainer(loan_logistic, loan_data, n_samples=2000)
+    x = loan_data.X[3]
+    vsi_small = stability_report(small, x, n_runs=5, top_k=3)["vsi"]
+    vsi_large = stability_report(large, x, n_runs=5, top_k=3)["vsi"]
+    assert vsi_large >= vsi_small - 0.15  # allow noise, expect improvement
+
+
+class TestTreeDistiller:
+    def test_high_fidelity_on_tree_like_black_box(self, loan_data, loan_gbm):
+        distiller = TreeDistiller(loan_gbm, max_depth=4)
+        distiller.fit(loan_data.X)
+        assert distiller.fidelity(loan_data.X) > 0.85
+        assert distiller.n_leaves <= 2 ** 4
+
+    def test_depth_trades_fidelity(self, loan_data, loan_gbm):
+        shallow = TreeDistiller(loan_gbm, max_depth=1).fit(loan_data.X)
+        deep = TreeDistiller(loan_gbm, max_depth=5).fit(loan_data.X)
+        assert deep.fidelity(loan_data.X) >= shallow.fidelity(loan_data.X)
+
+    def test_regression_mode(self, loan_data, loan_gbm):
+        distiller = TreeDistiller(loan_gbm, max_depth=4, task="regression")
+        distiller.fit(loan_data.X)
+        assert distiller.fidelity(loan_data.X) > 0.5
+
+    def test_fidelity_before_fit_raises(self, loan_gbm, loan_data):
+        with pytest.raises(RuntimeError):
+            TreeDistiller(loan_gbm).fidelity(loan_data.X)
+
+    def test_unknown_task_rejected(self, loan_gbm):
+        with pytest.raises(ValueError):
+            TreeDistiller(loan_gbm, task="clustering")

@@ -1,0 +1,157 @@
+"""Tests for PrIU incremental updates and decremental forests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.models import LogisticRegression, RidgeRegression
+from repro.unlearning import (
+    IncrementalLogistic,
+    IncrementalRidge,
+    UnlearnableForest,
+    timed_deletion_comparison,
+)
+
+
+@pytest.fixture(scope="module")
+def regression_problem():
+    rng = np.random.default_rng(91)
+    X = rng.normal(0, 1, (300, 5))
+    y = X @ np.array([1.0, -2.0, 0.5, 0.0, 3.0]) + rng.normal(0, 0.2, 300)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def classification_problem():
+    data = make_classification(300, n_features=5, seed=92)
+    return data.X, data.y
+
+
+class TestIncrementalRidge:
+    def test_matches_batch_fit_before_deletion(self, regression_problem):
+        X, y = regression_problem
+        incremental = IncrementalRidge(alpha=1.0).fit(X, y)
+        batch = RidgeRegression(alpha=1.0).fit(X, y)
+        assert np.allclose(incremental.coef_, batch.coef_, atol=1e-8)
+        assert incremental.intercept_ == pytest.approx(batch.intercept_)
+
+    def test_deletion_is_exact(self, regression_problem):
+        X, y = regression_problem
+        incremental = IncrementalRidge(alpha=1.0).fit(X, y)
+        incremental.delete([0, 5, 17, 100, 299])
+        assert incremental.matches_retrain()
+
+    def test_sequential_deletions_compose(self, regression_problem):
+        X, y = regression_problem
+        incremental = IncrementalRidge(alpha=0.5).fit(X, y)
+        incremental.delete([1]).delete([2]).delete([3])
+        assert incremental.matches_retrain()
+
+    def test_double_deletion_rejected(self, regression_problem):
+        X, y = regression_problem
+        incremental = IncrementalRidge().fit(X, y)
+        incremental.delete([4])
+        with pytest.raises(ValueError):
+            incremental.delete([4])
+
+    def test_predictions_update(self, regression_problem):
+        X, y = regression_problem
+        incremental = IncrementalRidge(alpha=1.0).fit(X, y)
+        before = incremental.predict(X[:5]).copy()
+        incremental.delete(np.arange(100))
+        after = incremental.predict(X[:5])
+        assert not np.allclose(before, after)
+
+
+class TestIncrementalLogistic:
+    def test_small_parameter_error_after_deletion(self, classification_problem):
+        X, y = classification_problem
+        incremental = IncrementalLogistic(alpha=1.0).fit(X, y)
+        incremental.delete(np.arange(30))
+        assert incremental.parameter_error_vs_retrain() < 1e-3
+
+    def test_accuracy_parity_with_retrain(self, classification_problem):
+        X, y = classification_problem
+        incremental = IncrementalLogistic(alpha=1.0).fit(X, y)
+        incremental.delete(np.arange(50))
+        retrained = LogisticRegression(alpha=1.0).fit(X[50:], y[50:])
+        agreement = np.mean(incremental.predict(X) == retrained.predict(X))
+        assert agreement > 0.99
+
+    def test_double_deletion_rejected(self, classification_problem):
+        X, y = classification_problem
+        incremental = IncrementalLogistic().fit(X, y)
+        incremental.delete([7])
+        with pytest.raises(ValueError):
+            incremental.delete([7])
+
+    def test_more_newton_steps_reduce_error(self, classification_problem):
+        X, y = classification_problem
+        one = IncrementalLogistic(alpha=1.0, n_newton_steps=1).fit(X, y)
+        three = IncrementalLogistic(alpha=1.0, n_newton_steps=3).fit(X, y)
+        one.delete(np.arange(60))
+        three.delete(np.arange(60))
+        assert (
+            three.parameter_error_vs_retrain()
+            <= one.parameter_error_vs_retrain() + 1e-12
+        )
+
+    def test_timed_comparison_structure(self, classification_problem):
+        X, y = classification_problem
+        result = timed_deletion_comparison(X, y, np.arange(20))
+        assert set(result) == {
+            "t_incremental", "t_retrain", "speedup", "parameter_error"
+        }
+        assert result["parameter_error"] < 1e-3
+
+
+class TestUnlearnableForest:
+    @pytest.fixture(scope="class")
+    def forest_setup(self, classification_problem):
+        X, y = classification_problem
+        forest = UnlearnableForest(
+            n_estimators=10, max_depth=6, seed=0
+        ).fit(X, y)
+        return forest, X, y
+
+    def test_initial_accuracy(self, forest_setup):
+        forest, X, y = forest_setup
+        assert forest.score(X, y) > 0.8
+
+    def test_deletion_stream_keeps_accuracy(self, classification_problem):
+        X, y = classification_problem
+        forest = UnlearnableForest(n_estimators=10, max_depth=6, seed=1)
+        forest.fit(X, y)
+        for i in range(60):
+            forest.delete(i)
+        remaining = slice(60, None)
+        retrained = UnlearnableForest(
+            n_estimators=10, max_depth=6, seed=1
+        ).fit(X[remaining], y[remaining])
+        a = forest.score(X[remaining], y[remaining])
+        b = retrained.score(X[remaining], y[remaining])
+        assert abs(a - b) < 0.08
+
+    def test_double_deletion_rejected(self, classification_problem):
+        X, y = classification_problem
+        forest = UnlearnableForest(n_estimators=3, seed=2).fit(X, y)
+        forest.delete(0)
+        with pytest.raises(ValueError):
+            forest.delete(0)
+
+    def test_leaf_counts_update_immediately(self, classification_problem):
+        X, y = classification_problem
+        forest = UnlearnableForest(n_estimators=1, max_depth=3,
+                                   rebuild_fraction=1.1, seed=3).fit(X, y)
+        tree = forest.trees_[0]
+        x = X[0]
+        leaf = tree._leaf(x)
+        count_before = leaf.counts.sum()
+        tree.delete(0)
+        assert tree._leaf(x).counts.sum() == count_before - 1
+
+    def test_binary_labels_required(self):
+        with pytest.raises(ValueError):
+            UnlearnableForest(n_estimators=1).fit(
+                np.zeros((6, 2)), np.array([0, 1, 2, 0, 1, 2])
+            )

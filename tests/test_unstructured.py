@@ -1,0 +1,152 @@
+"""Tests for gradient attributions, sanity checks and text substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_grid_images
+from repro.models import MLPClassifier
+from repro.unstructured import (
+    BagOfWords,
+    TextPipeline,
+    attribution_similarity,
+    gradient_times_input,
+    integrated_gradients,
+    make_sentiment_corpus,
+    model_randomization_test,
+    occlusion,
+    saliency,
+    smoothgrad,
+)
+
+
+@pytest.fixture(scope="module")
+def grid_setup():
+    X, y, relevance = make_grid_images(300, size=8, seed=71)
+    model = MLPClassifier(hidden=(24,), epochs=80, lr=0.03, seed=0).fit(X, y)
+    return model, X, y, relevance
+
+
+def relevance_hit_rate(values, relevant_mask, k=9):
+    top = np.argsort(-np.abs(values))[:k]
+    return np.mean(relevant_mask[top])
+
+
+class TestSaliency:
+    def test_model_learns_task(self, grid_setup):
+        model, X, y, __ = grid_setup
+        assert model.score(X, y) > 0.85
+
+    def test_saliency_concentrates_on_discriminative_pixels(self, grid_setup):
+        model, X, y, relevance = grid_setup
+        rates = []
+        for i in range(10):
+            att = saliency(model, X[i])
+            discriminative = relevance[0] | relevance[1]
+            rates.append(relevance_hit_rate(att.values, discriminative))
+        # both quadrants are discriminative; random would hit ~28%.
+        assert np.mean(rates) > 0.5
+
+    def test_signed_option(self, grid_setup):
+        model, X, __, ___ = grid_setup
+        unsigned = saliency(model, X[0]).values
+        signed = saliency(model, X[0], signed=True).values
+        assert np.all(unsigned >= 0)
+        assert np.allclose(np.abs(signed), unsigned)
+
+
+class TestIntegratedGradients:
+    def test_completeness(self, grid_setup):
+        model, X, __, ___ = grid_setup
+        for i in range(5):
+            att = integrated_gradients(model, X[i], n_steps=100)
+            assert att.additivity_gap() < 0.02
+
+    def test_zero_baseline_default(self, grid_setup):
+        model, X, __, ___ = grid_setup
+        att = integrated_gradients(model, X[0])
+        explicit = integrated_gradients(model, X[0],
+                                        baseline=np.zeros_like(X[0]))
+        assert np.allclose(att.values, explicit.values)
+
+
+class TestSmoothGrad:
+    def test_reduces_variance_relative_to_raw_gradient(self, grid_setup):
+        model, X, __, ___ = grid_setup
+        x = X[0]
+        # Perturb x slightly: smoothgrad maps should move less than raw.
+        x2 = x + np.random.default_rng(1).normal(0, 0.05, x.shape)
+        raw_shift = np.linalg.norm(
+            saliency(model, x).values - saliency(model, x2).values
+        )
+        smooth_shift = np.linalg.norm(
+            smoothgrad(model, x, n_samples=60, seed=0).values
+            - smoothgrad(model, x2, n_samples=60, seed=0).values
+        )
+        assert smooth_shift <= raw_shift * 1.1
+
+
+class TestOcclusion:
+    def test_occluding_patch_pixels_matters_most(self, grid_setup):
+        model, X, y, relevance = grid_setup
+        att = occlusion(model, X[0], grid_size=8, patch=2)
+        discriminative = relevance[0] | relevance[1]
+        assert relevance_hit_rate(att.values, discriminative) > 0.4
+
+    def test_shape_validation(self, grid_setup):
+        model, X, __, ___ = grid_setup
+        with pytest.raises(ValueError):
+            occlusion(model, X[0], grid_size=5)
+
+
+def test_gradient_times_input_zero_at_zero_pixels(grid_setup):
+    model, X, __, ___ = grid_setup
+    x = X[0].copy()
+    x[0] = 0.0
+    att = gradient_times_input(model, x)
+    assert att.values[0] == 0.0
+
+
+class TestSanityChecks:
+    def test_randomization_destroys_saliency(self, grid_setup):
+        model, X, __, ___ = grid_setup
+        results = model_randomization_test(
+            model, lambda m, x: saliency(m, x), X[:6], seed=0
+        )
+        assert results[0]["similarity"] == 1.0
+        # full randomization must reduce similarity well below control
+        assert results[-1]["similarity"] < 0.8
+
+    def test_similarity_metric_bounds(self, rng):
+        a = rng.normal(0, 1, 50)
+        assert attribution_similarity(a, a) == pytest.approx(1.0)
+        assert -1.0 <= attribution_similarity(a, rng.normal(0, 1, 50)) <= 1.0
+
+
+class TestTextSubstrate:
+    def test_bag_of_words_counts(self):
+        bow = BagOfWords().fit(["a b b", "c"])
+        X = bow.transform(["b b c unknown"])
+        as_dict = dict(zip(bow.vocabulary_, X[0]))
+        assert as_dict == {"a": 0.0, "b": 2.0, "c": 1.0}
+
+    def test_pipeline_learns_sentiment(self):
+        from repro.models import LogisticRegression
+
+        docs, labels = make_sentiment_corpus(400, seed=0)
+        pipe = TextPipeline(lambda: LogisticRegression(alpha=1.0))
+        pipe.fit(docs[:300], labels[:300])
+        assert pipe.score(docs[300:], labels[300:]) > 0.75
+
+    def test_lime_text_on_pipeline(self):
+        from repro.models import LogisticRegression
+        from repro.surrogate import LimeTextExplainer
+
+        docs, labels = make_sentiment_corpus(400, seed=1)
+        pipe = TextPipeline(lambda: LogisticRegression(alpha=1.0))
+        pipe.fit(docs, labels)
+        positive_doc = "the movie was great and the acting was excellent"
+        att = LimeTextExplainer(
+            pipe.predict_proba_docs, n_samples=400, seed=0
+        ).explain(positive_doc)
+        scores = att.as_dict()
+        assert scores["great"] > 0 or scores["excellent"] > 0
