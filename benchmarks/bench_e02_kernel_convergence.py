@@ -44,7 +44,11 @@ def test_e02_convergence(benchmark):
         kernel_errors.append(float(np.mean(kernel_err)))
         sampling_errors.append(float(np.mean(sampling_err)))
         rows.append(fmt_row(budget, kernel_errors[-1], sampling_errors[-1]))
-    emit("E2_kernel_convergence", rows)
+    emit("E2_kernel_convergence", rows, data={
+        "budgets": budgets,
+        "kernel_max_err": kernel_errors,
+        "sampling_max_err": sampling_errors,
+    })
 
     # Shape: errors shrink substantially from the smallest to largest budget,
     # and the full-enumeration kernel run is near-exact (254 = 2^8 − 2).

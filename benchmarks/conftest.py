@@ -1,32 +1,109 @@
-"""Shared helpers for the experiment benchmarks (E1–E24).
+"""Shared helpers for the experiment benchmarks (E1–E36).
 
 Each ``bench_eNN_*.py`` regenerates one experiment from DESIGN.md's index:
 it prints the table/series the claim is about (visible with ``-s``; also
-echoed into ``benchmarks/results/ENN.txt``) and asserts the claim's
-*shape*, so the suite doubles as a regression harness for the headline
-results. The ``benchmark`` fixture times the experiment's representative
-kernel.
+persisted under ``benchmarks/results/``) and asserts the claim's *shape*,
+so the suite doubles as a regression harness for the headline results.
+The ``benchmark`` fixture times the experiment's representative kernel.
+
+Telemetry: every call to :func:`emit` now writes, atomically,
+
+* ``results/<experiment>.txt`` — the human table, headed by the
+  experiment id and an ISO timestamp;
+* ``results/<experiment>.json`` — the same lines plus optional
+  structured ``data`` rows, the test's wall time, the model-eval
+  counters it spent (``repro.obs`` meter deltas) and per-explainer span
+  aggregates;
+* ``BENCH_summary.json`` at the repository root — the rolling perf
+  trajectory mapping experiment id → latest entry.
 """
 
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
+from repro import obs
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_SUMMARY = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_summary.json",
+)
+
+# Per-test observation window, maintained by the autouse fixture below so
+# emit() can report wall time and eval-counter deltas without any changes
+# to the individual benchmark modules.
+_WINDOW: dict = {}
 
 
-def emit(experiment: str, lines: list[str]) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
+def _counter_values() -> dict[str, int]:
+    return {
+        "model_calls": obs.counter("model.calls").value,
+        "model_rows": obs.counter("model.rows").value,
+    }
+
+
+@pytest.fixture(autouse=True)
+def _obs_window():
+    _WINDOW["t0"] = time.perf_counter()
+    _WINDOW["counters"] = _counter_values()
+    _WINDOW["span_mark"] = obs.get_tracer().mark()
+    yield
+    _WINDOW.clear()
+
+
+def emit(experiment: str, lines: list[str], data=None) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    ``data`` optionally carries the structured rows behind the formatted
+    table (any JSON-serializable value); it lands verbatim in the
+    experiment's ``.json`` record.
+    """
     banner = f"==== {experiment} ===="
     print()
     print(banner)
     for line in lines:
         print(line)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as f:
-        f.write("\n".join([banner, *lines]) + "\n")
+
+    wall_s = None
+    counters: dict[str, int] = {}
+    spans: list[dict] = []
+    if _WINDOW:
+        wall_s = time.perf_counter() - _WINDOW["t0"]
+        before = _WINDOW["counters"]
+        counters = {
+            key: value - before.get(key, 0)
+            for key, value in _counter_values().items()
+        }
+        spans = obs.summary_dict(
+            obs.get_tracer().spans_since(_WINDOW["span_mark"])
+        )
+    timestamp = obs.bench.utc_timestamp()
+    json_path = obs.bench.write_benchmark_result(
+        RESULTS_DIR,
+        experiment,
+        lines,
+        data=data,
+        wall_s=wall_s,
+        counters=counters,
+        spans=spans,
+        timestamp=timestamp,
+    )
+    obs.bench.update_bench_summary(
+        BENCH_SUMMARY,
+        experiment,
+        {
+            "timestamp": timestamp,
+            "wall_s": None if wall_s is None else round(wall_s, 6),
+            **counters,
+            "result_json": os.path.relpath(
+                json_path, os.path.dirname(BENCH_SUMMARY)
+            ),
+        },
+    )
 
 
 def fmt_row(*cells, width: int = 14) -> str:

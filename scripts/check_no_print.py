@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Lint: forbid bare ``print(`` inside ``src/repro``.
+
+Diagnostics belong in :mod:`repro.obs` (spans, counters, summaries), not
+on stdout — a library that prints is a library whose cost you cannot
+meter. The only modules allowed to print are the human-output surfaces:
+``render.py``, ``report.py`` and ``cli.py``.
+
+AST-based, so comments and strings mentioning print() don't trip it.
+Exit status 0 when clean, 1 with a ``path:line`` listing otherwise.
+Enforced in tier-1 via ``tests/test_obs_lint_and_bench.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+ALLOWED_FILES = {"render.py", "report.py", "cli.py"}
+
+
+def find_print_calls(path: str) -> list[int]:
+    """Line numbers of bare ``print(...)`` calls in one Python file."""
+    with open(path, encoding="utf-8") as f:
+        tree = ast.parse(f.read(), filename=path)
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "print"
+    ]
+
+
+def offenders(root: str) -> list[str]:
+    """All ``path:line`` print offences under ``root``."""
+    out: list[str] = []
+    for dirpath, __, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if not name.endswith(".py") or name in ALLOWED_FILES:
+                continue
+            path = os.path.join(dirpath, name)
+            out.extend(f"{path}:{line}" for line in find_print_calls(path))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    default_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+        "repro",
+    )
+    root = argv[0] if argv else default_root
+    found = offenders(root)
+    if found:
+        sys.stderr.write(
+            "bare print() calls found (route diagnostics through repro.obs; "
+            "only render.py/report.py/cli.py may print):\n"
+        )
+        for offence in found:
+            sys.stderr.write(f"  {offence}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,10 +38,13 @@ unlearning
     PrIU incremental updates and tree unlearning (§3).
 pipelines
     Provenance-tracked data-prep pipelines and stage blame (§3).
+obs
+    Observability: spans, model-query metering, benchmark telemetry.
 """
 
 __version__ = "1.0.0"
 
+from . import obs
 from . import io, render, report
 from . import (
     adversarial,
@@ -82,6 +85,7 @@ __all__ = [
     "unlearning",
     "pipelines",
     "io",
+    "obs",
     "render",
     "report",
     "__version__",

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..obs import instrument_explainer
 from .scm import StructuralCausalModel
 from .values import interventional_value_function
 
@@ -57,6 +58,7 @@ def sample_topological_permutation(
     return np.asarray(order)
 
 
+@instrument_explainer
 class AsymmetricShapleyExplainer:
     """Shapley values averaged over causally-consistent orderings only."""
 

@@ -22,11 +22,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..obs import instrument_explainer
 from .scm import StructuralCausalModel
 
 __all__ = ["CausalShapleyExplainer"]
 
 
+@instrument_explainer
 class CausalShapleyExplainer:
     """Interventional Shapley values with direct/indirect decomposition.
 

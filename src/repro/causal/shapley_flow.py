@@ -30,6 +30,7 @@ from collections import defaultdict
 
 import numpy as np
 
+from ..obs import instrument_explainer
 from .scm import StructuralCausalModel
 
 __all__ = ["ShapleyFlowExplainer", "FlowResult"]
@@ -71,6 +72,7 @@ class FlowResult:
         return max(sink_gap, root_gap)
 
 
+@instrument_explainer
 class ShapleyFlowExplainer:
     """Monte-Carlo Shapley flow over an SCM with additive noise.
 

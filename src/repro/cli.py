@@ -11,6 +11,11 @@ Commands
     List the benchmark experiments (E1…) with their claims.
 ``examples``
     List the runnable example scripts.
+``trace``
+    Run any other command with observability forced on; writes the span
+    stream as JSONL and prints the per-explainer cost summary. The same
+    effect is available on every command via the global ``--trace OUT``
+    flag, e.g. ``python -m repro --trace demo.jsonl demo``.
 """
 
 from __future__ import annotations
@@ -118,10 +123,47 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest or rest[0] == "trace":
+        print("usage: repro trace [--out OUT.jsonl] <command> [args...]")
+        return 2
+    return _run_traced(rest, args.out)
+
+
+def _run_traced(argv: list[str], out_path: str) -> int:
+    """Run ``main(argv)`` with tracing forced on, exporting JSONL spans."""
+    from . import obs
+
+    obs.set_enabled(True)
+    tracer = obs.get_tracer()
+    mark = tracer.mark()
+    tracer.start_export(out_path)
+    try:
+        rc = main(argv)
+    finally:
+        tracer.stop_export()
+    print()
+    print("---- observability summary ----")
+    print(obs.summary(tracer.spans_since(mark)))
+    calls = obs.counter("model.calls").value
+    rows = obs.counter("model.rows").value
+    print(f"model evals (process totals): {calls} calls, {rows} rows")
+    print(f"trace written to {out_path}")
+    return rc
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="from-scratch reproduction of the SIGMOD'22 XAI tutorial",
+    )
+    parser.add_argument(
+        "--trace", metavar="OUT", default=None,
+        help="export a JSONL span trace of the command and print the "
+             "cost summary (same as the `trace` subcommand)",
     )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("info", help="package inventory")
@@ -130,16 +172,29 @@ def main(argv: list[str] | None = None) -> int:
     demo = sub.add_parser("demo", help="explain one loan decision 3 ways")
     demo.add_argument("--instance", default=0, type=int,
                       help="row of the loan dataset to explain")
+    trace_p = sub.add_parser(
+        "trace", help="run another command with tracing + JSONL export"
+    )
+    trace_p.add_argument("--out", "-o", default="trace.jsonl",
+                         help="JSONL output path (default: trace.jsonl)")
+    trace_p.add_argument("rest", nargs=argparse.REMAINDER,
+                         help="command (and arguments) to run traced")
     args = parser.parse_args(argv)
     handlers = {
         "info": cmd_info,
         "experiments": cmd_experiments,
         "examples": cmd_examples,
         "demo": cmd_demo,
+        "trace": cmd_trace,
     }
     if args.command is None:
         parser.print_help()
         return 2
+    if args.trace and args.command != "trace":
+        sub_argv = [args.command]
+        if args.command == "demo":
+            sub_argv += ["--instance", str(args.instance)]
+        return _run_traced(sub_argv, args.trace)
     return handlers[args.command](args)
 
 

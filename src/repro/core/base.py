@@ -5,6 +5,13 @@ plain callable ``f(X) -> outputs`` or any model from :mod:`repro.models`.
 :func:`as_predict_fn` normalizes both to a single calling convention, and
 chooses the probability of the positive class for classifiers so that every
 attribution method explains a real-valued output in ``[0, 1]``.
+
+Every normalized predict function carries the :mod:`repro.obs` model-eval
+meter: each invocation is counted (calls and batched rows) and attributed
+to the innermost open span, which is how ``explain()`` spans learn their
+model-query cost. Subclassing :class:`Explainer` auto-instruments
+``explain`` / ``explain_batch`` with spans — concrete explainers get
+telemetry with zero local code.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs.instrument import instrument_explainer
+from ..obs.metrics import meter_predict_fn
 from .explanation import FeatureAttribution
 
 __all__ = ["as_predict_fn", "Explainer", "AttributionExplainer"]
@@ -33,30 +42,55 @@ def as_predict_fn(model, output: str = "auto") -> PredictFn:
           ``predict``;
         * ``"proba"`` — require ``predict_proba[:, 1]``;
         * ``"label"`` — hard ``predict`` labels;
-        * ``"raw"`` — ``decision_function`` / raw margin when available.
+        * ``"raw"`` — require ``decision_function`` / raw margin.
+
+    The returned function is wrapped with the :mod:`repro.obs` model-eval
+    meter (idempotently — re-normalizing a metered function does not
+    double-count).
     """
+    if getattr(model, "__repro_metered__", False):
+        return model
+
     if callable(model) and not hasattr(model, "predict"):
-        return lambda X: np.asarray(model(np.atleast_2d(X)), dtype=float).ravel()
+        fn = lambda X: np.asarray(model(np.atleast_2d(X)), dtype=float).ravel()
+        return meter_predict_fn(fn)
 
     if output == "label":
-        return lambda X: np.asarray(model.predict(np.atleast_2d(X)), dtype=float).ravel()
-    if output == "raw" and hasattr(model, "decision_function"):
-        return lambda X: np.asarray(
+        fn = lambda X: np.asarray(
+            model.predict(np.atleast_2d(X)), dtype=float
+        ).ravel()
+        return meter_predict_fn(fn)
+    if output == "raw":
+        if not hasattr(model, "decision_function"):
+            raise TypeError(f"{type(model).__name__} has no decision_function")
+        fn = lambda X: np.asarray(
             model.decision_function(np.atleast_2d(X)), dtype=float
         ).ravel()
+        return meter_predict_fn(fn)
     if hasattr(model, "predict_proba") and output in ("auto", "proba"):
         def proba_fn(X: np.ndarray) -> np.ndarray:
             p = np.asarray(model.predict_proba(np.atleast_2d(X)), dtype=float)
             return p[:, 1] if p.ndim == 2 else p.ravel()
 
-        return proba_fn
+        return meter_predict_fn(proba_fn)
     if output == "proba":
         raise TypeError(f"{type(model).__name__} has no predict_proba")
-    return lambda X: np.asarray(model.predict(np.atleast_2d(X)), dtype=float).ravel()
+    fn = lambda X: np.asarray(model.predict(np.atleast_2d(X)), dtype=float).ravel()
+    return meter_predict_fn(fn)
 
 
 class Explainer(ABC):
-    """Common base: wraps a model into a normalized prediction function."""
+    """Common base: wraps a model into a normalized prediction function.
+
+    Subclasses are automatically instrumented: their own ``explain`` /
+    ``explain_batch`` definitions are wrapped in :mod:`repro.obs` spans
+    carrying the explainer name, input width, wall time and model-eval
+    counters.
+    """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        instrument_explainer(cls)
 
     def __init__(self, model, output: str = "auto") -> None:
         self.model = model

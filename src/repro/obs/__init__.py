@@ -1,0 +1,81 @@
+"""Observability: tracing, model-query metering, benchmark telemetry.
+
+The tutorial frames every post-hoc explainer as a consumer of black-box
+model queries — that is the resource being spent, and this package makes
+it measurable. Four layers, all stdlib-only:
+
+``trace``
+    Context-manager spans (monotonic wall time, contextvar nesting,
+    thread-safe) feeding a process-global :class:`Tracer` with JSONL
+    export. Disable everything with ``REPRO_OBS=0``.
+``metrics``
+    Counters/histograms plus the **model-eval meter** that
+    :func:`repro.core.base.as_predict_fn` installs around every wrapped
+    predict function: each call is attributed (calls *and* batched rows)
+    to the active span and the global ``model.calls``/``model.rows``.
+``instrument``
+    Class decorator that auto-spans ``explain``/``explain_batch`` so
+    every explainer reports ``{explainer, n_features, wall_ms,
+    model_evals, rows_evaluated}`` with zero per-module code.
+``summary`` / ``bench``
+    Aggregation + pretty tables for the CLI and decision reports, and
+    atomic writers for ``benchmarks/results/*.json`` and the top-level
+    ``BENCH_summary.json`` perf trajectory.
+
+Quick use::
+
+    from repro import obs
+    with obs.span("experiment", name="ablation"):
+        explainer.explain(x)            # auto-spanned, evals metered
+    print(obs.summary())                # per-explainer cost table
+    obs.get_tracer().export("trace.jsonl")
+"""
+
+from .trace import (
+    Span,
+    Tracer,
+    current_span,
+    enabled,
+    get_tracer,
+    set_enabled,
+    span,
+)
+from .metrics import (
+    Counter,
+    Histogram,
+    counter,
+    histogram,
+    meter_predict_fn,
+    record_model_eval,
+    reset_metrics,
+    snapshot,
+)
+from .instrument import instrument_explainer
+from .summary import aggregate, summary, summary_dict
+from . import bench, instrument, metrics, summary as summary_mod, trace
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "current_span",
+    "get_tracer",
+    "enabled",
+    "set_enabled",
+    "Counter",
+    "Histogram",
+    "counter",
+    "histogram",
+    "record_model_eval",
+    "meter_predict_fn",
+    "snapshot",
+    "reset_metrics",
+    "instrument_explainer",
+    "aggregate",
+    "summary",
+    "summary_dict",
+    "bench",
+    "trace",
+    "metrics",
+    "instrument",
+]

@@ -1,0 +1,123 @@
+"""Machine-readable benchmark telemetry writers.
+
+The experiment suite (``benchmarks/bench_e*.py``) historically emitted
+ad-hoc text tables; the perf-trajectory file ``BENCH_summary.json``
+stayed empty because nothing structured was ever written. This module
+gives ``benchmarks/conftest.emit`` its persistence layer:
+
+* :func:`write_benchmark_result` — one ``<experiment>.txt`` (human
+  table, now with an id + ISO-timestamp header) and one
+  ``<experiment>.json`` per experiment, both written atomically
+  (temp file + ``os.replace``) so a crashed or interrupted run never
+  leaves a torn result behind;
+* :func:`update_bench_summary` — read-merge-replace of the top-level
+  ``BENCH_summary.json`` mapping experiment ids to their latest entry.
+
+Everything is UTF-8 with explicit encodings; non-UTF8 environments can
+no longer silently corrupt result files.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import tempfile
+
+__all__ = [
+    "utc_timestamp",
+    "atomic_write_text",
+    "write_benchmark_result",
+    "update_bench_summary",
+]
+
+
+def utc_timestamp() -> str:
+    """ISO-8601 UTC timestamp with second precision."""
+    return (
+        datetime.datetime.now(datetime.timezone.utc)
+        .replace(microsecond=0)
+        .isoformat()
+    )
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp file)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp_", suffix=".part")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_benchmark_result(
+    results_dir: str,
+    experiment: str,
+    lines: list[str],
+    data=None,
+    wall_s: float | None = None,
+    counters: dict | None = None,
+    spans: list[dict] | None = None,
+    timestamp: str | None = None,
+) -> str:
+    """Persist one experiment's result table + telemetry.
+
+    Writes ``<experiment>.txt`` (banner + header + table) and
+    ``<experiment>.json`` (the same lines plus optional structured
+    ``data`` rows, wall time, model-eval ``counters`` and span
+    ``spans`` aggregates). Returns the JSON path.
+    """
+    timestamp = timestamp or utc_timestamp()
+    banner = f"==== {experiment} ===="
+    header = f"# experiment: {experiment} | generated: {timestamp}"
+    atomic_write_text(
+        os.path.join(results_dir, f"{experiment}.txt"),
+        "\n".join([banner, header, *lines]) + "\n",
+    )
+    payload = {
+        "experiment": experiment,
+        "timestamp": timestamp,
+        "wall_s": None if wall_s is None else round(float(wall_s), 6),
+        "lines": list(lines),
+        "data": data,
+        "counters": counters or {},
+        "spans": spans or [],
+    }
+    json_path = os.path.join(results_dir, f"{experiment}.json")
+    atomic_write_text(json_path, json.dumps(payload, indent=2) + "\n")
+    return json_path
+
+
+def update_bench_summary(summary_path: str, experiment: str, entry: dict
+                         ) -> dict:
+    """Merge one experiment entry into the summary file, atomically.
+
+    The summary maps experiment id → latest entry; unknown or corrupt
+    existing content is replaced rather than crashing the benchmark run.
+    Returns the merged mapping.
+    """
+    merged: dict = {}
+    try:
+        with open(summary_path, encoding="utf-8") as f:
+            existing = json.load(f)
+        if isinstance(existing, dict):
+            merged = existing
+    except (OSError, ValueError):
+        pass
+    experiments = merged.setdefault("experiments", {})
+    if not isinstance(experiments, dict):
+        experiments = merged["experiments"] = {}
+    experiments[experiment] = entry
+    merged["updated"] = entry.get("timestamp") or utc_timestamp()
+    merged["n_experiments"] = len(experiments)
+    atomic_write_text(summary_path, json.dumps(merged, indent=2,
+                                               sort_keys=True) + "\n")
+    return merged

@@ -1,0 +1,183 @@
+"""Counters, histograms, and the model-eval meter.
+
+The single most important metric in the library is the **model-eval
+meter**: :func:`record_model_eval` is called by the wrapper that
+:func:`repro.core.base.as_predict_fn` installs around every normalized
+predict function, so each black-box query is counted twice over —
+
+* ``calls``: how many times the predict function was invoked, and
+* ``rows``: how many rows those invocations batched in total.
+
+The distinction matters for the cost model: a KernelSHAP run with 130
+coalitions against a 100-row background is *one or two calls* but
+*13 000 rows* — batching is exactly the lever the ROADMAP's "fast as the
+hardware allows" goal pulls, and calls/rows makes it visible.
+
+Every eval is attributed to the innermost open span (so ``explain()``
+spans carry their own cost) *and* to the process-global counters
+``model.calls`` / ``model.rows``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from . import trace
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "counter",
+    "histogram",
+    "record_model_eval",
+    "meter_predict_fn",
+    "snapshot",
+    "reset_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of an observed distribution.
+
+    Keeps count/sum/min/max plus power-of-two bucket counts (bucket ``k``
+    holds values in ``[2^(k-1), 2^k)``; bucket 0 holds values < 1), which
+    is enough for the latency summaries the CLI prints without storing
+    samples.
+    """
+
+    __slots__ = ("name", "count", "sum", "min", "max", "buckets")
+
+    N_BUCKETS = 32
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.buckets = [0] * self.N_BUCKETS
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        bucket = 0
+        v = value
+        while v >= 1.0 and bucket < self.N_BUCKETS - 1:
+            v /= 2.0
+            bucket += 1
+        self.buckets[bucket] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+_lock = threading.Lock()
+_registry: dict[str, Counter | Histogram] = {}
+
+
+def counter(name: str) -> Counter:
+    """Get-or-create the named counter."""
+    with _lock:
+        metric = _registry.get(name)
+        if metric is None:
+            metric = _registry[name] = Counter(name)
+        elif not isinstance(metric, Counter):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+        return metric
+
+
+def histogram(name: str) -> Histogram:
+    """Get-or-create the named histogram."""
+    with _lock:
+        metric = _registry.get(name)
+        if metric is None:
+            metric = _registry[name] = Histogram(name)
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}")
+        return metric
+
+
+def snapshot() -> dict:
+    """Plain-dict snapshot of every registered metric."""
+    with _lock:
+        return {name: m.to_dict() for name, m in sorted(_registry.items())}
+
+
+def reset_metrics() -> None:
+    """Drop all registered metrics (tests and benchmark isolation)."""
+    with _lock:
+        _registry.clear()
+
+
+def record_model_eval(rows: int, calls: int = 1) -> None:
+    """Attribute ``calls`` black-box evaluations batching ``rows`` rows.
+
+    No-op when observability is disabled. Otherwise increments the
+    global ``model.calls`` / ``model.rows`` counters and the innermost
+    open span's cumulative counters.
+    """
+    if not trace.enabled():
+        return
+    with _lock:
+        c = _registry.get("model.calls")
+        if c is None:
+            c = _registry["model.calls"] = Counter("model.calls")
+        r = _registry.get("model.rows")
+        if r is None:
+            r = _registry["model.rows"] = Counter("model.rows")
+        c.value += calls
+        r.value += rows
+    active = trace.current_span()
+    if active is not None:
+        active.add_model_evals(calls, rows)
+
+
+def meter_predict_fn(fn):
+    """Wrap a normalized predict function with the model-eval meter.
+
+    The wrapped function is marked so double-wrapping (e.g. a predict
+    function passed back through ``as_predict_fn``) never double-counts.
+    """
+    if getattr(fn, "__repro_metered__", False):
+        return fn
+
+    def metered(X):
+        out = fn(X)
+        record_model_eval(rows=int(getattr(out, "size", 0) or len(out)))
+        return out
+
+    metered.__repro_metered__ = True
+    metered.__wrapped__ = fn
+    return metered

@@ -1,0 +1,88 @@
+"""Aggregation and pretty-printing of recorded spans.
+
+:func:`aggregate` reduces a span list to per-``(name, explainer)``
+totals; :func:`summary` renders them as the fixed-width table the CLI
+prints after ``repro trace …`` and :func:`repro.report.decision_report`
+embeds as its cost footer. :func:`summary_dict` is the machine-readable
+twin used by the benchmark telemetry writer.
+
+Child spans roll their eval counters up into parents (see
+:mod:`repro.obs.trace`), so only *top-level* spans are totalled by
+default — otherwise a batch of 10 explains would double-count as 10
+children plus one parent.
+"""
+
+from __future__ import annotations
+
+from .trace import Span, get_tracer
+
+__all__ = ["aggregate", "summary", "summary_dict"]
+
+
+def _key(s: Span) -> tuple[str, str]:
+    label = s.attrs.get("explainer") or s.attrs.get("section") or "-"
+    return (s.name, str(label))
+
+
+def aggregate(spans: list[Span] | None = None, top_level_only: bool = True
+              ) -> dict[tuple[str, str], dict]:
+    """Reduce spans to ``{(name, explainer): totals}``.
+
+    With ``top_level_only`` (default), spans whose parent is also in the
+    given list are folded into their parent (counters are cumulative) so
+    costs are not double-counted.
+    """
+    if spans is None:
+        spans = get_tracer().spans()
+    if top_level_only:
+        ids = {s.span_id for s in spans}
+        spans = [s for s in spans if s.parent_id not in ids]
+    out: dict[tuple[str, str], dict] = {}
+    for s in spans:
+        entry = out.setdefault(
+            _key(s),
+            {"count": 0, "wall_ms": 0.0, "model_evals": 0,
+             "rows_evaluated": 0, "errors": 0},
+        )
+        entry["count"] += 1
+        entry["wall_ms"] += s.wall_ms or 0.0
+        entry["model_evals"] += s.model_evals
+        entry["rows_evaluated"] += s.rows_evaluated
+        if s.status != "ok":
+            entry["errors"] += 1
+    return out
+
+
+def summary_dict(spans: list[Span] | None = None) -> list[dict]:
+    """JSON-safe aggregate rows, slowest first."""
+    rows = []
+    for (name, explainer), totals in aggregate(spans).items():
+        rows.append({"span": name, "explainer": explainer, **totals})
+    rows.sort(key=lambda r: -r["wall_ms"])
+    return rows
+
+
+def summary(spans: list[Span] | None = None) -> str:
+    """Fixed-width table of per-explainer cost totals."""
+    rows = summary_dict(spans)
+    if not rows:
+        return "(no spans recorded — is REPRO_OBS disabled?)"
+    header = (
+        f"{'span':<16} {'explainer':<24} {'count':>6} "
+        f"{'wall_ms':>10} {'evals':>8} {'rows':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(
+            f"{r['span']:<16} {r['explainer']:<24} {r['count']:>6} "
+            f"{r['wall_ms']:>10.1f} {r['model_evals']:>8} "
+            f"{r['rows_evaluated']:>10}"
+        )
+    total_ms = sum(r["wall_ms"] for r in rows)
+    total_evals = sum(r["model_evals"] for r in rows)
+    total_rows = sum(r["rows_evaluated"] for r in rows)
+    lines.append(
+        f"{'total':<16} {'':<24} {sum(r['count'] for r in rows):>6} "
+        f"{total_ms:>10.1f} {total_evals:>8} {total_rows:>10}"
+    )
+    return "\n".join(lines)

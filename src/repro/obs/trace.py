@@ -1,0 +1,289 @@
+"""Spans, the process-global tracer, and JSONL export.
+
+The tutorial's cost axis for post-hoc XAI is *model-query complexity*:
+KernelSHAP, LIME, Anchors and the counterfactual searches all trade
+fidelity against black-box evaluations. This module is the floor that
+makes that cost observable — a dependency-free span tracer in the spirit
+of OpenTelemetry, small enough to sit inside every ``explain()`` call
+without moving the numbers it measures.
+
+Design constraints:
+
+* **Zero third-party deps** — stdlib only (``contextvars``, ``time``,
+  ``json``, ``threading``).
+* **Near-zero cost when disabled** — ``REPRO_OBS=0`` turns ``span`` into
+  a no-op context manager (one attribute load + one branch).
+* **Thread-safe** — span parenthood rides on a :mod:`contextvars`
+  variable, so concurrent explainers in different threads never splice
+  into each other's traces; the tracer's record buffer is lock-guarded.
+
+Span schema (one JSON object per line in the JSONL export)::
+
+    {"span_id": 7, "parent_id": 3, "name": "explain",
+     "t_start": 1754..., "wall_ms": 12.4,
+     "model_evals": 130, "rows_evaluated": 13000,
+     "attrs": {"explainer": "kernel_shap", "n_features": 8}}
+
+``model_evals`` counts *calls* into the wrapped predict function;
+``rows_evaluated`` counts the rows those calls batched. Both are
+cumulative: when a span closes, its totals roll up into its parent, so
+an ``explain_batch`` span reports the cost of all its per-row children.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "current_span",
+    "get_tracer",
+    "enabled",
+    "set_enabled",
+]
+
+_TRUTHY_OFF = ("0", "false", "off", "no")
+
+_enabled = os.environ.get("REPRO_OBS", "1").strip().lower() not in _TRUTHY_OFF
+
+
+def enabled() -> bool:
+    """Whether the observability layer is recording (env ``REPRO_OBS``)."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> None:
+    """Programmatically enable/disable recording (overrides the env var)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+_span_ids = itertools.count(1)
+_current: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+def _jsonable(value):
+    """Best-effort conversion of attr values to JSON-safe scalars."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        try:
+            return value.item()
+        except Exception:
+            pass
+    return str(value)
+
+
+class Span:
+    """One timed, attributed unit of work. Created via :class:`span`."""
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "attrs",
+        "t_start",
+        "_t0",
+        "wall_ms",
+        "model_evals",
+        "rows_evaluated",
+        "status",
+    )
+
+    def __init__(self, name: str, attrs: dict, parent_id: int | None) -> None:
+        self.span_id = next(_span_ids)
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.t_start = time.time()
+        self._t0 = time.perf_counter()
+        self.wall_ms: float | None = None
+        self.model_evals = 0
+        self.rows_evaluated = 0
+        self.status = "ok"
+
+    def add_model_evals(self, calls: int, rows: int) -> None:
+        """Attribute ``calls`` predict-fn calls batching ``rows`` rows."""
+        self.model_evals += calls
+        self.rows_evaluated += rows
+
+    def set_attr(self, key: str, value) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "t_start": self.t_start,
+            "wall_ms": self.wall_ms,
+            "model_evals": self.model_evals,
+            "rows_evaluated": self.rows_evaluated,
+            "status": self.status,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"wall_ms={self.wall_ms}, evals={self.model_evals})"
+        )
+
+
+class _NullSpan:
+    """Returned by ``span(...)`` when observability is disabled."""
+
+    __slots__ = ()
+
+    def add_model_evals(self, calls: int, rows: int) -> None:
+        pass
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Process-global sink for finished spans, with optional JSONL export.
+
+    Finished spans are kept in an in-memory ring (bounded by
+    ``max_spans``; overflow increments ``dropped``) and, when an export
+    is active, appended to a JSONL file as they close.
+    """
+
+    def __init__(self, max_spans: int = 100_000) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._max_spans = max_spans
+        self.dropped = 0
+        self._export_path: str | None = None
+        self._export_file = None
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, finished: Span) -> None:
+        with self._lock:
+            if len(self._spans) < self._max_spans:
+                self._spans.append(finished)
+            else:
+                self.dropped += 1
+            if self._export_file is not None:
+                json.dump(finished.to_dict(), self._export_file)
+                self._export_file.write("\n")
+                self._export_file.flush()
+
+    def spans(self) -> list[Span]:
+        """Snapshot of all recorded spans (closed spans only)."""
+        with self._lock:
+            return list(self._spans)
+
+    def mark(self) -> int:
+        """Bookmark the current span count; pair with :meth:`spans_since`."""
+        with self._lock:
+            return len(self._spans)
+
+    def spans_since(self, mark: int) -> list[Span]:
+        with self._lock:
+            return list(self._spans[mark:])
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    # -- export -------------------------------------------------------------
+
+    def start_export(self, path: str) -> None:
+        """Stream every subsequently closed span to ``path`` as JSONL."""
+        with self._lock:
+            if self._export_file is not None:
+                self._export_file.close()
+            self._export_path = path
+            self._export_file = open(path, "w", encoding="utf-8")
+
+    def stop_export(self) -> str | None:
+        """Close the JSONL stream; returns the path that was written."""
+        with self._lock:
+            path, self._export_path = self._export_path, None
+            if self._export_file is not None:
+                self._export_file.close()
+                self._export_file = None
+            return path
+
+    def export(self, path: str) -> int:
+        """Dump every recorded span to ``path`` (JSONL); returns the count."""
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as f:
+            for s in spans:
+                json.dump(s.to_dict(), f)
+                f.write("\n")
+        return len(spans)
+
+
+_tracer = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _tracer
+
+
+def current_span() -> Span | None:
+    """The innermost open span on this thread, or ``None``."""
+    return _current.get()
+
+
+class span:
+    """Context manager opening a span: ``with span("explain", k=v): ...``.
+
+    Cheap when disabled (returns a shared no-op object); when enabled it
+    links into the ambient trace via a contextvar, measures monotonic
+    wall time, and on close rolls its eval counters up into its parent
+    before handing itself to the global tracer.
+    """
+
+    __slots__ = ("_name", "_attrs", "_span", "_token")
+
+    def __init__(self, name: str, **attrs) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+        self._token = None
+
+    def __enter__(self):
+        if not _enabled:
+            return _NULL_SPAN
+        parent = _current.get()
+        self._span = Span(
+            self._name,
+            dict(self._attrs),
+            parent.span_id if parent is not None else None,
+        )
+        self._token = _current.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is None:
+            return False
+        s = self._span
+        s.wall_ms = (time.perf_counter() - s._t0) * 1000.0
+        if exc_type is not None:
+            s.status = f"error:{exc_type.__name__}"
+        _current.reset(self._token)
+        parent = _current.get()
+        if parent is not None:
+            parent.add_model_evals(s.model_evals, s.rows_evaluated)
+        _tracer.record(s)
+        self._span = None
+        return False

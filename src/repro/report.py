@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import obs
 from .core.base import as_predict_fn
 from .core.dataset import TabularDataset
 from .counterfactual import GecoExplainer
@@ -38,8 +39,12 @@ def decision_report(
     Sections: the decision itself, Shapley attribution (exact when the
     width allows, Kernel SHAP otherwise), a LIME cross-check with
     stability indices, an anchor rule, a constrained counterfactual, and
-    a faithfulness spot-check of the attribution.
+    a faithfulness spot-check of the attribution — plus a cost footer
+    totalling the black-box queries each method spent (the tutorial's
+    model-query-complexity axis, measured instead of assumed).
     """
+    tracer = obs.get_tracer()
+    mark = tracer.mark()
     x = np.asarray(x, dtype=float).ravel()
     predict = as_predict_fn(model)
     score = float(predict(x[None, :])[0])
@@ -66,7 +71,8 @@ def decision_report(
         shap = KernelShapExplainer(model, background, n_samples=1024,
                                    seed=seed)
         method_note = "Kernel SHAP (sampled)"
-    attribution = shap.explain(x, feature_names=data.feature_names)
+    with obs.span("report.section", section="attribution"):
+        attribution = shap.explain(x, feature_names=data.feature_names)
     lines += [
         "",
         f"## Why — feature attribution ({method_note})",
@@ -80,8 +86,9 @@ def decision_report(
 
     # --- LIME cross-check -----------------------------------------------------
     lime = LimeTabularExplainer(model, data, n_samples=1000, seed=seed)
-    stability = stability_report(lime, x, n_runs=4, top_k=3, seed=seed)
-    lime_att = lime.explain(x)
+    with obs.span("report.section", section="lime"):
+        stability = stability_report(lime, x, n_runs=4, top_k=3, seed=seed)
+        lime_att = lime.explain(x)
     agreement = int(lime_att.ranking()[0] == attribution.ranking()[0])
     lines += [
         "",
@@ -94,8 +101,9 @@ def decision_report(
     ]
 
     # --- rule -----------------------------------------------------------------
-    anchor = AnchorExplainer(model, data, precision_target=0.9,
-                             seed=seed).explain(x)
+    with obs.span("report.section", section="anchor"):
+        anchor = AnchorExplainer(model, data, precision_target=0.9,
+                                 seed=seed).explain(x)
     lines += [
         "",
         "## When — anchor rule",
@@ -106,7 +114,8 @@ def decision_report(
     ]
 
     # --- counterfactual ---------------------------------------------------------
-    cf = GecoExplainer(model, data, seed=seed).explain(x)
+    with obs.span("report.section", section="counterfactual"):
+        cf = GecoExplainer(model, data, seed=seed).explain(x)
     lines += [
         "",
         "## What would change it — counterfactual "
@@ -119,8 +128,9 @@ def decision_report(
 
     # --- faithfulness spot-check ---------------------------------------------------
     baseline = data.X.mean(axis=0)
-    comp = comprehensiveness(predict, x, attribution, baseline, k=2)
-    mono = monotonicity(predict, x, attribution, baseline)
+    with obs.span("report.section", section="faithfulness"):
+        comp = comprehensiveness(predict, x, attribution, baseline, k=2)
+        mono = monotonicity(predict, x, attribution, baseline)
     lines += [
         "",
         "## Trust — faithfulness spot-check",
@@ -128,6 +138,22 @@ def decision_report(
         f"- comprehensiveness@2 (directed score movement from deleting "
         f"the top-2 features): {comp:+.3f}",
         f"- monotonicity of the attribution order: {mono:+.2f}",
+    ]
+
+    # --- cost accounting ---------------------------------------------------
+    if obs.enabled():
+        lines += [
+            "",
+            "## Cost — model-query telemetry",
+            "",
+            "Black-box evaluations each method spent on this report "
+            "(`evals` = predict-fn calls, `rows` = rows batched):",
+            "",
+            "```",
+            obs.summary(tracer.spans_since(mark)),
+            "```",
+        ]
+    lines += [
         "",
         "*Generated by `repro.report.decision_report`; see EXPERIMENTS.md "
         "for what each method guarantees and where it fails.*",

@@ -20,11 +20,13 @@ import numpy as np
 
 from ..core.dataset import TabularDataset
 from ..core.explanation import Predicate, RuleExplanation
+from ..obs import instrument_explainer
 from .bandit import KLLucb, kl_lower_bound
 
 __all__ = ["AnchorExplainer"]
 
 
+@instrument_explainer
 class AnchorExplainer:
     """Greedy bandit-driven anchor search.
 

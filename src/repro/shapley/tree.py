@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..obs import instrument_explainer
 from ..models.boosting import GradientBoostingClassifier, GradientBoostingRegressor
 from ..models.forest import RandomForestClassifier
 from ..models.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeStructure
@@ -210,6 +211,7 @@ def _tree_base_value(tree: TreeStructure, class_index: int | None) -> float:
     return recurse(0)
 
 
+@instrument_explainer
 class TreeShapExplainer:
     """Path-dependent TreeSHAP over any tree model in :mod:`repro.models`.
 

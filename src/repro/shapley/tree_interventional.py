@@ -32,6 +32,7 @@ from math import factorial
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..obs import instrument_explainer
 from ..models.tree import TreeStructure
 from .tree import TreeShapExplainer, _leaf_scalar
 
@@ -122,6 +123,7 @@ def interventional_tree_shap(
     return phi / n_background, base / n_background
 
 
+@instrument_explainer
 class InterventionalTreeShapExplainer:
     """Background-based exact SHAP for any tree model in the library.
 

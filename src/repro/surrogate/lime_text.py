@@ -13,11 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..obs import instrument_explainer, record_model_eval
 from .lime import forward_select, weighted_ridge
 
 __all__ = ["LimeTextExplainer"]
 
 
+@instrument_explainer
 class LimeTextExplainer:
     """Word-attribution LIME.
 
@@ -69,6 +71,9 @@ class LimeTextExplainer:
             kept = {vocabulary[i] for i in range(d) if row[i] == 1.0}
             docs.append(" ".join(w for w in words if w in kept))
         y = np.asarray(self.predict_fn(docs), dtype=float).ravel()
+        # Text models bypass as_predict_fn (they consume document lists,
+        # not feature rows), so the eval meter is applied at the call site.
+        record_model_eval(rows=len(docs))
         removed_fraction = 1.0 - B.mean(axis=1)
         weights = np.exp(-(removed_fraction ** 2) / self.kernel_width ** 2)
         if self.n_select is not None and self.n_select < d:

@@ -54,3 +54,45 @@ def test_single_row_input_accepted(fitted):
     model, X = fitted
     fn = as_predict_fn(model)
     assert fn(X[0]).shape == (1,)
+
+
+def test_raw_requires_decision_function():
+    class OnlyPredict:
+        def predict(self, X):
+            return np.zeros(len(X))
+
+    # Regression: this used to silently degrade to predict().
+    with pytest.raises(TypeError, match="decision_function"):
+        as_predict_fn(OnlyPredict(), output="raw")
+
+
+def test_explain_batch_matches_rowwise_explain(loan_gbm, loan_data):
+    from repro import obs
+    from repro.shapley import KernelShapExplainer
+
+    explainer = KernelShapExplainer(loan_gbm, loan_data.X[:20],
+                                    n_samples=32, seed=0)
+    X = loan_data.X[:3]
+    obs.get_tracer().reset()
+    try:
+        batch = explainer.explain_batch(X)
+        assert len(batch) == 3
+        for row, attribution in zip(X, batch):
+            single = explainer.explain(row)
+            assert np.allclose(attribution.values, single.values)
+            assert attribution.base_value == single.base_value
+
+        spans = obs.get_tracer().spans()
+        parents = [s for s in spans if s.name == "explain_batch"]
+        assert len(parents) == 1
+        (parent,) = parents
+        assert parent.attrs["n_rows"] == 3
+        children = [s for s in spans
+                    if s.name == "explain" and s.parent_id == parent.span_id]
+        assert len(children) == 3
+        assert all(c.model_evals > 0 for c in children)
+        # Child eval counters roll up into the batch span.
+        assert parent.model_evals == sum(c.model_evals for c in children)
+        assert parent.rows_evaluated == sum(c.rows_evaluated for c in children)
+    finally:
+        obs.get_tracer().reset()

@@ -1,0 +1,130 @@
+"""Tier-1 enforcement of the no-print lint and the telemetry writers."""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import bench
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO_ROOT, "scripts", "check_no_print.py")
+
+
+def _load_lint():
+    spec = importlib.util.spec_from_file_location("check_no_print", LINT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_src_repro_is_print_free():
+    """Diagnostics must flow through repro.obs, not stdout."""
+    result = subprocess.run(
+        [sys.executable, LINT],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_lint_catches_a_bare_print(tmp_path):
+    lint = _load_lint()
+    bad = tmp_path / "module.py"
+    bad.write_text("def f():\n    print('debug')\n", encoding="utf-8")
+    assert lint.offenders(str(tmp_path)) == [f"{bad}:2"]
+    # Strings/comments mentioning print( must not trip the AST walk,
+    # and the human-output modules stay exempt.
+    ok = tmp_path / "clean.py"
+    ok.write_text("# print(x)\ns = 'print('\n", encoding="utf-8")
+    allowed = tmp_path / "cli.py"
+    allowed.write_text("print('fine')\n", encoding="utf-8")
+    assert lint.offenders(str(tmp_path)) == [f"{bad}:2"]
+
+
+def test_atomic_write_replaces_not_appends(tmp_path):
+    target = tmp_path / "out.txt"
+    bench.atomic_write_text(str(target), "first")
+    bench.atomic_write_text(str(target), "second")
+    assert target.read_text(encoding="utf-8") == "second"
+    # No temp droppings left behind.
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_write_benchmark_result_txt_and_json(tmp_path):
+    json_path = bench.write_benchmark_result(
+        str(tmp_path),
+        "E99_test",
+        ["col_a col_b", "1 2"],
+        data={"col_a": [1], "col_b": [2]},
+        wall_s=0.5,
+        counters={"model_calls": 3, "model_rows": 30},
+    )
+    txt = (tmp_path / "E99_test.txt").read_text(encoding="utf-8")
+    assert txt.startswith("==== E99_test ====\n# experiment: E99_test")
+    assert "generated:" in txt
+    payload = json.loads((tmp_path / "E99_test.json").read_text())
+    assert payload["experiment"] == "E99_test"
+    assert payload["wall_s"] == 0.5
+    assert payload["counters"] == {"model_calls": 3, "model_rows": 30}
+    assert payload["data"] == {"col_a": [1], "col_b": [2]}
+    assert payload["timestamp"].startswith("20")
+    assert json_path.endswith("E99_test.json")
+
+
+def test_update_bench_summary_merges(tmp_path):
+    path = str(tmp_path / "BENCH_summary.json")
+    bench.update_bench_summary(path, "E1_a", {"wall_s": 1.0,
+                                              "timestamp": "t1"})
+    bench.update_bench_summary(path, "E2_b", {"wall_s": 2.0,
+                                              "timestamp": "t2"})
+    bench.update_bench_summary(path, "E1_a", {"wall_s": 0.5,
+                                              "timestamp": "t3"})
+    merged = json.loads(open(path, encoding="utf-8").read())
+    assert merged["n_experiments"] == 2
+    assert merged["experiments"]["E1_a"]["wall_s"] == 0.5
+    assert merged["updated"] == "t3"
+
+
+def test_update_bench_summary_survives_corrupt_file(tmp_path):
+    path = tmp_path / "BENCH_summary.json"
+    path.write_text("{not json", encoding="utf-8")
+    merged = bench.update_bench_summary(str(path), "E1_a",
+                                        {"timestamp": "t"})
+    assert merged["experiments"]["E1_a"] == {"timestamp": "t"}
+    json.loads(path.read_text(encoding="utf-8"))
+
+
+def test_benchmarks_emit_writes_all_three_artifacts(tmp_path, monkeypatch,
+                                                    capsys):
+    """Drive benchmarks/conftest.emit end-to-end against temp paths."""
+    bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+    spec = importlib.util.spec_from_file_location(
+        "bench_conftest", os.path.join(bench_dir, "conftest.py")
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    monkeypatch.setattr(module, "RESULTS_DIR", str(tmp_path / "results"))
+    monkeypatch.setattr(module, "BENCH_SUMMARY",
+                        str(tmp_path / "BENCH_summary.json"))
+    module.emit("E98_probe", ["a b", "1 2"], data={"a": [1]})
+    out = capsys.readouterr().out
+    assert "==== E98_probe ====" in out
+    payload = json.loads(
+        (tmp_path / "results" / "E98_probe.json").read_text()
+    )
+    assert payload["data"] == {"a": [1]}
+    summary = json.loads((tmp_path / "BENCH_summary.json").read_text())
+    assert "E98_probe" in summary["experiments"]
+
+
+@pytest.mark.parametrize("value,bucket_positive", [(0.5, True), (100.0, True)])
+def test_histogram_buckets_cover(value, bucket_positive):
+    from repro.obs.metrics import Histogram
+
+    h = Histogram("t")
+    h.observe(value)
+    assert (sum(h.buckets) == 1) is bucket_positive

@@ -55,3 +55,12 @@ def test_wide_inputs_fall_back_to_kernel_shap(loan_gbm, loan_data):
 def test_renderable_blocks_fenced(report):
     assert report.count("```") % 2 == 0
     assert report.count("```") >= 6  # three fenced blocks
+
+
+def test_cost_telemetry_footer(report):
+    assert "## Cost — model-query telemetry" in report
+    footer = report.split("## Cost — model-query telemetry", 1)[1]
+    # Every explainer section shows up as a cost row with nonzero evals.
+    for section in ("attribution", "lime", "anchor", "counterfactual"):
+        assert section in footer
+    assert "report.section" in footer
