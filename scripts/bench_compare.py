@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Guard: fail on wall-time regressions vs the committed bench baseline.
+
+``BENCH_summary.json`` is the rolling perf trajectory the benchmark suite
+maintains; ``benchmarks/BENCH_baseline.json`` is the committed snapshot
+it is compared against. A guarded experiment regresses when its fresh
+wall time exceeds the baseline by more than ``--max-regression``
+(default 25%) *and* by more than ``--min-delta-s`` absolute seconds (so
+timer noise on sub-second experiments cannot trip the guard).
+
+Experiments missing from either file are skipped — benchmarks are not
+part of tier-1, so a fresh checkout that never ran them must pass. The
+perf-sensitive experiments guarded by default are the Shapley hot paths:
+E2 (kernel convergence), E3 (TreeSHAP speed) and E37 (the coalition
+engine itself).
+
+Exit status 0 when clean, 1 with a listing otherwise. Enforced in tier-1
+via ``tests/test_obs_lint_and_bench.py``, alongside ``check_no_print.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "BENCH_baseline.json")
+DEFAULT_FRESH = os.path.join(REPO_ROOT, "BENCH_summary.json")
+
+GUARDED_EXPERIMENTS = (
+    "E2_kernel_convergence",
+    "E3_treeshap_speed",
+    "E37_coalition_engine",
+)
+MAX_REGRESSION = 0.25
+MIN_DELTA_S = 0.75
+
+
+def load_summary(path: str) -> dict:
+    """The ``experiments`` mapping of a summary file ({} when unusable)."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+    except (OSError, ValueError):
+        return {}
+    experiments = payload.get("experiments") if isinstance(payload, dict) else None
+    return experiments if isinstance(experiments, dict) else {}
+
+
+def regressions(
+    baseline: dict,
+    fresh: dict,
+    experiments=GUARDED_EXPERIMENTS,
+    max_regression: float = MAX_REGRESSION,
+    min_delta_s: float = MIN_DELTA_S,
+) -> list[str]:
+    """Human-readable findings for every guarded experiment that slowed."""
+    found: list[str] = []
+    for experiment in experiments:
+        base = baseline.get(experiment) or {}
+        new = fresh.get(experiment) or {}
+        base_wall = base.get("wall_s")
+        new_wall = new.get("wall_s")
+        if not base_wall or not new_wall:
+            continue
+        if (
+            new_wall > base_wall * (1.0 + max_regression)
+            and new_wall - base_wall > min_delta_s
+        ):
+            found.append(
+                f"{experiment}: wall_s {base_wall:.3f} -> {new_wall:.3f} "
+                f"(+{(new_wall / base_wall - 1.0) * 100.0:.0f}%, "
+                f"limit +{max_regression * 100.0:.0f}%)"
+            )
+    return found
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--fresh", default=DEFAULT_FRESH)
+    parser.add_argument("--max-regression", type=float, default=MAX_REGRESSION)
+    parser.add_argument("--min-delta-s", type=float, default=MIN_DELTA_S)
+    parser.add_argument(
+        "--experiments",
+        default=",".join(GUARDED_EXPERIMENTS),
+        help="comma-separated experiment ids to guard",
+    )
+    args = parser.parse_args(argv)
+    experiments = [e for e in args.experiments.split(",") if e]
+    found = regressions(
+        load_summary(args.baseline),
+        load_summary(args.fresh),
+        experiments=experiments,
+        max_regression=args.max_regression,
+        min_delta_s=args.min_delta_s,
+    )
+    if found:
+        sys.stderr.write(
+            "benchmark wall-time regressions vs committed baseline "
+            f"({args.baseline}):\n"
+        )
+        for line in found:
+            sys.stderr.write(f"  {line}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

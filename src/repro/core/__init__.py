@@ -9,9 +9,21 @@ from .explanation import (
     Predicate,
     RuleExplanation,
 )
+from .coalition_engine import (
+    CoalitionEngine,
+    CoalitionValueCache,
+    batched_predict,
+    broadcast_expand,
+    legacy_expand,
+)
 from .sampling import GaussianPerturber, MaskingSampler
 
 __all__ = [
+    "CoalitionEngine",
+    "CoalitionValueCache",
+    "batched_predict",
+    "broadcast_expand",
+    "legacy_expand",
     "AttributionExplainer",
     "Explainer",
     "as_predict_fn",

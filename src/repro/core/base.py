@@ -16,7 +16,10 @@ telemetry with zero local code.
 
 from __future__ import annotations
 
+import contextvars
+import os
 from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 import numpy as np
@@ -25,7 +28,28 @@ from ..obs.instrument import instrument_explainer
 from ..obs.metrics import meter_predict_fn
 from .explanation import FeatureAttribution
 
-__all__ = ["as_predict_fn", "Explainer", "AttributionExplainer"]
+__all__ = ["as_predict_fn", "Explainer", "AttributionExplainer", "resolve_n_jobs"]
+
+
+def resolve_n_jobs(n_jobs: int | None = None) -> int:
+    """Worker count for ``explain_batch``: param > ``REPRO_N_JOBS`` > 1.
+
+    ``-1`` (either source) means "all cores". Parallelism stays off unless
+    explicitly requested — serial is the correctness baseline and the
+    right default for the common small-batch case.
+    """
+    if n_jobs is None:
+        env = os.environ.get("REPRO_N_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            n_jobs = int(env)
+        except ValueError:
+            return 1
+    n_jobs = int(n_jobs)
+    if n_jobs < 0:
+        n_jobs = os.cpu_count() or 1
+    return max(1, n_jobs)
 
 PredictFn = Callable[[np.ndarray], np.ndarray]
 
@@ -110,6 +134,24 @@ class AttributionExplainer(Explainer):
     def explain(self, x: np.ndarray, **kwargs) -> FeatureAttribution:
         """Explain the model output at a single instance ``x``."""
 
-    def explain_batch(self, X: np.ndarray, **kwargs) -> list[FeatureAttribution]:
-        """Explain every row of ``X`` (naive loop; methods may override)."""
-        return [self.explain(x, **kwargs) for x in np.atleast_2d(X)]
+    def explain_batch(
+        self, X: np.ndarray, n_jobs: int | None = None, **kwargs
+    ) -> list[FeatureAttribution]:
+        """Explain every row of ``X``, optionally fanning out over threads.
+
+        ``n_jobs`` (or env ``REPRO_N_JOBS``; default 1 = serial) sizes a
+        ``concurrent.futures`` thread pool. Each instance runs under a
+        copy of the submitting context, so per-instance ``explain`` spans
+        keep the batch span as parent and eval counters roll up exactly
+        as in the serial path; results are returned in row order.
+        """
+        X = np.atleast_2d(X)
+        n_jobs = resolve_n_jobs(n_jobs)
+        if n_jobs == 1 or X.shape[0] <= 1:
+            return [self.explain(x, **kwargs) for x in X]
+        with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+            futures = [
+                pool.submit(contextvars.copy_context().run, self.explain, x, **kwargs)
+                for x in X
+            ]
+            return [f.result() for f in futures]

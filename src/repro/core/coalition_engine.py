@@ -1,0 +1,323 @@
+"""Shared coalition-evaluation engine for Shapley-family explainers.
+
+Every coalition-based explainer in the library reduces to the same hot
+loop: given an instance ``x``, a background sample, and a batch of binary
+coalition masks, materialize ``n_coalitions × n_background`` hybrid rows,
+push them through the black-box predict function, and average each
+coalition's block into one value ``v(S)``. The tutorial's cost axis for
+post-hoc explainers is exactly this model-query bill, and the meters in
+:mod:`repro.obs` made it visible; this module makes it cheap:
+
+* **Broadcast masking** — one ``np.where(coalitions[:, None, :], x,
+  background)`` replaces the per-coalition Python loop that used to live
+  in ``MaskingSampler.expand``.
+* **Memory-bounded chunking** — ``max_batch_rows`` (env
+  ``REPRO_MAX_BATCH_ROWS``) splits huge coalition×background blocks into
+  bounded predict-fn calls instead of one giant allocation; the chunk
+  geometry is surfaced on the ``coalition_eval`` span.
+* **Coalition-value caching** — identical masks are deduplicated within
+  and across calls via packed-bit keys, so paired/antithetic permutation
+  walks and the fully-enumerated small sizes of Kernel SHAP never pay
+  for the same ``v(S)`` twice. Hits/misses are exported through
+  ``repro.obs.metrics`` as ``coalition.cache.hits`` / ``.misses``.
+
+The cache is only correct when the value function is a *deterministic*
+function of the mask — true for the interventional masking game (no
+randomness after background subsampling) and the empirical-conditional
+game, false for stochastic value functions that consume fresh random
+draws per evaluation (e.g. QII's factorized interventions). Those callers
+must pass ``cache=False`` (or use :func:`batched_predict` directly) so
+repeated masks keep their independent draws.
+
+The pre-engine evaluation path (per-coalition loop expand, one unchunked
+predict call, no cache) is preserved as :func:`legacy_expand` /
+:meth:`CoalitionEngine.legacy_value_function` so E37 can benchmark
+old-vs-new at equal coalition budget and the regression tests can assert
+bitwise-identical expansions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from ..obs import metrics
+from ..obs.trace import span
+
+__all__ = [
+    "DEFAULT_MAX_BATCH_ROWS",
+    "resolve_max_batch_rows",
+    "broadcast_expand",
+    "legacy_expand",
+    "batched_predict",
+    "CoalitionValueCache",
+    "CoalitionEngine",
+]
+
+DEFAULT_MAX_BATCH_ROWS = 65_536
+
+_HITS = "coalition.cache.hits"
+_MISSES = "coalition.cache.misses"
+
+
+def resolve_max_batch_rows(value: int | None = None) -> int:
+    """The per-predict-call row bound: explicit value > env > default.
+
+    ``REPRO_MAX_BATCH_ROWS`` lets deployments cap the transient
+    coalition×background allocation without touching call sites.
+    """
+    if value is not None:
+        return max(1, int(value))
+    env = os.environ.get("REPRO_MAX_BATCH_ROWS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return DEFAULT_MAX_BATCH_ROWS
+
+
+def broadcast_expand(
+    x: np.ndarray, coalitions: np.ndarray, background: np.ndarray
+) -> np.ndarray:
+    """Materialize coalition rows against the whole background, vectorized.
+
+    Returns shape ``(n_coalitions * n_background, d)``: for each
+    coalition, one copy of every background row with present features
+    overwritten by the instance's values. Block layout (all background
+    rows of coalition 0, then coalition 1, …) matches the historical
+    ``MaskingSampler.expand`` exactly.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
+    background = np.atleast_2d(np.asarray(background, dtype=float))
+    n_c, d = coalitions.shape
+    rows = np.where(coalitions[:, None, :], x[None, None, :], background[None, :, :])
+    return rows.reshape(n_c * background.shape[0], d)
+
+
+def legacy_expand(
+    x: np.ndarray, coalitions: np.ndarray, background: np.ndarray
+) -> np.ndarray:
+    """The pre-engine per-coalition expansion loop.
+
+    Kept verbatim-in-behaviour (the chained ``out[block][:, present]``
+    view assignment is replaced by a single-step index) so E37 can time
+    the old path and the regression tests can assert the broadcast path
+    is bitwise identical.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
+    background = np.atleast_2d(np.asarray(background, dtype=float))
+    n_c = coalitions.shape[0]
+    n_b = background.shape[0]
+    out = np.tile(background, (n_c, 1))
+    for c in range(n_c):
+        present = coalitions[c]
+        out[c * n_b : (c + 1) * n_b, present] = x[present]
+    return out
+
+
+def batched_predict(
+    predict_fn: Callable[[np.ndarray], np.ndarray],
+    rows: np.ndarray,
+    max_batch_rows: int | None = None,
+) -> np.ndarray:
+    """Evaluate ``predict_fn`` over ``rows`` in memory-bounded chunks.
+
+    Per-row outputs are independent of chunk boundaries, so the result is
+    identical to one giant call — only the peak allocation (and the
+    ``model.calls`` meter) changes.
+    """
+    rows = np.atleast_2d(rows)
+    limit = resolve_max_batch_rows(max_batch_rows)
+    n = rows.shape[0]
+    if n <= limit:
+        return np.asarray(predict_fn(rows), dtype=float).ravel()
+    out = np.empty(n, dtype=float)
+    for start in range(0, n, limit):
+        stop = min(start + limit, n)
+        out[start:stop] = np.asarray(
+            predict_fn(rows[start:stop]), dtype=float
+        ).ravel()
+    return out
+
+
+class CoalitionValueCache:
+    """Memo of coalition values keyed by packed-bit masks.
+
+    Keys are ``np.packbits`` bytes of the boolean mask — 8× smaller than
+    tuple keys and hashable without per-element Python objects. One cache
+    instance is scoped to one ``(instance, value function)`` pair; values
+    for different explained instances never share a cache.
+    """
+
+    __slots__ = ("values", "hits", "misses")
+
+    def __init__(self) -> None:
+        self.values: dict[bytes, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def record(self, hits: int, misses: int) -> None:
+        """Accumulate local stats and export them through repro.obs."""
+        self.hits += hits
+        self.misses += misses
+        if hits:
+            metrics.counter(_HITS).inc(hits)
+        if misses:
+            metrics.counter(_MISSES).inc(misses)
+
+
+class CoalitionEngine:
+    """Vectorized, cached, memory-bounded coalition evaluation.
+
+    Parameters
+    ----------
+    background:
+        Background sample; absent features are imputed from it
+        (subsampled to ``max_background`` rows, as before).
+    max_batch_rows:
+        Upper bound on rows per predict-fn call (``None`` → env
+        ``REPRO_MAX_BATCH_ROWS`` → :data:`DEFAULT_MAX_BATCH_ROWS`).
+    """
+
+    def __init__(
+        self,
+        background: np.ndarray,
+        max_background: int = 100,
+        rng: np.random.Generator | None = None,
+        max_batch_rows: int | None = None,
+    ) -> None:
+        background = np.atleast_2d(np.asarray(background, dtype=float))
+        if background.shape[0] > max_background:
+            rng = rng or np.random.default_rng(0)
+            idx = rng.choice(background.shape[0], size=max_background, replace=False)
+            background = background[idx]
+        self.background = background
+        self.max_batch_rows = resolve_max_batch_rows(max_batch_rows)
+
+    @property
+    def n_background(self) -> int:
+        return self.background.shape[0]
+
+    # -- expansion -----------------------------------------------------------
+
+    def expand(self, x: np.ndarray, coalitions: np.ndarray) -> np.ndarray:
+        """Broadcast-materialize coalition rows (see :func:`broadcast_expand`)."""
+        return broadcast_expand(x, coalitions, self.background)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _evaluate(
+        self,
+        model_fn: Callable[[np.ndarray], np.ndarray],
+        x: np.ndarray,
+        coalitions: np.ndarray,
+        sp,
+    ) -> np.ndarray:
+        """Chunked v(S) for unique coalitions; one value per coalition."""
+        n_b = self.n_background
+        n_c = coalitions.shape[0]
+        per_chunk = max(1, self.max_batch_rows // n_b)
+        values = np.empty(n_c, dtype=float)
+        n_chunks = 0
+        for start in range(0, n_c, per_chunk):
+            chunk = coalitions[start : start + per_chunk]
+            rows = broadcast_expand(x, chunk, self.background)
+            preds = np.asarray(model_fn(rows), dtype=float).ravel()
+            values[start : start + chunk.shape[0]] = preds.reshape(
+                chunk.shape[0], n_b
+            ).mean(axis=1)
+            n_chunks += 1
+        sp.set_attr("chunk_coalitions", per_chunk)
+        sp.set_attr("chunk_rows", per_chunk * n_b)
+        sp.set_attr("n_chunks", n_chunks)
+        return values
+
+    def value_function(
+        self,
+        model_fn: Callable[[np.ndarray], np.ndarray],
+        x: np.ndarray,
+        cache: bool = True,
+    ):
+        """Return ``v(S)``: mean model output with coalition S fixed to x.
+
+        The returned callable accepts a binary coalition matrix and
+        returns one averaged output per coalition. With ``cache=True``
+        (the default — correct because the masking game is deterministic)
+        identical masks are evaluated once within and across calls; the
+        cache is reachable afterwards as ``v.cache``.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        store = CoalitionValueCache() if cache else None
+
+        def v(coalitions: np.ndarray) -> np.ndarray:
+            coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
+            n_c = coalitions.shape[0]
+            with span(
+                "coalition_eval", n_coalitions=n_c, n_background=self.n_background
+            ) as sp:
+                if store is None:
+                    out = self._evaluate(model_fn, x, coalitions, sp)
+                    sp.set_attr("cache_hits", 0)
+                    sp.set_attr("cache_misses", n_c)
+                    return out
+                keys = np.packbits(coalitions, axis=1)
+                out = np.empty(n_c, dtype=float)
+                # First occurrence of each uncached mask, plus every row
+                # (cached, duplicate, or fresh) it must fill.
+                fresh_rows: list[int] = []
+                followers: dict[bytes, list[int]] = {}
+                hits = 0
+                for i in range(n_c):
+                    key = keys[i].tobytes()
+                    known = store.values.get(key)
+                    if known is not None:
+                        out[i] = known
+                        hits += 1
+                    elif key in followers:
+                        followers[key].append(i)
+                        hits += 1
+                    else:
+                        followers[key] = [i]
+                        fresh_rows.append(i)
+                if fresh_rows:
+                    vals = self._evaluate(
+                        model_fn, x, coalitions[fresh_rows], sp
+                    )
+                    for j, i0 in enumerate(fresh_rows):
+                        key = keys[i0].tobytes()
+                        store.values[key] = vals[j]
+                        for i in followers[key]:
+                            out[i] = vals[j]
+                store.record(hits, len(fresh_rows))
+                sp.set_attr("cache_hits", hits)
+                sp.set_attr("cache_misses", len(fresh_rows))
+                return out
+
+        v.cache = store
+        return v
+
+    def legacy_value_function(
+        self, model_fn: Callable[[np.ndarray], np.ndarray], x: np.ndarray
+    ):
+        """The pre-engine path: loop expand, one unchunked call, no cache.
+
+        Kept so E37 can compare old-vs-new wall time and model-eval counts
+        at equal coalition budget.
+        """
+        x = np.asarray(x, dtype=float).ravel()
+        n_b = self.n_background
+
+        def v(coalitions: np.ndarray) -> np.ndarray:
+            rows = legacy_expand(x, coalitions, self.background)
+            preds = np.asarray(model_fn(rows), dtype=float)
+            return preds.reshape(-1, n_b).mean(axis=1)
+
+        return v

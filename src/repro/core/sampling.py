@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .coalition_engine import CoalitionEngine
 from .dataset import TabularDataset
 
 __all__ = ["GaussianPerturber", "MaskingSampler"]
@@ -77,72 +78,20 @@ class GaussianPerturber:
         return Z, B
 
 
-class MaskingSampler:
+class MaskingSampler(CoalitionEngine):
     """Coalition sampler for SHAP-style explainers.
 
     Given a binary coalition vector ``z`` (1 = feature present, i.e. fixed
     to the explained instance), produces raw rows in which absent features
     are imputed from a background sample — the *interventional* value
     function of Kernel SHAP.
+
+    Since the coalition-engine rewrite this class *is* a
+    :class:`repro.core.coalition_engine.CoalitionEngine`: ``expand`` is a
+    single ``np.where`` broadcast (block layout unchanged), and
+    ``value_function`` deduplicates repeated masks through a packed-bit
+    value cache and evaluates in memory-bounded chunks. The historical
+    loop-based path survives as ``legacy_value_function`` for the E37
+    old-vs-new benchmark.
     """
 
-    def __init__(
-        self,
-        background: np.ndarray,
-        max_background: int = 100,
-        rng: np.random.Generator | None = None,
-    ) -> None:
-        background = np.atleast_2d(np.asarray(background, dtype=float))
-        if background.shape[0] > max_background:
-            rng = rng or np.random.default_rng(0)
-            idx = rng.choice(background.shape[0], size=max_background, replace=False)
-            background = background[idx]
-        self.background = background
-
-    @property
-    def n_background(self) -> int:
-        return self.background.shape[0]
-
-    def expand(self, x: np.ndarray, coalitions: np.ndarray) -> np.ndarray:
-        """Materialize coalition rows against the whole background.
-
-        Parameters
-        ----------
-        x:
-            The instance being explained, shape ``(d,)``.
-        coalitions:
-            Binary matrix ``(n_coalitions, d)``.
-
-        Returns
-        -------
-        Array of shape ``(n_coalitions * n_background, d)``: for each
-        coalition, one copy of every background row with present features
-        overwritten by the instance's values. Callers average model outputs
-        over each consecutive block of ``n_background`` rows.
-        """
-        x = np.asarray(x, dtype=float).ravel()
-        coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
-        n_c, d = coalitions.shape
-        n_b = self.n_background
-        out = np.tile(self.background, (n_c, 1))
-        for c in range(n_c):
-            block = slice(c * n_b, (c + 1) * n_b)
-            present = coalitions[c]
-            out[block][:, present] = x[present]
-        return out
-
-    def value_function(self, model_fn, x: np.ndarray):
-        """Return ``v(S)``: mean model output with coalition S fixed to x.
-
-        ``model_fn`` maps a feature matrix to a 1-D output vector. The
-        returned callable accepts a binary coalition matrix and returns one
-        averaged output per coalition.
-        """
-        n_b = self.n_background
-
-        def v(coalitions: np.ndarray) -> np.ndarray:
-            rows = self.expand(x, coalitions)
-            preds = np.asarray(model_fn(rows), dtype=float)
-            return preds.reshape(-1, n_b).mean(axis=1)
-
-        return v

@@ -66,6 +66,7 @@ def set_enabled(flag: bool) -> None:
 
 
 _span_ids = itertools.count(1)
+_ROLLUP_LOCK = threading.Lock()
 _current: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro_obs_current_span", default=None
 )
@@ -112,9 +113,15 @@ class Span:
         self.status = "ok"
 
     def add_model_evals(self, calls: int, rows: int) -> None:
-        """Attribute ``calls`` predict-fn calls batching ``rows`` rows."""
-        self.model_evals += calls
-        self.rows_evaluated += rows
+        """Attribute ``calls`` predict-fn calls batching ``rows`` rows.
+
+        Guarded by a shared lock: a parallel ``explain_batch`` closes its
+        per-instance child spans from worker threads, and each close rolls
+        counters up into the same parent span.
+        """
+        with _ROLLUP_LOCK:
+            self.model_evals += calls
+            self.rows_evaluated += rows
 
     def set_attr(self, key: str, value) -> None:
         self.attrs[key] = value

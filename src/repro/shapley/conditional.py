@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.base import AttributionExplainer
+from ..core.coalition_engine import CoalitionValueCache, batched_predict
 from ..core.explanation import FeatureAttribution
 from .sampling import permutation_shapley
 
@@ -31,35 +32,94 @@ def empirical_conditional_value_function(
     data: np.ndarray,
     x: np.ndarray,
     k: int = 30,
+    cache: bool = True,
+    max_batch_rows: int | None = None,
 ):
     """Batched v(S) = Ê[f(X) | X_S = x_S] by k-NN conditioning on ``data``.
 
     For the empty coalition this is the plain mean prediction; for the
     full coalition it is exactly f(x).
+
+    The estimator is deterministic in the mask (stable-sorted neighbor
+    selection, no sampling), so repeated masks are served from a
+    packed-bit coalition-value cache by default — permutation walks
+    re-visit the same prefixes constantly. Fresh masks have their k
+    neighbor rows stacked into one memory-bounded model call. Pass
+    ``cache=False`` for a stochastic variant of this value function.
     """
     data = np.atleast_2d(np.asarray(data, dtype=float))
     x = np.asarray(x, dtype=float).ravel()
     scale = np.maximum(data.std(axis=0), 1e-12)
     k = min(k, data.shape[0])
+    store = CoalitionValueCache() if cache else None
+
+    def _neighbor_rows(mask: np.ndarray) -> np.ndarray:
+        deltas = (data[:, mask] - x[mask]) / scale[mask]
+        distances = np.sqrt((deltas ** 2).sum(axis=1))
+        neighbors = np.argsort(distances, kind="stable")[:k]
+        rows = data[neighbors].copy()
+        rows[:, mask] = x[mask]
+        return rows
 
     def v(masks: np.ndarray) -> np.ndarray:
         masks = np.atleast_2d(np.asarray(masks, dtype=bool))
-        out = np.zeros(masks.shape[0])
+        n_m = masks.shape[0]
+        keys = np.packbits(masks, axis=1)
+        out = np.zeros(n_m)
+        blocks: list[np.ndarray] = []
+        # Rows each pending block must fill: a shared (mutable) follower
+        # list in cached mode so intra-call duplicates ride along, a
+        # singleton per occurrence when caching is off.
+        block_targets: list[list[int]] = []
+        block_keys: list[bytes] = []
+        followers: dict[bytes, list[int]] = {}
+        hits = 0
         for row, mask in enumerate(masks):
+            key = keys[row].tobytes()
+            if store is not None:
+                known = store.values.get(key)
+                if known is not None:
+                    out[row] = known
+                    hits += 1
+                    continue
+                if key in followers:
+                    followers[key].append(row)
+                    hits += 1
+                    continue
+            targets = [row]
+            if store is not None:
+                followers[key] = targets
             if not mask.any():
-                out[row] = float(np.mean(predict_fn(data)))
+                value = float(
+                    np.mean(batched_predict(predict_fn, data, max_batch_rows))
+                )
+                out[row] = value
+                if store is not None:
+                    store.values[key] = value
                 continue
             if mask.all():
-                out[row] = float(predict_fn(x[None, :])[0])
+                value = float(predict_fn(x[None, :])[0])
+                out[row] = value
+                if store is not None:
+                    store.values[key] = value
                 continue
-            deltas = (data[:, mask] - x[mask]) / scale[mask]
-            distances = np.sqrt((deltas ** 2).sum(axis=1))
-            neighbors = np.argsort(distances, kind="stable")[:k]
-            rows = data[neighbors].copy()
-            rows[:, mask] = x[mask]
-            out[row] = float(np.mean(predict_fn(rows)))
+            blocks.append(_neighbor_rows(mask))
+            block_targets.append(targets)
+            block_keys.append(key)
+        if blocks:
+            preds = batched_predict(
+                predict_fn, np.concatenate(blocks), max_batch_rows
+            )
+            means = preds.reshape(len(blocks), k).mean(axis=1)
+            for targets, key, value in zip(block_targets, block_keys, means):
+                out[targets] = float(value)
+                if store is not None:
+                    store.values[key] = float(value)
+        if store is not None:
+            store.record(hits, n_m - hits)
         return out
 
+    v.cache = store
     return v
 
 
@@ -86,19 +146,22 @@ class ConditionalShapExplainer(AttributionExplainer):
         n_permutations: int = 100,
         output: str = "auto",
         seed: int = 0,
+        max_batch_rows: int | None = None,
     ) -> None:
         super().__init__(model, output)
         self.data = np.atleast_2d(np.asarray(data, dtype=float))
         self.k = k
         self.n_permutations = n_permutations
         self.seed = seed
+        self.max_batch_rows = max_batch_rows
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
         x = np.asarray(x, dtype=float).ravel()
         n = x.shape[0]
         v = empirical_conditional_value_function(
-            self.predict_fn, self.data, x, k=self.k
+            self.predict_fn, self.data, x, k=self.k,
+            max_batch_rows=self.max_batch_rows,
         )
         phi, std_err = permutation_shapley(
             v, n, n_permutations=self.n_permutations, seed=self.seed

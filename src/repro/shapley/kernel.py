@@ -16,6 +16,7 @@ remaining sizes proportionally to their weight.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from itertools import combinations
 from math import comb
 from typing import Callable
@@ -28,12 +29,17 @@ from ..core.sampling import MaskingSampler
 
 __all__ = ["kernel_shap", "shapley_kernel_weight", "KernelShapExplainer"]
 
+# Coalition enumeration asks for the same C(n, s) several times per size
+# (budget check, weight, sampling probabilities); memoize both lookups.
+_comb = lru_cache(maxsize=None)(comb)
 
+
+@lru_cache(maxsize=None)
 def shapley_kernel_weight(n: int, size: int) -> float:
     """The Shapley kernel π(S) for |S| = size (infinite at 0 and n)."""
     if size == 0 or size == n:
         return float("inf")
-    return (n - 1) / (comb(n, size) * size * (n - size))
+    return (n - 1) / (_comb(n, size) * size * (n - size))
 
 
 def _enumerate_coalitions(
@@ -54,7 +60,7 @@ def _enumerate_coalitions(
             sizes.append(n - s)
     fully_enumerated: set[int] = set()
     for s in sizes:
-        count = comb(n, s)
+        count = _comb(n, s)
         if count <= remaining:
             for subset in combinations(range(n), s):
                 row = np.zeros(n, dtype=bool)
@@ -67,7 +73,7 @@ def _enumerate_coalitions(
             break
     leftover_sizes = [s for s in sizes if s not in fully_enumerated]
     if leftover_sizes and remaining > 0:
-        probs = np.array([shapley_kernel_weight(n, s) * comb(n, s)
+        probs = np.array([shapley_kernel_weight(n, s) * _comb(n, s)
                           for s in leftover_sizes])
         probs /= probs.sum()
         drawn = rng.choice(len(leftover_sizes), size=remaining, p=probs)
@@ -130,6 +136,12 @@ class KernelShapExplainer(AttributionExplainer):
         Background sample; absent features are imputed from it.
     n_samples:
         Coalition evaluation budget per explanation.
+    max_batch_rows:
+        Memory bound on rows per model call (see the coalition engine).
+    engine:
+        ``True`` (default) evaluates coalitions through the vectorized,
+        cached coalition engine; ``False`` keeps the pre-engine loop path
+        (used by E37 for the old-vs-new comparison).
     """
 
     method_name = "kernel_shap"
@@ -142,17 +154,26 @@ class KernelShapExplainer(AttributionExplainer):
         max_background: int = 100,
         output: str = "auto",
         seed: int = 0,
+        max_batch_rows: int | None = None,
+        engine: bool = True,
     ) -> None:
         super().__init__(model, output)
-        self.sampler = MaskingSampler(background, max_background=max_background)
+        self.sampler = MaskingSampler(
+            background, max_background=max_background, max_batch_rows=max_batch_rows
+        )
         self.n_samples = n_samples
         self.seed = seed
+        self.engine = engine
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
         x = np.asarray(x, dtype=float).ravel()
         n = x.shape[0]
-        v = self.sampler.value_function(self.predict_fn, x)
+        v = (
+            self.sampler.value_function(self.predict_fn, x)
+            if self.engine
+            else self.sampler.legacy_value_function(self.predict_fn, x)
+        )
         phi, base = kernel_shap(v, n, n_samples=self.n_samples, seed=self.seed)
         prediction = float(self.predict_fn(x[None, :])[0])
         names = feature_names or [f"x{i}" for i in range(n)]

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.base import AttributionExplainer
+from ..core.coalition_engine import batched_predict
 from ..core.explanation import FeatureAttribution
 from .sampling import permutation_shapley
 
@@ -90,6 +91,7 @@ def shapley_qii(
     n_permutations: int = 60,
     n_samples: int = 100,
     seed: int = 0,
+    max_batch_rows: int | None = None,
 ) -> np.ndarray:
     """Shapley value of the set-QII game, by permutation sampling.
 
@@ -97,6 +99,12 @@ def shapley_qii(
     complement (equivalently, the expected output with only S fixed),
     which makes the grand-coalition value f(x) and recovers the
     Datta et al. aggregate marginal influence.
+
+    The value function is *stochastic* — every evaluation consumes fresh
+    draws from the shared generator — so the coalition engine's value
+    cache must be bypassed; only its memory-bounded batching is used.
+    Intervention rows are still generated mask-by-mask in the historical
+    order, so seeded results are identical to the pre-engine loop.
     """
     x = np.asarray(x, dtype=float).ravel()
     n = x.shape[0]
@@ -106,15 +114,23 @@ def shapley_qii(
     def value_fn(masks: np.ndarray) -> np.ndarray:
         masks = np.atleast_2d(masks)
         out = np.zeros(masks.shape[0])
+        blocks: list[np.ndarray] = []
+        block_rows: list[int] = []
         for row, mask in enumerate(masks):
             absent = [j for j in range(n) if not mask[j]]
             if not absent:
                 out[row] = float(predict_fn(x[None, :])[0])
                 continue
-            rows = _resample_features(
-                x, background, absent, n_samples, rng
+            blocks.append(
+                _resample_features(x, background, absent, n_samples, rng)
             )
-            out[row] = float(np.mean(predict_fn(rows)))
+            block_rows.append(row)
+        if blocks:
+            preds = batched_predict(
+                predict_fn, np.concatenate(blocks), max_batch_rows
+            )
+            means = preds.reshape(len(block_rows), n_samples).mean(axis=1)
+            out[block_rows] = means
         return out
 
     phi, __ = permutation_shapley(
@@ -135,12 +151,14 @@ class QIIExplainer(AttributionExplainer):
 
     def __init__(self, model, background: np.ndarray,
                  n_permutations: int = 60, n_samples: int = 100,
-                 output: str = "auto", seed: int = 0) -> None:
+                 output: str = "auto", seed: int = 0,
+                 max_batch_rows: int | None = None) -> None:
         super().__init__(model, output)
         self.background = np.atleast_2d(np.asarray(background, dtype=float))
         self.n_permutations = n_permutations
         self.n_samples = n_samples
         self.seed = seed
+        self.max_batch_rows = max_batch_rows
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
@@ -150,6 +168,7 @@ class QIIExplainer(AttributionExplainer):
             n_permutations=self.n_permutations,
             n_samples=self.n_samples,
             seed=self.seed,
+            max_batch_rows=self.max_batch_rows,
         )
         prediction = float(self.predict_fn(x[None, :])[0])
         names = feature_names or [f"x{i}" for i in range(x.shape[0])]

@@ -63,7 +63,14 @@ def permutation_shapley(
 
 
 class SamplingShapleyExplainer(AttributionExplainer):
-    """Model-agnostic sampled SHAP with the interventional value function."""
+    """Model-agnostic sampled SHAP with the interventional value function.
+
+    Coalition evaluation runs through the shared coalition engine by
+    default: permutation walks re-visit many coalitions (every walk hits
+    ∅ and N; antithetic pairs and short prefixes collide constantly on
+    small feature counts), and the packed-bit value cache turns those
+    repeats into dictionary lookups instead of model queries.
+    """
 
     method_name = "sampling_shap"
 
@@ -76,18 +83,27 @@ class SamplingShapleyExplainer(AttributionExplainer):
         max_background: int = 100,
         output: str = "auto",
         seed: int = 0,
+        max_batch_rows: int | None = None,
+        engine: bool = True,
     ) -> None:
         super().__init__(model, output)
-        self.sampler = MaskingSampler(background, max_background=max_background)
+        self.sampler = MaskingSampler(
+            background, max_background=max_background, max_batch_rows=max_batch_rows
+        )
         self.n_permutations = n_permutations
         self.antithetic = antithetic
         self.seed = seed
+        self.engine = engine
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
         x = np.asarray(x, dtype=float).ravel()
         n = x.shape[0]
-        v = self.sampler.value_function(self.predict_fn, x)
+        v = (
+            self.sampler.value_function(self.predict_fn, x)
+            if self.engine
+            else self.sampler.legacy_value_function(self.predict_fn, x)
+        )
         phi, std_err = permutation_shapley(
             v, n,
             n_permutations=self.n_permutations,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.base import AttributionExplainer
+from ..core.coalition_engine import batched_predict
 from ..core.dataset import TabularDataset
 from ..core.explanation import FeatureAttribution
 from ..core.sampling import GaussianPerturber
@@ -92,6 +93,10 @@ class LimeTabularExplainer(AttributionExplainer):
     n_select:
         Number of features retained in the sparse surrogate (``None``
         keeps all).
+    max_batch_rows:
+        Memory bound on perturbed rows per model call (``None`` → env
+        ``REPRO_MAX_BATCH_ROWS``); large neighborhoods are evaluated in
+        chunks instead of one giant batch.
     """
 
     method_name = "lime"
@@ -106,10 +111,12 @@ class LimeTabularExplainer(AttributionExplainer):
         alpha: float = 1.0,
         output: str = "auto",
         seed: int = 0,
+        max_batch_rows: int | None = None,
     ) -> None:
         super().__init__(model, output)
         self.data = data
         self.n_samples = n_samples
+        self.max_batch_rows = max_batch_rows
         self.kernel_width = kernel_width or 0.75 * np.sqrt(data.n_features)
         self.n_select = n_select
         self.alpha = alpha
@@ -128,7 +135,7 @@ class LimeTabularExplainer(AttributionExplainer):
         x = np.asarray(x, dtype=float).ravel()
         rng = np.random.default_rng(self.seed if seed is None else seed)
         Z, B = self._perturber.sample(x, self.n_samples, rng)
-        y = self.predict_fn(Z)
+        y = batched_predict(self.predict_fn, Z, self.max_batch_rows)
         weights = self._proximity(Z, x)
         if self.n_select is not None and self.n_select < self.data.n_features:
             active = forward_select(B, y, weights, self.n_select, self.alpha)

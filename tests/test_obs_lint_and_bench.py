@@ -1,4 +1,5 @@
-"""Tier-1 enforcement of the no-print lint and the telemetry writers."""
+"""Tier-1 enforcement of the no-print lint, the telemetry writers, and
+the benchmark wall-time regression guard."""
 
 import importlib.util
 import json
@@ -12,13 +13,18 @@ from repro.obs import bench
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT = os.path.join(REPO_ROOT, "scripts", "check_no_print.py")
+BENCH_COMPARE = os.path.join(REPO_ROOT, "scripts", "bench_compare.py")
 
 
-def _load_lint():
-    spec = importlib.util.spec_from_file_location("check_no_print", LINT)
+def _load_script(path, name):
+    spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_lint():
+    return _load_script(LINT, "check_no_print")
 
 
 def test_src_repro_is_print_free():
@@ -119,6 +125,60 @@ def test_benchmarks_emit_writes_all_three_artifacts(tmp_path, monkeypatch,
     assert payload["data"] == {"a": [1]}
     summary = json.loads((tmp_path / "BENCH_summary.json").read_text())
     assert "E98_probe" in summary["experiments"]
+
+
+def test_bench_compare_passes_on_committed_baseline():
+    """The in-repo BENCH_summary must not regress vs the committed baseline."""
+    result = subprocess.run(
+        [sys.executable, BENCH_COMPARE],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_bench_compare_detects_regression(tmp_path):
+    compare = _load_script(BENCH_COMPARE, "bench_compare")
+    baseline = {"E37_coalition_engine": {"wall_s": 2.0}}
+    slowed = {"E37_coalition_engine": {"wall_s": 3.2}}
+    found = compare.regressions(baseline, slowed)
+    assert len(found) == 1 and "E37_coalition_engine" in found[0]
+    # …and the CLI agrees.
+    base_path = tmp_path / "base.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps({"experiments": baseline}))
+    fresh_path.write_text(json.dumps({"experiments": slowed}))
+    assert compare.main(
+        ["--baseline", str(base_path), "--fresh", str(fresh_path)]
+    ) == 1
+
+
+def test_bench_compare_tolerates_noise_and_gaps(tmp_path):
+    compare = _load_script(BENCH_COMPARE, "bench_compare")
+    baseline = {
+        "E2_kernel_convergence": {"wall_s": 0.02},
+        "E3_treeshap_speed": {"wall_s": 10.0},
+    }
+    fresh = {
+        # 10× slower but under the absolute floor: sub-second noise.
+        "E2_kernel_convergence": {"wall_s": 0.2},
+        # 10% slower: under the relative threshold.
+        "E3_treeshap_speed": {"wall_s": 11.0},
+        # Not in baseline at all: skipped.
+        "E37_coalition_engine": {"wall_s": 99.0},
+    }
+    assert compare.regressions(baseline, fresh) == []
+    # Faster is never a failure.
+    assert compare.regressions(
+        {"E3_treeshap_speed": {"wall_s": 10.0}},
+        {"E3_treeshap_speed": {"wall_s": 1.0}},
+    ) == []
+    # Missing/corrupt files load as empty and therefore pass.
+    assert compare.load_summary(str(tmp_path / "nope.json")) == {}
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert compare.load_summary(str(bad)) == {}
+    assert compare.main(["--baseline", str(bad), "--fresh", str(bad)]) == 0
 
 
 @pytest.mark.parametrize("value,bucket_positive", [(0.5, True), (100.0, True)])
