@@ -43,6 +43,9 @@ def _counter_values() -> dict[str, int]:
     return {
         "model_calls": obs.counter("model.calls").value,
         "model_rows": obs.counter("model.rows").value,
+        "robust_retries": obs.counter("robust.retries").value,
+        "robust_rows_failed": obs.counter("robust.rows_failed").value,
+        "robust_budget_exhausted": obs.counter("robust.budget_exhausted").value,
     }
 
 

@@ -9,10 +9,13 @@ wall time exceeds the baseline by more than ``--max-regression``
 timer noise on sub-second experiments cannot trip the guard).
 
 Experiments missing from either file are skipped — benchmarks are not
-part of tier-1, so a fresh checkout that never ran them must pass. The
-perf-sensitive experiments guarded by default are the Shapley hot paths:
-E2 (kernel convergence), E3 (TreeSHAP speed) and E37 (the coalition
-engine itself).
+part of tier-1, so a fresh checkout that never ran them must pass. A
+guarded experiment that *was* freshly run but has no committed baseline
+entry is also skipped, with a stderr warning naming it, so a newly added
+benchmark cannot silently escape the guard forever. The perf-sensitive
+experiments guarded by default are the Shapley hot paths: E2 (kernel
+convergence), E3 (TreeSHAP speed), E37 (the coalition engine itself)
+and E38 (fault-tolerance overhead).
 
 Exit status 0 when clean, 1 with a listing otherwise. Enforced in tier-1
 via ``tests/test_obs_lint_and_bench.py``, alongside ``check_no_print.py``.
@@ -33,6 +36,7 @@ GUARDED_EXPERIMENTS = (
     "E2_kernel_convergence",
     "E3_treeshap_speed",
     "E37_coalition_engine",
+    "E38_fault_tolerance",
 )
 MAX_REGRESSION = 0.25
 MIN_DELTA_S = 0.75
@@ -77,6 +81,21 @@ def regressions(
     return found
 
 
+def missing_baselines(baseline: dict, fresh: dict,
+                      experiments=GUARDED_EXPERIMENTS) -> list[str]:
+    """Guarded experiments with fresh timings but no committed baseline.
+
+    These cannot be compared, so the guard skips them — but silently
+    un-guarded experiments rot, so the caller warns about each one.
+    """
+    return [
+        experiment
+        for experiment in experiments
+        if (fresh.get(experiment) or {}).get("wall_s")
+        and not (baseline.get(experiment) or {}).get("wall_s")
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=DEFAULT_BASELINE)
@@ -90,9 +109,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     experiments = [e for e in args.experiments.split(",") if e]
+    baseline = load_summary(args.baseline)
+    fresh = load_summary(args.fresh)
+    for experiment in missing_baselines(baseline, fresh, experiments):
+        sys.stderr.write(
+            f"warning: {experiment} has fresh timings but no entry in "
+            f"{args.baseline}; skipping the regression check — commit a "
+            "baseline for it\n"
+        )
     found = regressions(
-        load_summary(args.baseline),
-        load_summary(args.fresh),
+        baseline,
+        fresh,
         experiments=experiments,
         max_regression=args.max_regression,
         min_delta_s=args.min_delta_s,

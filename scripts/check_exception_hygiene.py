@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Lint: forbid silent exception swallowing inside ``src/repro``.
+
+Two patterns are banned:
+
+* bare ``except:`` — always, anywhere. It catches ``KeyboardInterrupt``
+  and ``SystemExit`` along with everything else; there is no good use of
+  it in library code.
+* ``except Exception:`` / ``except BaseException:`` whose body does
+  nothing (``pass`` / ``...``) — the failure mode that motivated the
+  :mod:`repro.robust` layer: a model error silently becomes a wrong
+  number. Handlers that re-raise, log, count (``obs.internal_errors``)
+  or return a sentinel are fine; handlers that swallow are not.
+
+Narrow except clauses (``except (TypeError, ValueError):``) may pass —
+naming the types is the author demonstrating intent. One deliberate
+exception site can be allowlisted with a trailing
+``# hygiene: allow`` comment on the ``except`` line.
+
+AST-based, so strings and comments cannot trip it. Exit status 0 when
+clean, 1 with a ``path:line reason`` listing otherwise. Enforced in
+tier-1 via ``tests/test_obs_lint_and_bench.py``, alongside
+``check_no_print.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+ALLOW_MARKER = "# hygiene: allow"
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Does the handler catch Exception/BaseException (possibly in a tuple)?"""
+    node = handler.type
+    names = node.elts if isinstance(node, ast.Tuple) else [node]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """Is the handler body only ``pass`` / ``...`` statements?"""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+def find_violations(path: str) -> list[tuple[int, str]]:
+    """``(line, reason)`` pairs for one Python file."""
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        line_text = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if ALLOW_MARKER in line_text:
+            continue
+        if node.type is None:
+            out.append((node.lineno, "bare except:"))
+        elif _is_broad(node) and _is_silent(node):
+            out.append(
+                (node.lineno, "except Exception with silent (pass-only) body")
+            )
+    return sorted(out)
+
+
+def offenders(root: str) -> list[str]:
+    """All ``path:line reason`` offences under ``root``."""
+    out: list[str] = []
+    for dirpath, __, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            out.extend(
+                f"{path}:{line} {reason}"
+                for line, reason in find_violations(path)
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    default_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+        "repro",
+    )
+    root = argv[0] if argv else default_root
+    found = offenders(root)
+    if found:
+        sys.stderr.write(
+            "silent exception handling found (narrow the except type, or "
+            "count it via obs.internal_errors; see repro.robust):\n"
+        )
+        for offence in found:
+            sys.stderr.write(f"  {offence}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

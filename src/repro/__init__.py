@@ -40,11 +40,15 @@ pipelines
     Provenance-tracked data-prep pipelines and stage blame (§3).
 obs
     Observability: spans, model-query metering, benchmark telemetry.
+robust
+    Fault tolerance: typed errors, guarded predict functions (retry,
+    budgets, output validation), deterministic fault injection.
 """
 
 __version__ = "1.0.0"
 
 from . import obs
+from . import robust
 from . import io, render, report
 from . import (
     adversarial,
@@ -86,6 +90,7 @@ __all__ = [
     "pipelines",
     "io",
     "obs",
+    "robust",
     "render",
     "report",
     "__version__",

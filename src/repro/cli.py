@@ -165,6 +165,26 @@ def main(argv: list[str] | None = None) -> int:
         help="export a JSONL span trace of the command and print the "
              "cost summary (same as the `trace` subcommand)",
     )
+    parser.add_argument(
+        "--retries", metavar="N", default=None, type=int,
+        help="transient model-failure retries per call "
+             "(sets REPRO_RETRIES for this run)",
+    )
+    parser.add_argument(
+        "--backoff", metavar="SECONDS", default=None, type=float,
+        help="base retry backoff, doubled per attempt "
+             "(sets REPRO_BACKOFF)",
+    )
+    parser.add_argument(
+        "--deadline-s", metavar="SECONDS", default=None, type=float,
+        help="wall-clock deadline per explanation "
+             "(sets REPRO_DEADLINE_S)",
+    )
+    parser.add_argument(
+        "--query-budget", metavar="ROWS", default=None, type=int,
+        help="model-query budget per explanation, in rows "
+             "(sets REPRO_QUERY_BUDGET)",
+    )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("info", help="package inventory")
     sub.add_parser("experiments", help="list experiments E1…")
@@ -180,6 +200,17 @@ def main(argv: list[str] | None = None) -> int:
     trace_p.add_argument("rest", nargs=argparse.REMAINDER,
                          help="command (and arguments) to run traced")
     args = parser.parse_args(argv)
+    # Budget/retry flags become env knobs so the guard composed inside
+    # every as_predict_fn picks them up, whatever the command constructs.
+    for flag, env in (
+        ("retries", "REPRO_RETRIES"),
+        ("backoff", "REPRO_BACKOFF"),
+        ("deadline_s", "REPRO_DEADLINE_S"),
+        ("query_budget", "REPRO_QUERY_BUDGET"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            os.environ[env] = str(value)
     handlers = {
         "info": cmd_info,
         "experiments": cmd_experiments,

@@ -6,17 +6,31 @@ plain callable ``f(X) -> outputs`` or any model from :mod:`repro.models`.
 chooses the probability of the positive class for classifiers so that every
 attribution method explains a real-valued output in ``[0, 1]``.
 
-Every normalized predict function carries the :mod:`repro.obs` model-eval
-meter: each invocation is counted (calls and batched rows) and attributed
-to the innermost open span, which is how ``explain()`` spans learn their
-model-query cost. Subclassing :class:`Explainer` auto-instruments
-``explain`` / ``explain_batch`` with spans — concrete explainers get
-telemetry with zero local code.
+Every normalized predict function carries two layers:
+
+* the :mod:`repro.obs` model-eval meter — each invocation is counted
+  (calls and batched rows) and attributed to the innermost open span,
+  which is how ``explain()`` spans learn their model-query cost;
+* the :mod:`repro.robust` guard, composed directly above the meter —
+  output shape/finiteness validation, capped-exponential retry of
+  transient failures, and per-explanation deadlines and model-query
+  budgets (``REPRO_RETRIES`` / ``REPRO_BACKOFF`` / ``REPRO_DEADLINE_S``
+  / ``REPRO_QUERY_BUDGET``). Pass ``guard=False`` to opt a predict
+  function out, or a :class:`repro.robust.GuardConfig` to tune it.
+
+Subclassing :class:`Explainer` auto-instruments ``explain`` /
+``explain_batch`` with spans *and* wraps them in a fresh guard scope, so
+budgets are per explanation (each row of a batch budgets independently,
+including on the thread-pool path). ``explain_batch`` degrades
+gracefully: per-row failures are captured, completed rows survive, and
+the caller gets them back either via ``return_errors=True`` or on the
+:class:`repro.robust.PartialBatchError` raised by default.
 """
 
 from __future__ import annotations
 
 import contextvars
+import functools
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
@@ -24,11 +38,16 @@ from typing import Callable
 
 import numpy as np
 
+from ..obs import metrics
 from ..obs.instrument import instrument_explainer
 from ..obs.metrics import meter_predict_fn
+from ..robust.errors import BatchRowError, InputValidationError, PartialBatchError
+from ..robust.guard import GuardConfig, guard_predict_fn, guard_scope
 from .explanation import FeatureAttribution
 
 __all__ = ["as_predict_fn", "Explainer", "AttributionExplainer", "resolve_n_jobs"]
+
+_ROWS_FAILED = "robust.rows_failed"
 
 
 def resolve_n_jobs(n_jobs: int | None = None) -> int:
@@ -54,7 +73,8 @@ def resolve_n_jobs(n_jobs: int | None = None) -> int:
 PredictFn = Callable[[np.ndarray], np.ndarray]
 
 
-def as_predict_fn(model, output: str = "auto") -> PredictFn:
+def as_predict_fn(model, output: str = "auto",
+                  guard: GuardConfig | None | bool = None) -> PredictFn:
     """Normalize a model or callable to ``f(X) -> 1-D float array``.
 
     Parameters
@@ -67,40 +87,55 @@ def as_predict_fn(model, output: str = "auto") -> PredictFn:
         * ``"proba"`` — require ``predict_proba[:, 1]``;
         * ``"label"`` — hard ``predict`` labels;
         * ``"raw"`` — require ``decision_function`` / raw margin.
+    guard:
+        ``None`` (default) installs the :mod:`repro.robust` guard with
+        environment-driven settings; a :class:`GuardConfig` tunes it;
+        ``False`` skips guarding (meter only).
 
     The returned function is wrapped with the :mod:`repro.obs` model-eval
-    meter (idempotently — re-normalizing a metered function does not
-    double-count).
+    meter and the robust guard (both idempotently — re-normalizing a
+    metered or guarded function does not double-count or double-guard).
     """
-    if getattr(model, "__repro_metered__", False):
+    if getattr(model, "__repro_guarded__", False):
         return model
+    if getattr(model, "__repro_metered__", False):
+        return guard_predict_fn(model, guard)
 
     if callable(model) and not hasattr(model, "predict"):
         fn = lambda X: np.asarray(model(np.atleast_2d(X)), dtype=float).ravel()
-        return meter_predict_fn(fn)
-
-    if output == "label":
+    elif output == "label":
         fn = lambda X: np.asarray(
             model.predict(np.atleast_2d(X)), dtype=float
         ).ravel()
-        return meter_predict_fn(fn)
-    if output == "raw":
+    elif output == "raw":
         if not hasattr(model, "decision_function"):
             raise TypeError(f"{type(model).__name__} has no decision_function")
         fn = lambda X: np.asarray(
             model.decision_function(np.atleast_2d(X)), dtype=float
         ).ravel()
-        return meter_predict_fn(fn)
-    if hasattr(model, "predict_proba") and output in ("auto", "proba"):
-        def proba_fn(X: np.ndarray) -> np.ndarray:
+    elif hasattr(model, "predict_proba") and output in ("auto", "proba"):
+        def fn(X: np.ndarray) -> np.ndarray:
             p = np.asarray(model.predict_proba(np.atleast_2d(X)), dtype=float)
             return p[:, 1] if p.ndim == 2 else p.ravel()
-
-        return meter_predict_fn(proba_fn)
-    if output == "proba":
+    elif output == "proba":
         raise TypeError(f"{type(model).__name__} has no predict_proba")
-    fn = lambda X: np.asarray(model.predict(np.atleast_2d(X)), dtype=float).ravel()
-    return meter_predict_fn(fn)
+    else:
+        fn = lambda X: np.asarray(
+            model.predict(np.atleast_2d(X)), dtype=float
+        ).ravel()
+    return guard_predict_fn(meter_predict_fn(fn), guard)
+
+
+def _scope_wrap(fn):
+    """Open a fresh per-explanation guard scope around an entry point."""
+
+    @functools.wraps(fn)
+    def scoped(self, *args, **kwargs):
+        with guard_scope(getattr(self, "guard_config", None)):
+            return fn(self, *args, **kwargs)
+
+    scoped.__repro_guard_scoped__ = True
+    return scoped
 
 
 class Explainer(ABC):
@@ -109,16 +144,30 @@ class Explainer(ABC):
     Subclasses are automatically instrumented: their own ``explain`` /
     ``explain_batch`` definitions are wrapped in :mod:`repro.obs` spans
     carrying the explainer name, input width, wall time and model-eval
-    counters.
+    counters — and in a :func:`repro.robust.guard_scope`, so deadlines
+    and query budgets reset per explanation.
     """
 
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         instrument_explainer(cls)
+        for name in ("explain", "explain_batch"):
+            fn = cls.__dict__.get(name)
+            if fn is None:
+                continue
+            if getattr(fn, "__repro_guard_scoped__", False):
+                continue
+            if getattr(fn, "__isabstractmethod__", False):
+                continue
+            if isinstance(fn, (staticmethod, classmethod)):
+                continue
+            setattr(cls, name, _scope_wrap(fn))
 
-    def __init__(self, model, output: str = "auto") -> None:
+    def __init__(self, model, output: str = "auto",
+                 guard: GuardConfig | None | bool = None) -> None:
         self.model = model
-        self.predict_fn = as_predict_fn(model, output)
+        self.guard_config = guard
+        self.predict_fn = as_predict_fn(model, output, guard=guard)
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         """The normalized model output being explained."""
@@ -135,23 +184,64 @@ class AttributionExplainer(Explainer):
         """Explain the model output at a single instance ``x``."""
 
     def explain_batch(
-        self, X: np.ndarray, n_jobs: int | None = None, **kwargs
-    ) -> list[FeatureAttribution]:
-        """Explain every row of ``X``, optionally fanning out over threads.
+        self,
+        X: np.ndarray,
+        n_jobs: int | None = None,
+        return_errors: bool = False,
+        **kwargs,
+    ) -> list[FeatureAttribution] | tuple[list, list[BatchRowError]]:
+        """Explain every row of ``X``, surviving per-row failures.
 
         ``n_jobs`` (or env ``REPRO_N_JOBS``; default 1 = serial) sizes a
         ``concurrent.futures`` thread pool. Each instance runs under a
         copy of the submitting context, so per-instance ``explain`` spans
-        keep the batch span as parent and eval counters roll up exactly
-        as in the serial path; results are returned in row order.
+        keep the batch span as parent, eval counters roll up exactly as
+        in the serial path, and each row gets its own guard scope;
+        results are returned in row order.
+
+        Failure semantics (serial and parallel paths behave identically):
+        one poisoned row no longer discards the completed ones. With
+        ``return_errors=True`` the call returns ``(results, errors)`` —
+        ``results`` has ``None`` at failed positions, ``errors`` is a
+        list of :class:`repro.robust.BatchRowError` records. With the
+        default ``return_errors=False`` a clean batch returns the plain
+        result list, and any failure raises
+        :class:`repro.robust.PartialBatchError` carrying the same
+        partial results. Failed rows increment ``robust.rows_failed``.
         """
-        X = np.atleast_2d(X)
+        try:
+            X = np.atleast_2d(np.asarray(X, dtype=float))
+        except (TypeError, ValueError) as e:
+            raise InputValidationError(
+                f"X is not convertible to a float matrix: {e}"
+            ) from e
+        if X.size == 0:
+            raise InputValidationError(
+                f"explain_batch needs a non-empty batch, got shape {X.shape}"
+            )
         n_jobs = resolve_n_jobs(n_jobs)
+
+        def run_row(i: int, x: np.ndarray):
+            try:
+                return self.explain(x, **kwargs), None
+            except Exception as e:
+                return None, BatchRowError(index=i, error=e)
+
         if n_jobs == 1 or X.shape[0] <= 1:
-            return [self.explain(x, **kwargs) for x in X]
-        with ThreadPoolExecutor(max_workers=n_jobs) as pool:
-            futures = [
-                pool.submit(contextvars.copy_context().run, self.explain, x, **kwargs)
-                for x in X
-            ]
-            return [f.result() for f in futures]
+            outcomes = [run_row(i, x) for i, x in enumerate(X)]
+        else:
+            with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+                futures = [
+                    pool.submit(contextvars.copy_context().run, run_row, i, x)
+                    for i, x in enumerate(X)
+                ]
+                outcomes = [f.result() for f in futures]
+        results = [res for res, __ in outcomes]
+        errors = [err for __, err in outcomes if err is not None]
+        if errors:
+            metrics.counter(_ROWS_FAILED).inc(len(errors))
+        if return_errors:
+            return results, errors
+        if errors:
+            raise PartialBatchError(partial=results, errors=errors)
+        return results

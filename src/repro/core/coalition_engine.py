@@ -29,6 +29,12 @@ draws per evaluation (e.g. QII's factorized interventions). Those callers
 must pass ``cache=False`` (or use :func:`batched_predict` directly) so
 repeated masks keep their independent draws.
 
+Fault tolerance: each chunk's guarded predict call is retried at the
+chunk level (``chunk_retries``) when the guard gives up, and failed
+evaluations are **never committed** to the value cache — cache writes
+happen only after a chunk's values come back clean, so a poisoned chunk
+cannot leave corrupt ``v(S)`` entries behind for later calls to reuse.
+
 The pre-engine evaluation path (per-coalition loop expand, one unchunked
 predict call, no cache) is preserved as :func:`legacy_expand` /
 :meth:`CoalitionEngine.legacy_value_function` so E37 can benchmark
@@ -45,6 +51,7 @@ import numpy as np
 
 from ..obs import metrics
 from ..obs.trace import span
+from ..robust.errors import ModelEvaluationError
 
 __all__ = [
     "DEFAULT_MAX_BATCH_ROWS",
@@ -57,9 +64,11 @@ __all__ = [
 ]
 
 DEFAULT_MAX_BATCH_ROWS = 65_536
+DEFAULT_CHUNK_RETRIES = 1
 
 _HITS = "coalition.cache.hits"
 _MISSES = "coalition.cache.misses"
+_CHUNK_RETRIES = "robust.chunk_retries"
 
 
 def resolve_max_batch_rows(value: int | None = None) -> int:
@@ -185,6 +194,13 @@ class CoalitionEngine:
     max_batch_rows:
         Upper bound on rows per predict-fn call (``None`` → env
         ``REPRO_MAX_BATCH_ROWS`` → :data:`DEFAULT_MAX_BATCH_ROWS`).
+    chunk_retries:
+        Extra whole-chunk attempts after the guarded predict function
+        gives up on a chunk (:class:`repro.robust.ModelEvaluationError`).
+        Chunk geometry means one flaky evaluation would otherwise sink
+        thousands of coalition values at once; a fresh attempt re-enters
+        the guard with a full retry allowance. Budget exhaustion is
+        never chunk-retried (the budget will not recover).
     """
 
     def __init__(
@@ -193,6 +209,7 @@ class CoalitionEngine:
         max_background: int = 100,
         rng: np.random.Generator | None = None,
         max_batch_rows: int | None = None,
+        chunk_retries: int = DEFAULT_CHUNK_RETRIES,
     ) -> None:
         background = np.atleast_2d(np.asarray(background, dtype=float))
         if background.shape[0] > max_background:
@@ -201,6 +218,7 @@ class CoalitionEngine:
             background = background[idx]
         self.background = background
         self.max_batch_rows = resolve_max_batch_rows(max_batch_rows)
+        self.chunk_retries = max(0, int(chunk_retries))
 
     @property
     def n_background(self) -> int:
@@ -230,7 +248,19 @@ class CoalitionEngine:
         for start in range(0, n_c, per_chunk):
             chunk = coalitions[start : start + per_chunk]
             rows = broadcast_expand(x, chunk, self.background)
-            preds = np.asarray(model_fn(rows), dtype=float).ravel()
+            attempt = 0
+            while True:
+                try:
+                    preds = np.asarray(model_fn(rows), dtype=float).ravel()
+                    break
+                except ModelEvaluationError:
+                    # Chunk-level retry: re-enter the guard with a fresh
+                    # allowance. BudgetExceededError is not a
+                    # ModelEvaluationError and propagates immediately.
+                    attempt += 1
+                    if attempt > self.chunk_retries:
+                        raise
+                    metrics.counter(_CHUNK_RETRIES).inc()
             values[start : start + chunk.shape[0]] = preds.reshape(
                 chunk.shape[0], n_b
             ).mean(axis=1)

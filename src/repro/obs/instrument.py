@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import functools
 
+from .metrics import counter
 from .trace import enabled, span
 
 __all__ = ["instrument_explainer"]
@@ -33,7 +34,10 @@ def _instance_size(value) -> int | None:
     if shape is not None:
         try:
             return int(shape[0]) if len(shape) == 1 else int(shape[-1])
-        except Exception:
+        except (TypeError, ValueError, IndexError):
+            # Exotic shape objects must not break instrumentation, but the
+            # swallow stays visible instead of silent.
+            counter("obs.internal_errors").inc()
             return None
     if isinstance(value, (list, tuple)):
         return len(value)

@@ -42,12 +42,13 @@ def aggregate(spans: list[Span] | None = None, top_level_only: bool = True
         entry = out.setdefault(
             _key(s),
             {"count": 0, "wall_ms": 0.0, "model_evals": 0,
-             "rows_evaluated": 0, "errors": 0},
+             "rows_evaluated": 0, "retries": 0, "errors": 0},
         )
         entry["count"] += 1
         entry["wall_ms"] += s.wall_ms or 0.0
         entry["model_evals"] += s.model_evals
         entry["rows_evaluated"] += s.rows_evaluated
+        entry["retries"] += s.retries
         if s.status != "ok":
             entry["errors"] += 1
     return out

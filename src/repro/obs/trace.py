@@ -72,6 +72,13 @@ _current: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
 )
 
 
+def _internal_error() -> None:
+    """Count a swallowed instrumentation failure so it stays visible."""
+    from . import metrics  # local: metrics imports this module at top level
+
+    metrics.counter("obs.internal_errors").inc()
+
+
 def _jsonable(value):
     """Best-effort conversion of attr values to JSON-safe scalars."""
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -79,8 +86,8 @@ def _jsonable(value):
     if hasattr(value, "item"):  # numpy scalar
         try:
             return value.item()
-        except Exception:
-            pass
+        except (TypeError, ValueError):
+            _internal_error()
     return str(value)
 
 
@@ -97,6 +104,7 @@ class Span:
         "wall_ms",
         "model_evals",
         "rows_evaluated",
+        "retries",
         "status",
     )
 
@@ -110,6 +118,7 @@ class Span:
         self.wall_ms: float | None = None
         self.model_evals = 0
         self.rows_evaluated = 0
+        self.retries = 0
         self.status = "ok"
 
     def add_model_evals(self, calls: int, rows: int) -> None:
@@ -123,6 +132,11 @@ class Span:
             self.model_evals += calls
             self.rows_evaluated += rows
 
+    def add_retries(self, n: int = 1) -> None:
+        """Attribute ``n`` guarded-model retries (rolls up like evals)."""
+        with _ROLLUP_LOCK:
+            self.retries += n
+
     def set_attr(self, key: str, value) -> None:
         self.attrs[key] = value
 
@@ -135,6 +149,7 @@ class Span:
             "wall_ms": self.wall_ms,
             "model_evals": self.model_evals,
             "rows_evaluated": self.rows_evaluated,
+            "retries": self.retries,
             "status": self.status,
             "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
         }
@@ -152,6 +167,9 @@ class _NullSpan:
     __slots__ = ()
 
     def add_model_evals(self, calls: int, rows: int) -> None:
+        pass
+
+    def add_retries(self, n: int = 1) -> None:
         pass
 
     def set_attr(self, key: str, value) -> None:
@@ -291,6 +309,8 @@ class span:
         parent = _current.get()
         if parent is not None:
             parent.add_model_evals(s.model_evals, s.rows_evaluated)
+            if s.retries:
+                parent.add_retries(s.retries)
         _tracer.record(s)
         self._span = None
         return False

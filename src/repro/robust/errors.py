@@ -1,0 +1,163 @@
+"""Typed exceptions for the fault-tolerant explanation runtime.
+
+The tutorial frames post-hoc explainers as services that repeatedly
+query an opaque model — exactly the component that fails in production.
+Before this hierarchy existed a flaky ``predict_fn`` surfaced as a bare
+``RuntimeError`` deep inside a numpy reshape, a NaN output silently
+corrupted a Shapley regression, and one poisoned row in
+``explain_batch`` threw away every completed explanation. Every failure
+mode now has a type a caller can catch and a payload that preserves the
+work already done:
+
+``ReproError``
+    Root of everything the library raises on purpose.
+``InputValidationError``
+    The *caller's* data is malformed (wrong-width instance, empty batch,
+    non-finite feature values). Subclasses :class:`ValueError` so
+    pre-existing ``except ValueError`` call sites keep working.
+``ModelEvaluationError``
+    The black-box model failed after the guard exhausted its retries;
+    carries the attempt count and chains the final cause.
+``NonFiniteOutputError`` / ``OutputShapeError``
+    The model *returned* instead of raising, but the output is unusable
+    (NaN/Inf entries, wrong row count). Both are evaluation failures.
+``BudgetExceededError``
+    A wall-clock deadline (``REPRO_DEADLINE_S``) or model-query budget
+    (``REPRO_QUERY_BUDGET``) ran out. Sampling-based explainers catch
+    this and degrade to a partial estimate; enumeration-based ones
+    propagate it.
+``PartialBatchError``
+    ``explain_batch`` completed some rows and lost others; ``partial``
+    holds the completed explanations (``None`` at failed positions) and
+    ``errors`` the per-row failure records, so a caller can recover
+    everything that succeeded.
+``TransientModelError``
+    The marker exception for *retryable* model failures — what a flaky
+    endpoint wrapper (or :class:`repro.robust.faults.FaultyModel`)
+    should raise to request a retry from the guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ReproError",
+    "InputValidationError",
+    "ModelEvaluationError",
+    "NonFiniteOutputError",
+    "OutputShapeError",
+    "BudgetExceededError",
+    "PartialBatchError",
+    "TransientModelError",
+    "BatchRowError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every deliberate failure raised by the library."""
+
+
+class InputValidationError(ReproError, ValueError):
+    """The caller's input is malformed (shape, emptiness, finiteness)."""
+
+
+class ModelEvaluationError(ReproError):
+    """The black-box model could not produce a usable output.
+
+    Parameters
+    ----------
+    attempts:
+        How many times the guarded predict function tried (1 = no
+        retries were attempted or allowed).
+    """
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class NonFiniteOutputError(ModelEvaluationError):
+    """The model returned NaN/Inf entries and the policy forbids them."""
+
+
+class OutputShapeError(ModelEvaluationError):
+    """The model returned the wrong number of outputs for its input."""
+
+
+class TransientModelError(ReproError):
+    """A retryable model failure (flaky endpoint, injected fault).
+
+    The guard retries these with capped exponential backoff; anything
+    not in the configured transient set fails fast instead.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """A wall-clock deadline or model-query budget ran out.
+
+    Parameters
+    ----------
+    kind:
+        ``"queries"`` (row budget) or ``"deadline"`` (wall clock).
+    spent / budget:
+        Rows spent vs. the row budget, or seconds elapsed vs. the
+        deadline, depending on ``kind``.
+    """
+
+    def __init__(self, message: str, kind: str = "queries",
+                 spent: float = 0.0, budget: float = 0.0) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.spent = spent
+        self.budget = budget
+
+
+@dataclass
+class BatchRowError:
+    """Structured record of one failed row inside ``explain_batch``."""
+
+    index: int
+    error: BaseException
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (the exception object itself is not kept)."""
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": str(self.error),
+        }
+
+
+class PartialBatchError(ReproError):
+    """``explain_batch`` lost rows; the completed ones are recoverable.
+
+    Attributes
+    ----------
+    partial:
+        One entry per input row: the finished explanation, or ``None``
+        where that row failed.
+    errors:
+        :class:`BatchRowError` records for the failed rows.
+    """
+
+    def __init__(self, partial: list, errors: list[BatchRowError]) -> None:
+        first = errors[0] if errors else None
+        message = (
+            f"{len(errors)}/{len(partial)} rows failed"
+            + (f"; first: row {first.index} "
+               f"{first.error_type}: {first.error}" if first else "")
+            + " (completed rows are in .partial; "
+            "pass return_errors=True to opt into partial results)"
+        )
+        super().__init__(message)
+        self.partial = partial
+        self.errors = errors
+
+    @property
+    def completed_indices(self) -> list[int]:
+        return [i for i, r in enumerate(self.partial) if r is not None]

@@ -1,0 +1,163 @@
+"""Deterministic fault injection for models under test and benchmark.
+
+:class:`FaultyModel` wraps any model (or predict callable) and injects
+the production failure modes the guarded runtime must survive, at
+configurable per-call rates:
+
+* **exceptions** — :class:`TransientModelError`, the guard's retryable
+  marker (a flaky endpoint that 500s);
+* **NaN/Inf outputs** — a random subset of the returned entries is
+  corrupted (numerical blowups, bad feature pipelines);
+* **wrong-shape returns** — the last output row is dropped (a batch
+  endpoint that truncates);
+* **synthetic latency** — a sleep before answering (tail-latency
+  spikes, for deadline tests).
+
+Everything is driven by one seeded :class:`numpy.random.Generator`, so
+the *sequence* of faults is a pure function of the seed and the call
+order — the determinism the E38 benchmark and the seeded tests rely on.
+A retried call advances the stream, which is exactly the behaviour of a
+flaky service: the retry is a fresh draw.
+
+The wrapper is itself a bare callable marked ``__repro_metered__``
+(its inner model is normalized *with* the meter), so
+``as_predict_fn(FaultyModel(...))`` composes only the guard on top and
+model-query accounting stays single-counted.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from .errors import TransientModelError
+
+__all__ = ["FaultyModel"]
+
+_FAULT_KINDS = ("error", "nan", "shape", "latency")
+
+
+class FaultyModel:
+    """Seeded fault-injecting wrapper around a model or predict callable.
+
+    Parameters
+    ----------
+    model:
+        Anything :func:`repro.core.base.as_predict_fn` accepts.
+    error_rate / nan_rate / shape_rate / latency_rate:
+        Per-call probabilities of each fault kind (disjoint: one draw
+        decides the call's fate, so the total fault rate is their sum,
+        which must be ≤ 1).
+    nan_fraction:
+        Fraction of output entries corrupted on a ``nan`` fault (at
+        least one entry).
+    latency_s:
+        Sleep duration on a ``latency`` fault (the call still answers
+        correctly afterwards).
+    seed:
+        Seeds the fault stream; same seed + same call sequence = same
+        faults.
+
+    Attributes
+    ----------
+    calls:
+        Total calls observed.
+    fault_counts:
+        ``{kind: count}`` of injected faults.
+    fault_log:
+        ``(call_index, kind)`` tuples, in order — the seeded tests
+        assert this is reproducible.
+    """
+
+    def __init__(
+        self,
+        model,
+        error_rate: float = 0.0,
+        nan_rate: float = 0.0,
+        shape_rate: float = 0.0,
+        latency_rate: float = 0.0,
+        nan_fraction: float = 0.25,
+        latency_s: float = 0.01,
+        seed: int = 0,
+        output: str = "auto",
+    ) -> None:
+        rates = (error_rate, nan_rate, shape_rate, latency_rate)
+        if any(r < 0 for r in rates) or sum(rates) > 1.0 + 1e-12:
+            raise ValueError(
+                "fault rates must be non-negative and sum to at most 1, "
+                f"got {dict(zip(_FAULT_KINDS, rates))}"
+            )
+        # Lazy import: robust must stay importable before repro.core
+        # (core.base itself imports this package).
+        from ..core.base import as_predict_fn
+
+        # Inner fn is metered but NOT guarded: the guard belongs to the
+        # consumer that wraps this FaultyModel.
+        self._inner = as_predict_fn(model, output, guard=False)
+        self.rates = dict(zip(_FAULT_KINDS, rates))
+        self.nan_fraction = float(nan_fraction)
+        self.latency_s = float(latency_s)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.fault_counts = {kind: 0 for kind in _FAULT_KINDS}
+        self.fault_log: list[tuple[int, str]] = []
+        # as_predict_fn must not stack a second meter on this wrapper.
+        self.__repro_metered__ = True
+
+    def _draw_fault(self, n_out: int) -> tuple[str | None, np.ndarray | None]:
+        """Decide this call's fate; one uniform draw keeps the stream flat."""
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+            u = float(self._rng.random())
+            edge = 0.0
+            kind = None
+            for name in _FAULT_KINDS:
+                edge += self.rates[name]
+                if u < edge:
+                    kind = name
+                    break
+            corrupt = None
+            if kind == "nan":
+                n_bad = max(1, int(round(self.nan_fraction * n_out)))
+                corrupt = self._rng.choice(n_out, size=min(n_bad, n_out),
+                                           replace=False)
+            if kind is not None:
+                self.fault_counts[kind] += 1
+                self.fault_log.append((index, kind))
+        return kind, corrupt
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        kind, corrupt = self._draw_fault(X.shape[0])
+        if kind == "error":
+            raise TransientModelError(
+                f"injected transient failure (call {self.calls - 1}, "
+                f"seed {self.seed})"
+            )
+        if kind == "latency":
+            time.sleep(self.latency_s)
+        out = np.asarray(self._inner(X), dtype=float).ravel()
+        if kind == "nan":
+            out = out.copy()
+            out[corrupt] = np.nan
+            return out
+        if kind == "shape" and out.shape[0] > 0:
+            return out[:-1]
+        return out
+
+    def reset(self) -> None:
+        """Rewind the fault stream to the seeded origin (and clear stats)."""
+        with self._lock:
+            self._rng = np.random.default_rng(self.seed)
+            self.calls = 0
+            self.fault_counts = {kind: 0 for kind in _FAULT_KINDS}
+            self.fault_log.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rates = {k: v for k, v in self.rates.items() if v}
+        return f"FaultyModel(seed={self.seed}, rates={rates}, calls={self.calls})"

@@ -1,0 +1,427 @@
+"""Guarded model execution: validation, retries, deadlines, budgets.
+
+:func:`guard_predict_fn` is composed inside
+:func:`repro.core.base.as_predict_fn`, directly above the
+:mod:`repro.obs` model-eval meter, so **every** normalized predict
+function in the library passes through it. For each model call it
+
+* validates the output — one finite float per input row. A wrong-length
+  return is retried (a flaky service returning garbage), and non-finite
+  entries follow the configured ``on_nonfinite`` policy: ``"raise"``
+  (default, :class:`NonFiniteOutputError`), ``"requery"`` (re-ask the
+  model, then raise), or ``"impute"`` (replace bad entries with the
+  finite mean of the same batch, falling back to
+  ``GuardConfig.impute_value``);
+* retries *transient* failures (:class:`TransientModelError`,
+  connection/timeout errors) with capped exponential backoff
+  (``REPRO_RETRIES`` attempts, ``REPRO_BACKOFF`` base seconds).
+  Non-transient exceptions fail fast as
+  :class:`ModelEvaluationError` — a deterministic numpy broadcast bug
+  does not deserve three retries;
+* enforces the ambient :class:`GuardScope`'s wall-clock deadline
+  (``REPRO_DEADLINE_S``) and model-query row budget
+  (``REPRO_QUERY_BUDGET``), raising :class:`BudgetExceededError` when
+  either runs out. Sampling-based explainers catch that and return a
+  partial, convergence-flagged estimate instead of dying.
+
+Scoping: budgets are **per explanation**. ``Explainer.__init_subclass__``
+wraps every ``explain``/``explain_batch`` in :func:`guard_scope`, which
+pins a fresh :class:`GuardScope` on a contextvar — so each row of a
+batch gets its own deadline and row budget, including on the thread-pool
+path (worker rows run under copied contexts). Rows spent line up with
+the :mod:`repro.obs` model-eval meter because the guard sits
+immediately above it and charges the same row counts.
+
+Telemetry: ``robust.retries``, ``robust.nonfinite``, ``robust.imputed``
+and ``robust.budget_exhausted`` counters export through
+:mod:`repro.obs.metrics`; retries additionally roll up through open
+spans (``Span.retries``), so an ``explain_batch`` span reports the total
+retry bill of its rows.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..obs import metrics, trace
+from .errors import (
+    BudgetExceededError,
+    InputValidationError,
+    ModelEvaluationError,
+    NonFiniteOutputError,
+    OutputShapeError,
+    ReproError,
+    TransientModelError,
+)
+
+__all__ = [
+    "DEFAULT_RETRIES",
+    "DEFAULT_BACKOFF_S",
+    "BACKOFF_CAP_S",
+    "GuardConfig",
+    "GuardScope",
+    "guard_scope",
+    "current_scope",
+    "guard_predict_fn",
+    "check_instance",
+    "resolve_retries",
+    "resolve_backoff",
+    "resolve_deadline_s",
+    "resolve_query_budget",
+]
+
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF_S = 0.05
+BACKOFF_CAP_S = 2.0
+
+# Exception types the guard treats as transient (retryable) by default.
+TRANSIENT_DEFAULT: tuple = (
+    TransientModelError,
+    ConnectionError,
+    TimeoutError,
+    OSError,
+)
+
+_RETRIES = "robust.retries"
+_NONFINITE = "robust.nonfinite"
+_IMPUTED = "robust.imputed"
+_BUDGET_EXHAUSTED = "robust.budget_exhausted"
+
+
+def _env_int(name: str) -> int | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def resolve_retries(value: int | None = None) -> int:
+    """Transient-failure retry count: explicit > ``REPRO_RETRIES`` > 2."""
+    if value is None:
+        value = _env_int("REPRO_RETRIES")
+    return DEFAULT_RETRIES if value is None else max(0, int(value))
+
+
+def resolve_backoff(value: float | None = None) -> float:
+    """Base backoff seconds: explicit > ``REPRO_BACKOFF`` > 0.05."""
+    if value is None:
+        value = _env_float("REPRO_BACKOFF")
+    return DEFAULT_BACKOFF_S if value is None else max(0.0, float(value))
+
+
+def resolve_deadline_s(value: float | None = None) -> float | None:
+    """Per-explanation wall-clock deadline: explicit > ``REPRO_DEADLINE_S``.
+
+    ``None`` (the default) means no deadline; non-positive values are
+    treated as unset.
+    """
+    if value is None:
+        value = _env_float("REPRO_DEADLINE_S")
+    if value is None or value <= 0:
+        return None
+    return float(value)
+
+
+def resolve_query_budget(value: int | None = None) -> int | None:
+    """Per-explanation row budget: explicit > ``REPRO_QUERY_BUDGET``.
+
+    ``None`` (the default) means unlimited; non-positive values are
+    treated as unset.
+    """
+    if value is None:
+        value = _env_int("REPRO_QUERY_BUDGET")
+    if value is None or value <= 0:
+        return None
+    return int(value)
+
+
+@dataclass
+class GuardConfig:
+    """Knobs for one guarded predict function / explainer.
+
+    Every ``None`` field falls back to its environment variable at call
+    time (so tests and the CLI can flip ``REPRO_*`` without rebuilding
+    explainers), then to the library default.
+    """
+
+    retries: int | None = None          # REPRO_RETRIES, default 2
+    backoff_s: float | None = None      # REPRO_BACKOFF, default 0.05
+    deadline_s: float | None = None     # REPRO_DEADLINE_S, default off
+    query_budget: int | None = None     # REPRO_QUERY_BUDGET, default off
+    on_nonfinite: str = "raise"         # raise | requery | impute
+    impute_value: float | None = None   # fallback when a whole batch is bad
+    transient: tuple = TRANSIENT_DEFAULT
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.on_nonfinite not in ("raise", "requery", "impute"):
+            raise ValueError(
+                f"on_nonfinite must be raise|requery|impute, "
+                f"got {self.on_nonfinite!r}"
+            )
+
+
+class GuardScope:
+    """Per-explanation budget state (deadline + model-query rows)."""
+
+    __slots__ = ("t0", "deadline_s", "query_budget", "rows_spent", "retries")
+
+    def __init__(self, deadline_s: float | None, query_budget: int | None
+                 ) -> None:
+        self.t0 = time.monotonic()
+        self.deadline_s = deadline_s
+        self.query_budget = query_budget
+        self.rows_spent = 0
+        self.retries = 0
+
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self.t0
+
+    def remaining_s(self) -> float | None:
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - self.elapsed_s()
+
+    def check(self, rows_next: int) -> None:
+        """Raise :class:`BudgetExceededError` if ``rows_next`` won't fit."""
+        remaining = self.remaining_s()
+        if remaining is not None and remaining <= 0:
+            metrics.counter(_BUDGET_EXHAUSTED).inc()
+            raise BudgetExceededError(
+                f"deadline of {self.deadline_s:.3f}s exceeded "
+                f"({self.elapsed_s():.3f}s elapsed)",
+                kind="deadline",
+                spent=self.elapsed_s(),
+                budget=self.deadline_s,
+            )
+        if (
+            self.query_budget is not None
+            and self.rows_spent + rows_next > self.query_budget
+        ):
+            metrics.counter(_BUDGET_EXHAUSTED).inc()
+            raise BudgetExceededError(
+                f"model-query budget of {self.query_budget} rows exceeded "
+                f"({self.rows_spent} spent, {rows_next} requested)",
+                kind="queries",
+                spent=self.rows_spent,
+                budget=self.query_budget,
+            )
+
+
+_SCOPE: contextvars.ContextVar[GuardScope | None] = contextvars.ContextVar(
+    "repro_robust_guard_scope", default=None
+)
+
+
+def current_scope() -> GuardScope | None:
+    """The innermost open guard scope on this context, or ``None``."""
+    return _SCOPE.get()
+
+
+@contextlib.contextmanager
+def guard_scope(config: GuardConfig | None | bool = None):
+    """Open a fresh per-explanation budget scope.
+
+    Entered automatically around every ``explain``/``explain_batch`` by
+    the explainer base class; nesting replaces the ambient scope (each
+    row of a batch budgets independently). ``config=False`` disables
+    budget enforcement for the dynamic extent.
+    """
+    if config is False:
+        token = _SCOPE.set(None)
+        try:
+            yield None
+        finally:
+            _SCOPE.reset(token)
+        return
+    cfg = config if isinstance(config, GuardConfig) else None
+    scope = GuardScope(
+        resolve_deadline_s(cfg.deadline_s if cfg else None),
+        resolve_query_budget(cfg.query_budget if cfg else None),
+    )
+    token = _SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _SCOPE.reset(token)
+
+
+def _note_retry(scope: GuardScope | None) -> None:
+    metrics.counter(_RETRIES).inc()
+    if scope is not None:
+        scope.retries += 1
+    active = trace.current_span()
+    if active is not None:
+        active.add_retries(1)
+
+
+def _backoff_sleep(cfg: GuardConfig, backoff: float, failures: int,
+                   scope: GuardScope | None) -> None:
+    """Exponential backoff, capped and clipped to the remaining deadline."""
+    delay = min(backoff * (2.0 ** (failures - 1)), BACKOFF_CAP_S)
+    if scope is not None:
+        remaining = scope.remaining_s()
+        if remaining is not None:
+            delay = min(delay, max(0.0, remaining))
+    if delay > 0:
+        cfg.sleep(delay)
+
+
+def _n_rows(X) -> int:
+    shape = getattr(X, "shape", None)
+    if shape is None:
+        return len(X)
+    return 1 if len(shape) <= 1 else int(shape[0])
+
+
+def guard_predict_fn(fn, config: GuardConfig | None | bool = None):
+    """Wrap a (metered) predict function with the guarded-execution layer.
+
+    Idempotent (a guarded function passes through unchanged) and marked
+    ``__repro_metered__`` so re-normalization through ``as_predict_fn``
+    never stacks another meter on top. ``config=False`` skips guarding
+    entirely — the escape hatch the E38 benchmark uses to price the
+    guard at 0% faults.
+    """
+    if config is False:
+        return fn
+    if getattr(fn, "__repro_guarded__", False):
+        return fn
+    cfg = config if isinstance(config, GuardConfig) else GuardConfig()
+
+    def guarded(X):
+        n_rows = _n_rows(X)
+        retries = resolve_retries(cfg.retries)
+        backoff = resolve_backoff(cfg.backoff_s)
+        scope = _SCOPE.get()
+        failures = 0
+        while True:
+            if scope is not None:
+                scope.check(n_rows)
+            try:
+                out = np.asarray(fn(X), dtype=float).ravel()
+            except (BudgetExceededError, InputValidationError):
+                raise
+            except cfg.transient as e:
+                failures += 1
+                if failures > retries:
+                    raise ModelEvaluationError(
+                        f"model evaluation failed after {failures} attempts "
+                        f"({retries} retries): {type(e).__name__}: {e}",
+                        attempts=failures,
+                    ) from e
+                _note_retry(scope)
+                _backoff_sleep(cfg, backoff, failures, scope)
+                continue
+            except ReproError:
+                raise
+            except Exception as e:
+                # Deterministic failures (shape bugs, type errors) are not
+                # retried: the same inputs would fail the same way.
+                raise ModelEvaluationError(
+                    f"model evaluation failed: {type(e).__name__}: {e}",
+                    attempts=failures + 1,
+                ) from e
+            if scope is not None:
+                scope.rows_spent += n_rows
+            if out.shape[0] != n_rows:
+                failures += 1
+                if failures > retries:
+                    raise OutputShapeError(
+                        f"model returned {out.shape[0]} outputs for "
+                        f"{n_rows} rows (after {failures} attempts)",
+                        attempts=failures,
+                    )
+                _note_retry(scope)
+                _backoff_sleep(cfg, backoff, failures, scope)
+                continue
+            finite = np.isfinite(out)
+            if finite.all():
+                return out
+            n_bad = int((~finite).sum())
+            metrics.counter(_NONFINITE).inc(n_bad)
+            if cfg.on_nonfinite == "requery" and failures < retries:
+                failures += 1
+                _note_retry(scope)
+                _backoff_sleep(cfg, backoff, failures, scope)
+                continue
+            if cfg.on_nonfinite == "impute" or (
+                cfg.on_nonfinite == "requery" and cfg.impute_value is not None
+            ):
+                if finite.any():
+                    baseline = float(out[finite].mean())
+                elif cfg.impute_value is not None:
+                    baseline = float(cfg.impute_value)
+                else:
+                    raise NonFiniteOutputError(
+                        f"model returned {n_bad}/{out.shape[0]} non-finite "
+                        "outputs and no finite entries to impute from "
+                        "(set GuardConfig.impute_value)",
+                        attempts=failures + 1,
+                    )
+                metrics.counter(_IMPUTED).inc(n_bad)
+                out = out.copy()
+                out[~finite] = baseline
+                return out
+            raise NonFiniteOutputError(
+                f"model returned {n_bad}/{out.shape[0]} non-finite outputs "
+                f"(after {failures + 1} attempts; policy="
+                f"{cfg.on_nonfinite!r})",
+                attempts=failures + 1,
+            )
+
+    guarded.__repro_guarded__ = True
+    guarded.__repro_metered__ = True  # the meter sits immediately below
+    guarded.__wrapped__ = fn
+    guarded.guard_config = cfg
+    return guarded
+
+
+def check_instance(x, n_features: int | None = None, name: str = "x"
+                   ) -> np.ndarray:
+    """Validate one explained instance; returns it as a 1-D float array.
+
+    Raises :class:`InputValidationError` (a ``ValueError``) for inputs
+    that previously died as cryptic numpy broadcast errors deep inside a
+    value function: the wrong feature count, an empty instance,
+    unconvertible entries, or non-finite feature values.
+    """
+    try:
+        arr = np.asarray(x, dtype=float)
+    except (TypeError, ValueError) as e:
+        raise InputValidationError(
+            f"{name} is not convertible to a float array: {e}"
+        ) from e
+    arr = arr.ravel()
+    if arr.size == 0:
+        raise InputValidationError(f"{name} is empty")
+    if n_features is not None and arr.size != n_features:
+        raise InputValidationError(
+            f"{name} has {arr.size} features, expected {n_features}"
+        )
+    if not np.isfinite(arr).all():
+        raise InputValidationError(
+            f"{name} contains non-finite entries at positions "
+            f"{np.flatnonzero(~np.isfinite(arr)).tolist()}"
+        )
+    return arr

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.base import AttributionExplainer
 from ..core.coalition_engine import CoalitionValueCache, batched_predict
 from ..core.explanation import FeatureAttribution
+from ..robust.guard import check_instance
 from .sampling import permutation_shapley
 
 __all__ = ["empirical_conditional_value_function", "ConditionalShapExplainer"]
@@ -147,8 +148,9 @@ class ConditionalShapExplainer(AttributionExplainer):
         output: str = "auto",
         seed: int = 0,
         max_batch_rows: int | None = None,
+        guard=None,
     ) -> None:
-        super().__init__(model, output)
+        super().__init__(model, output, guard=guard)
         self.data = np.atleast_2d(np.asarray(data, dtype=float))
         self.k = k
         self.n_permutations = n_permutations
@@ -157,22 +159,26 @@ class ConditionalShapExplainer(AttributionExplainer):
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
-        x = np.asarray(x, dtype=float).ravel()
+        x = check_instance(x, self.data.shape[1])
         n = x.shape[0]
         v = empirical_conditional_value_function(
             self.predict_fn, self.data, x, k=self.k,
             max_batch_rows=self.max_batch_rows,
         )
-        phi, std_err = permutation_shapley(
-            v, n, n_permutations=self.n_permutations, seed=self.seed
-        )
+        # Prediction and base value first, so a budget exhausted during
+        # sampling still yields a reportable partial estimate.
+        prediction = float(self.predict_fn(x[None, :])[0])
         base = float(v(np.zeros((1, n), dtype=bool))[0])
+        phi, std_err, convergence = permutation_shapley(
+            v, n, n_permutations=self.n_permutations, seed=self.seed,
+            return_diagnostics=True,
+        )
         names = feature_names or [f"x{i}" for i in range(n)]
         return FeatureAttribution(
             values=phi,
             feature_names=names,
             base_value=base,
-            prediction=float(self.predict_fn(x[None, :])[0]),
+            prediction=prediction,
             method=self.method_name,
-            meta={"std_err": std_err, "k": self.k},
+            meta={"std_err": std_err, "k": self.k, "convergence": convergence},
         )

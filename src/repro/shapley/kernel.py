@@ -26,6 +26,7 @@ import numpy as np
 from ..core.base import AttributionExplainer
 from ..core.explanation import FeatureAttribution
 from ..core.sampling import MaskingSampler
+from ..robust.guard import check_instance
 
 __all__ = ["kernel_shap", "shapley_kernel_weight", "KernelShapExplainer"]
 
@@ -156,8 +157,9 @@ class KernelShapExplainer(AttributionExplainer):
         seed: int = 0,
         max_batch_rows: int | None = None,
         engine: bool = True,
+        guard=None,
     ) -> None:
-        super().__init__(model, output)
+        super().__init__(model, output, guard=guard)
         self.sampler = MaskingSampler(
             background, max_background=max_background, max_batch_rows=max_batch_rows
         )
@@ -167,15 +169,15 @@ class KernelShapExplainer(AttributionExplainer):
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
-        x = np.asarray(x, dtype=float).ravel()
+        x = check_instance(x, self.sampler.background.shape[1])
         n = x.shape[0]
         v = (
             self.sampler.value_function(self.predict_fn, x)
             if self.engine
             else self.sampler.legacy_value_function(self.predict_fn, x)
         )
-        phi, base = kernel_shap(v, n, n_samples=self.n_samples, seed=self.seed)
         prediction = float(self.predict_fn(x[None, :])[0])
+        phi, base = kernel_shap(v, n, n_samples=self.n_samples, seed=self.seed)
         names = feature_names or [f"x{i}" for i in range(n)]
         return FeatureAttribution(
             values=phi,

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.base import AttributionExplainer
 from ..core.coalition_engine import batched_predict
 from ..core.explanation import FeatureAttribution
+from ..robust.guard import check_instance
 from .sampling import permutation_shapley
 
 __all__ = ["unary_qii", "set_qii", "shapley_qii", "QIIExplainer"]
@@ -92,7 +93,8 @@ def shapley_qii(
     n_samples: int = 100,
     seed: int = 0,
     max_batch_rows: int | None = None,
-) -> np.ndarray:
+    return_diagnostics: bool = False,
+) -> np.ndarray | tuple[np.ndarray, dict]:
     """Shapley value of the set-QII game, by permutation sampling.
 
     The game value of coalition S is the *negative* set influence of the
@@ -105,6 +107,11 @@ def shapley_qii(
     cache must be bypassed; only its memory-bounded batching is used.
     Intervention rows are still generated mask-by-mask in the historical
     order, so seeded results are identical to the pre-engine loop.
+
+    With ``return_diagnostics=True`` the sampler's convergence record is
+    returned alongside ``phi`` (see :func:`permutation_shapley`): a
+    budget exhausted mid-estimate yields the partial estimate with
+    ``converged=False`` instead of raising.
     """
     x = np.asarray(x, dtype=float).ravel()
     n = x.shape[0]
@@ -133,10 +140,11 @@ def shapley_qii(
             out[block_rows] = means
         return out
 
-    phi, __ = permutation_shapley(
-        value_fn, n, n_permutations=n_permutations, seed=seed
+    phi, __, diagnostics = permutation_shapley(
+        value_fn, n, n_permutations=n_permutations, seed=seed,
+        return_diagnostics=True,
     )
-    return phi
+    return (phi, diagnostics) if return_diagnostics else phi
 
 
 class QIIExplainer(AttributionExplainer):
@@ -152,8 +160,8 @@ class QIIExplainer(AttributionExplainer):
     def __init__(self, model, background: np.ndarray,
                  n_permutations: int = 60, n_samples: int = 100,
                  output: str = "auto", seed: int = 0,
-                 max_batch_rows: int | None = None) -> None:
-        super().__init__(model, output)
+                 max_batch_rows: int | None = None, guard=None) -> None:
+        super().__init__(model, output, guard=guard)
         self.background = np.atleast_2d(np.asarray(background, dtype=float))
         self.n_permutations = n_permutations
         self.n_samples = n_samples
@@ -162,15 +170,16 @@ class QIIExplainer(AttributionExplainer):
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
-        x = np.asarray(x, dtype=float).ravel()
-        phi = shapley_qii(
+        x = check_instance(x, self.background.shape[1])
+        prediction = float(self.predict_fn(x[None, :])[0])
+        phi, convergence = shapley_qii(
             self.predict_fn, x, self.background,
             n_permutations=self.n_permutations,
             n_samples=self.n_samples,
             seed=self.seed,
             max_batch_rows=self.max_batch_rows,
+            return_diagnostics=True,
         )
-        prediction = float(self.predict_fn(x[None, :])[0])
         names = feature_names or [f"x{i}" for i in range(x.shape[0])]
         return FeatureAttribution(
             values=phi,
@@ -178,4 +187,5 @@ class QIIExplainer(AttributionExplainer):
             base_value=prediction - float(phi.sum()),
             prediction=prediction,
             method=self.method_name,
+            meta={"convergence": convergence},
         )

@@ -10,6 +10,13 @@ Sampling permutations (Castro et al. 2009) gives an unbiased estimator
 whose error decays as O(1/√m); the antithetic variant pairs each
 permutation with its reverse, which cancels much of the variance for
 roughly symmetric games. E2 plots exactly this convergence.
+
+Graceful degradation: when the guarded runtime's deadline or model-query
+budget runs out mid-estimate (:class:`repro.robust.BudgetExceededError`),
+the walks already completed still form an unbiased — just noisier —
+estimator, so the sampler stops early and returns it instead of raising.
+``return_diagnostics=True`` exposes the convergence record the explainers
+surface in ``meta["convergence"]``.
 """
 
 from __future__ import annotations
@@ -21,6 +28,8 @@ import numpy as np
 from ..core.base import AttributionExplainer
 from ..core.explanation import FeatureAttribution
 from ..core.sampling import MaskingSampler
+from ..robust.errors import BudgetExceededError
+from ..robust.guard import check_instance
 
 __all__ = ["permutation_shapley", "SamplingShapleyExplainer"]
 
@@ -31,35 +40,58 @@ def permutation_shapley(
     n_permutations: int = 100,
     antithetic: bool = True,
     seed: int = 0,
-) -> tuple[np.ndarray, np.ndarray]:
+    return_diagnostics: bool = False,
+) -> tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, np.ndarray, dict]:
     """Estimate Shapley values from random permutations.
 
     Returns ``(phi, std_err)`` — the estimates and their per-player
-    standard errors over sampled permutations.
+    standard errors over sampled permutations. With
+    ``return_diagnostics=True`` a third element records convergence:
+    ``{"converged", "n_walks_completed", "n_walks_requested",
+    "budget_error"}``. A :class:`BudgetExceededError` raised by the
+    value function stops sampling early; if at least one walk finished,
+    the partial estimate is returned (``converged=False``), otherwise
+    the error propagates.
     """
     rng = np.random.default_rng(seed)
     contributions: list[np.ndarray] = []
     n_batches = (
         n_permutations // 2 if antithetic and n_permutations > 1 else n_permutations
     )
+    walks_per_batch = 2 if antithetic and n_permutations > 1 else 1
+    budget_error: BudgetExceededError | None = None
     for __ in range(n_batches):
         perm = rng.permutation(n_players)
         perms = [perm, perm[::-1]] if antithetic else [perm]
-        for p in perms:
-            # One walk through the permutation = n+1 coalition evaluations.
-            masks = np.zeros((n_players + 1, n_players), dtype=bool)
-            for pos, player in enumerate(p):
-                masks[pos + 1] = masks[pos]
-                masks[pos + 1, player] = True
-            values = np.asarray(value_fn(masks), dtype=float)
-            contrib = np.zeros(n_players)
-            contrib[p] = values[1:] - values[:-1]
-            contributions.append(contrib)
+        try:
+            for p in perms:
+                # One walk through the permutation = n+1 coalition evaluations.
+                masks = np.zeros((n_players + 1, n_players), dtype=bool)
+                for pos, player in enumerate(p):
+                    masks[pos + 1] = masks[pos]
+                    masks[pos + 1, player] = True
+                values = np.asarray(value_fn(masks), dtype=float)
+                contrib = np.zeros(n_players)
+                contrib[p] = values[1:] - values[:-1]
+                contributions.append(contrib)
+        except BudgetExceededError as e:
+            if not contributions:
+                raise
+            budget_error = e
+            break
     stacked = np.stack(contributions)
     phi = stacked.mean(axis=0)
     std_err = stacked.std(axis=0, ddof=1) / np.sqrt(stacked.shape[0]) \
         if stacked.shape[0] > 1 else np.zeros(n_players)
-    return phi, std_err
+    if not return_diagnostics:
+        return phi, std_err
+    diagnostics = {
+        "converged": budget_error is None,
+        "n_walks_completed": len(contributions),
+        "n_walks_requested": n_batches * walks_per_batch,
+        "budget_error": None if budget_error is None else str(budget_error),
+    }
+    return phi, std_err, diagnostics
 
 
 class SamplingShapleyExplainer(AttributionExplainer):
@@ -85,8 +117,9 @@ class SamplingShapleyExplainer(AttributionExplainer):
         seed: int = 0,
         max_batch_rows: int | None = None,
         engine: bool = True,
+        guard=None,
     ) -> None:
-        super().__init__(model, output)
+        super().__init__(model, output, guard=guard)
         self.sampler = MaskingSampler(
             background, max_background=max_background, max_batch_rows=max_batch_rows
         )
@@ -97,21 +130,24 @@ class SamplingShapleyExplainer(AttributionExplainer):
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
-        x = np.asarray(x, dtype=float).ravel()
+        x = check_instance(x, self.sampler.background.shape[1])
         n = x.shape[0]
         v = (
             self.sampler.value_function(self.predict_fn, x)
             if self.engine
             else self.sampler.legacy_value_function(self.predict_fn, x)
         )
-        phi, std_err = permutation_shapley(
+        # Prediction and base value come first: if the query budget runs
+        # out mid-sampling, the partial estimate is still reportable.
+        prediction = float(self.predict_fn(x[None, :])[0])
+        base = float(v(np.zeros((1, n), dtype=bool))[0])
+        phi, std_err, convergence = permutation_shapley(
             v, n,
             n_permutations=self.n_permutations,
             antithetic=self.antithetic,
             seed=self.seed,
+            return_diagnostics=True,
         )
-        base = float(v(np.zeros((1, n), dtype=bool))[0])
-        prediction = float(self.predict_fn(x[None, :])[0])
         names = feature_names or [f"x{i}" for i in range(n)]
         return FeatureAttribution(
             values=phi,
@@ -119,5 +155,6 @@ class SamplingShapleyExplainer(AttributionExplainer):
             base_value=base,
             prediction=prediction,
             method=self.method_name,
-            meta={"std_err": std_err, "n_permutations": self.n_permutations},
+            meta={"std_err": std_err, "n_permutations": self.n_permutations,
+                  "convergence": convergence},
         )

@@ -22,6 +22,7 @@ from ..core.coalition_engine import batched_predict
 from ..core.dataset import TabularDataset
 from ..core.explanation import FeatureAttribution
 from ..core.sampling import GaussianPerturber
+from ..robust.guard import check_instance
 
 __all__ = ["LimeTabularExplainer", "weighted_ridge", "forward_select"]
 
@@ -112,8 +113,9 @@ class LimeTabularExplainer(AttributionExplainer):
         output: str = "auto",
         seed: int = 0,
         max_batch_rows: int | None = None,
+        guard=None,
     ) -> None:
-        super().__init__(model, output)
+        super().__init__(model, output, guard=guard)
         self.data = data
         self.n_samples = n_samples
         self.max_batch_rows = max_batch_rows
@@ -132,7 +134,7 @@ class LimeTabularExplainer(AttributionExplainer):
         return np.exp(-(distances ** 2) / self.kernel_width ** 2)
 
     def explain(self, x: np.ndarray, seed: int | None = None) -> FeatureAttribution:
-        x = np.asarray(x, dtype=float).ravel()
+        x = check_instance(x, self.data.n_features)
         rng = np.random.default_rng(self.seed if seed is None else seed)
         Z, B = self._perturber.sample(x, self.n_samples, rng)
         y = batched_predict(self.predict_fn, Z, self.max_batch_rows)

@@ -1,5 +1,5 @@
-"""Tier-1 enforcement of the no-print lint, the telemetry writers, and
-the benchmark wall-time regression guard."""
+"""Tier-1 enforcement of the no-print and exception-hygiene lints, the
+telemetry writers, and the benchmark wall-time regression guard."""
 
 import importlib.util
 import json
@@ -13,6 +13,7 @@ from repro.obs import bench
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT = os.path.join(REPO_ROOT, "scripts", "check_no_print.py")
+HYGIENE = os.path.join(REPO_ROOT, "scripts", "check_exception_hygiene.py")
 BENCH_COMPARE = os.path.join(REPO_ROOT, "scripts", "bench_compare.py")
 
 
@@ -49,6 +50,50 @@ def test_lint_catches_a_bare_print(tmp_path):
     allowed = tmp_path / "cli.py"
     allowed.write_text("print('fine')\n", encoding="utf-8")
     assert lint.offenders(str(tmp_path)) == [f"{bad}:2"]
+
+
+def test_src_repro_has_clean_exception_hygiene():
+    """No bare excepts or silent broad handlers in the library."""
+    result = subprocess.run(
+        [sys.executable, HYGIENE],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_hygiene_lint_catches_silent_handlers(tmp_path):
+    hygiene = _load_script(HYGIENE, "check_exception_hygiene")
+    bad = tmp_path / "module.py"
+    bad.write_text(
+        "try:\n    f()\nexcept:\n    handle()\n"
+        "try:\n    g()\nexcept Exception:\n    pass\n"
+        "try:\n    h()\nexcept (ValueError, BaseException):\n    ...\n",
+        encoding="utf-8",
+    )
+    found = hygiene.offenders(str(tmp_path))
+    assert [f.split(" ", 1) for f in found] == [
+        [f"{bad}:3", "bare except:"],
+        [f"{bad}:7", "except Exception with silent (pass-only) body"],
+        [f"{bad}:11", "except Exception with silent (pass-only) body"],
+    ]
+
+
+def test_hygiene_lint_accepts_handled_and_allowlisted(tmp_path):
+    hygiene = _load_script(HYGIENE, "check_exception_hygiene")
+    ok = tmp_path / "clean.py"
+    ok.write_text(
+        # Narrow types, even with pass bodies, show intent.
+        "try:\n    f()\nexcept (TypeError, ValueError):\n    pass\n"
+        # Broad but visibly handled.
+        "try:\n    g()\nexcept Exception as e:\n    raise RuntimeError from e\n"
+        # Broad + silent, but explicitly allowlisted.
+        "try:\n    h()\nexcept Exception:  # hygiene: allow\n    pass\n"
+        # Strings mentioning the pattern must not trip the AST walk.
+        "s = 'except:'\n",
+        encoding="utf-8",
+    )
+    assert hygiene.offenders(str(tmp_path)) == []
 
 
 def test_atomic_write_replaces_not_appends(tmp_path):
@@ -179,6 +224,29 @@ def test_bench_compare_tolerates_noise_and_gaps(tmp_path):
     bad.write_text("{not json")
     assert compare.load_summary(str(bad)) == {}
     assert compare.main(["--baseline", str(bad), "--fresh", str(bad)]) == 0
+
+
+def test_bench_compare_warns_on_missing_baseline(tmp_path, capfd):
+    """A guarded experiment without a committed baseline is skipped loudly."""
+    compare = _load_script(BENCH_COMPARE, "bench_compare")
+    baseline = {"E3_treeshap_speed": {"wall_s": 10.0}}
+    fresh = {
+        "E3_treeshap_speed": {"wall_s": 10.0},
+        "E38_fault_tolerance": {"wall_s": 5.0},
+    }
+    assert compare.missing_baselines(baseline, fresh) == [
+        "E38_fault_tolerance"
+    ]
+    base_path = tmp_path / "base.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps({"experiments": baseline}))
+    fresh_path.write_text(json.dumps({"experiments": fresh}))
+    # Missing baseline warns but does not fail the guard.
+    assert compare.main(
+        ["--baseline", str(base_path), "--fresh", str(fresh_path)]
+    ) == 0
+    err = capfd.readouterr().err
+    assert "E38_fault_tolerance" in err and "warning" in err
 
 
 @pytest.mark.parametrize("value,bucket_positive", [(0.5, True), (100.0, True)])

@@ -1,0 +1,499 @@
+"""Fault-tolerant runtime: guard, budgets, fault injection, degradation.
+
+Covers the repro.robust contract end to end: typed input/output
+validation across every sampling explainer, deterministic seeded fault
+injection, retry/backoff of transient failures, per-explanation
+deadlines and query budgets with partial-result degradation, graceful
+``explain_batch`` with poisoned rows (serial and parallel), and the
+coalition engine's chunk-level retry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base import AttributionExplainer, as_predict_fn
+from repro.core.coalition_engine import CoalitionEngine
+from repro.core.dataset import TabularDataset
+from repro.obs import metrics
+from repro.robust import (
+    BatchRowError,
+    BudgetExceededError,
+    FaultyModel,
+    GuardConfig,
+    InputValidationError,
+    ModelEvaluationError,
+    NonFiniteOutputError,
+    OutputShapeError,
+    PartialBatchError,
+    ReproError,
+    TransientModelError,
+    check_instance,
+    guard_predict_fn,
+    guard_scope,
+)
+from repro.shapley import (
+    ConditionalShapExplainer,
+    KernelShapExplainer,
+    QIIExplainer,
+    SamplingShapleyExplainer,
+)
+from repro.surrogate import LimeTabularExplainer
+
+N_FEATURES = 4
+WEIGHTS = np.array([1.0, -2.0, 0.5, 0.0])
+
+
+def linear_model(X: np.ndarray) -> np.ndarray:
+    return np.atleast_2d(X) @ WEIGHTS
+
+
+def nan_model(X: np.ndarray) -> np.ndarray:
+    return np.full(np.atleast_2d(X).shape[0], np.nan)
+
+
+@pytest.fixture(scope="module")
+def background():
+    rng = np.random.default_rng(3)
+    return rng.normal(size=(40, N_FEATURES))
+
+
+def _make_explainer(name: str, model, background: np.ndarray):
+    """Fast-setting instance of every registered sampling explainer."""
+    if name == "kernel":
+        return KernelShapExplainer(model, background, n_samples=32)
+    if name == "sampling":
+        return SamplingShapleyExplainer(model, background, n_permutations=6)
+    if name == "qii":
+        return QIIExplainer(model, background, n_permutations=4, n_samples=10)
+    if name == "conditional":
+        return ConditionalShapExplainer(model, background, k=5,
+                                        n_permutations=6)
+    if name == "lime":
+        data = TabularDataset(background,
+                              np.zeros(background.shape[0], dtype=int))
+        return LimeTabularExplainer(model, data, n_samples=40)
+    raise AssertionError(name)
+
+
+EXPLAINERS = ("kernel", "sampling", "qii", "conditional", "lime")
+
+
+# ---------------------------------------------------------------- errors
+
+
+def test_error_hierarchy():
+    assert issubclass(ModelEvaluationError, ReproError)
+    assert issubclass(NonFiniteOutputError, ModelEvaluationError)
+    assert issubclass(OutputShapeError, ModelEvaluationError)
+    assert issubclass(BudgetExceededError, ReproError)
+    assert issubclass(TransientModelError, ReproError)
+    # Input validation keeps ValueError compatibility so legacy
+    # `except ValueError` call sites still work.
+    assert issubclass(InputValidationError, ValueError)
+    # Every robust failure is catchable via the single root.
+    for exc in (ModelEvaluationError("m"), BudgetExceededError("b"),
+                TransientModelError("t"), InputValidationError("i")):
+        assert isinstance(exc, ReproError)
+
+
+def test_batch_row_error_record():
+    record = BatchRowError(index=3, error=ValueError("boom"))
+    assert record.error_type == "ValueError"
+    payload = record.to_dict()
+    assert payload["index"] == 3
+    assert payload["error_type"] == "ValueError"
+    assert "boom" in payload["message"]
+
+
+# ---------------------------------------------- input validation (typed)
+
+
+@pytest.mark.parametrize("name", EXPLAINERS)
+def test_wrong_width_instance_raises_typed_error(name, background):
+    explainer = _make_explainer(name, linear_model, background)
+    with pytest.raises(InputValidationError, match="features"):
+        explainer.explain(np.zeros(N_FEATURES + 2))
+
+
+@pytest.mark.parametrize("name", EXPLAINERS)
+def test_nonfinite_instance_raises_typed_error(name, background):
+    explainer = _make_explainer(name, linear_model, background)
+    x = background[0].copy()
+    x[1] = np.nan
+    with pytest.raises(InputValidationError, match="non-finite"):
+        explainer.explain(x)
+
+
+@pytest.mark.parametrize("name", EXPLAINERS)
+def test_nan_model_raises_nonfinite_error(name, background):
+    explainer = _make_explainer(name, nan_model, background)
+    with pytest.raises(NonFiniteOutputError):
+        explainer.explain(background[0])
+
+
+def test_empty_batch_raises_typed_error(background):
+    explainer = _make_explainer("kernel", linear_model, background)
+    with pytest.raises(InputValidationError, match="non-empty"):
+        explainer.explain_batch(np.empty((0, N_FEATURES)))
+
+
+def test_check_instance_contract():
+    assert check_instance([1, 2, 3]).dtype == float
+    with pytest.raises(InputValidationError, match="empty"):
+        check_instance([])
+    with pytest.raises(InputValidationError, match="convertible"):
+        check_instance(["a", "b"])
+    with pytest.raises(InputValidationError, match="expected 2"):
+        check_instance([1.0, 2.0, 3.0], n_features=2)
+
+
+# -------------------------------------------------------- guarded calls
+
+
+def test_transient_failures_are_retried_then_recover():
+    attempts = []
+
+    def flaky(X):
+        attempts.append(len(attempts))
+        if len(attempts) < 3:
+            raise TransientModelError("503")
+        return np.zeros(np.atleast_2d(X).shape[0])
+
+    guarded = guard_predict_fn(flaky, GuardConfig(retries=4, backoff_s=0.0))
+    before = metrics.counter("robust.retries").value
+    out = guarded(np.zeros((2, 3)))
+    assert out.shape == (2,) and len(attempts) == 3
+    assert metrics.counter("robust.retries").value == before + 2
+
+
+def test_retries_exhausted_raises_model_evaluation_error():
+    def always_down(X):
+        raise TransientModelError("503")
+
+    guarded = guard_predict_fn(always_down,
+                               GuardConfig(retries=2, backoff_s=0.0))
+    with pytest.raises(ModelEvaluationError) as excinfo:
+        guarded(np.zeros((1, 3)))
+    assert excinfo.value.attempts == 3
+    assert isinstance(excinfo.value.__cause__, TransientModelError)
+
+
+def test_deterministic_failures_fail_fast():
+    calls = []
+
+    def buggy(X):
+        calls.append(1)
+        raise IndexError("broadcast bug")
+
+    guarded = guard_predict_fn(buggy, GuardConfig(retries=5, backoff_s=0.0))
+    with pytest.raises(ModelEvaluationError):
+        guarded(np.zeros((1, 3)))
+    assert len(calls) == 1  # no retries for a deterministic bug
+
+
+def test_wrong_shape_output_retried_then_typed():
+    def truncating(X):
+        return np.zeros(np.atleast_2d(X).shape[0] - 1)
+
+    guarded = guard_predict_fn(truncating,
+                               GuardConfig(retries=1, backoff_s=0.0))
+    with pytest.raises(OutputShapeError):
+        guarded(np.zeros((4, 3)))
+
+
+def test_nonfinite_policies():
+    def half_nan(X):
+        out = np.arange(float(np.atleast_2d(X).shape[0]))
+        out[0] = np.inf
+        return out
+
+    raising = guard_predict_fn(half_nan, GuardConfig(retries=0))
+    with pytest.raises(NonFiniteOutputError):
+        raising(np.zeros((4, 2)))
+
+    imputing = guard_predict_fn(
+        half_nan, GuardConfig(retries=0, on_nonfinite="impute")
+    )
+    out = imputing(np.zeros((4, 2)))
+    # Bad entry replaced by the finite mean of the same batch.
+    assert out[0] == pytest.approx(np.mean([1.0, 2.0, 3.0]))
+
+    all_bad = guard_predict_fn(
+        nan_model, GuardConfig(retries=0, on_nonfinite="impute",
+                               impute_value=0.5)
+    )
+    assert np.all(all_bad(np.zeros((3, 2))) == 0.5)
+
+
+def test_requery_recovers_from_intermittent_nan():
+    calls = []
+
+    def sometimes_nan(X):
+        calls.append(1)
+        n = np.atleast_2d(X).shape[0]
+        return np.full(n, np.nan) if len(calls) == 1 else np.ones(n)
+
+    guarded = guard_predict_fn(
+        sometimes_nan,
+        GuardConfig(retries=2, backoff_s=0.0, on_nonfinite="requery"),
+    )
+    assert np.all(guarded(np.zeros((2, 2))) == 1.0)
+    assert len(calls) == 2
+
+
+def test_guard_is_idempotent():
+    fn = as_predict_fn(linear_model)
+    assert fn.__repro_guarded__ and as_predict_fn(fn) is fn
+
+
+def test_guard_env_knobs(monkeypatch):
+    monkeypatch.setenv("REPRO_RETRIES", "0")
+    monkeypatch.setenv("REPRO_BACKOFF", "0")
+
+    def always_down(X):
+        raise TransientModelError("503")
+
+    guarded = guard_predict_fn(always_down)
+    with pytest.raises(ModelEvaluationError) as excinfo:
+        guarded(np.zeros((1, 2)))
+    assert excinfo.value.attempts == 1  # env disabled the retries
+
+
+# ------------------------------------------------------------- budgets
+
+
+def test_query_budget_enforced_in_scope():
+    fn = as_predict_fn(linear_model)
+    with guard_scope(GuardConfig(query_budget=5)) as scope:
+        fn(np.zeros((3, N_FEATURES)))
+        assert scope.rows_spent == 3
+        with pytest.raises(BudgetExceededError) as excinfo:
+            fn(np.zeros((3, N_FEATURES)))
+    assert excinfo.value.kind == "queries"
+    assert excinfo.value.budget == 5
+
+
+def test_deadline_enforced_in_scope():
+    fn = as_predict_fn(linear_model)
+    with guard_scope(GuardConfig(deadline_s=1e-9)):
+        import time
+
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            fn(np.zeros((1, N_FEATURES)))
+    assert excinfo.value.kind == "deadline"
+
+
+def test_budget_exhaustion_returns_partial_explanation():
+    # Wide feature space so the coalition cache cannot serve every walk
+    # (4 features would dedup to only 16 coalitions and never exhaust).
+    rng = np.random.default_rng(0)
+    wide = rng.normal(size=(40, 9))
+    weights = np.linspace(-2.0, 2.0, 9)
+    explainer = SamplingShapleyExplainer(
+        lambda X: np.atleast_2d(X) @ weights, wide,
+        n_permutations=40, seed=0,
+        guard=GuardConfig(query_budget=4000),
+    )
+    fa = explainer.explain(wide[0])
+    convergence = fa.meta["convergence"]
+    assert convergence["converged"] is False
+    assert 0 < convergence["n_walks_completed"] < \
+        convergence["n_walks_requested"]
+    assert "budget" in convergence["budget_error"]
+    # The surviving walks still form an unbiased estimator; for a linear
+    # game every walk yields the same marginals, so the partial estimate
+    # matches the closed form w_i * (x_i - E[X_i]) tightly.
+    exact = weights * (wide[0] - wide.mean(axis=0))
+    assert np.allclose(fa.values, exact, atol=0.05)
+
+
+def test_budget_too_small_for_base_value_raises(background):
+    explainer = SamplingShapleyExplainer(
+        linear_model, background, n_permutations=10, seed=0,
+        guard=GuardConfig(query_budget=1),
+    )
+    with pytest.raises(BudgetExceededError):
+        explainer.explain(background[0])
+
+
+def test_scopes_are_per_explanation(background):
+    # A budget that survives one explanation must survive a second one:
+    # rows_spent resets per explain() call, not per explainer.
+    explainer = KernelShapExplainer(
+        linear_model, background, n_samples=16, seed=0,
+        guard=GuardConfig(query_budget=5000),
+    )
+    first = explainer.explain(background[0])
+    second = explainer.explain(background[0])
+    assert np.allclose(first.values, second.values)
+
+
+# ------------------------------------------------------ fault injection
+
+
+def test_faulty_model_is_deterministic():
+    rates = dict(error_rate=0.2, nan_rate=0.2, shape_rate=0.1)
+    logs = []
+    for _ in range(2):
+        fm = FaultyModel(linear_model, seed=42, **rates)
+        for i in range(50):
+            try:
+                fm(np.zeros((2, N_FEATURES)))
+            except TransientModelError:
+                pass
+        logs.append(list(fm.fault_log))
+    assert logs[0] == logs[1] and len(logs[0]) > 0
+    kinds = {kind for _, kind in logs[0]}
+    assert kinds <= {"error", "nan", "shape"}
+
+
+def test_faulty_model_reset_rewinds_stream():
+    fm = FaultyModel(linear_model, error_rate=0.5, seed=7)
+    def drive():
+        out = []
+        for _ in range(20):
+            try:
+                fm(np.zeros((1, N_FEATURES)))
+                out.append("ok")
+            except TransientModelError:
+                out.append("err")
+        return out
+
+    first = drive()
+    fm.reset()
+    assert drive() == first and fm.calls == 20
+
+
+def test_faulty_model_rates_validation():
+    with pytest.raises(ValueError, match="sum to at most 1"):
+        FaultyModel(linear_model, error_rate=0.8, nan_rate=0.5)
+
+
+def test_guard_recovers_exact_values_from_faulty_model(background):
+    clean = _make_explainer("kernel", linear_model, background)
+    faulty = KernelShapExplainer(
+        FaultyModel(linear_model, error_rate=0.3, seed=5),
+        background, n_samples=32,
+        guard=GuardConfig(retries=25, backoff_s=0.0),
+    )
+    a, b = clean.explain(background[0]), faulty.explain(background[0])
+    # Retries re-ask until the clean answer comes back: zero drift.
+    assert np.allclose(a.values, b.values)
+
+
+# ------------------------------------------------------ batch degradation
+
+
+class _PoisonRowExplainer(AttributionExplainer):
+    """Minimal explainer whose explain() dies on a marked row."""
+
+    method_name = "poison_probe"
+
+    def explain(self, x, **kwargs):
+        from repro.core.explanation import FeatureAttribution
+
+        x = np.asarray(x, dtype=float).ravel()
+        if x[0] > 1e5:
+            raise ModelEvaluationError("poisoned row")
+        values = self.predict_fn(x[None, :]) * np.ones(x.shape[0])
+        return FeatureAttribution(
+            values=values / x.shape[0],
+            feature_names=[f"x{i}" for i in range(x.shape[0])],
+            base_value=0.0,
+            prediction=float(values[0]),
+            method=self.method_name,
+        )
+
+
+@pytest.mark.parametrize("n_jobs", [1, 3])
+def test_explain_batch_survives_poisoned_row(n_jobs, background):
+    explainer = _PoisonRowExplainer(linear_model)
+    X = background[:5].copy()
+    X[2, 0] = 1e9  # poison
+    before = metrics.counter("robust.rows_failed").value
+
+    results, errors = explainer.explain_batch(X, n_jobs=n_jobs,
+                                              return_errors=True)
+    assert len(results) == 5
+    assert results[2] is None
+    assert all(results[i] is not None for i in (0, 1, 3, 4))
+    assert [e.index for e in errors] == [2]
+    assert isinstance(errors[0].error, ModelEvaluationError)
+    assert metrics.counter("robust.rows_failed").value == before + 1
+
+    with pytest.raises(PartialBatchError) as excinfo:
+        explainer.explain_batch(X, n_jobs=n_jobs)
+    partial = excinfo.value
+    assert partial.completed_indices == [0, 1, 3, 4]
+    assert partial.partial[2] is None
+    assert partial.partial[0].method == "poison_probe"
+
+
+def test_explain_batch_clean_path_unchanged(background):
+    explainer = _PoisonRowExplainer(linear_model)
+    results = explainer.explain_batch(background[:3])
+    assert isinstance(results, list) and len(results) == 3
+    assert all(r.method == "poison_probe" for r in results)
+
+
+def test_explain_batch_parallel_budgets_are_per_row(background):
+    # Every row individually fits the budget; together they would not.
+    # Per-row scoping means all rows succeed, even on the pool path.
+    explainer = KernelShapExplainer(
+        linear_model, background, n_samples=16, seed=0,
+        guard=GuardConfig(query_budget=5000),
+    )
+    results = explainer.explain_batch(background[:4], n_jobs=2)
+    assert len(results) == 4 and all(r is not None for r in results)
+
+
+# ------------------------------------------------- coalition chunk retry
+
+
+def test_coalition_engine_chunk_retry_keeps_cache_consistent(background):
+    x = background[0]
+    calls = {"n": 0}
+
+    metered = as_predict_fn(linear_model, guard=False)
+
+    def flaky_once(X):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise ModelEvaluationError("first chunk dies")
+        return metered(X)
+
+    engine = CoalitionEngine(background, chunk_retries=1)
+    v = engine.value_function(
+        guard_predict_fn(flaky_once, GuardConfig(retries=0)), x
+    )
+    masks = np.zeros((3, N_FEATURES), dtype=bool)
+    masks[1, 0] = True
+    masks[2, :2] = True
+    before = metrics.counter("robust.chunk_retries").value
+    values = v(masks)
+    assert metrics.counter("robust.chunk_retries").value == before + 1
+    # The retried evaluation matches a never-faulty engine: nothing
+    # partial was committed to the coalition cache.
+    clean = CoalitionEngine(background).value_function(metered, x)
+    assert np.allclose(values, clean(masks))
+    # The repeat call is answered fully from cache.
+    misses_before = v.cache.misses
+    assert np.allclose(v(masks), values)
+    assert v.cache.misses == misses_before
+
+
+def test_coalition_engine_chunk_retries_exhausted(background):
+    calls = {"n": 0}
+
+    def always_down(X):
+        calls["n"] += 1
+        raise ModelEvaluationError("down")
+
+    engine = CoalitionEngine(background, chunk_retries=2)
+    v = engine.value_function(always_down, background[0])
+    with pytest.raises(ModelEvaluationError):
+        v(np.zeros((1, N_FEATURES), dtype=bool))
+    assert calls["n"] == 3  # initial attempt + 2 chunk retries
