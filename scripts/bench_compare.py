@@ -14,8 +14,8 @@ guarded experiment that *was* freshly run but has no committed baseline
 entry is also skipped, with a stderr warning naming it, so a newly added
 benchmark cannot silently escape the guard forever. The perf-sensitive
 experiments guarded by default are the Shapley hot paths: E2 (kernel
-convergence), E3 (TreeSHAP speed), E37 (the coalition engine itself)
-and E38 (fault-tolerance overhead).
+convergence), E3 (TreeSHAP speed), E37 (the coalition engine itself),
+E38 (fault-tolerance overhead) and E39 (the games layer).
 
 Exit status 0 when clean, 1 with a listing otherwise. Enforced in tier-1
 via ``tests/test_obs_lint_and_bench.py``, alongside ``check_no_print.py``.
@@ -37,6 +37,7 @@ GUARDED_EXPERIMENTS = (
     "E3_treeshap_speed",
     "E37_coalition_engine",
     "E38_fault_tolerance",
+    "E39_games_layer",
 )
 MAX_REGRESSION = 0.25
 MIN_DELTA_S = 0.75

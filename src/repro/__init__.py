@@ -11,6 +11,10 @@ models
     kNN, naive Bayes, MLP) with white-box gradient access.
 datasets
     SCM-backed synthetic data with known ground truth.
+games
+    The cooperative-game layer: the Game protocol, the shared evaluator
+    (caching/chunking/budgets/telemetry) and the estimator suite every
+    Shapley-style computation runs through.
 shapley
     Exact/sampled/Kernel/Tree SHAP, QII, global aggregation (§2.1.2).
 surrogate
@@ -49,6 +53,7 @@ __version__ = "1.0.0"
 
 from . import obs
 from . import robust
+from . import games
 from . import io, render, report
 from . import (
     adversarial,
@@ -74,6 +79,7 @@ __all__ = [
     "core",
     "models",
     "datasets",
+    "games",
     "shapley",
     "surrogate",
     "causal",

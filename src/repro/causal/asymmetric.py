@@ -11,6 +11,15 @@ purely because of their topological position.
 The value function is pluggable; the default is the SCM's interventional
 one, and any batched ``v(masks)`` works (e.g. the conditional one from
 :mod:`repro.causal.values`, matching the paper's original formulation).
+
+As a game, ASV is a :class:`repro.games.TopologicalGame` — uniform
+permutation Shapley with the sampler restricted to linear extensions of
+the DAG — run through the shared estimator (``engine=True``, the
+default), which adds position-keyed coalition caching: every walk
+re-evaluates ∅ and the short prefixes at the same batch positions, and
+those now cost a dictionary lookup instead of ``n_samples`` SCM draws.
+``engine=False`` keeps the pre-games loop for the parity tests and the
+E39 comparison.
 """
 
 from __future__ import annotations
@@ -18,6 +27,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..games.adapters import TopologicalGame, sample_topological_order
+from ..games.engine import game_value_function
+from ..games.estimators import permutation_estimator
 from ..obs import instrument_explainer
 from .scm import StructuralCausalModel
 from .values import interventional_value_function
@@ -34,28 +46,10 @@ def sample_topological_permutation(
 
     Implemented as repeated uniform choice among currently source-like
     features (Kahn's algorithm with random tie-breaking). Only edges among
-    the listed features constrain the order.
+    the listed features constrain the order. Delegates to the generic
+    :func:`repro.games.sample_topological_order`.
     """
-    index = {name: j for j, name in enumerate(feature_order)}
-    remaining_parents = {
-        name: {p for p in scm.parents(name) if p in index}
-        for name in feature_order
-    }
-    available = [name for name, ps in remaining_parents.items() if not ps]
-    order: list[int] = []
-    placed: set[str] = set()
-    while available:
-        pick = available.pop(rng.integers(0, len(available)))
-        order.append(index[pick])
-        placed.add(pick)
-        for name in feature_order:
-            if name in placed or name in available:
-                continue
-            if remaining_parents[name] <= placed:
-                available.append(name)
-    if len(order) != len(feature_order):
-        raise RuntimeError("DAG over the features is not acyclic")
-    return np.asarray(order)
+    return sample_topological_order(scm.parents, feature_order, rng)
 
 
 @instrument_explainer
@@ -73,6 +67,7 @@ class AsymmetricShapleyExplainer:
         n_samples: int = 400,
         value_function: str = "interventional",
         seed: int = 0,
+        engine: bool = True,
     ) -> None:
         from ..core.base import as_predict_fn
 
@@ -87,6 +82,7 @@ class AsymmetricShapleyExplainer:
                 "callable via explain(value_fn=...) otherwise"
             )
         self.seed = seed
+        self.engine = engine
 
     def explain(
         self,
@@ -96,6 +92,8 @@ class AsymmetricShapleyExplainer:
     ) -> FeatureAttribution:
         x = np.asarray(x, dtype=float).ravel()
         n = x.shape[0]
+        if self.engine:
+            return self._explain_games(x, feature_names, value_fn)
         rng = np.random.default_rng(self.seed)
         if value_fn is None:
             value_fn = interventional_value_function(
@@ -123,4 +121,32 @@ class AsymmetricShapleyExplainer:
             prediction=float(self.predict_fn(x[None, :])[0]),
             method=self.method_name,
             meta={"n_permutations": self.n_permutations},
+        )
+
+    def _explain_games(self, x, feature_names, value_fn) -> FeatureAttribution:
+        n = x.shape[0]
+        game = TopologicalGame(
+            self.scm, self.predict_fn, self.feature_order, x,
+            n_samples=self.n_samples, seed=self.seed, value_fn=value_fn,
+        )
+        est = permutation_estimator(
+            game,
+            n_permutations=self.n_permutations,
+            antithetic=False,
+            seed=self.seed,
+            aggregate="sum_counts",
+        )
+        # The interventional value function seeds by batch position, so
+        # the base (∅ at position 0) reproduces the legacy value exactly.
+        base = float(game_value_function(game)(
+            np.zeros((1, n), dtype=bool))[0])
+        names = feature_names or self.feature_order
+        return FeatureAttribution(
+            values=est.values,
+            feature_names=names,
+            base_value=base,
+            prediction=float(self.predict_fn(x[None, :])[0]),
+            method=self.method_name,
+            meta={"n_permutations": self.n_permutations,
+                  "convergence": est.diagnostics},
         )

@@ -15,6 +15,12 @@ Both parts are estimated here by permutation sampling against the SCM;
 their sums are the causal Shapley values, and the direct part alone
 recovers (in expectation) the marginal-SHAP behaviour, which is how E10
 shows where the two disagree.
+
+The walk (two SCM expectations per step, a global seed counter, the
+direct/indirect ledger) lives in :class:`repro.games.InterventionalGame`
+and is driven by the shared permutation estimator (``engine=True``, the
+default); ``engine=False`` keeps the pre-games loop for the parity
+tests.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..games.adapters import InterventionalGame
+from ..games.estimators import permutation_estimator
 from ..obs import instrument_explainer
 from .scm import StructuralCausalModel
 
@@ -43,6 +51,9 @@ class CausalShapleyExplainer:
     n_permutations, n_samples:
         Monte-Carlo budgets: orderings sampled, and SCM draws per
         expectation.
+    engine:
+        ``True`` (default) runs the walks through the shared games
+        estimator; ``False`` keeps the pre-games loop.
     """
 
     method_name = "causal_shapley"
@@ -55,6 +66,7 @@ class CausalShapleyExplainer:
         n_permutations: int = 40,
         n_samples: int = 400,
         seed: int = 0,
+        engine: bool = True,
     ) -> None:
         from ..core.base import as_predict_fn
 
@@ -64,6 +76,7 @@ class CausalShapleyExplainer:
         self.n_permutations = n_permutations
         self.n_samples = n_samples
         self.seed = seed
+        self.engine = engine
 
     def _expectation(
         self,
@@ -87,12 +100,14 @@ class CausalShapleyExplainer:
                 ) -> FeatureAttribution:
         x = np.asarray(x, dtype=float).ravel()
         n = x.shape[0]
+        if self.engine:
+            return self._explain_games(x, feature_names)
         rng = np.random.default_rng(self.seed)
         phi_direct = np.zeros(n)
         phi_indirect = np.zeros(n)
         counter = 0
         for __ in range(self.n_permutations):
-            perm = rng.permutation(n)
+            perm = rng.permutation(n)  # games: allow
             coalition: dict[str, float] = {}
             plugged: dict[int, float] = {}
             v_prev = self._expectation(coalition, plugged, seed=self.seed + counter)
@@ -127,4 +142,34 @@ class CausalShapleyExplainer:
             prediction=float(self.predict_fn(x[None, :])[0]),
             method=self.method_name,
             meta={"direct": phi_direct, "indirect": phi_indirect},
+        )
+
+    def _explain_games(self, x, feature_names) -> FeatureAttribution:
+        game = InterventionalGame(
+            self.scm, self.predict_fn, self.feature_order, x,
+            n_samples=self.n_samples, seed=self.seed,
+        )
+        est = permutation_estimator(
+            game,
+            n_permutations=self.n_permutations,
+            antithetic=False,
+            seed=self.seed,
+            aggregate="sum_counts",
+        )
+        # The direct/indirect ledger is the legacy accumulation order:
+        # summing the halves (not est.values' whole-step differences)
+        # keeps the published values bitwise identical to the old loop.
+        phi_direct = game.direct_sums / self.n_permutations
+        phi_indirect = game.indirect_sums / self.n_permutations
+        phi = phi_direct + phi_indirect
+        base = game.base_value()
+        names = feature_names or self.feature_order
+        return FeatureAttribution(
+            values=phi,
+            feature_names=names,
+            base_value=base,
+            prediction=float(self.predict_fn(x[None, :])[0]),
+            method=self.method_name,
+            meta={"direct": phi_direct, "indirect": phi_indirect,
+                  "convergence": est.diagnostics},
         )

@@ -43,7 +43,7 @@ def interventional_value_function(
     if len(feature_order) != x.shape[0]:
         raise ValueError("feature_order does not match the instance width")
 
-    def v(masks: np.ndarray) -> np.ndarray:
+    def v(masks: np.ndarray, positions: np.ndarray | None = None) -> np.ndarray:
         masks = np.atleast_2d(np.asarray(masks, dtype=bool))
         out = np.zeros(masks.shape[0])
         for row, mask in enumerate(masks):
@@ -52,13 +52,20 @@ def interventional_value_function(
                 for j in range(len(feature_order))
                 if mask[j]
             }
+            # The SCM draw is seeded by the row's position in the batch,
+            # so v is a deterministic function of (position, mask) — the
+            # property the games evaluator's position-keyed cache relies
+            # on. ``positions`` lets a caller restore the original batch
+            # positions after chunking or deduplication.
+            pos = row if positions is None else int(positions[row])
             values = scm.sample(
-                n_samples, seed=seed + row, interventions=interventions
+                n_samples, seed=seed + pos, interventions=interventions
             )
             X = np.column_stack([values[name] for name in feature_order])
             out[row] = float(np.mean(predict_fn(X)))
         return out
 
+    v.supports_positions = True
     return v
 
 

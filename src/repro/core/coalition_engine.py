@@ -56,6 +56,7 @@ from ..robust.errors import ModelEvaluationError
 __all__ = [
     "DEFAULT_MAX_BATCH_ROWS",
     "resolve_max_batch_rows",
+    "resolve_cache",
     "broadcast_expand",
     "legacy_expand",
     "batched_predict",
@@ -86,6 +87,22 @@ def resolve_max_batch_rows(value: int | None = None) -> int:
         except ValueError:
             pass
     return DEFAULT_MAX_BATCH_ROWS
+
+
+def resolve_cache(value: bool = True) -> bool:
+    """Whether coalition-value caching is enabled.
+
+    ``REPRO_COALITION_CACHE=0`` (or ``false``/``off``/``no``; CLI flag
+    ``--no-coalition-cache``) force-disables every coalition value cache
+    in the process — the A/B lever benchmarks and cache-suspicion
+    debugging sessions need. An explicit ``value=False`` at a call site
+    always wins; the env var can only turn caching *off*, never on for
+    a caller that opted out (stochastic games stay uncached).
+    """
+    if not value:
+        return False
+    env = os.environ.get("REPRO_COALITION_CACHE", "").strip().lower()
+    return env not in ("0", "false", "off", "no")
 
 
 def broadcast_expand(
@@ -285,7 +302,7 @@ class CoalitionEngine:
         cache is reachable afterwards as ``v.cache``.
         """
         x = np.asarray(x, dtype=float).ravel()
-        store = CoalitionValueCache() if cache else None
+        store = CoalitionValueCache() if resolve_cache(cache) else None
 
         def v(coalitions: np.ndarray) -> np.ndarray:
             coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))

@@ -8,8 +8,11 @@ while retraining incrementally, and *truncating* the scan once the
 running utility is within a tolerance of the full-data score — the
 paper's key trick, since late marginal contributions are ~0.
 
-Convergence is monitored with the paper's Gelman-Rubin-style statistic
-over chunked estimates.
+The walk loop lives in the shared estimator suite
+(:func:`repro.games.estimators.permutation_estimator` with
+``truncation_tolerance`` set and ``aggregate="sum_counts"``), run over a
+:class:`repro.games.DataValueGame`. The pre-games loop is retained as
+:func:`legacy_tmc_shapley` for the seeded-parity tests.
 """
 
 from __future__ import annotations
@@ -17,9 +20,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.explanation import DataAttribution
+from ..games.adapters import DataValueGame
+from ..games.estimators import permutation_estimator
 from .utility import UtilityFunction
 
-__all__ = ["tmc_shapley"]
+__all__ = ["tmc_shapley", "legacy_tmc_shapley"]
 
 
 def tmc_shapley(
@@ -39,6 +44,40 @@ def tmc_shapley(
         this tolerance; remaining points in the permutation receive zero
         marginal contribution for that pass.
     """
+    game = DataValueGame(utility)
+    full_score = utility.full_score()
+    est = permutation_estimator(
+        game,
+        n_permutations=n_permutations,
+        antithetic=False,
+        seed=seed,
+        truncation_tolerance=truncation_tolerance,
+        truncation_target=full_score,
+        empty_value=utility.empty_score,
+        aggregate="sum_counts",
+    )
+    return DataAttribution(
+        values=est.values,
+        method="tmc_shapley",
+        meta={
+            "full_score": full_score,
+            "n_permutations": n_permutations,
+            "mean_truncation_position": est.diagnostics.get(
+                "mean_truncation_position", float(utility.n_points)
+            ),
+            "n_utility_evaluations": utility.n_evaluations,
+            "convergence": est.diagnostics,
+        },
+    )
+
+
+def legacy_tmc_shapley(
+    utility: UtilityFunction,
+    n_permutations: int = 200,
+    truncation_tolerance: float = 0.01,
+    seed: int = 0,
+) -> DataAttribution:
+    """The pre-games TMC loop, kept for the seeded bitwise-parity tests."""
     n = utility.n_points
     rng = np.random.default_rng(seed)
     full_score = utility.full_score()
@@ -46,7 +85,7 @@ def tmc_shapley(
     marginal_counts = np.zeros(n)
     truncated_at: list[int] = []
     for __ in range(n_permutations):
-        perm = rng.permutation(n)
+        perm = rng.permutation(n)  # games: allow
         previous = utility.empty_score
         prefix: list[int] = []
         scanned = n

@@ -13,6 +13,12 @@ tutorial's §2.3.1 highlights two follow-ups addressing that:
   size: uniform Shapley (α = β = 1) down-weights nothing, while e.g.
   Beta(16, 1) emphasizes small-subset contributions that carry the
   signal about data quality.
+
+Both estimators now run over a :class:`repro.games.DataValueGame`
+through the shared suite (:func:`repro.games.estimators.stratified_estimator`
+and :func:`repro.games.estimators.permutation_estimator` with
+``position_weights``); the pre-games loops are retained as
+``legacy_*`` for the seeded-parity tests.
 """
 
 from __future__ import annotations
@@ -22,9 +28,17 @@ from math import lgamma
 import numpy as np
 
 from ..core.explanation import DataAttribution
+from ..games.adapters import DataValueGame
+from ..games.estimators import permutation_estimator, stratified_estimator
 from .utility import UtilityFunction
 
-__all__ = ["distributional_shapley", "beta_shapley", "beta_weights"]
+__all__ = [
+    "distributional_shapley",
+    "legacy_distributional_shapley",
+    "beta_shapley",
+    "legacy_beta_shapley",
+    "beta_weights",
+]
 
 
 def distributional_shapley(
@@ -41,6 +55,26 @@ def distributional_shapley(
     the marginal contribution of adding the point. Returns
     ``(value, standard_error)``.
     """
+    n = utility.n_points
+    if not 0 <= point_index < n:
+        raise IndexError(point_index)
+    return stratified_estimator(
+        DataValueGame(utility),
+        point_index,
+        n_draws=n_draws,
+        max_cardinality=max_cardinality,
+        seed=seed,
+    )
+
+
+def legacy_distributional_shapley(
+    point_index: int,
+    utility: UtilityFunction,
+    n_draws: int = 100,
+    max_cardinality: int | None = None,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """The pre-games draw loop, kept for the seeded bitwise-parity tests."""
     n = utility.n_points
     if not 0 <= point_index < n:
         raise IndexError(point_index)
@@ -94,12 +128,44 @@ def beta_shapley(
     position-dependent weights.
     """
     n = utility.n_points
+    weights = beta_weights(n, alpha, beta)
+    est = permutation_estimator(
+        DataValueGame(utility),
+        n_permutations=n_permutations,
+        antithetic=False,
+        seed=seed,
+        position_weights=weights,
+        empty_value=utility.empty_score,
+        aggregate="sum_counts",
+        min_count=1e-12,
+    )
+    return DataAttribution(
+        values=est.values,
+        method=f"beta_shapley({alpha:g},{beta:g})",
+        meta={
+            "alpha": alpha,
+            "beta": beta,
+            "n_permutations": n_permutations,
+            "convergence": est.diagnostics,
+        },
+    )
+
+
+def legacy_beta_shapley(
+    utility: UtilityFunction,
+    alpha: float = 16.0,
+    beta: float = 1.0,
+    n_permutations: int = 200,
+    seed: int = 0,
+) -> DataAttribution:
+    """The pre-games weighted loop, kept for the seeded bitwise-parity tests."""
+    n = utility.n_points
     rng = np.random.default_rng(seed)
     weights = beta_weights(n, alpha, beta)
     weighted_sums = np.zeros(n)
     weight_totals = np.zeros(n)
     for __ in range(n_permutations):
-        perm = rng.permutation(n)
+        perm = rng.permutation(n)  # games: allow
         previous = utility.empty_score
         prefix: list[int] = []
         for position, point in enumerate(perm):

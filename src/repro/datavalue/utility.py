@@ -15,6 +15,7 @@ from typing import Callable
 import numpy as np
 
 from ..models.metrics import accuracy
+from ..obs.metrics import counter
 
 __all__ = ["UtilityFunction"]
 
@@ -64,6 +65,8 @@ class UtilityFunction:
         self.empty_score = empty_score
         self._cache: dict[tuple[int, ...], float] | None = {} if cache else None
         self.n_evaluations = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     @property
     def n_points(self) -> int:
@@ -77,8 +80,15 @@ class UtilityFunction:
         indices = np.asarray(indices, dtype=int).ravel()
         key = tuple(sorted(indices.tolist()))
         if self._cache is not None and key in self._cache:
+            self.cache_hits += 1
+            counter("datavalue.cache.hits").inc()
             return self._cache[key]
-        score = self._evaluate(indices)
+        self.cache_misses += 1
+        counter("datavalue.cache.misses").inc()
+        # Evaluate the canonical (sorted) subset: U is a set function, so
+        # the score must not depend on the order the sampler produced the
+        # indices in — the cache key is already order-insensitive.
+        score = self._evaluate(np.asarray(key, dtype=int))
         if self._cache is not None:
             self._cache[key] = score
         return score

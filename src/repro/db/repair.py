@@ -88,6 +88,7 @@ def repair_responsibility(
     method: str = "auto",
     n_permutations: int = 200,
     seed: int = 0,
+    engine: bool = True,
 ) -> dict[int, float]:
     """Shapley value of each tuple in the inconsistency game.
 
@@ -96,7 +97,10 @@ def repair_responsibility(
     high values mark the tuples whose removal pacifies the most
     violations. Values sum to the dirty database's violation count.
     Only tuples involved in some violation are endogenous (clean tuples
-    provably have value 0 and are fixed as context).
+    provably have value 0 and are fixed as context). The inconsistency
+    game runs through the shared games evaluator (``engine=True``), so
+    repeated sub-databases hit the coalition cache instead of recounting
+    violations.
     """
     involved: set[int] = set()
     for fd in dependencies:
@@ -110,6 +114,7 @@ def repair_responsibility(
         method=method,
         n_permutations=n_permutations,
         seed=seed,
+        engine=engine,
     )
     return values
 

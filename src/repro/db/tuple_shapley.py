@@ -12,6 +12,13 @@ Exact computation enumerates sub-databases (exponential — the paper's
 hardness results are about exactly this), and the permutation sampler
 gives the FPRAS-style approximation the paper proposes for the hard
 cases. E19 compares both.
+
+The game itself is a :class:`repro.games.TupleProvenanceGame`; run
+through the shared evaluator (``engine=True``, the default) coalition
+values are memoized in the packed-bit cache, which matters because
+exact enumeration and permutation walks revisit sub-databases
+constantly. ``engine=False`` keeps the pre-games uncached path for the
+E39 before/after comparison.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from typing import Callable
 
 import numpy as np
 
+from ..games.adapters import TupleProvenanceGame
+from ..games.engine import game_value_function
 from ..shapley.exact import exact_shapley
 from ..shapley.sampling import permutation_shapley
 from .relation import Relation
@@ -64,6 +73,7 @@ def shapley_of_tuples(
     method: str = "auto",
     n_permutations: int = 200,
     seed: int = 0,
+    engine: bool = True,
 ) -> dict[int, float]:
     """Shapley value of each endogenous tuple for a numeric query.
 
@@ -79,6 +89,10 @@ def shapley_of_tuples(
     method:
         ``"exact"`` (≤ 16 endogenous tuples), ``"sampling"``, or
         ``"auto"`` — exact when feasible.
+    engine:
+        ``True`` (default) evaluates coalitions through the shared games
+        evaluator (packed-bit cache + telemetry); ``False`` keeps the
+        pre-games uncached value function.
 
     Returns
     -------
@@ -90,7 +104,11 @@ def shapley_of_tuples(
     n = len(endogenous)
     if method == "auto":
         method = "exact" if n <= 16 else "sampling"
-    v = _database_value_fn(relation, endogenous, query)
+    if engine:
+        game = TupleProvenanceGame(relation, query, endogenous)
+        v = game_value_function(game)
+    else:
+        v = _database_value_fn(relation, endogenous, query)
     if method == "exact":
         phi = exact_shapley(v, n)
     elif method == "sampling":

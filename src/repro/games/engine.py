@@ -1,0 +1,224 @@
+"""One evaluation pipeline for every cooperative game.
+
+:func:`game_value_function` turns any :class:`repro.games.base.Game`
+into a batched ``v(coalitions)`` callable that runs through the same
+machinery the coalition engine gave feature attribution in PR 2 and the
+guarded runtime gave it in PR 3 — now uniformly for data valuation,
+tuple provenance and causal games too:
+
+* **packed-bit value caching** via
+  :class:`repro.core.coalition_engine.CoalitionValueCache` (counters
+  ``coalition.cache.hits`` / ``.misses``), enabled when the game
+  declares itself ``deterministic`` and not disabled globally via
+  ``REPRO_COALITION_CACHE=0``;
+* **memory-bounded chunking**: ``max_batch_rows`` (env
+  ``REPRO_MAX_BATCH_ROWS``) divided by the game's
+  ``rows_per_coalition`` bounds coalitions per evaluation call;
+* **budget charging**: games that are not already ``guarded`` charge
+  the ambient :class:`repro.robust.GuardScope` one
+  ``rows_per_coalition`` per coalition, so deadlines and query budgets
+  now stop a runaway Data Shapley exactly like they stop sampling SHAP;
+* **transient retry + chunk retry**: unguarded games get the guard's
+  capped-exponential retry of ``TRANSIENT_DEFAULT`` failures
+  (``robust.retries``), and any chunk that still dies with
+  :class:`~repro.robust.ModelEvaluationError` is retried whole
+  (``robust.chunk_retries``), mirroring
+  :meth:`CoalitionEngine._evaluate`;
+* **span telemetry**: every call opens a ``coalition_eval`` span
+  carrying the game class, chunk geometry and cache hit/miss counts.
+
+Position-seeded games (``value_at``) are cached by ``(row, mask)``
+instead of mask alone: their randomness is keyed to the batch row (the
+interventional SCM value function seeds ``seed + row``), so the same
+mask at the same walk position is deterministic — and cacheable —
+while masks at different positions stay distinct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.coalition_engine import (
+    DEFAULT_CHUNK_RETRIES,
+    CoalitionValueCache,
+    resolve_cache,
+    resolve_max_batch_rows,
+)
+from ..obs import metrics
+from ..obs.trace import span
+from ..robust.errors import (
+    BudgetExceededError,
+    InputValidationError,
+    ModelEvaluationError,
+)
+from ..robust.guard import (
+    TRANSIENT_DEFAULT,
+    GuardConfig,
+    _backoff_sleep,
+    _note_retry,
+    current_scope,
+    resolve_backoff,
+    resolve_retries,
+)
+from .base import as_game
+
+__all__ = ["game_value_function"]
+
+_CHUNK_RETRIES = "robust.chunk_retries"
+
+
+def _evaluate_chunk(game, positions, masks, guarded, rows_per, chunk_retries):
+    """One chunk through the game, with budgets, retries and charging."""
+    n_rows = masks.shape[0] * rows_per
+    scope = None if guarded else current_scope()
+    retries = resolve_retries()
+    backoff = resolve_backoff()
+    cfg = GuardConfig()
+    failures = 0
+    attempts = 0
+    while True:
+        if scope is not None:
+            scope.check(n_rows)
+        try:
+            if positions is not None:
+                vals = game.value_at(positions, masks)
+            else:
+                vals = game.value(masks)
+            vals = np.asarray(vals, dtype=float).ravel()
+            break
+        except (BudgetExceededError, InputValidationError):
+            raise
+        except ModelEvaluationError:
+            # Chunk-level retry: a guarded game's predict function has
+            # already burned its own retry allowance; one fresh pass at
+            # the whole chunk re-enters it with a full allowance.
+            attempts += 1
+            if attempts > chunk_retries:
+                raise
+            metrics.counter(_CHUNK_RETRIES).inc()
+        except TRANSIENT_DEFAULT as e:
+            if guarded:
+                raise
+            failures += 1
+            if failures > retries:
+                raise ModelEvaluationError(
+                    f"game evaluation failed after {failures} attempts "
+                    f"({retries} retries): {type(e).__name__}: {e}",
+                    attempts=failures,
+                ) from e
+            _note_retry(scope)
+            _backoff_sleep(cfg, backoff, failures, scope)
+    if vals.shape[0] != masks.shape[0]:
+        raise ModelEvaluationError(
+            f"{type(game).__name__}.value returned {vals.shape[0]} values "
+            f"for {masks.shape[0]} coalitions"
+        )
+    if scope is not None:
+        scope.rows_spent += n_rows
+    return vals
+
+
+def game_value_function(
+    game,
+    n_players: int | None = None,
+    cache: bool | None = None,
+    max_batch_rows: int | None = None,
+    chunk_retries: int = DEFAULT_CHUNK_RETRIES,
+):
+    """The game's ``v(coalitions)`` with caching/chunking/budgets applied.
+
+    ``cache=None`` defers to the game's ``deterministic`` flag (and the
+    global ``REPRO_COALITION_CACHE`` kill switch); passing ``True`` for
+    a non-deterministic game is the caller asserting determinism the
+    adapter could not. Self-evaluating games (the feature-masking
+    adapter, bare callables wrapped by :func:`~repro.games.base.as_game`)
+    are returned as-is — their value path is already engineered and
+    wrapping it again would double-count telemetry.
+    """
+    game = as_game(game, n_players)
+    if getattr(game, "self_evaluating", False):
+        return game.value
+    deterministic = getattr(game, "deterministic", False)
+    guarded = getattr(game, "guarded", False)
+    rows_per = max(1, int(getattr(game, "rows_per_coalition", 1)))
+    use_cache = resolve_cache(deterministic if cache is None else cache)
+    store = CoalitionValueCache() if use_cache else None
+    positional = hasattr(game, "value_at")
+    per_chunk = max(1, resolve_max_batch_rows(max_batch_rows) // rows_per)
+    game_name = type(game).__name__
+    chunk_retries = max(0, int(chunk_retries))
+
+    def _evaluate(indices: np.ndarray, coalitions: np.ndarray, sp) -> np.ndarray:
+        out = np.empty(indices.shape[0], dtype=float)
+        n_chunks = 0
+        for start in range(0, indices.shape[0], per_chunk):
+            sel = indices[start : start + per_chunk]
+            out[start : start + sel.shape[0]] = _evaluate_chunk(
+                game,
+                sel if positional else None,
+                coalitions[sel],
+                guarded,
+                rows_per,
+                chunk_retries,
+            )
+            n_chunks += 1
+        sp.set_attr("chunk_coalitions", per_chunk)
+        sp.set_attr("chunk_rows", per_chunk * rows_per)
+        sp.set_attr("n_chunks", n_chunks)
+        return out
+
+    def v(coalitions: np.ndarray) -> np.ndarray:
+        coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
+        n_c = coalitions.shape[0]
+        with span("coalition_eval", n_coalitions=n_c, game=game_name) as sp:
+            if store is None:
+                out = _evaluate(np.arange(n_c), coalitions, sp)
+                sp.set_attr("cache_hits", 0)
+                sp.set_attr("cache_misses", n_c)
+                return out
+            keys = np.packbits(coalitions, axis=1)
+            out = np.empty(n_c, dtype=float)
+            fresh_rows: list[int] = []
+            followers: dict[bytes, list[int]] = {}
+            hits = 0
+            for i in range(n_c):
+                # Position-seeded games key the cache by (row, mask):
+                # the same mask at a different batch position draws
+                # different samples and must not collide.
+                key = (
+                    i.to_bytes(4, "little") + keys[i].tobytes()
+                    if positional
+                    else keys[i].tobytes()
+                )
+                known = store.values.get(key)
+                if known is not None:
+                    out[i] = known
+                    hits += 1
+                elif key in followers:
+                    followers[key].append(i)
+                    hits += 1
+                else:
+                    followers[key] = [i]
+                    fresh_rows.append(i)
+            if fresh_rows:
+                idx = np.asarray(fresh_rows)
+                vals = _evaluate(idx, coalitions, sp)
+                # Commit only after the whole evaluation succeeded, so a
+                # failed chunk can never leave corrupt values behind.
+                for j, i0 in enumerate(fresh_rows):
+                    key = (
+                        i0.to_bytes(4, "little") + keys[i0].tobytes()
+                        if positional
+                        else keys[i0].tobytes()
+                    )
+                    store.values[key] = vals[j]
+                    for i in followers[key]:
+                        out[i] = vals[j]
+            store.record(hits, len(fresh_rows))
+            sp.set_attr("cache_hits", hits)
+            sp.set_attr("cache_misses", len(fresh_rows))
+            return out
+
+    v.cache = store
+    v.game = game
+    return v

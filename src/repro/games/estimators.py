@@ -1,0 +1,471 @@
+"""The shared Shapley estimator suite.
+
+Four estimators cover every Shapley-style computation in the library;
+each accepts either a :class:`repro.games.base.Game` (evaluated through
+:func:`repro.games.engine.game_value_function`, i.e. with caching,
+chunking, budgets and telemetry) or a bare batched ``value_fn``
+(evaluated as-is, preserving the exact behaviour of the pre-games call
+sites):
+
+* :func:`exact_enumeration` — all ``2^n`` coalitions with factorial
+  weights; the ground-truth oracle (moved here from
+  ``shapley/exact.py``).
+* :func:`permutation_estimator` — Castro-style permutation sampling,
+  generalized to subsume every bespoke loop the repo used to carry:
+  antithetic pairing (sampling SHAP), TMC truncation (Data Shapley),
+  Beta(α, β) position weights (Beta Shapley), restricted permutation
+  samplers (asymmetric Shapley's topological orders), and whole-walk
+  delegation for path-dependent games (G-Shapley, causal Shapley).
+* :func:`kernel_wls_estimator` — the Kernel SHAP weighted least squares
+  solve (moved here from ``shapley/kernel.py``).
+* :func:`stratified_estimator` — one player's value via stratified
+  cardinality draws (distributional Shapley's one-sample estimator).
+
+Two accumulation modes keep seeded **bitwise parity** with the legacy
+loops: ``aggregate="mean_walks"`` stacks per-walk contribution vectors
+and reports mean ± standard error exactly like
+``shapley/sampling.py`` did; ``aggregate="sum_counts"`` keeps running
+weighted sums and per-player counts exactly like the datavalue/causal
+loops did (their accumulation order differs from stack-then-mean in the
+last ulp, so the mode is part of the contract, not a cosmetic choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from itertools import combinations
+from math import comb, factorial
+
+import numpy as np
+
+from ..robust.errors import BudgetExceededError
+from .base import as_game, walk_masks
+from .engine import game_value_function
+
+__all__ = [
+    "PermutationEstimate",
+    "all_coalitions",
+    "exact_enumeration",
+    "permutation_estimator",
+    "kernel_wls_estimator",
+    "stratified_estimator",
+    "shapley_kernel_weight",
+]
+
+
+def _resolve(game_or_fn, n_players, cache=None, max_batch_rows=None):
+    """``(value_fn, n, game)`` for either input convention."""
+    game = as_game(game_or_fn, n_players)
+    v = game_value_function(game, cache=cache, max_batch_rows=max_batch_rows)
+    return v, game.n_players, game
+
+
+# -- exact enumeration --------------------------------------------------------
+
+
+def all_coalitions(n: int) -> list[tuple[int, ...]]:
+    """Every subset of {0..n−1}, ordered by size then lexicographically."""
+    out: list[tuple[int, ...]] = []
+    for size in range(n + 1):
+        out.extend(combinations(range(n), size))
+    return out
+
+
+def exact_enumeration(
+    game_or_fn,
+    n_players: int | None = None,
+    cache: bool | None = None,
+) -> np.ndarray:
+    """Exact Shapley values of a cooperative game.
+
+    φ_i = Σ_{S ⊆ N∖{i}} |S|!(n−|S|−1)!/n! · (v(S ∪ {i}) − v(S)),
+    computed literally over all 2^n coalitions. Exponential by design —
+    this is the oracle the approximation experiments compare against.
+    """
+    value_fn, n_players, __ = _resolve(game_or_fn, n_players, cache=cache)
+    if n_players > 20:
+        raise ValueError(
+            f"exact Shapley over {n_players} players needs 2^{n_players} "
+            "evaluations; use sampling or Kernel SHAP instead"
+        )
+    subsets = all_coalitions(n_players)
+    masks = np.zeros((len(subsets), n_players), dtype=bool)
+    for row, subset in enumerate(subsets):
+        masks[row, list(subset)] = True
+    values = np.asarray(value_fn(masks), dtype=float)
+    value_of = {subset: values[row] for row, subset in enumerate(subsets)}
+
+    phi = np.zeros(n_players)
+    n_fact = factorial(n_players)
+    for i in range(n_players):
+        others = [j for j in range(n_players) if j != i]
+        for size in range(n_players):
+            weight = factorial(size) * factorial(n_players - size - 1) / n_fact
+            for subset in combinations(others, size):
+                with_i = tuple(sorted(subset + (i,)))
+                phi[i] += weight * (value_of[with_i] - value_of[subset])
+    return phi
+
+
+# -- permutation sampling -----------------------------------------------------
+
+
+@dataclass
+class PermutationEstimate:
+    """Result of :func:`permutation_estimator`.
+
+    ``std_err`` is per-player standard error over walks in
+    ``mean_walks`` mode and ``None`` in ``sum_counts`` mode (where
+    weighted/truncated walks are not identically distributed).
+    ``diagnostics`` always carries the PR 3 convergence contract
+    (``converged``/``n_walks_completed``/``n_walks_requested``/
+    ``budget_error``) plus ``mean_truncation_position`` when truncation
+    was active.
+    """
+
+    values: np.ndarray
+    std_err: np.ndarray | None
+    diagnostics: dict = field(default_factory=dict)
+
+
+def permutation_estimator(
+    game_or_fn,
+    n_players: int | None = None,
+    n_permutations: int = 100,
+    antithetic: bool = True,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+    permutation_sampler=None,
+    position_weights: np.ndarray | None = None,
+    truncation_tolerance: float | None = None,
+    truncation_target: float | None = None,
+    empty_value: float | None = None,
+    aggregate: str = "mean_walks",
+    min_count: float = 1.0,
+    cache: bool | None = None,
+    max_batch_rows: int | None = None,
+) -> PermutationEstimate:
+    """Estimate Shapley values (or semivalues) from permutation walks.
+
+    Parameters
+    ----------
+    antithetic:
+        Pair each permutation with its reverse (variance reduction for
+        roughly symmetric games).
+    permutation_sampler:
+        ``sampler(rng) -> perm`` overriding uniform sampling; defaults
+        to the game's own ``permutation_sampler`` when it has one
+        (asymmetric Shapley restricts walks to topological orders).
+    position_weights:
+        Per-position weights ``w[k]`` applied to the marginal
+        contribution made at walk position ``k`` (Beta Shapley);
+        ``None`` means uniform Shapley.
+    truncation_tolerance:
+        When set, walks are scanned sequentially and stop early once
+        ``|truncation_target − v(prefix)|`` falls below the tolerance
+        (TMC-Shapley); the unscanned tail receives zero marginal
+        contribution but still counts. ``truncation_target`` defaults
+        to the grand-coalition value, evaluated once.
+    empty_value:
+        Known v(∅). When given, walks never evaluate the empty
+        coalition (the datavalue convention); otherwise each walk's
+        mask batch includes ∅ as its first row.
+    aggregate:
+        ``"mean_walks"`` (stack walks, mean ± stderr — the sampling-SHAP
+        convention) or ``"sum_counts"`` (running weighted sums divided
+        by per-player counts clamped at ``min_count`` — the
+        datavalue/causal convention).
+    min_count:
+        Clamp for the ``sum_counts`` denominator (1.0 for TMC counts,
+        1e-12 for Beta weight totals).
+
+    Budget exhaustion (:class:`~repro.robust.BudgetExceededError`)
+    mid-estimate keeps the completed walks as a partial estimate
+    (``diagnostics["converged"] = False``); a walk interrupted midway
+    is discarded whole. If no walk completed, the error propagates.
+    """
+    if aggregate not in ("mean_walks", "sum_counts"):
+        raise ValueError(
+            f"aggregate must be mean_walks|sum_counts, got {aggregate!r}"
+        )
+    game = as_game(game_or_fn, n_players)
+    n = game.n_players
+    walk_fn = getattr(game, "walk_contributions", None)
+    value_fn = (
+        None
+        if walk_fn is not None
+        else game_value_function(game, cache=cache, max_batch_rows=max_batch_rows)
+    )
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    sampler = permutation_sampler or getattr(game, "permutation_sampler", None)
+    if sampler is None:
+        def sampler(r):
+            return r.permutation(n)
+    if position_weights is not None:
+        position_weights = np.asarray(position_weights, dtype=float)
+        if position_weights.shape[0] != n:
+            raise ValueError("position_weights must have one entry per player")
+    truncating = truncation_tolerance is not None and walk_fn is None
+    if truncating and truncation_target is None:
+        truncation_target = float(
+            value_fn(np.ones((1, n), dtype=bool))[0]
+        )
+
+    pair = antithetic and n_permutations > 1
+    n_batches = n_permutations // 2 if pair else n_permutations
+    walks_per_batch = 2 if pair else 1
+
+    contributions: list[np.ndarray] = []
+    sums = np.zeros(n)
+    counts = np.zeros(n)
+    truncated_at: list[int] = []
+    n_walks = 0
+    budget_error: BudgetExceededError | None = None
+
+    for __ in range(n_batches):
+        perm = sampler(rng)
+        perms = [perm, perm[::-1]] if antithetic else [perm]
+        try:
+            for p in perms:
+                if walk_fn is not None:
+                    contrib = np.asarray(walk_fn(p), dtype=float)
+                    local_counts = np.ones(n)
+                elif truncating:
+                    contrib, local_counts, scanned = _truncated_walk(
+                        value_fn, p, empty_value, position_weights,
+                        truncation_target, truncation_tolerance,
+                    )
+                    truncated_at.append(scanned)
+                else:
+                    masks = walk_masks(p, include_empty=empty_value is None)
+                    values = np.asarray(value_fn(masks), dtype=float)
+                    if empty_value is None:
+                        diffs = values[1:] - values[:-1]
+                    else:
+                        diffs = np.empty(n)
+                        diffs[0] = values[0] - empty_value
+                        diffs[1:] = values[1:] - values[:-1]
+                    contrib = np.zeros(n)
+                    if position_weights is None:
+                        contrib[p] = diffs
+                        local_counts = np.ones(n)
+                    else:
+                        contrib[p] = position_weights * diffs
+                        local_counts = np.zeros(n)
+                        local_counts[p] = position_weights
+                if aggregate == "mean_walks":
+                    contributions.append(contrib)
+                else:
+                    sums += contrib
+                    counts += local_counts
+                n_walks += 1
+        except BudgetExceededError as e:
+            if n_walks == 0:
+                raise
+            budget_error = e
+            break
+
+    diagnostics = {
+        "converged": budget_error is None,
+        "n_walks_completed": n_walks,
+        "n_walks_requested": n_batches * walks_per_batch,
+        "budget_error": None if budget_error is None else str(budget_error),
+    }
+    if truncated_at:
+        diagnostics["mean_truncation_position"] = float(np.mean(truncated_at))
+    if aggregate == "mean_walks":
+        stacked = np.stack(contributions)
+        phi = stacked.mean(axis=0)
+        std_err = stacked.std(axis=0, ddof=1) / np.sqrt(stacked.shape[0]) \
+            if stacked.shape[0] > 1 else np.zeros(n)
+        return PermutationEstimate(phi, std_err, diagnostics)
+    phi = sums / np.maximum(counts, min_count)
+    return PermutationEstimate(phi, None, diagnostics)
+
+
+def _truncated_walk(
+    value_fn, perm, empty_value, position_weights, target, tolerance
+):
+    """One sequential walk with TMC early stopping.
+
+    Evaluates prefixes one at a time (truncation decides after each),
+    accumulating into walk-local buffers so an interrupted walk can be
+    discarded whole. Each player is touched exactly once, so committing
+    the buffers reproduces the legacy in-place accumulation bitwise.
+    """
+    n = perm.shape[0]
+    contrib = np.zeros(n)
+    local_counts = np.zeros(n)
+    previous = empty_value
+    if previous is None:
+        previous = float(value_fn(np.zeros((1, n), dtype=bool))[0])
+    mask = np.zeros(n, dtype=bool)
+    scanned = n
+    for position, player in enumerate(perm):
+        mask[player] = True
+        current = float(value_fn(mask[None, :])[0])
+        if position_weights is None:
+            contrib[player] = current - previous
+            local_counts[player] = 1.0
+        else:
+            contrib[player] = position_weights[position] * (current - previous)
+            local_counts[player] = position_weights[position]
+        previous = current
+        if abs(target - current) < tolerance:
+            scanned = position + 1
+            break
+    # The unscanned tail contributes zero but still counts — truncation
+    # is an estimate of ~0 marginals, not missing data.
+    tail = perm[scanned:]
+    if position_weights is None:
+        local_counts[tail] = 1.0
+    else:
+        local_counts[tail] = position_weights[scanned:]
+    return contrib, local_counts, scanned
+
+
+# -- Kernel SHAP (weighted least squares) -------------------------------------
+
+# Coalition enumeration asks for the same C(n, s) several times per size
+# (budget check, weight, sampling probabilities); memoize both lookups.
+_comb = lru_cache(maxsize=None)(comb)
+
+
+@lru_cache(maxsize=None)
+def shapley_kernel_weight(n: int, size: int) -> float:
+    """The Shapley kernel π(S) for |S| = size (infinite at 0 and n)."""
+    if size == 0 or size == n:
+        return float("inf")
+    return (n - 1) / (_comb(n, size) * size * (n - size))
+
+
+def _enumerate_coalitions(
+    n: int, budget: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Choose coalition rows and kernel weights under an evaluation budget.
+
+    Returns ``(masks, weights)`` excluding the empty and grand coalitions.
+    """
+    masks: list[np.ndarray] = []
+    weights: list[float] = []
+    remaining = budget
+    # Pair sizes (1, n−1), (2, n−2), ...; each pair shares a kernel weight.
+    sizes = []
+    for s in range(1, n // 2 + 1):
+        sizes.append(s)
+        if s != n - s:
+            sizes.append(n - s)
+    fully_enumerated: set[int] = set()
+    for s in sizes:
+        count = _comb(n, s)
+        if count <= remaining:
+            for subset in combinations(range(n), s):
+                row = np.zeros(n, dtype=bool)
+                row[list(subset)] = True
+                masks.append(row)
+                weights.append(shapley_kernel_weight(n, s))
+            remaining -= count
+            fully_enumerated.add(s)
+        else:
+            break
+    leftover_sizes = [s for s in sizes if s not in fully_enumerated]
+    if leftover_sizes and remaining > 0:
+        probs = np.array([shapley_kernel_weight(n, s) * _comb(n, s)
+                          for s in leftover_sizes])
+        probs /= probs.sum()
+        drawn = rng.choice(len(leftover_sizes), size=remaining, p=probs)
+        for k in drawn:
+            s = leftover_sizes[k]
+            subset = rng.choice(n, size=s, replace=False)
+            row = np.zeros(n, dtype=bool)
+            row[subset] = True
+            masks.append(row)
+            # Sampled rows share equal weight within the leftover pool: the
+            # sampling distribution already encodes the kernel.
+            weights.append(1.0)
+    return np.array(masks, dtype=bool), np.asarray(weights, dtype=float)
+
+
+def kernel_wls_estimator(
+    game_or_fn,
+    n_players: int | None = None,
+    n_samples: int = 2048,
+    seed: int = 0,
+    cache: bool | None = None,
+) -> tuple[np.ndarray, float]:
+    """Kernel SHAP estimate; returns ``(phi, base_value)``.
+
+    Solves the Shapley-kernel weighted least squares problem with the
+    efficiency constraint imposed exactly by variable elimination.
+    ``n_samples`` bounds the number of coalition evaluations (in
+    addition to the empty and grand coalitions, always evaluated).
+    """
+    value_fn, n_players, __ = _resolve(game_or_fn, n_players, cache=cache)
+    rng = np.random.default_rng(seed)
+    if n_players == 1:
+        ends = value_fn(np.array([[False], [True]]))
+        return np.array([float(ends[1] - ends[0])]), float(ends[0])
+    masks, weights = _enumerate_coalitions(n_players, n_samples, rng)
+    ends = value_fn(
+        np.vstack([np.zeros(n_players, dtype=bool), np.ones(n_players, dtype=bool)])
+    )
+    v_empty, v_full = float(ends[0]), float(ends[1])
+    values = np.asarray(value_fn(masks), dtype=float)
+
+    # Impose Σφ = v_full − v_empty by eliminating the last player:
+    # model y − z_last·(v_full − v_empty) = (Z_front − z_last)·φ_front.
+    Z = masks.astype(float)
+    y = values - v_empty
+    total = v_full - v_empty
+    z_last = Z[:, -1]
+    A = Z[:, :-1] - z_last[:, None]
+    b = y - z_last * total
+    W = weights
+    lhs = A.T @ (W[:, None] * A)
+    rhs = A.T @ (W * b)
+    phi_front = np.linalg.solve(lhs + 1e-12 * np.eye(n_players - 1), rhs)
+    phi = np.append(phi_front, total - phi_front.sum())
+    return phi, v_empty
+
+
+# -- stratified cardinality sampling ------------------------------------------
+
+
+def stratified_estimator(
+    game_or_fn,
+    player: int,
+    n_players: int | None = None,
+    n_draws: int = 100,
+    max_cardinality: int | None = None,
+    seed: int = 0,
+    rng: np.random.Generator | None = None,
+    cache: bool | None = None,
+) -> tuple[float, float]:
+    """One player's Shapley value by stratified cardinality draws.
+
+    Each draw picks a random coalition size m, a random m-subset of the
+    other players, and records the player's marginal contribution to it
+    — distributional Shapley's one-sample estimator of the average over
+    cardinalities. Returns ``(value, standard_error)``.
+    """
+    value_fn, n, __ = _resolve(game_or_fn, n_players, cache=cache)
+    if not 0 <= player < n:
+        raise IndexError(player)
+    rng = rng if rng is not None else np.random.default_rng(seed)
+    others = np.array([i for i in range(n) if i != player])
+    max_cardinality = max_cardinality or others.size
+    contributions = np.zeros(n_draws)
+    for t in range(n_draws):
+        m = int(rng.integers(0, max_cardinality + 1))
+        subset = rng.choice(others, size=m, replace=False)
+        masks = np.zeros((2, n), dtype=bool)
+        masks[0, subset] = True
+        masks[0, player] = True
+        masks[1, subset] = True
+        vals = np.asarray(value_fn(masks), dtype=float)
+        contributions[t] = vals[0] - vals[1]
+    value = float(contributions.mean())
+    stderr = float(contributions.std(ddof=1) / np.sqrt(n_draws)) \
+        if n_draws > 1 else 0.0
+    return value, stderr

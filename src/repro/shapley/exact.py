@@ -11,12 +11,14 @@ the Shapley axioms in the property-based tests.
 
 The default value function is the interventional ("off-manifold") one used
 by Kernel SHAP: v(S) = E_b[f(x_S, b_{N\\S})] over a background sample.
+
+The enumeration itself lives in the shared estimator suite
+(:func:`repro.games.estimators.exact_enumeration`); this module keeps
+the historical names and the explainer on top.
 """
 
 from __future__ import annotations
 
-from itertools import combinations
-from math import factorial
 from typing import Callable
 
 import numpy as np
@@ -24,16 +26,9 @@ import numpy as np
 from ..core.base import AttributionExplainer, as_predict_fn
 from ..core.explanation import FeatureAttribution
 from ..core.sampling import MaskingSampler
+from ..games.estimators import all_coalitions, exact_enumeration
 
 __all__ = ["exact_shapley", "all_coalitions", "ExactShapleyExplainer"]
-
-
-def all_coalitions(n: int) -> list[tuple[int, ...]]:
-    """Every subset of {0..n−1}, ordered by size then lexicographically."""
-    out: list[tuple[int, ...]] = []
-    for size in range(n + 1):
-        out.extend(combinations(range(n), size))
-    return out
 
 
 def exact_shapley(
@@ -54,28 +49,7 @@ def exact_shapley(
     -------
     Array of n Shapley values.
     """
-    if n_players > 20:
-        raise ValueError(
-            f"exact Shapley over {n_players} players needs 2^{n_players} "
-            "evaluations; use sampling or Kernel SHAP instead"
-        )
-    subsets = all_coalitions(n_players)
-    masks = np.zeros((len(subsets), n_players), dtype=bool)
-    for row, subset in enumerate(subsets):
-        masks[row, list(subset)] = True
-    values = np.asarray(value_fn(masks), dtype=float)
-    value_of = {subset: values[row] for row, subset in enumerate(subsets)}
-
-    phi = np.zeros(n_players)
-    n_fact = factorial(n_players)
-    for i in range(n_players):
-        others = [j for j in range(n_players) if j != i]
-        for size in range(n_players):
-            weight = factorial(size) * factorial(n_players - size - 1) / n_fact
-            for subset in combinations(others, size):
-                with_i = tuple(sorted(subset + (i,)))
-                phi[i] += weight * (value_of[with_i] - value_of[subset])
-    return phi
+    return exact_enumeration(value_fn, n_players=n_players)
 
 
 class ExactShapleyExplainer(AttributionExplainer):

@@ -12,13 +12,14 @@ reference implementation: subset sizes are filled from both ends (size 1
 and n−1 first, which carry the most kernel weight) and enumerated
 completely while the budget allows; any leftover budget samples the
 remaining sizes proportionally to their weight.
+
+The solver lives in the shared estimator suite
+(:func:`repro.games.estimators.kernel_wls_estimator`); this module
+keeps the historical names and the explainer on top.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from itertools import combinations
-from math import comb
 from typing import Callable
 
 import numpy as np
@@ -26,68 +27,11 @@ import numpy as np
 from ..core.base import AttributionExplainer
 from ..core.explanation import FeatureAttribution
 from ..core.sampling import MaskingSampler
+from ..games.adapters import FeatureMaskingGame
+from ..games.estimators import kernel_wls_estimator, shapley_kernel_weight
 from ..robust.guard import check_instance
 
 __all__ = ["kernel_shap", "shapley_kernel_weight", "KernelShapExplainer"]
-
-# Coalition enumeration asks for the same C(n, s) several times per size
-# (budget check, weight, sampling probabilities); memoize both lookups.
-_comb = lru_cache(maxsize=None)(comb)
-
-
-@lru_cache(maxsize=None)
-def shapley_kernel_weight(n: int, size: int) -> float:
-    """The Shapley kernel π(S) for |S| = size (infinite at 0 and n)."""
-    if size == 0 or size == n:
-        return float("inf")
-    return (n - 1) / (_comb(n, size) * size * (n - size))
-
-
-def _enumerate_coalitions(
-    n: int, budget: int, rng: np.random.Generator
-) -> tuple[np.ndarray, np.ndarray]:
-    """Choose coalition rows and kernel weights under an evaluation budget.
-
-    Returns ``(masks, weights)`` excluding the empty and grand coalitions.
-    """
-    masks: list[np.ndarray] = []
-    weights: list[float] = []
-    remaining = budget
-    # Pair sizes (1, n−1), (2, n−2), ...; each pair shares a kernel weight.
-    sizes = []
-    for s in range(1, n // 2 + 1):
-        sizes.append(s)
-        if s != n - s:
-            sizes.append(n - s)
-    fully_enumerated: set[int] = set()
-    for s in sizes:
-        count = _comb(n, s)
-        if count <= remaining:
-            for subset in combinations(range(n), s):
-                row = np.zeros(n, dtype=bool)
-                row[list(subset)] = True
-                masks.append(row)
-                weights.append(shapley_kernel_weight(n, s))
-            remaining -= count
-            fully_enumerated.add(s)
-        else:
-            break
-    leftover_sizes = [s for s in sizes if s not in fully_enumerated]
-    if leftover_sizes and remaining > 0:
-        probs = np.array([shapley_kernel_weight(n, s) * _comb(n, s)
-                          for s in leftover_sizes])
-        probs /= probs.sum()
-        drawn = rng.choice(len(leftover_sizes), size=remaining, p=probs)
-        for k in drawn:
-            s = leftover_sizes[k]
-            subset = rng.choice(n, size=s, replace=False)
-            row = np.zeros(n, dtype=bool)
-            row[subset] = True
-            masks.append(row)
-            # Sampled rows share equal weight within the leftover pool: the
-            # sampling distribution already encodes the kernel.
-            weights.append(1.0)
-    return np.array(masks, dtype=bool), np.asarray(weights, dtype=float)
 
 
 def kernel_shap(
@@ -101,31 +45,9 @@ def kernel_shap(
     ``n_samples`` bounds the number of coalition evaluations (in addition
     to the empty and grand coalitions, which are always evaluated).
     """
-    rng = np.random.default_rng(seed)
-    if n_players == 1:
-        ends = value_fn(np.array([[False], [True]]))
-        return np.array([float(ends[1] - ends[0])]), float(ends[0])
-    masks, weights = _enumerate_coalitions(n_players, n_samples, rng)
-    ends = value_fn(
-        np.vstack([np.zeros(n_players, dtype=bool), np.ones(n_players, dtype=bool)])
+    return kernel_wls_estimator(
+        value_fn, n_players=n_players, n_samples=n_samples, seed=seed
     )
-    v_empty, v_full = float(ends[0]), float(ends[1])
-    values = np.asarray(value_fn(masks), dtype=float)
-
-    # Impose Σφ = v_full − v_empty by eliminating the last player:
-    # model y − z_last·(v_full − v_empty) = (Z_front − z_last)·φ_front.
-    Z = masks.astype(float)
-    y = values - v_empty
-    total = v_full - v_empty
-    z_last = Z[:, -1]
-    A = Z[:, :-1] - z_last[:, None]
-    b = y - z_last * total
-    W = weights
-    lhs = A.T @ (W[:, None] * A)
-    rhs = A.T @ (W * b)
-    phi_front = np.linalg.solve(lhs + 1e-12 * np.eye(n_players - 1), rhs)
-    phi = np.append(phi_front, total - phi_front.sum())
-    return phi, v_empty
 
 
 class KernelShapExplainer(AttributionExplainer):

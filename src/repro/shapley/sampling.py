@@ -11,6 +11,12 @@ whose error decays as O(1/√m); the antithetic variant pairs each
 permutation with its reverse, which cancels much of the variance for
 roughly symmetric games. E2 plots exactly this convergence.
 
+The walk loop itself lives in the shared estimator suite
+(:func:`repro.games.estimators.permutation_estimator`, ``mean_walks``
+mode) — this module keeps the historical ``(phi, std_err)`` API and the
+explainer on top. The pre-games loop is retained as
+:func:`legacy_permutation_shapley` for the seeded-parity tests.
+
 Graceful degradation: when the guarded runtime's deadline or model-query
 budget runs out mid-estimate (:class:`repro.robust.BudgetExceededError`),
 the walks already completed still form an unbiased — just noisier —
@@ -28,10 +34,16 @@ import numpy as np
 from ..core.base import AttributionExplainer
 from ..core.explanation import FeatureAttribution
 from ..core.sampling import MaskingSampler
+from ..games.adapters import FeatureMaskingGame
+from ..games.estimators import permutation_estimator
 from ..robust.errors import BudgetExceededError
 from ..robust.guard import check_instance
 
-__all__ = ["permutation_shapley", "SamplingShapleyExplainer"]
+__all__ = [
+    "permutation_shapley",
+    "legacy_permutation_shapley",
+    "SamplingShapleyExplainer",
+]
 
 
 def permutation_shapley(
@@ -53,6 +65,28 @@ def permutation_shapley(
     the partial estimate is returned (``converged=False``), otherwise
     the error propagates.
     """
+    est = permutation_estimator(
+        value_fn,
+        n_players=n_players,
+        n_permutations=n_permutations,
+        antithetic=antithetic,
+        seed=seed,
+        aggregate="mean_walks",
+    )
+    if not return_diagnostics:
+        return est.values, est.std_err
+    return est.values, est.std_err, est.diagnostics
+
+
+def legacy_permutation_shapley(
+    value_fn: Callable[[np.ndarray], np.ndarray],
+    n_players: int,
+    n_permutations: int = 100,
+    antithetic: bool = True,
+    seed: int = 0,
+    return_diagnostics: bool = False,
+) -> tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, np.ndarray, dict]:
+    """The pre-games walk loop, kept for the seeded bitwise-parity tests."""
     rng = np.random.default_rng(seed)
     contributions: list[np.ndarray] = []
     n_batches = (
@@ -61,7 +95,7 @@ def permutation_shapley(
     walks_per_batch = 2 if antithetic and n_permutations > 1 else 1
     budget_error: BudgetExceededError | None = None
     for __ in range(n_batches):
-        perm = rng.permutation(n_players)
+        perm = rng.permutation(n_players)  # games: allow
         perms = [perm, perm[::-1]] if antithetic else [perm]
         try:
             for p in perms:
@@ -98,10 +132,11 @@ class SamplingShapleyExplainer(AttributionExplainer):
     """Model-agnostic sampled SHAP with the interventional value function.
 
     Coalition evaluation runs through the shared coalition engine by
-    default: permutation walks re-visit many coalitions (every walk hits
-    ∅ and N; antithetic pairs and short prefixes collide constantly on
-    small feature counts), and the packed-bit value cache turns those
-    repeats into dictionary lookups instead of model queries.
+    default (as a :class:`repro.games.FeatureMaskingGame`): permutation
+    walks re-visit many coalitions (every walk hits ∅ and N; antithetic
+    pairs and short prefixes collide constantly on small feature
+    counts), and the packed-bit value cache turns those repeats into
+    dictionary lookups instead of model queries.
     """
 
     method_name = "sampling_shap"
@@ -133,7 +168,7 @@ class SamplingShapleyExplainer(AttributionExplainer):
         x = check_instance(x, self.sampler.background.shape[1])
         n = x.shape[0]
         v = (
-            self.sampler.value_function(self.predict_fn, x)
+            FeatureMaskingGame(self.predict_fn, x, engine=self.sampler).value
             if self.engine
             else self.sampler.legacy_value_function(self.predict_fn, x)
         )

@@ -14,6 +14,9 @@ from repro.obs import bench
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 LINT = os.path.join(REPO_ROOT, "scripts", "check_no_print.py")
 HYGIENE = os.path.join(REPO_ROOT, "scripts", "check_exception_hygiene.py")
+SHAPLEY_LINT = os.path.join(
+    REPO_ROOT, "scripts", "check_no_bespoke_shapley.py"
+)
 BENCH_COMPARE = os.path.join(REPO_ROOT, "scripts", "bench_compare.py")
 
 
@@ -94,6 +97,87 @@ def test_hygiene_lint_accepts_handled_and_allowlisted(tmp_path):
         encoding="utf-8",
     )
     assert hygiene.offenders(str(tmp_path)) == []
+
+
+def test_src_repro_has_no_bespoke_shapley_loops():
+    """Permutation-accumulation loops must live in repro.games only."""
+    result = subprocess.run(
+        [sys.executable, SHAPLEY_LINT],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_shapley_lint_catches_bespoke_loops(tmp_path):
+    lint = _load_script(SHAPLEY_LINT, "check_no_bespoke_shapley")
+    bad = tmp_path / "module.py"
+    bad.write_text(
+        "def estimate(value_fn, n, rng):\n"
+        "    sums = np.zeros(n)\n"
+        "    for _ in range(10):\n"
+        "        perm = rng.permutation(n)\n"
+        "        for pos, point in enumerate(perm):\n"
+        "            sums[point] += value_fn(pos)\n"
+        "    return sums / 10\n",
+        encoding="utf-8",
+    )
+    found = lint.offenders(str(tmp_path))
+    assert len(found) >= 1 and all(f"{bad}:4 " in f for f in found)
+    # Taint flows through intermediate assignments and reversal too.
+    indirect = tmp_path / "indirect.py"
+    indirect.write_text(
+        "def estimate(v, n, rng):\n"
+        "    phi = np.zeros(n)\n"
+        "    order = rng.permutation(n)\n"
+        "    walks = [order, order[::-1]]\n"
+        "    for w in walks:\n"
+        "        phi[w] += v(w)\n"
+        "    return phi\n",
+        encoding="utf-8",
+    )
+    found = lint.offenders(str(tmp_path))
+    assert any(f"{indirect}:3 " in f for f in found)
+
+
+def test_shapley_lint_accepts_benign_uses(tmp_path):
+    lint = _load_script(SHAPLEY_LINT, "check_no_bespoke_shapley")
+    ok = tmp_path / "clean.py"
+    ok.write_text(
+        # Shuffled minibatch SGD: the permutation orders rows, but the
+        # accumulation index is a plain loop variable (the MLP pattern).
+        "def fit(X, y, rng, grads):\n"
+        "    idx = rng.permutation(len(X))\n"
+        "    for i in range(3):\n"
+        "        grads[i] += X[idx].sum()\n"
+        "    return grads\n"
+        # Permutation used for a baseline, assigned (not accumulated).
+        "def baseline(scores, rng):\n"
+        "    out = {}\n"
+        "    perm = rng.permutation(len(scores))\n"
+        "    out['shuffled'] = scores[perm]\n"
+        "    return out\n"
+        # Allow-marked legacy implementation.
+        "def legacy(v, n, rng):\n"
+        "    sums = np.zeros(n)\n"
+        "    perm = rng.permutation(n)  # games: allow\n"
+        "    for p in perm:\n"
+        "        sums[p] += v(p)\n"
+        "    return sums\n",
+        encoding="utf-8",
+    )
+    assert lint.offenders(str(tmp_path)) == []
+    # The games package itself is exempt (that is where the loop lives).
+    games_dir = tmp_path / "repro" / "games"
+    games_dir.mkdir(parents=True)
+    (games_dir / "estimators.py").write_text(
+        "def walk(v, n, rng, sums):\n"
+        "    perm = rng.permutation(n)\n"
+        "    for p in perm:\n"
+        "        sums[p] += v(p)\n",
+        encoding="utf-8",
+    )
+    assert lint.offenders(str(tmp_path)) == []
 
 
 def test_atomic_write_replaces_not_appends(tmp_path):
