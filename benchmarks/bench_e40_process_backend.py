@@ -1,0 +1,150 @@
+"""E40 — process-backend scale-out: ≥2× at an equal budget, bit-for-bit.
+
+The exec subsystem's headline claim: sharding permutation walks across a
+``ProcessPoolExecutor`` makes latency-bound value functions — remote
+model retrains, database round-trips — at least twice as fast at the
+*same* permutation budget, while the attributions stay bitwise identical
+(``np.array_equal``, not allclose) to the serial estimator.
+
+Both workloads model the tutorial's expensive-query regimes:
+
+* **Data Shapley** — each retrain carries a fixed latency (think a
+  training service call), dominating the CPU cost of the tiny logistic
+  fit. Serial pays every latency in sequence; four forked workers
+  overlap them.
+* **Tuple Shapley** — the relational query sleeps like a real DBMS
+  round-trip; the permutation sampler's sub-database evaluations shard
+  the same way.
+
+The worker-side ``datavalue.cache.*`` counter deltas merged on join are
+asserted here too — they are what lands in ``BENCH_summary.json`` and
+would read ~0 if worker state stayed process-local.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.datasets import make_classification
+from repro.datavalue.data_shapley import tmc_shapley
+from repro.datavalue.utility import UtilityFunction
+from repro.db.relation import Relation
+from repro.db.tuple_shapley import shapley_of_tuples
+from repro.models import LogisticRegression
+from repro.models.model_selection import train_test_split
+
+from conftest import emit, fmt_row
+
+N_PROCS = 4
+RETRAIN_LATENCY_S = 0.006
+QUERY_LATENCY_S = 0.002
+
+
+class LatencyModel:
+    """Logistic fit behind a fixed per-retrain latency (a remote trainer)."""
+
+    def __init__(self) -> None:
+        self._model = LogisticRegression(alpha=1.0)
+
+    def fit(self, X, y):
+        time.sleep(RETRAIN_LATENCY_S)
+        self._model.fit(X, y)
+        return self
+
+    def predict(self, X):
+        return self._model.predict(X)
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def make_utility() -> UtilityFunction:
+    data = make_classification(60, n_features=3, n_informative=2,
+                               class_sep=2.0, seed=13)
+    Xtr, Xv, ytr, yv = train_test_split(data.X, data.y, test_size=0.4, seed=0)
+    return UtilityFunction(lambda: LatencyModel(), Xtr[:10], ytr[:10], Xv, yv)
+
+
+def make_relation():
+    relation = Relation(["id", "grp"], [(i, i % 4) for i in range(12)])
+
+    def slow_query(r):
+        time.sleep(QUERY_LATENCY_S)  # a DBMS round-trip per sub-database
+        return (sum(1 for t in r.rows if t[1] == 0) * 2.0
+                + len(r.rows) * 0.1)
+
+    return relation, slow_query
+
+
+def test_e40_process_backend():
+    n_perms = 24
+    rows: list[str] = []
+
+    # -- Data Shapley at an equal permutation budget --------------------
+    serial, t_serial = _timed(lambda: tmc_shapley(
+        make_utility(), n_permutations=n_perms, truncation_tolerance=0.0,
+        seed=3,
+    ))
+    dv_misses0 = obs.counter("datavalue.cache.misses").value
+    sharded, t_process = _timed(lambda: tmc_shapley(
+        make_utility(), n_permutations=n_perms, truncation_tolerance=0.0,
+        seed=3, backend="process", n_procs=N_PROCS,
+    ))
+    dv_misses = obs.counter("datavalue.cache.misses").value - dv_misses0
+    dv_speedup = t_serial / t_process
+    rows.append(fmt_row("data shapley", "wall (s)", "speedup", "identical"))
+    rows.append(fmt_row("serial", t_serial, 1.0, "-"))
+    identical_dv = bool(np.array_equal(serial.values, sharded.values))
+    rows.append(fmt_row(f"process x{N_PROCS}", t_process, dv_speedup,
+                        str(identical_dv)))
+
+    # -- Tuple Shapley (sampling) at an equal budget --------------------
+    relation, slow_query = make_relation()
+    serial_t, t_serial_tuple = _timed(lambda: shapley_of_tuples(
+        relation, slow_query, method="sampling", n_permutations=n_perms,
+        seed=5,
+    ))
+    sharded_t, t_process_tuple = _timed(lambda: shapley_of_tuples(
+        relation, slow_query, method="sampling", n_permutations=n_perms,
+        seed=5, backend="process", n_procs=N_PROCS,
+    ))
+    tuple_speedup = t_serial_tuple / t_process_tuple
+    identical_tuple = serial_t == sharded_t
+    rows.append("")
+    rows.append(fmt_row("tuple shapley", "wall (s)", "speedup", "identical"))
+    rows.append(fmt_row("serial", t_serial_tuple, 1.0, "-"))
+    rows.append(fmt_row(f"process x{N_PROCS}", t_process_tuple,
+                        tuple_speedup, str(identical_tuple)))
+
+    emit("E40_process_backend", rows, data={
+        "n_permutations": n_perms,
+        "n_procs": N_PROCS,
+        "data_shapley": {
+            "t_serial_s": t_serial,
+            "t_process_s": t_process,
+            "speedup": dv_speedup,
+            "identical": identical_dv,
+            "worker_cache_misses_merged": int(dv_misses),
+        },
+        "tuple_shapley": {
+            "t_serial_s": t_serial_tuple,
+            "t_process_s": t_process_tuple,
+            "speedup": tuple_speedup,
+            "identical": identical_tuple,
+        },
+    })
+
+    # The headline claims: bitwise-identical attributions and ≥2× on the
+    # latency-bound Data Shapley run at an equal permutation budget.
+    assert identical_dv
+    assert identical_tuple
+    assert dv_speedup >= 2.0
+    assert tuple_speedup >= 1.5
+    # Worker-side counter deltas merged into the parent registry.
+    assert dv_misses > 0

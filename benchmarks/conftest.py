@@ -46,6 +46,13 @@ def _counter_values() -> dict[str, int]:
         "robust_retries": obs.counter("robust.retries").value,
         "robust_rows_failed": obs.counter("robust.rows_failed").value,
         "robust_budget_exhausted": obs.counter("robust.budget_exhausted").value,
+        # Cache counters include worker-side deltas merged by the exec
+        # backends — visible proof in BENCH_summary.json that sharded
+        # runs still account their cache traffic to the parent.
+        "coalition_cache_hits": obs.counter("coalition.cache.hits").value,
+        "coalition_cache_misses": obs.counter("coalition.cache.misses").value,
+        "datavalue_cache_hits": obs.counter("datavalue.cache.hits").value,
+        "datavalue_cache_misses": obs.counter("datavalue.cache.misses").value,
     }
 
 

@@ -38,6 +38,7 @@ GUARDED_EXPERIMENTS = (
     "E37_coalition_engine",
     "E38_fault_tolerance",
     "E39_games_layer",
+    "E40_process_backend",
 )
 MAX_REGRESSION = 0.25
 MIN_DELTA_S = 0.75

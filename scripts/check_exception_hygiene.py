@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Lint: forbid silent exception swallowing inside ``src/repro``.
+"""Lint: forbid silent exception swallowing in ``src/repro`` and ``tests``.
 
 Two patterns are banned:
 
@@ -18,7 +18,10 @@ exception site can be allowlisted with a trailing
 ``# hygiene: allow`` comment on the ``except`` line.
 
 AST-based, so strings and comments cannot trip it. Exit status 0 when
-clean, 1 with a ``path:line reason`` listing otherwise. Enforced in
+clean, 1 with a ``path:line reason`` listing otherwise. With no
+arguments both the library *and* the test suite are scanned — a test
+that swallows the very failure it should assert on is how regressions
+go unnoticed; any number of roots can be passed explicitly. Enforced in
 tier-1 via ``tests/test_obs_lint_and_bench.py``, alongside
 ``check_no_print.py``.
 """
@@ -97,13 +100,14 @@ def offenders(root: str) -> list[str]:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    default_root = os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "src",
-        "repro",
-    )
-    root = argv[0] if argv else default_root
-    found = offenders(root)
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    roots = list(argv) if argv else [
+        os.path.join(repo_root, "src", "repro"),
+        os.path.join(repo_root, "tests"),
+    ]
+    found: list[str] = []
+    for root in roots:
+        found.extend(offenders(root))
     if found:
         sys.stderr.write(
             "silent exception handling found (narrow the except type, or "

@@ -1,0 +1,187 @@
+"""Regenerate the frozen golden attributions under tests/goldens/.
+
+Each case is a fully seeded end-to-end explanation; the JSON files are
+the frozen outputs ``tests/test_goldens.py`` compares against at 1e-12.
+The test module imports *this* file for the case definitions, so the
+fixtures can never drift apart from the goldens they regenerate.
+
+Usage::
+
+    PYTHONPATH=src python scripts/regen_goldens.py            # all cases
+    PYTHONPATH=src python scripts/regen_goldens.py kernel_shap lime
+
+Regenerating is a deliberate act: only run it when an intentional
+numeric change (new default, fixed bug) is being frozen, and commit the
+diff with the change that caused it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "goldens")
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def _classification_parts():
+    from repro.datasets import make_classification
+    from repro.models import LogisticRegression
+
+    data = make_classification(80, n_features=4, n_informative=3,
+                               class_sep=1.5, seed=7)
+    model = LogisticRegression(alpha=1.0).fit(data.X, data.y)
+    background = data.X[:30]
+    x = data.X[40]
+    return model, background, x, data
+
+
+def case_kernel_shap(backend: str | None = None) -> dict:
+    from repro.shapley.kernel import KernelShapExplainer
+
+    model, background, x, __ = _classification_parts()
+    attr = KernelShapExplainer(model, background, n_samples=64, seed=0,
+                               backend=backend, n_procs=2).explain(x)
+    return {
+        "values": attr.values.tolist(),
+        "base_value": attr.base_value,
+        "prediction": attr.prediction,
+    }
+
+
+def case_sampling_shap(backend: str | None = None) -> dict:
+    from repro.shapley.sampling import SamplingShapleyExplainer
+
+    model, background, x, __ = _classification_parts()
+    attr = SamplingShapleyExplainer(model, background, n_permutations=16,
+                                    seed=0, backend=backend,
+                                    n_procs=2).explain(x)
+    return {
+        "values": attr.values.tolist(),
+        "base_value": attr.base_value,
+        "std_err": attr.meta["std_err"].tolist(),
+    }
+
+
+def case_tmc_datashapley(backend: str | None = None) -> dict:
+    from repro.datavalue.data_shapley import tmc_shapley
+    from repro.datavalue.utility import UtilityFunction
+    from repro.datasets import make_classification
+    from repro.models import LogisticRegression
+    from repro.models.model_selection import train_test_split
+
+    data = make_classification(60, n_features=3, n_informative=2,
+                               class_sep=2.0, seed=13)
+    Xtr, Xv, ytr, yv = train_test_split(data.X, data.y, test_size=0.4, seed=0)
+    utility = UtilityFunction(lambda: LogisticRegression(alpha=1.0),
+                              Xtr[:10], ytr[:10], Xv, yv)
+    attr = tmc_shapley(utility, n_permutations=12, seed=3,
+                       backend=backend, n_procs=2)
+    return {
+        "values": attr.values.tolist(),
+        "full_score": attr.meta["full_score"],
+        "mean_truncation_position": attr.meta["mean_truncation_position"],
+    }
+
+
+def case_tuple_shapley(backend: str | None = None) -> dict:
+    from repro.db.relation import Relation
+    from repro.db.tuple_shapley import shapley_of_tuples
+
+    relation = Relation(["id", "grp"], [(i, i % 3) for i in range(9)])
+    query = (lambda r: sum(1 for t in r.rows if t[1] == 0) * 2.0
+             + len(r.rows) * 0.1)
+    exact = shapley_of_tuples(relation, query, method="exact",
+                              backend=backend, n_procs=2)
+    sampled = shapley_of_tuples(relation, query, method="sampling",
+                                n_permutations=24, seed=5,
+                                backend=backend, n_procs=2)
+    return {
+        "exact": [exact[i] for i in sorted(exact)],
+        "sampled": [sampled[i] for i in sorted(sampled)],
+    }
+
+
+def case_causal_shapley(backend: str | None = None) -> dict:
+    from repro.causal.causal_shapley import CausalShapleyExplainer
+    from repro.causal.scm import StructuralCausalModel, linear_mechanism
+
+    scm = StructuralCausalModel()
+    scm.add_variable("a", [], lambda p, u: u,
+                     noise=lambda rng, n: rng.normal(0, 1, n))
+    scm.add_variable("b", ["a"], linear_mechanism({"a": 2.0}),
+                     noise=lambda rng, n: rng.normal(0, 0.5, n))
+    scm.add_variable("c", ["b"], linear_mechanism({"b": 1.5}),
+                     noise=lambda rng, n: rng.normal(0, 0.5, n))
+    model = lambda X: np.atleast_2d(X) @ np.array([1.0, 0.5, 2.0])
+    explainer = CausalShapleyExplainer(model, scm, ["a", "b", "c"],
+                                       n_permutations=8, n_samples=60,
+                                       seed=2, backend=backend, n_procs=2)
+    attr = explainer.explain(np.array([1.0, 2.0, 0.5]))
+    return {
+        "values": attr.values.tolist(),
+        "direct": attr.meta["direct"].tolist(),
+        "indirect": attr.meta["indirect"].tolist(),
+        "base_value": attr.base_value,
+    }
+
+
+def case_lime(backend: str | None = None) -> dict:
+    # LIME never consumes the coalition estimators, so the backend knob
+    # must be a no-op for it — the golden freezes exactly that.
+    from repro.core.dataset import TabularDataset
+    from repro.surrogate import LimeTabularExplainer
+
+    model, background, x, data = _classification_parts()
+    dataset = TabularDataset(data.X, data.y)
+    attr = LimeTabularExplainer(model, dataset, n_samples=120,
+                                seed=11).explain(x)
+    return {
+        "values": attr.values.tolist(),
+        "prediction": attr.prediction,
+    }
+
+
+CASES = {
+    "kernel_shap": case_kernel_shap,
+    "sampling_shap": case_sampling_shap,
+    "tmc_datashapley": case_tmc_datashapley,
+    "tuple_shapley": case_tuple_shapley,
+    "causal_shapley": case_causal_shapley,
+    "lime": case_lime,
+}
+
+
+def regenerate(names=None) -> list[str]:
+    """Write the golden JSON for each named case; returns written paths."""
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    written = []
+    for name in names or sorted(CASES):
+        payload = {"case": name, "outputs": CASES[name]()}
+        path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        written.append(path)
+    return written
+
+
+def main(argv=None) -> int:
+    names = list(argv if argv is not None else sys.argv[1:])
+    unknown = [n for n in names if n not in CASES]
+    if unknown:
+        sys.stderr.write(
+            f"unknown case(s) {unknown}; choose from {sorted(CASES)}\n"
+        )
+        return 2
+    for path in regenerate(names or None):
+        sys.stdout.write(f"wrote {os.path.relpath(path, REPO_ROOT)}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

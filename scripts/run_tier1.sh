@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Tier-1 gate, runnable locally and in CI: the full test suite, the
+# three source lints, and the benchmark wall-time regression guard.
+# Referenced from ROADMAP.md ("Tier-1 verify"); exits non-zero on the
+# first failing step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo "== tier-1: lint (no print) =="
+python scripts/check_no_print.py
+
+echo "== tier-1: lint (exception hygiene: src + tests) =="
+python scripts/check_exception_hygiene.py
+
+echo "== tier-1: lint (no bespoke shapley loops) =="
+python scripts/check_no_bespoke_shapley.py
+
+echo "== tier-1: benchmark regression guard =="
+python scripts/bench_compare.py
+
+echo "== tier-1: OK =="

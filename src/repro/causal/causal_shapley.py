@@ -54,6 +54,12 @@ class CausalShapleyExplainer:
     engine:
         ``True`` (default) runs the walks through the shared games
         estimator; ``False`` keeps the pre-games loop.
+    backend:
+        Accepted for API symmetry with the other explainers and
+        forwarded to the estimator, but
+        :class:`~repro.games.InterventionalGame` steps a global seed
+        counter (evaluation order is part of its semantics), so it is
+        never sharded — every backend produces the serial walk order.
     """
 
     method_name = "causal_shapley"
@@ -67,6 +73,8 @@ class CausalShapleyExplainer:
         n_samples: int = 400,
         seed: int = 0,
         engine: bool = True,
+        backend: str | None = None,
+        n_procs: int | None = None,
     ) -> None:
         from ..core.base import as_predict_fn
 
@@ -77,6 +85,8 @@ class CausalShapleyExplainer:
         self.n_samples = n_samples
         self.seed = seed
         self.engine = engine
+        self.backend = backend
+        self.n_procs = n_procs
 
     def _expectation(
         self,
@@ -155,6 +165,8 @@ class CausalShapleyExplainer:
             antithetic=False,
             seed=self.seed,
             aggregate="sum_counts",
+            backend=self.backend,
+            n_procs=self.n_procs,
         )
         # The direct/indirect ledger is the legacy accumulation order:
         # summing the halves (not est.values' whole-step differences)

@@ -186,6 +186,18 @@ def main(argv: list[str] | None = None) -> int:
              "(sets REPRO_QUERY_BUDGET)",
     )
     parser.add_argument(
+        "--backend", metavar="NAME", default=None,
+        choices=("serial", "thread", "process"),
+        help="execution backend for estimators and explain_batch "
+             "(sets REPRO_BACKEND; results are bitwise-identical "
+             "whichever backend runs them)",
+    )
+    parser.add_argument(
+        "--n-procs", metavar="N", default=None, type=int,
+        help="worker count for the thread/process backends, -1 = all "
+             "cores (sets REPRO_N_PROCS)",
+    )
+    parser.add_argument(
         "--no-coalition-cache", action="store_true",
         help="disable the packed-bit coalition value caches in the games "
              "evaluator and coalition engine (sets REPRO_COALITION_CACHE=0)",
@@ -212,6 +224,8 @@ def main(argv: list[str] | None = None) -> int:
         ("backoff", "REPRO_BACKOFF"),
         ("deadline_s", "REPRO_DEADLINE_S"),
         ("query_budget", "REPRO_QUERY_BUDGET"),
+        ("backend", "REPRO_BACKEND"),
+        ("n_procs", "REPRO_N_PROCS"),
     ):
         value = getattr(args, flag)
         if value is not None:

@@ -38,6 +38,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..exec import map_shards, plan_shards, resolve_backend, resolve_n_procs
 from ..obs import metrics
 from ..obs.instrument import instrument_explainer
 from ..obs.metrics import meter_predict_fn
@@ -188,6 +189,8 @@ class AttributionExplainer(Explainer):
         X: np.ndarray,
         n_jobs: int | None = None,
         return_errors: bool = False,
+        backend: str | None = None,
+        n_procs: int | None = None,
         **kwargs,
     ) -> list[FeatureAttribution] | tuple[list, list[BatchRowError]]:
         """Explain every row of ``X``, surviving per-row failures.
@@ -198,6 +201,17 @@ class AttributionExplainer(Explainer):
         keep the batch span as parent, eval counters roll up exactly as
         in the serial path, and each row gets its own guard scope;
         results are returned in row order.
+
+        ``backend`` (or env ``REPRO_BACKEND``; see :mod:`repro.exec`)
+        selects the execution backend instead: ``"thread"`` is the pool
+        above sized by ``n_procs``, ``"process"`` shards contiguous row
+        ranges across forked workers. Worker rows re-raise per-row
+        failures through the same :class:`BatchRowError` channel (a dead
+        worker fails its shard's rows, never hangs the batch), worker
+        spans re-parent under this call's batch span, and worker-side
+        ``model.*`` / ``robust.*`` counters merge into the parent
+        snapshot on join. ``backend`` takes precedence over ``n_jobs``
+        when both request parallelism.
 
         Failure semantics (serial and parallel paths behave identically):
         one poisoned row no longer discards the completed ones. With
@@ -219,7 +233,10 @@ class AttributionExplainer(Explainer):
             raise InputValidationError(
                 f"explain_batch needs a non-empty batch, got shape {X.shape}"
             )
+        backend_name = resolve_backend(backend)
         n_jobs = resolve_n_jobs(n_jobs)
+        if backend_name == "thread":
+            n_jobs = max(n_jobs, resolve_n_procs(n_procs))
 
         def run_row(i: int, x: np.ndarray):
             try:
@@ -227,7 +244,9 @@ class AttributionExplainer(Explainer):
             except Exception as e:
                 return None, BatchRowError(index=i, error=e)
 
-        if n_jobs == 1 or X.shape[0] <= 1:
+        if backend_name == "process" and X.shape[0] >= 2:
+            outcomes = self._run_batch_process(X, run_row, n_procs)
+        elif n_jobs == 1 or X.shape[0] <= 1:
             outcomes = [run_row(i, x) for i, x in enumerate(X)]
         else:
             with ThreadPoolExecutor(max_workers=n_jobs) as pool:
@@ -245,3 +264,51 @@ class AttributionExplainer(Explainer):
         if errors:
             raise PartialBatchError(partial=results, errors=errors)
         return results
+
+    def _run_batch_process(self, X, run_row, n_procs):
+        """Row-sharded ``explain_batch`` over forked worker processes.
+
+        Each shard is a contiguous row range; workers ship back, per
+        row, either the explanation or a JSON-safe error record (live
+        exception objects do not reliably cross the pickle boundary).
+        ``split_scope=False`` because budgets here are per *row*, not
+        per batch: each ``explain`` call opens its own guard scope in
+        the worker exactly as it does serially.
+        """
+        plan = plan_shards(X.shape[0], resolve_n_procs(n_procs))
+
+        def run_shard(bounds):
+            lo, hi = bounds
+            out = []
+            for i in range(lo, hi):
+                res, err = run_row(i, X[i])
+                out.append((res, None if err is None else err.to_dict()))
+            return out
+
+        shard_args = list(plan.slices)
+        shard_outcomes = map_shards(
+            run_shard, shard_args, backend="process",
+            n_procs=n_procs, split_scope=False,
+        )
+        outcomes = []
+        for (lo, hi), outcome in zip(shard_args, shard_outcomes):
+            if not outcome.ok:
+                # The whole shard died (worker crash / broken pool):
+                # every row in it is reported failed, rows elsewhere
+                # survive — same contract as a poisoned row.
+                outcomes.extend(
+                    (None, BatchRowError(index=i, error=outcome.error))
+                    for i in range(lo, hi)
+                )
+                continue
+            for res, err in outcome.value:
+                if err is None:
+                    outcomes.append((res, None))
+                else:
+                    exc = type(err["error_type"], (Exception,), {})(
+                        err["message"]
+                    )
+                    outcomes.append(
+                        (None, BatchRowError(index=err["index"], error=exc))
+                    )
+        return outcomes

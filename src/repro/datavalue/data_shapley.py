@@ -32,6 +32,8 @@ def tmc_shapley(
     n_permutations: int = 200,
     truncation_tolerance: float = 0.01,
     seed: int = 0,
+    backend: str | None = None,
+    n_procs: int | None = None,
 ) -> DataAttribution:
     """TMC-Shapley values of every training point.
 
@@ -43,6 +45,12 @@ def tmc_shapley(
         Stop scanning a permutation once |U(prefix) − U(D)| falls below
         this tolerance; remaining points in the permutation receive zero
         marginal contribution for that pass.
+    backend:
+        Execution backend (:mod:`repro.exec`). Permutation walks shard
+        across workers (bitwise-identical values); each worker retrains
+        on its own permutations, and their utility memo tables plus
+        ``datavalue.cache.*`` counters are merged back into ``utility``
+        on join.
     """
     game = DataValueGame(utility)
     full_score = utility.full_score()
@@ -55,6 +63,8 @@ def tmc_shapley(
         truncation_target=full_score,
         empty_value=utility.empty_score,
         aggregate="sum_counts",
+        backend=backend,
+        n_procs=n_procs,
     )
     return DataAttribution(
         values=est.values,

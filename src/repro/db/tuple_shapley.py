@@ -74,6 +74,8 @@ def shapley_of_tuples(
     n_permutations: int = 200,
     seed: int = 0,
     engine: bool = True,
+    backend: str | None = None,
+    n_procs: int | None = None,
 ) -> dict[int, float]:
     """Shapley value of each endogenous tuple for a numeric query.
 
@@ -93,6 +95,11 @@ def shapley_of_tuples(
         ``True`` (default) evaluates coalitions through the shared games
         evaluator (packed-bit cache + telemetry); ``False`` keeps the
         pre-games uncached value function.
+    backend:
+        Execution backend (:mod:`repro.exec`); sub-database evaluations
+        shard across workers on the engine path (bitwise-identical
+        values), and the query re-evaluation loop is pure Python, so the
+        ``process`` backend is where large relations actually scale.
 
     Returns
     -------
@@ -105,15 +112,19 @@ def shapley_of_tuples(
     if method == "auto":
         method = "exact" if n <= 16 else "sampling"
     if engine:
-        game = TupleProvenanceGame(relation, query, endogenous)
-        v = game_value_function(game)
+        # The estimators receive the game itself (not a pre-built value
+        # function): the game carries the deterministic/shardable
+        # capabilities the exec backend gates on, and resolves to the
+        # identical evaluator path inside the estimator.
+        v = TupleProvenanceGame(relation, query, endogenous)
     else:
         v = _database_value_fn(relation, endogenous, query)
     if method == "exact":
-        phi = exact_shapley(v, n)
+        phi = exact_shapley(v, n, backend=backend, n_procs=n_procs)
     elif method == "sampling":
         phi, __ = permutation_shapley(
-            v, n, n_permutations=n_permutations, seed=seed
+            v, n, n_permutations=n_permutations, seed=seed,
+            backend=backend, n_procs=n_procs,
         )
     else:
         raise ValueError(f"unknown method {method!r}")

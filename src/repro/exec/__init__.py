@@ -1,0 +1,69 @@
+"""Pluggable execution backends for the games layer.
+
+The tutorial's cost axis frames every perturbation-based explainer as a
+massive batch of model queries; PR 2–4 made those queries cheap per call
+(broadcast masking, caching, chunking) but left all parallelism
+thread-based and GIL-bound. This package adds the missing scale-out
+layer: permutation walks and coalition chunks are *sharded* across a
+``ProcessPoolExecutor`` (or thread pool) with deterministic work
+partitioning, and the shard results are reduced in shard order so the
+attributions are **bitwise identical** to the serial estimator — the
+reproducibility bar "Which LIME should I trust?" sets for explanation
+pipelines.
+
+Three public levers select the backend, in priority order:
+
+* the ``backend=`` parameter on the estimators /
+  ``AttributionExplainer.explain_batch``;
+* the ``REPRO_BACKEND`` environment variable (CLI flag ``--backend``);
+* the default, ``"serial"``.
+
+``REPRO_N_PROCS`` / ``--n-procs`` (or the ``n_shards=`` /
+``n_procs=`` parameters) size the worker pool.
+
+The deterministic contract (see DESIGN.md "Execution backends"):
+
+* **shard** — work items (permutation walks, coalition-matrix rows) are
+  split into contiguous, balanced slices by :func:`plan_shards`; each
+  shard also carries a ``SeedSequence.spawn``-derived seed so future
+  stochastic games can draw worker-local randomness reproducibly;
+* **seed** — all randomness consumed by today's estimators is drawn in
+  the parent from the canonical single stream
+  (``np.random.default_rng(seed)``), *before* dispatch, so the sampled
+  permutations are identical whatever the backend or shard count;
+* **reduce** — the parent re-accumulates per-item results in global item
+  order, preserving the exact floating-point association of the serial
+  loop (last-ulp identical, not just close).
+
+Workers marshal three runtime layers back across the process boundary:
+metric counter deltas (``coalition.cache.*``, ``datavalue.cache.*``,
+``model.*``, ``robust.*``) merged into the parent registry, span records
+re-parented under the caller's open span, and
+:class:`~repro.robust.GuardScope` budget shares reconciled on join.
+"""
+
+from .backend import (
+    BACKENDS,
+    fork_available,
+    in_worker,
+    resolve_backend,
+    resolve_n_procs,
+    worker_mode,
+)
+from .pool import ShardError, ShardOutcome, map_shards, merge_counter_deltas
+from .sharding import ShardPlan, plan_shards
+
+__all__ = [
+    "BACKENDS",
+    "ShardError",
+    "ShardOutcome",
+    "ShardPlan",
+    "fork_available",
+    "in_worker",
+    "map_shards",
+    "merge_counter_deltas",
+    "plan_shards",
+    "resolve_backend",
+    "resolve_n_procs",
+    "worker_mode",
+]

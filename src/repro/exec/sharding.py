@@ -1,0 +1,80 @@
+"""Deterministic work partitioning for the execution backends.
+
+A :class:`ShardPlan` splits ``n_items`` work items (permutation walks,
+coalition-matrix rows) into at most ``n_shards`` contiguous, balanced
+slices. Contiguity is what makes the reduce step trivial and exact: the
+parent walks the shards in order and re-accumulates per-item results in
+global item order, reproducing the serial loop's floating-point
+association bit for bit.
+
+Each shard also carries a ``numpy.random.SeedSequence`` derived from
+``(seed, shard_index)`` via ``SeedSequence(seed).spawn(n_shards)``.
+Today's estimators do not consume worker-local randomness — every
+permutation is drawn in the parent from the canonical single stream
+before dispatch, which is what keeps attributions identical across
+backends and shard counts — but the spawned seeds are part of the plan
+(and of its tests) so a future stochastic game can draw reproducible
+worker-local randomness without redesigning the contract. Spawned
+children are statistically independent of each other *and* of
+``default_rng(seed)`` itself, so using them can never correlate a
+worker's draws with the parent's permutation stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Contiguous balanced slices of ``n_items``, with per-shard seeds.
+
+    ``slices[k] = (start, stop)`` is shard ``k``'s half-open item range;
+    ``shard_seeds[k]`` is the ``SeedSequence`` spawned for it. The number
+    of shards never exceeds the number of items (empty shards would be
+    pure overhead).
+    """
+
+    n_items: int
+    seed: int
+    slices: tuple[tuple[int, int], ...]
+    shard_seeds: tuple[np.random.SeedSequence, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.slices)
+
+    def rngs(self) -> list[np.random.Generator]:
+        """One ``default_rng`` per shard, from the spawned seeds."""
+        return [np.random.default_rng(s) for s in self.shard_seeds]
+
+
+def plan_shards(n_items: int, n_shards: int, seed: int = 0) -> ShardPlan:
+    """Split ``n_items`` into ≤ ``n_shards`` balanced contiguous slices.
+
+    The first ``n_items % n_shards`` slices get one extra item, so sizes
+    differ by at most one — the standard balanced partition, chosen over
+    round-robin because contiguity preserves the serial accumulation
+    order on reduce.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    n_shards = max(1, min(int(n_shards), n_items)) if n_items else 1
+    base, extra = divmod(n_items, n_shards)
+    slices: list[tuple[int, int]] = []
+    start = 0
+    for k in range(n_shards):
+        size = base + (1 if k < extra else 0)
+        slices.append((start, start + size))
+        start += size
+    seeds = np.random.SeedSequence(seed).spawn(n_shards)
+    return ShardPlan(
+        n_items=n_items,
+        seed=seed,
+        slices=tuple(slices),
+        shard_seeds=tuple(seeds),
+    )

@@ -123,6 +123,36 @@ class DataValueGame(BaseGame):
     def grand_value(self) -> float:
         return self.utility.full_score()
 
+    def export_shard_state(self):
+        """Snapshot the utility's memo + counters for a shard-merge.
+
+        The parent captures this *before* dispatch; each worker captures
+        it again *after* running its shard. :meth:`merge_shard_state`
+        then folds the worker's memo entries in (idempotent — values are
+        deterministic per index set) and re-counts the evaluation/cache
+        counters as deltas against the pre-dispatch baseline, so
+        ``datavalue.cache.hits`` / ``.misses`` and ``n_evaluations``
+        aggregate instead of staying process-local (the PR 5 undercount
+        fix).
+        """
+        u = self.utility
+        return {
+            "memo": dict(getattr(u, "_cache", {})),
+            "n_evaluations": int(getattr(u, "n_evaluations", 0)),
+            "cache_hits": int(getattr(u, "cache_hits", 0)),
+            "cache_misses": int(getattr(u, "cache_misses", 0)),
+        }
+
+    def merge_shard_state(self, before, after) -> None:
+        """Fold one worker's utility state back in (see export)."""
+        u = self.utility
+        if hasattr(u, "_cache"):
+            u._cache.update(after["memo"])
+        for attr in ("n_evaluations", "cache_hits", "cache_misses"):
+            delta = after[attr] - before[attr]
+            if delta > 0 and hasattr(u, attr):
+                setattr(u, attr, getattr(u, attr) + delta)
+
     def value(self, coalitions: np.ndarray) -> np.ndarray:
         coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
         out = np.zeros(coalitions.shape[0])
@@ -279,10 +309,17 @@ class InterventionalGame(BaseGame):
     game implements ``walk_contributions`` — the shared estimator hands
     it whole permutations and the game accumulates ``direct_sums`` /
     ``indirect_sums`` exactly as the legacy loop did.
+
+    The stepping seed counter makes evaluation order *part of the
+    semantics*, so the game is not shardable: workers evaluating
+    disjoint walks would each start from their own counter copy and
+    diverge from the serial draw sequence. The exec backend serial-falls
+    back (bitwise-identical by construction).
     """
 
     guarded = True
     deterministic = False
+    shardable = False
 
     def __init__(
         self,
@@ -379,11 +416,13 @@ class GradientGame(BaseGame):
     One permutation walk is one online-SGD epoch: each point's marginal
     contribution is the validation-metric change caused by its own
     gradient step. The walk is inherently sequential and stateful, so
-    the game owns it via ``walk_contributions``.
+    the game owns it via ``walk_contributions`` — and is not shardable
+    for the same reason (the exec backend serial-falls back).
     """
 
     guarded = False
     deterministic = False
+    shardable = False
 
     def __init__(
         self,

@@ -82,6 +82,16 @@ class BaseGame:
         How many model/utility rows one coalition evaluation costs; the
         evaluator divides ``max_batch_rows`` by it to pick chunk sizes
         and charges ``rows_per_coalition`` budget rows per coalition.
+    shardable:
+        ``True`` when independent slices of the work (permutation walks,
+        coalition-matrix rows) may be evaluated by separate workers —
+        i.e. evaluation carries no cross-call mutable state. Stateful
+        games (a stepping seed counter, an SGD pass) set ``False`` and
+        the exec backend (:mod:`repro.exec`) falls back to the serial
+        path for them, which is trivially bitwise-identical. Note
+        sharding is additionally gated on ``deterministic``: a game
+        drawing fresh randomness per call would give different draws
+        per partitioning even if it carries no state.
     """
 
     n_players: int = 0
@@ -90,6 +100,7 @@ class BaseGame:
     guarded: bool = False
     self_evaluating: bool = False
     rows_per_coalition: int = 1
+    shardable: bool = True
 
     def value(self, coalitions: np.ndarray) -> np.ndarray:
         raise NotImplementedError

@@ -130,10 +130,22 @@ def game_value_function(
     ``cache=None`` defers to the game's ``deterministic`` flag (and the
     global ``REPRO_COALITION_CACHE`` kill switch); passing ``True`` for
     a non-deterministic game is the caller asserting determinism the
-    adapter could not. Self-evaluating games (the feature-masking
-    adapter, bare callables wrapped by :func:`~repro.games.base.as_game`)
-    are returned as-is — their value path is already engineered and
-    wrapping it again would double-count telemetry.
+    adapter could not, and passing a
+    :class:`~repro.core.coalition_engine.CoalitionValueCache` *instance*
+    shares that store across value functions — the exec backend uses
+    this to seed workers with the parent's cache and merge worker stores
+    back. Self-evaluating games (the feature-masking adapter, bare
+    callables wrapped by :func:`~repro.games.base.as_game`) are returned
+    as-is — their value path is already engineered and wrapping it again
+    would double-count telemetry.
+
+    The returned ``v(coalitions, positions=None)`` accepts optional
+    explicit *positions* for position-seeded games (``value_at``): by
+    default each batch row's own index is its position, but a sharded
+    caller evaluating a slice of a larger coalition matrix passes the
+    rows' **global** indices so the position-keyed seeding (and the
+    ``(row, mask)`` cache keys) match what the unsharded batch would
+    have drawn.
     """
     game = as_game(game, n_players)
     if getattr(game, "self_evaluating", False):
@@ -141,21 +153,26 @@ def game_value_function(
     deterministic = getattr(game, "deterministic", False)
     guarded = getattr(game, "guarded", False)
     rows_per = max(1, int(getattr(game, "rows_per_coalition", 1)))
-    use_cache = resolve_cache(deterministic if cache is None else cache)
-    store = CoalitionValueCache() if use_cache else None
+    if isinstance(cache, CoalitionValueCache):
+        store = cache if resolve_cache(True) else None
+    else:
+        use_cache = resolve_cache(deterministic if cache is None else cache)
+        store = CoalitionValueCache() if use_cache else None
     positional = hasattr(game, "value_at")
     per_chunk = max(1, resolve_max_batch_rows(max_batch_rows) // rows_per)
     game_name = type(game).__name__
     chunk_retries = max(0, int(chunk_retries))
 
-    def _evaluate(indices: np.ndarray, coalitions: np.ndarray, sp) -> np.ndarray:
+    def _evaluate(
+        indices: np.ndarray, coalitions: np.ndarray, pos: np.ndarray | None, sp
+    ) -> np.ndarray:
         out = np.empty(indices.shape[0], dtype=float)
         n_chunks = 0
         for start in range(0, indices.shape[0], per_chunk):
             sel = indices[start : start + per_chunk]
             out[start : start + sel.shape[0]] = _evaluate_chunk(
                 game,
-                sel if positional else None,
+                pos[sel] if positional else None,
                 coalitions[sel],
                 guarded,
                 rows_per,
@@ -167,12 +184,25 @@ def game_value_function(
         sp.set_attr("n_chunks", n_chunks)
         return out
 
-    def v(coalitions: np.ndarray) -> np.ndarray:
+    def v(coalitions: np.ndarray, positions: np.ndarray | None = None
+          ) -> np.ndarray:
         coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
         n_c = coalitions.shape[0]
+        pos = None
+        if positional:
+            pos = (
+                np.arange(n_c)
+                if positions is None
+                else np.asarray(positions, dtype=int).ravel()
+            )
+            if pos.shape[0] != n_c:
+                raise InputValidationError(
+                    f"positions has {pos.shape[0]} entries for "
+                    f"{n_c} coalitions"
+                )
         with span("coalition_eval", n_coalitions=n_c, game=game_name) as sp:
             if store is None:
-                out = _evaluate(np.arange(n_c), coalitions, sp)
+                out = _evaluate(np.arange(n_c), coalitions, pos, sp)
                 sp.set_attr("cache_hits", 0)
                 sp.set_attr("cache_misses", n_c)
                 return out
@@ -182,11 +212,12 @@ def game_value_function(
             followers: dict[bytes, list[int]] = {}
             hits = 0
             for i in range(n_c):
-                # Position-seeded games key the cache by (row, mask):
-                # the same mask at a different batch position draws
-                # different samples and must not collide.
+                # Position-seeded games key the cache by (position, mask):
+                # the same mask at a different walk position draws
+                # different samples and must not collide. The position is
+                # global (== the batch row unless the caller overrode it).
                 key = (
-                    i.to_bytes(4, "little") + keys[i].tobytes()
+                    int(pos[i]).to_bytes(4, "little") + keys[i].tobytes()
                     if positional
                     else keys[i].tobytes()
                 )
@@ -202,12 +233,12 @@ def game_value_function(
                     fresh_rows.append(i)
             if fresh_rows:
                 idx = np.asarray(fresh_rows)
-                vals = _evaluate(idx, coalitions, sp)
+                vals = _evaluate(idx, coalitions, pos, sp)
                 # Commit only after the whole evaluation succeeded, so a
                 # failed chunk can never leave corrupt values behind.
                 for j, i0 in enumerate(fresh_rows):
                     key = (
-                        i0.to_bytes(4, "little") + keys[i0].tobytes()
+                        int(pos[i0]).to_bytes(4, "little") + keys[i0].tobytes()
                         if positional
                         else keys[i0].tobytes()
                     )

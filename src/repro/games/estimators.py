@@ -28,6 +28,19 @@ and reports mean ± standard error exactly like
 weighted sums and per-player counts exactly like the datavalue/causal
 loops did (their accumulation order differs from stack-then-mean in the
 last ulp, so the mode is part of the contract, not a cosmetic choice).
+
+Execution backends (:mod:`repro.exec`): the permutation, exact and
+kernel estimators accept ``backend=`` (default: ``REPRO_BACKEND``, then
+serial) plus ``n_shards=``/``n_procs=``. Sharding follows the
+shard/seed/reduce contract — all randomness is drawn in the parent from
+the canonical stream before dispatch, workers evaluate contiguous
+slices (permutation walks, or coalition-matrix rows with their *global*
+positions for position-seeded games), and the parent re-accumulates
+per-item results in global order — so any backend and shard count
+yields **bitwise-identical** attributions to serial. Games that are
+stochastic or stateful (``deterministic=False`` or ``shardable=False``)
+and whole-walk games (``walk_contributions``) silently fall back to the
+serial path, which satisfies the same identity trivially.
 """
 
 from __future__ import annotations
@@ -39,6 +52,8 @@ from math import comb, factorial
 
 import numpy as np
 
+from ..exec import in_worker, map_shards, plan_shards, resolve_backend, \
+    resolve_n_procs
 from ..robust.errors import BudgetExceededError
 from .base import as_game, walk_masks
 from .engine import game_value_function
@@ -61,6 +76,123 @@ def _resolve(game_or_fn, n_players, cache=None, max_batch_rows=None):
     return v, game.n_players, game
 
 
+# -- sharded execution helpers ------------------------------------------------
+
+
+def _shard_eligible(game, backend_name: str, n_items: int) -> bool:
+    """Whether this work may be sharded without changing its outputs.
+
+    The gate is conservative: only games that declare both
+    ``deterministic`` (same mask → same value, whatever the partition)
+    and ``shardable`` (no cross-call mutable state) qualify; everything
+    else takes the serial path, which is the bitwise reference by
+    definition. Bare ``FunctionGame`` wrappers promise neither, so
+    legacy value-fn call sites are untouched.
+    """
+    return (
+        backend_name != "serial"
+        and n_items >= 2
+        and getattr(game, "deterministic", False)
+        and getattr(game, "shardable", True)
+    )
+
+
+def _mergeable_state(value_fn, game):
+    """``(store, stateful)``: the runtime state workers must ship back.
+
+    ``store`` is the packed-bit coalition cache behind the value
+    function (either the games-evaluator store or a self-evaluating
+    adapter's engine cache); ``stateful`` flags games exposing the
+    ``export_shard_state``/``merge_shard_state`` pair (the data-value
+    utility memo and its counters).
+    """
+    store = getattr(value_fn, "cache", None)
+    if store is None:
+        store = getattr(game, "cache", None)
+    return store, hasattr(game, "export_shard_state")
+
+
+def _capture_worker_state(payload, store, baseline_keys, game, stateful):
+    """Worker-side: attach mergeable state to the shard payload.
+
+    Only forked workers marshal anything — under the thread backend the
+    store and the game are the parent's own objects and every mutation
+    already landed. Cache entries ship as a delta against the keys the
+    worker inherited at fork (idempotent to merge: deterministic games
+    map each key to one value).
+    """
+    if not in_worker():
+        return payload
+    if store is not None:
+        payload["cache_new"] = {
+            k: v for k, v in store.values.items() if k not in baseline_keys
+        }
+    if stateful:
+        payload["state_after"] = game.export_shard_state()
+    return payload
+
+
+def _merge_worker_state(payload, store, game, stateful, state_before):
+    """Parent-side: fold one ok shard's marshalled state back in."""
+    if payload.get("cache_new"):
+        store.values.update(payload["cache_new"])
+    if stateful and payload.get("state_after") is not None:
+        game.merge_shard_state(state_before, payload["state_after"])
+
+
+def _sharded_values(
+    value_fn, game, masks, backend_name, n_shards, n_procs, seed=0
+):
+    """Evaluate a coalition matrix, sharded by contiguous row blocks.
+
+    Workers for position-seeded games receive their rows' **global**
+    indices as explicit positions, so the ``seed + position`` draws (and
+    the ``(position, mask)`` cache keys) match what the unsharded batch
+    would have produced — the reduce is then a plain concatenation in
+    shard order. Falls back to one serial call when the game is not
+    shard-eligible or the plan degenerates to a single shard.
+    """
+    if not _shard_eligible(game, backend_name, masks.shape[0]):
+        return np.asarray(value_fn(masks), dtype=float)
+    plan = plan_shards(
+        masks.shape[0],
+        n_shards if n_shards is not None else resolve_n_procs(n_procs),
+        seed=seed,
+    )
+    if plan.n_shards < 2:
+        return np.asarray(value_fn(masks), dtype=float)
+    positional = hasattr(game, "value_at") and not getattr(
+        game, "self_evaluating", False
+    )
+    store, stateful = _mergeable_state(value_fn, game)
+    state_before = game.export_shard_state() if stateful else None
+
+    def run_shard(bounds):
+        lo, hi = bounds
+        baseline = (
+            frozenset(store.values)
+            if store is not None and in_worker()
+            else ()
+        )
+        if positional:
+            vals = value_fn(masks[lo:hi], positions=np.arange(lo, hi))
+        else:
+            vals = value_fn(masks[lo:hi])
+        payload = {"values": np.asarray(vals, dtype=float)}
+        return _capture_worker_state(payload, store, baseline, game, stateful)
+
+    outcomes = map_shards(
+        run_shard, list(plan.slices), backend=backend_name, n_procs=n_procs
+    )
+    chunks = []
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+        _merge_worker_state(outcome.value, store, game, stateful, state_before)
+        chunks.append(outcome.value["values"])
+    return np.concatenate(chunks)
+
+
 # -- exact enumeration --------------------------------------------------------
 
 
@@ -76,14 +208,21 @@ def exact_enumeration(
     game_or_fn,
     n_players: int | None = None,
     cache: bool | None = None,
+    backend: str | None = None,
+    n_shards: int | None = None,
+    n_procs: int | None = None,
 ) -> np.ndarray:
     """Exact Shapley values of a cooperative game.
 
     φ_i = Σ_{S ⊆ N∖{i}} |S|!(n−|S|−1)!/n! · (v(S ∪ {i}) − v(S)),
     computed literally over all 2^n coalitions. Exponential by design —
     this is the oracle the approximation experiments compare against.
+    Under a non-serial ``backend`` the coalition matrix is evaluated in
+    sharded row blocks (bitwise-identical values; see
+    :func:`_sharded_values`); the factorial-weighted reduction is always
+    parent-side.
     """
-    value_fn, n_players, __ = _resolve(game_or_fn, n_players, cache=cache)
+    value_fn, n_players, game = _resolve(game_or_fn, n_players, cache=cache)
     if n_players > 20:
         raise ValueError(
             f"exact Shapley over {n_players} players needs 2^{n_players} "
@@ -93,7 +232,9 @@ def exact_enumeration(
     masks = np.zeros((len(subsets), n_players), dtype=bool)
     for row, subset in enumerate(subsets):
         masks[row, list(subset)] = True
-    values = np.asarray(value_fn(masks), dtype=float)
+    values = _sharded_values(
+        value_fn, game, masks, resolve_backend(backend), n_shards, n_procs
+    )
     value_of = {subset: values[row] for row, subset in enumerate(subsets)}
 
     phi = np.zeros(n_players)
@@ -145,6 +286,9 @@ def permutation_estimator(
     min_count: float = 1.0,
     cache: bool | None = None,
     max_batch_rows: int | None = None,
+    backend: str | None = None,
+    n_shards: int | None = None,
+    n_procs: int | None = None,
 ) -> PermutationEstimate:
     """Estimate Shapley values (or semivalues) from permutation walks.
 
@@ -179,11 +323,24 @@ def permutation_estimator(
     min_count:
         Clamp for the ``sum_counts`` denominator (1.0 for TMC counts,
         1e-12 for Beta weight totals).
+    backend:
+        Execution backend (``serial``/``thread``/``process``; default
+        ``REPRO_BACKEND``, then serial). Non-serial backends shard the
+        walk batches across workers — the permutations themselves are
+        all drawn in the parent first, and the per-walk contribution
+        vectors are re-accumulated in global walk order, so the
+        estimate is bitwise-identical to serial. Whole-walk, stochastic
+        or stateful games fall back to serial silently.
 
     Budget exhaustion (:class:`~repro.robust.BudgetExceededError`)
     mid-estimate keeps the completed walks as a partial estimate
     (``diagnostics["converged"] = False``); a walk interrupted midway
     is discarded whole. If no walk completed, the error propagates.
+    Under a sharded backend the parent's remaining budget is split per
+    shard; on exhaustion the estimate keeps the global *prefix* of
+    walks up to the first exhausted shard (serial-style prefix
+    semantics — walks a later shard completed are dropped rather than
+    leaving holes in the accumulation order).
     """
     if aggregate not in ("mean_walks", "sum_counts"):
         raise ValueError(
@@ -216,6 +373,35 @@ def permutation_estimator(
     n_batches = n_permutations // 2 if pair else n_permutations
     walks_per_batch = 2 if pair else 1
 
+    def run_walk(p):
+        """One walk → ``(contrib, local_counts, scanned)`` — the exact
+        operations of the serial loop, shared with the shard runners
+        (``scanned`` is ``None`` unless truncation was active)."""
+        if walk_fn is not None:
+            return np.asarray(walk_fn(p), dtype=float), np.ones(n), None
+        if truncating:
+            return _truncated_walk(
+                value_fn, p, empty_value, position_weights,
+                truncation_target, truncation_tolerance,
+            )
+        masks = walk_masks(p, include_empty=empty_value is None)
+        values = np.asarray(value_fn(masks), dtype=float)
+        if empty_value is None:
+            diffs = values[1:] - values[:-1]
+        else:
+            diffs = np.empty(n)
+            diffs[0] = values[0] - empty_value
+            diffs[1:] = values[1:] - values[:-1]
+        contrib = np.zeros(n)
+        if position_weights is None:
+            contrib[p] = diffs
+            local_counts = np.ones(n)
+        else:
+            contrib[p] = position_weights * diffs
+            local_counts = np.zeros(n)
+            local_counts[p] = position_weights
+        return contrib, local_counts, None
+
     contributions: list[np.ndarray] = []
     sums = np.zeros(n)
     counts = np.zeros(n)
@@ -223,48 +409,38 @@ def permutation_estimator(
     n_walks = 0
     budget_error: BudgetExceededError | None = None
 
-    for __ in range(n_batches):
-        perm = sampler(rng)
-        perms = [perm, perm[::-1]] if antithetic else [perm]
-        try:
-            for p in perms:
-                if walk_fn is not None:
-                    contrib = np.asarray(walk_fn(p), dtype=float)
-                    local_counts = np.ones(n)
-                elif truncating:
-                    contrib, local_counts, scanned = _truncated_walk(
-                        value_fn, p, empty_value, position_weights,
-                        truncation_target, truncation_tolerance,
-                    )
-                    truncated_at.append(scanned)
-                else:
-                    masks = walk_masks(p, include_empty=empty_value is None)
-                    values = np.asarray(value_fn(masks), dtype=float)
-                    if empty_value is None:
-                        diffs = values[1:] - values[:-1]
-                    else:
-                        diffs = np.empty(n)
-                        diffs[0] = values[0] - empty_value
-                        diffs[1:] = values[1:] - values[:-1]
-                    contrib = np.zeros(n)
-                    if position_weights is None:
-                        contrib[p] = diffs
-                        local_counts = np.ones(n)
-                    else:
-                        contrib[p] = position_weights * diffs
-                        local_counts = np.zeros(n)
-                        local_counts[p] = position_weights
-                if aggregate == "mean_walks":
-                    contributions.append(contrib)
-                else:
-                    sums += contrib
-                    counts += local_counts
-                n_walks += 1
-        except BudgetExceededError as e:
-            if n_walks == 0:
-                raise
-            budget_error = e
-            break
+    def accumulate(contrib, local_counts, scanned):
+        nonlocal n_walks, sums, counts
+        if scanned is not None:
+            truncated_at.append(scanned)
+        if aggregate == "mean_walks":
+            contributions.append(contrib)
+        else:
+            sums += contrib
+            counts += local_counts
+        n_walks += 1
+
+    backend_name = resolve_backend(backend)
+    sharded = walk_fn is None and _shard_eligible(game, backend_name, n_batches)
+    if sharded:
+        budget_error = _run_sharded_walks(
+            run_walk, accumulate, sampler, rng, game, value_fn,
+            n_batches, antithetic, backend_name, n_shards, n_procs, seed,
+        )
+        if budget_error is not None and n_walks == 0:
+            raise budget_error
+    else:
+        for __ in range(n_batches):
+            perm = sampler(rng)
+            perms = [perm, perm[::-1]] if antithetic else [perm]
+            try:
+                for p in perms:
+                    accumulate(*run_walk(p))
+            except BudgetExceededError as e:
+                if n_walks == 0:
+                    raise
+                budget_error = e
+                break
 
     diagnostics = {
         "converged": budget_error is None,
@@ -282,6 +458,85 @@ def permutation_estimator(
         return PermutationEstimate(phi, std_err, diagnostics)
     phi = sums / np.maximum(counts, min_count)
     return PermutationEstimate(phi, None, diagnostics)
+
+
+def _run_sharded_walks(
+    run_walk, accumulate, sampler, rng, game, value_fn,
+    n_batches, antithetic, backend_name, n_shards, n_procs, seed,
+):
+    """Shard the permutation walks; returns the budget error, if any.
+
+    Seed parity: *every* permutation is drawn here, in the parent, from
+    the caller's stream — the same ``sampler(rng)`` sequence the serial
+    loop would consume — before anything is dispatched. Workers receive
+    explicit permutations, never a generator. Reduce parity: shard
+    payloads carry per-walk ``(contrib, local_counts, scanned)`` tuples
+    and ``accumulate`` replays them in global walk order, so even the
+    running-sum (``sum_counts``) association order matches serial
+    exactly. Budget exhaustion inside a shard is marshalled as data;
+    accumulation stops at the first exhausted shard (prefix semantics),
+    but cache/utility state from *all* completed shards still merges —
+    that work really happened and the counters should say so.
+    """
+    perms = [sampler(rng) for __ in range(n_batches)]
+    plan = plan_shards(
+        n_batches,
+        n_shards if n_shards is not None else resolve_n_procs(n_procs),
+        seed=seed,
+    )
+    store, stateful = _mergeable_state(value_fn, game)
+    state_before = game.export_shard_state() if stateful else None
+
+    def run_shard(bounds):
+        lo, hi = bounds
+        baseline = (
+            frozenset(store.values)
+            if store is not None and in_worker()
+            else ()
+        )
+        walks, err = [], None
+        try:
+            for b in range(lo, hi):
+                perm = perms[b]
+                # `antithetic`, not the pair flag: n_permutations=1 with
+                # antithetic=True runs 2 walks serially, and must here.
+                for p in ([perm, perm[::-1]] if antithetic else [perm]):
+                    walks.append(run_walk(p))
+        except BudgetExceededError as e:
+            err = {
+                "message": str(e), "kind": e.kind,
+                "spent": e.spent, "budget": e.budget,
+            }
+        payload = {"walks": walks, "error": err}
+        return _capture_worker_state(payload, store, baseline, game, stateful)
+
+    def rebuild(err):
+        return BudgetExceededError(
+            err["message"], kind=err["kind"],
+            spent=err["spent"], budget=err["budget"],
+        )
+
+    if plan.n_shards < 2:
+        payload = run_shard((0, n_batches))
+        for walk in payload["walks"]:
+            accumulate(*walk)
+        return None if payload["error"] is None else rebuild(payload["error"])
+
+    outcomes = map_shards(
+        run_shard, list(plan.slices), backend=backend_name, n_procs=n_procs
+    )
+    budget_error = None
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise outcome.error
+        payload = outcome.value
+        _merge_worker_state(payload, store, game, stateful, state_before)
+        if budget_error is None:
+            for walk in payload["walks"]:
+                accumulate(*walk)
+            if payload["error"] is not None:
+                budget_error = rebuild(payload["error"])
+    return budget_error
 
 
 def _truncated_walk(
@@ -393,6 +648,9 @@ def kernel_wls_estimator(
     n_samples: int = 2048,
     seed: int = 0,
     cache: bool | None = None,
+    backend: str | None = None,
+    n_shards: int | None = None,
+    n_procs: int | None = None,
 ) -> tuple[np.ndarray, float]:
     """Kernel SHAP estimate; returns ``(phi, base_value)``.
 
@@ -400,8 +658,11 @@ def kernel_wls_estimator(
     efficiency constraint imposed exactly by variable elimination.
     ``n_samples`` bounds the number of coalition evaluations (in
     addition to the empty and grand coalitions, always evaluated).
+    Under a non-serial ``backend`` the sampled coalition rows are
+    evaluated in sharded blocks (coalition choice and the WLS solve stay
+    parent-side, so the estimate is bitwise-identical to serial).
     """
-    value_fn, n_players, __ = _resolve(game_or_fn, n_players, cache=cache)
+    value_fn, n_players, game = _resolve(game_or_fn, n_players, cache=cache)
     rng = np.random.default_rng(seed)
     if n_players == 1:
         ends = value_fn(np.array([[False], [True]]))
@@ -411,7 +672,10 @@ def kernel_wls_estimator(
         np.vstack([np.zeros(n_players, dtype=bool), np.ones(n_players, dtype=bool)])
     )
     v_empty, v_full = float(ends[0]), float(ends[1])
-    values = np.asarray(value_fn(masks), dtype=float)
+    values = _sharded_values(
+        value_fn, game, masks, resolve_backend(backend), n_shards, n_procs,
+        seed=seed,
+    )
 
     # Impose Σφ = v_full − v_empty by eliminating the last player:
     # model y − z_last·(v_full − v_empty) = (Z_front − z_last)·φ_front.

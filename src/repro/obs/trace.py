@@ -45,6 +45,7 @@ __all__ = [
     "span",
     "current_span",
     "get_tracer",
+    "adopt_span_records",
     "enabled",
     "set_enabled",
 ]
@@ -267,6 +268,53 @@ def get_tracer() -> Tracer:
 def current_span() -> Span | None:
     """The innermost open span on this thread, or ``None``."""
     return _current.get()
+
+
+def adopt_span_records(records: list[dict]) -> None:
+    """Graft span records from a worker process into this trace.
+
+    The exec backend ships each worker's closed spans back as
+    ``Span.to_dict()`` payloads. Adoption re-keys them with fresh local
+    span ids (worker id counters collide across forks), preserves the
+    parent links *internal* to the shipped batch, and re-parents the
+    batch's roots under the caller's currently open span — so a
+    ``coalition_eval`` recorded inside a worker renders as a child of
+    the parent's ``explain`` span, exactly where its serial twin would
+    sit. The roots' eval/retry totals also roll up into the open span
+    (children's totals are already folded into their roots, worker-side,
+    by the normal close-time rollup). Metric counters are *not* touched
+    here — the counter-delta merge owns those.
+    """
+    if not _enabled or not records:
+        return
+    # Pass 1: allocate fresh ids. Workers close children before parents,
+    # so a record's parent (if shipped at all) appears later in the list
+    # — the id map must be complete before links are rewritten.
+    id_map: dict[int, int] = {}
+    for rec in records:
+        id_map[rec["span_id"]] = next(_span_ids)
+    ambient = _current.get()
+    ambient_id = ambient.span_id if ambient is not None else None
+    for rec in records:
+        s = Span.__new__(Span)
+        s.span_id = id_map[rec["span_id"]]
+        old_parent = rec.get("parent_id")
+        is_root = old_parent not in id_map
+        s.parent_id = id_map.get(old_parent, ambient_id)
+        s.name = rec.get("name", "")
+        s.attrs = dict(rec.get("attrs") or {})
+        s.t_start = rec.get("t_start", 0.0)
+        s._t0 = 0.0
+        s.wall_ms = rec.get("wall_ms")
+        s.model_evals = int(rec.get("model_evals") or 0)
+        s.rows_evaluated = int(rec.get("rows_evaluated") or 0)
+        s.retries = int(rec.get("retries") or 0)
+        s.status = rec.get("status", "ok")
+        if is_root and ambient is not None:
+            ambient.add_model_evals(s.model_evals, s.rows_evaluated)
+            if s.retries:
+                ambient.add_retries(s.retries)
+        _tracer.record(s)
 
 
 class span:

@@ -68,6 +68,7 @@ __all__ = [
     "GuardConfig",
     "GuardScope",
     "guard_scope",
+    "push_scope",
     "current_scope",
     "guard_predict_fn",
     "check_instance",
@@ -259,6 +260,24 @@ def guard_scope(config: GuardConfig | None | bool = None):
         resolve_deadline_s(cfg.deadline_s if cfg else None),
         resolve_query_budget(cfg.query_budget if cfg else None),
     )
+    token = _SCOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _SCOPE.reset(token)
+
+
+@contextlib.contextmanager
+def push_scope(scope: GuardScope | None):
+    """Install an already-built scope as the ambient one.
+
+    Unlike :func:`guard_scope`, which constructs a fresh scope from a
+    config, this pins an *existing* :class:`GuardScope` object — the
+    exec-backend shard runners use it to run each shard under its split
+    of the parent budget (the split share was computed before dispatch,
+    the worker just has to live inside it). ``None`` disables budget
+    enforcement for the extent, same as ``guard_scope(False)``.
+    """
     token = _SCOPE.set(scope)
     try:
         yield scope

@@ -32,7 +32,10 @@ __all__ = ["exact_shapley", "all_coalitions", "ExactShapleyExplainer"]
 
 
 def exact_shapley(
-    value_fn: Callable[[np.ndarray], np.ndarray], n_players: int
+    value_fn: Callable[[np.ndarray], np.ndarray],
+    n_players: int,
+    backend: str | None = None,
+    n_procs: int | None = None,
 ) -> np.ndarray:
     """Exact Shapley values of a coalitional game.
 
@@ -41,15 +44,22 @@ def exact_shapley(
     value_fn:
         Maps a binary coalition matrix ``(n_coalitions, n_players)`` to a
         vector of coalition values (the batched convention used throughout
-        the library).
+        the library). A :class:`~repro.games.base.Game` is also accepted —
+        required for ``backend`` to shard (bare callables promise no
+        determinism and always run serially).
     n_players:
         Number of players n; the call evaluates all 2^n coalitions.
+    backend:
+        Execution backend (:mod:`repro.exec`); the enumeration is
+        bitwise-identical whichever backend evaluates it.
 
     Returns
     -------
     Array of n Shapley values.
     """
-    return exact_enumeration(value_fn, n_players=n_players)
+    return exact_enumeration(
+        value_fn, n_players=n_players, backend=backend, n_procs=n_procs
+    )
 
 
 class ExactShapleyExplainer(AttributionExplainer):

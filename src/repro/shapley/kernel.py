@@ -39,14 +39,20 @@ def kernel_shap(
     n_players: int,
     n_samples: int = 2048,
     seed: int = 0,
+    backend: str | None = None,
+    n_procs: int | None = None,
 ) -> tuple[np.ndarray, float]:
     """Kernel SHAP estimate; returns ``(phi, base_value)``.
 
     ``n_samples`` bounds the number of coalition evaluations (in addition
     to the empty and grand coalitions, which are always evaluated).
+    ``backend`` (:mod:`repro.exec`) shards the coalition evaluations
+    when ``value_fn`` is a shard-eligible game — bitwise-identical
+    output either way.
     """
     return kernel_wls_estimator(
-        value_fn, n_players=n_players, n_samples=n_samples, seed=seed
+        value_fn, n_players=n_players, n_samples=n_samples, seed=seed,
+        backend=backend, n_procs=n_procs,
     )
 
 
@@ -80,6 +86,8 @@ class KernelShapExplainer(AttributionExplainer):
         max_batch_rows: int | None = None,
         engine: bool = True,
         guard=None,
+        backend: str | None = None,
+        n_procs: int | None = None,
     ) -> None:
         super().__init__(model, output, guard=guard)
         self.sampler = MaskingSampler(
@@ -88,18 +96,32 @@ class KernelShapExplainer(AttributionExplainer):
         self.n_samples = n_samples
         self.seed = seed
         self.engine = engine
+        self.backend = backend
+        self.n_procs = n_procs
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
         x = check_instance(x, self.sampler.background.shape[1])
         n = x.shape[0]
-        v = (
-            self.sampler.value_function(self.predict_fn, x)
+        # Engine path: hand the game object to the estimator so the exec
+        # backend can read its shardability; it evaluates through the
+        # exact same engine value function as the bare callable did.
+        game = (
+            FeatureMaskingGame(self.predict_fn, x, engine=self.sampler)
             if self.engine
+            else None
+        )
+        v = (
+            game.value
+            if game is not None
             else self.sampler.legacy_value_function(self.predict_fn, x)
         )
         prediction = float(self.predict_fn(x[None, :])[0])
-        phi, base = kernel_shap(v, n, n_samples=self.n_samples, seed=self.seed)
+        phi, base = kernel_shap(
+            game if game is not None else v, n,
+            n_samples=self.n_samples, seed=self.seed,
+            backend=self.backend, n_procs=self.n_procs,
+        )
         names = feature_names or [f"x{i}" for i in range(n)]
         return FeatureAttribution(
             values=phi,

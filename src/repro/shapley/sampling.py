@@ -53,6 +53,8 @@ def permutation_shapley(
     antithetic: bool = True,
     seed: int = 0,
     return_diagnostics: bool = False,
+    backend: str | None = None,
+    n_procs: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray] | tuple[np.ndarray, np.ndarray, dict]:
     """Estimate Shapley values from random permutations.
 
@@ -63,7 +65,10 @@ def permutation_shapley(
     "budget_error"}``. A :class:`BudgetExceededError` raised by the
     value function stops sampling early; if at least one walk finished,
     the partial estimate is returned (``converged=False``), otherwise
-    the error propagates.
+    the error propagates. ``backend`` selects the execution backend
+    (:mod:`repro.exec`) — sharding only applies when ``value_fn`` is a
+    shard-eligible :class:`~repro.games.base.Game`, and the estimate is
+    bitwise-identical whichever backend runs it.
     """
     est = permutation_estimator(
         value_fn,
@@ -72,6 +77,8 @@ def permutation_shapley(
         antithetic=antithetic,
         seed=seed,
         aggregate="mean_walks",
+        backend=backend,
+        n_procs=n_procs,
     )
     if not return_diagnostics:
         return est.values, est.std_err
@@ -153,6 +160,8 @@ class SamplingShapleyExplainer(AttributionExplainer):
         max_batch_rows: int | None = None,
         engine: bool = True,
         guard=None,
+        backend: str | None = None,
+        n_procs: int | None = None,
     ) -> None:
         super().__init__(model, output, guard=guard)
         self.sampler = MaskingSampler(
@@ -162,14 +171,25 @@ class SamplingShapleyExplainer(AttributionExplainer):
         self.antithetic = antithetic
         self.seed = seed
         self.engine = engine
+        self.backend = backend
+        self.n_procs = n_procs
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
         x = check_instance(x, self.sampler.background.shape[1])
         n = x.shape[0]
-        v = (
-            FeatureMaskingGame(self.predict_fn, x, engine=self.sampler).value
+        # The engine path hands the *game object* to the estimator (not
+        # its bound value method): the estimator resolves either to the
+        # identical value path, but only the game form carries the
+        # deterministic/shardable capabilities the exec backend gates on.
+        game = (
+            FeatureMaskingGame(self.predict_fn, x, engine=self.sampler)
             if self.engine
+            else None
+        )
+        v = (
+            game.value
+            if game is not None
             else self.sampler.legacy_value_function(self.predict_fn, x)
         )
         # Prediction and base value come first: if the query budget runs
@@ -177,11 +197,13 @@ class SamplingShapleyExplainer(AttributionExplainer):
         prediction = float(self.predict_fn(x[None, :])[0])
         base = float(v(np.zeros((1, n), dtype=bool))[0])
         phi, std_err, convergence = permutation_shapley(
-            v, n,
+            game if game is not None else v, n,
             n_permutations=self.n_permutations,
             antithetic=self.antithetic,
             seed=self.seed,
             return_diagnostics=True,
+            backend=self.backend,
+            n_procs=self.n_procs,
         )
         names = feature_names or [f"x{i}" for i in range(n)]
         return FeatureAttribution(

@@ -1,0 +1,459 @@
+"""The pluggable execution backend: determinism, merging, degradation.
+
+The repro.exec contract under test, end to end:
+
+* work partitioning (:func:`repro.exec.plan_shards`) is balanced,
+  contiguous, and carries per-shard ``SeedSequence`` children derived
+  from ``(seed, shard_index)``;
+* backend resolution follows ``param > REPRO_BACKEND > serial`` (worker
+  processes always answer serial — the fork-bomb guard);
+* every estimator in :mod:`repro.games.estimators` is **bitwise
+  identical** across serial / thread / process backends and across shard
+  counts, for every shardable game family — the load-bearing invariant
+  the whole subsystem is built around;
+* worker-side state crosses the process boundary on join: coalition
+  cache entries and ``coalition.cache.*`` / ``datavalue.cache.*``
+  counter deltas, :class:`~repro.datavalue.utility.UtilityFunction`
+  memo + instance counters (the PR 5 undercount fix), obs span records
+  (re-parented under the caller's span), and guard-scope spends;
+* non-shardable inputs (bare callables, stateful games such as
+  :class:`~repro.games.InterventionalGame`) silently fall back to the
+  serial loop with identical outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.datasets import make_classification
+from repro.datavalue.utility import UtilityFunction
+from repro.db.relation import Relation
+from repro.exec import (
+    BACKENDS,
+    in_worker,
+    map_shards,
+    plan_shards,
+    resolve_backend,
+    resolve_n_procs,
+    worker_mode,
+)
+from repro.games.adapters import (
+    DataValueGame,
+    FeatureMaskingGame,
+    InterventionalGame,
+    TupleProvenanceGame,
+)
+from repro.games.estimators import (
+    exact_enumeration,
+    kernel_wls_estimator,
+    permutation_estimator,
+)
+from repro.models import LogisticRegression
+from repro.models.model_selection import train_test_split
+from repro.obs import metrics
+from repro.robust import GuardConfig
+from repro.robust.guard import current_scope, guard_scope
+
+N_FEATURES = 4
+WEIGHTS = np.array([1.0, -2.0, 0.5, 0.25])
+
+
+def linear_model(X: np.ndarray) -> np.ndarray:
+    return np.atleast_2d(X) @ WEIGHTS
+
+
+@pytest.fixture(scope="module")
+def background():
+    rng = np.random.default_rng(9)
+    return rng.normal(size=(25, N_FEATURES))
+
+
+@pytest.fixture(scope="module")
+def utility_parts():
+    data = make_classification(60, n_features=3, n_informative=2,
+                               class_sep=2.0, seed=13)
+    Xtr, Xv, ytr, yv = train_test_split(data.X, data.y, test_size=0.4, seed=0)
+    return Xtr[:8], ytr[:8], Xv, yv
+
+
+def make_utility(parts):
+    Xtr, ytr, Xv, yv = parts
+    return UtilityFunction(lambda: LogisticRegression(alpha=1.0),
+                           Xtr, ytr, Xv, yv)
+
+
+def make_relation():
+    rel = Relation(["id", "grp"], [(i, i % 3) for i in range(8)])
+    query = (lambda r: sum(1 for t in r.rows if t[1] == 0) * 2.0
+             + len(r.rows) * 0.1)
+    return rel, query
+
+
+def make_scm():
+    from repro.causal.scm import StructuralCausalModel, linear_mechanism
+
+    scm = StructuralCausalModel()
+    scm.add_variable("a", [], lambda p, u: u,
+                     noise=lambda rng, n: rng.normal(0, 1, n))
+    scm.add_variable("b", ["a"], linear_mechanism({"a": 2.0}),
+                     noise=lambda rng, n: rng.normal(0, 0.5, n))
+    scm.add_variable("c", ["b"], linear_mechanism({"b": 1.5}),
+                     noise=lambda rng, n: rng.normal(0, 0.5, n))
+    return scm
+
+
+def make_game(family: str, background, utility_parts):
+    """A fresh game instance per call, so caches never leak across runs."""
+    if family == "masking":
+        return FeatureMaskingGame(linear_model, background[0],
+                                  background=background)
+    if family == "datavalue":
+        return DataValueGame(make_utility(utility_parts))
+    if family == "tuple":
+        rel, query = make_relation()
+        return TupleProvenanceGame(rel, query)
+    if family == "topological":
+        from repro.games.adapters import TopologicalGame
+
+        scm = make_scm()
+        model = lambda X: np.atleast_2d(X) @ np.array([1.0, 0.5, 2.0])
+        return TopologicalGame(scm, model, ["a", "b", "c"],
+                               np.array([1.0, 2.0, 0.5]),
+                               n_samples=40, seed=4)
+    raise AssertionError(family)
+
+
+FAMILIES = ("masking", "datavalue", "tuple", "topological")
+
+
+# ------------------------------------------------------------ partitioning
+
+
+def test_plan_shards_balanced_contiguous():
+    plan = plan_shards(10, 3, seed=7)
+    assert plan.n_shards == 3
+    sizes = [hi - lo for lo, hi in plan.slices]
+    assert sum(sizes) == 10
+    assert max(sizes) - min(sizes) <= 1
+    # Contiguous cover of [0, 10), in order.
+    flat = [i for lo, hi in plan.slices for i in range(lo, hi)]
+    assert flat == list(range(10))
+
+
+def test_plan_shards_never_exceeds_items():
+    plan = plan_shards(3, 8)
+    assert plan.n_shards == 3
+    assert plan_shards(0, 4).n_shards == 1
+
+
+def test_plan_shards_seeds_deterministic_and_independent():
+    a = plan_shards(6, 3, seed=5)
+    b = plan_shards(6, 3, seed=5)
+    draws_a = [rng.random(4) for rng in a.rngs()]
+    draws_b = [rng.random(4) for rng in b.rngs()]
+    for da, db in zip(draws_a, draws_b):
+        assert np.array_equal(da, db)
+    # Distinct shards draw distinct streams.
+    assert not np.array_equal(draws_a[0], draws_a[1])
+    # And none of them replays the parent stream for the same seed.
+    parent = np.random.default_rng(5).random(4)
+    assert all(not np.array_equal(parent, d) for d in draws_a)
+
+
+# -------------------------------------------------------------- resolution
+
+
+def test_resolve_backend_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend() == "serial"
+    monkeypatch.setenv("REPRO_BACKEND", "thread")
+    assert resolve_backend() == "thread"
+    assert resolve_backend("process") == "process"  # param wins
+    with pytest.raises(ValueError, match="backend"):
+        resolve_backend("fibers")
+    monkeypatch.setenv("REPRO_BACKEND", "bogus")
+    with pytest.raises(ValueError, match="backend"):
+        resolve_backend()
+
+
+def test_resolve_backend_worker_guard(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "process")
+    worker_mode(True)
+    try:
+        assert in_worker()
+        # A sharded estimator re-entered from a worker must not fork
+        # grandchildren, whatever the env or caller asks for.
+        assert resolve_backend() == "serial"
+        assert resolve_backend("process") == "serial"
+    finally:
+        worker_mode(False)
+    assert not in_worker()
+
+
+def test_resolve_n_procs(monkeypatch):
+    import os
+
+    monkeypatch.delenv("REPRO_N_PROCS", raising=False)
+    assert resolve_n_procs() == (os.cpu_count() or 1)
+    monkeypatch.setenv("REPRO_N_PROCS", "3")
+    assert resolve_n_procs() == 3
+    assert resolve_n_procs(2) == 2  # param wins
+    assert resolve_n_procs(-1) == (os.cpu_count() or 1)
+    assert resolve_n_procs(0) == 1
+    assert "serial" in BACKENDS and "process" in BACKENDS
+
+
+# -------------------------------------------- cross-backend bitwise parity
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_exact_enumeration_bitwise_parity(family, backend, background,
+                                          utility_parts):
+    serial = exact_enumeration(make_game(family, background, utility_parts))
+    for n_shards in (2, 3):
+        sharded = exact_enumeration(
+            make_game(family, background, utility_parts),
+            backend=backend, n_shards=n_shards, n_procs=2,
+        )
+        assert np.array_equal(serial, sharded), (family, backend, n_shards)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_permutation_estimator_bitwise_parity(family, backend, background,
+                                              utility_parts):
+    kwargs = {"n_permutations": 8, "seed": 3}
+    serial = permutation_estimator(
+        make_game(family, background, utility_parts), **kwargs
+    )
+    for n_shards in (2, 3):
+        sharded = permutation_estimator(
+            make_game(family, background, utility_parts),
+            backend=backend, n_shards=n_shards, n_procs=2, **kwargs,
+        )
+        assert np.array_equal(serial.values, sharded.values), \
+            (family, backend, n_shards)
+        assert np.array_equal(serial.std_err, sharded.std_err)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_kernel_estimator_bitwise_parity(family, backend, background,
+                                         utility_parts):
+    kwargs = {"n_samples": 48, "seed": 1}
+    phi_s, base_s = kernel_wls_estimator(
+        make_game(family, background, utility_parts), **kwargs
+    )
+    for n_shards in (2, 3):
+        phi_p, base_p = kernel_wls_estimator(
+            make_game(family, background, utility_parts),
+            backend=backend, n_shards=n_shards, n_procs=2, **kwargs,
+        )
+        assert np.array_equal(phi_s, phi_p), (family, backend, n_shards)
+        assert base_s == base_p
+
+
+def test_permutation_antithetic_and_truncation_parity(background,
+                                                      utility_parts):
+    # Antithetic pairing (masking) and TMC truncation (datavalue) both
+    # reorder nothing under sharding: same walks, same association order.
+    serial = permutation_estimator(
+        make_game("masking", background, utility_parts),
+        n_permutations=8, antithetic=True, seed=5,
+    )
+    sharded = permutation_estimator(
+        make_game("masking", background, utility_parts),
+        n_permutations=8, antithetic=True, seed=5,
+        backend="process", n_shards=3, n_procs=2,
+    )
+    assert np.array_equal(serial.values, sharded.values)
+
+    def tmc(**extra):
+        game = make_game("datavalue", background, utility_parts)
+        u = game.utility
+        return permutation_estimator(
+            game, n_permutations=6, antithetic=False, seed=2,
+            truncation_tolerance=0.05, truncation_target=u.full_score(),
+            empty_value=u.empty_score, aggregate="sum_counts", **extra,
+        )
+
+    a = tmc()
+    b = tmc(backend="process", n_shards=3, n_procs=2)
+    assert np.array_equal(a.values, b.values)
+    assert a.diagnostics.get("mean_truncation_position") == \
+        b.diagnostics.get("mean_truncation_position")
+
+
+# ------------------------------------------------------- serial fallbacks
+
+
+def test_interventional_game_serial_fallback():
+    """The stateful walk game is never sharded — and never wrong."""
+    scm = make_scm()
+    model = lambda X: np.atleast_2d(X) @ np.array([1.0, 0.5, 2.0])
+    x = np.array([1.0, 2.0, 0.5])
+
+    def run(**extra):
+        game = InterventionalGame(scm, model, ["a", "b", "c"], x,
+                                  n_samples=30, seed=2)
+        est = permutation_estimator(game, n_permutations=4, antithetic=False,
+                                    seed=2, aggregate="sum_counts", **extra)
+        return est.values, game.direct_sums.copy(), game.indirect_sums.copy()
+
+    assert InterventionalGame.shardable is False
+    before = metrics.counter("exec.shards").value
+    v1, d1, i1 = run()
+    v2, d2, i2 = run(backend="process", n_procs=2)
+    assert np.array_equal(v1, v2)
+    assert np.array_equal(d1, d2) and np.array_equal(i1, i2)
+    # Fallback means no shards were ever dispatched.
+    assert metrics.counter("exec.shards").value == before
+
+
+def test_bare_callable_never_sharded(background):
+    """Legacy value functions promise no determinism: always serial."""
+    calls = {"n": 0}
+
+    def v(masks):
+        calls["n"] += 1
+        masks = np.atleast_2d(masks)
+        return masks @ np.arange(1.0, masks.shape[1] + 1)
+
+    before = metrics.counter("exec.shards").value
+    serial = exact_enumeration(v, n_players=4)
+    sharded = exact_enumeration(v, n_players=4, backend="process", n_procs=2)
+    assert np.array_equal(serial, sharded)
+    assert metrics.counter("exec.shards").value == before
+
+
+# --------------------------------------------------- worker-state merging
+
+
+def test_coalition_cache_and_counters_merge(background):
+    """Worker cache entries and coalition.cache.* deltas reach the parent."""
+    game = make_game("masking", background, None)
+    misses_before = metrics.counter("coalition.cache.misses").value
+    phi = exact_enumeration(game, backend="process", n_shards=2, n_procs=2)
+    assert phi.shape == (N_FEATURES,)
+    # Counter deltas from the forked workers merged on join.
+    assert metrics.counter("coalition.cache.misses").value > misses_before
+    # The cache entries themselves were merged: re-running serially is
+    # answered from cache (no new misses on the shared store).
+    entries = len(game.cache.values)
+    assert entries == 2 ** N_FEATURES
+    again = exact_enumeration(game)
+    assert np.array_equal(phi, again)
+    assert len(game.cache.values) == entries
+
+
+def test_datavalue_counters_aggregate_across_workers(background,
+                                                     utility_parts):
+    """Regression for the process-local undercount: utility memo, instance
+    counters and datavalue.cache.* all aggregate through the shard merge."""
+    game = make_game("datavalue", background, utility_parts)
+    u = game.utility
+    metric_before = metrics.counter("datavalue.cache.misses").value
+    est = permutation_estimator(game, n_permutations=6, antithetic=False,
+                                seed=1, backend="process", n_shards=3,
+                                n_procs=2)
+    assert est.values.shape == (u.n_points,)
+    # Worker evaluations were charged back to the parent's instance
+    # counters (they would read 0/near-0 if left process-local).
+    assert u.n_evaluations > 0
+    assert u.cache_misses > 0
+    assert len(u._cache) > 0
+    assert metrics.counter("datavalue.cache.misses").value > metric_before
+    # Merged memo answers a serial re-run without fresh retraining.
+    evals_before = u.n_evaluations
+    again = permutation_estimator(game, n_permutations=6, antithetic=False,
+                                  seed=1)
+    assert np.array_equal(est.values, again.values)
+    assert u.n_evaluations == evals_before
+
+
+def test_worker_spans_reparent_under_caller(background):
+    tracer = obs.get_tracer()
+    tracer.reset()
+    try:
+        with obs.span("explain.test_exec"):
+            exact_enumeration(make_game("masking", background, None),
+                              backend="process", n_shards=2, n_procs=2)
+        spans = tracer.spans()
+        parent = next(s for s in spans if s.name == "explain.test_exec")
+        adopted = [s for s in spans if s.parent_id == parent.span_id]
+        # Worker-side spans (model eval / coalition chunks) re-rooted
+        # under the caller's span rather than dangling as orphans.
+        assert adopted, [s.name for s in spans]
+    finally:
+        tracer.reset()
+
+
+# ------------------------------------------------------- budget semantics
+
+
+def _guarded_masking_game(background):
+    from repro.core.base import as_predict_fn
+
+    return FeatureMaskingGame(as_predict_fn(linear_model), background[0],
+                              background=background)
+
+
+def test_sharded_budget_degrades_to_partial(background):
+    """Worker budget exhaustion joins back as a partial estimate with the
+    same convergence contract as the serial path."""
+    game = _guarded_masking_game(background)
+    # First walk of each shard costs (n+1) coalitions × background rows;
+    # a budget of one-and-a-bit walks per shard lets every shard finish
+    # walk 1 and exhaust inside walk 2 — a partial prefix, not an error.
+    rows_per_walk = (N_FEATURES + 1) * game.rows_per_coalition
+    with guard_scope(GuardConfig(query_budget=4 * rows_per_walk + 20)):
+        est = permutation_estimator(game, n_permutations=8, antithetic=False,
+                                    seed=0, backend="process", n_shards=4,
+                                    n_procs=2)
+        scope = current_scope()
+        assert scope is not None and scope.rows_spent > 0
+    diag = est.diagnostics
+    assert diag["converged"] is False
+    assert 0 < diag["n_walks_completed"] < diag["n_walks_requested"]
+    assert diag["budget_error"]
+
+
+def test_sharded_budget_zero_walks_raises(background):
+    from repro.robust import BudgetExceededError
+
+    game = _guarded_masking_game(background)
+    with guard_scope(GuardConfig(query_budget=2)):
+        with pytest.raises(BudgetExceededError):
+            permutation_estimator(game, n_permutations=8, antithetic=False,
+                                  seed=0, backend="process", n_shards=4,
+                                  n_procs=2)
+
+
+# --------------------------------------------------------- pool machinery
+
+
+def test_map_shards_collects_errors_per_shard():
+    def run_shard(k):
+        if k == 1:
+            raise ValueError("shard one is cursed")
+        return k * 10
+
+    outcomes = map_shards(run_shard, [0, 1, 2], backend="thread", n_procs=2)
+    assert [o.ok for o in outcomes] == [True, False, True]
+    assert outcomes[0].value == 0 and outcomes[2].value == 20
+    assert isinstance(outcomes[1].error, ValueError)
+
+
+def test_map_shards_process_returns_in_shard_order():
+    def run_shard(k):
+        return (k, in_worker())
+
+    outcomes = map_shards(run_shard, [2, 0, 1], backend="process", n_procs=2)
+    values = [o.value for o in outcomes]
+    assert [v[0] for v in values] == [2, 0, 1]
+    # Shards genuinely ran in worker mode (unless fork degraded to
+    # threads, in which case they ran under worker thread scopes).
+    assert all(o.ok for o in outcomes)

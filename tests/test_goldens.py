@@ -1,0 +1,76 @@
+"""Frozen golden attributions, byte-stable across execution backends.
+
+Each golden in ``tests/goldens/`` is the fully seeded output of one
+end-to-end explanation family (kernel SHAP, sampling SHAP, TMC Data
+Shapley, tuple Shapley, causal Shapley, LIME), regenerated only by a
+deliberate ``scripts/regen_goldens.py`` run. The case definitions are
+imported from that script, so the regeneration fixtures and the
+assertions can never drift apart.
+
+Two regressions are caught at 1e-12:
+
+* a numeric drift in any explainer (refactors must be value-preserving
+  unless the golden is consciously re-frozen), and
+* any cross-backend divergence — every case is re-run under the serial,
+  thread, and process backends and held to the *same* frozen numbers,
+  which is the exec subsystem's bitwise-identity contract expressed as
+  an end-to-end test.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+
+import numpy as np
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN_DIR = os.path.join(REPO_ROOT, "tests", "goldens")
+REGEN = os.path.join(REPO_ROOT, "scripts", "regen_goldens.py")
+
+ATOL = 1e-12
+
+
+def _load_regen():
+    spec = importlib.util.spec_from_file_location("regen_goldens", REGEN)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+regen = _load_regen()
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _golden(name: str) -> dict:
+    path = os.path.join(GOLDEN_DIR, f"{name}.json")
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _assert_matches(expected, actual, context: str):
+    assert set(expected) == set(actual), context
+    for key, want in expected.items():
+        got = actual[key]
+        assert np.allclose(np.asarray(want, dtype=float),
+                           np.asarray(got, dtype=float),
+                           atol=ATOL, rtol=0.0), (
+            f"{context}[{key}]: expected {want}, got {got}"
+        )
+
+
+def test_every_case_has_a_golden_and_vice_versa():
+    on_disk = {f[:-5] for f in os.listdir(GOLDEN_DIR) if f.endswith(".json")}
+    assert on_disk == set(regen.CASES)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(regen.CASES))
+def test_golden_attributions(name, backend):
+    golden = _golden(name)
+    assert golden["case"] == name
+    outputs = regen.CASES[name](backend=backend)
+    _assert_matches(golden["outputs"], outputs, f"{name}/{backend}")

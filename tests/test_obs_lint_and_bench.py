@@ -56,13 +56,28 @@ def test_lint_catches_a_bare_print(tmp_path):
 
 
 def test_src_repro_has_clean_exception_hygiene():
-    """No bare excepts or silent broad handlers in the library."""
+    """No bare excepts or silent broad handlers in the library — or in
+    the test suite (the no-arg default scans both roots)."""
     result = subprocess.run(
         [sys.executable, HYGIENE],
         capture_output=True,
         text=True,
     )
     assert result.returncode == 0, result.stderr
+
+
+def test_hygiene_lint_scans_multiple_roots(tmp_path):
+    hygiene = _load_script(HYGIENE, "check_exception_hygiene")
+    clean = tmp_path / "clean"
+    dirty = tmp_path / "dirty"
+    clean.mkdir()
+    dirty.mkdir()
+    (clean / "a.py").write_text("x = 1\n", encoding="utf-8")
+    (dirty / "b.py").write_text("try:\n    f()\nexcept:\n    pass\n",
+                                encoding="utf-8")
+    assert hygiene.main([str(clean)]) == 0
+    # Any number of explicit roots; one dirty root fails the run.
+    assert hygiene.main([str(clean), str(dirty)]) == 1
 
 
 def test_hygiene_lint_catches_silent_handlers(tmp_path):

@@ -497,3 +497,94 @@ def test_coalition_engine_chunk_retries_exhausted(background):
     with pytest.raises(ModelEvaluationError):
         v(np.zeros((1, N_FEATURES), dtype=bool))
     assert calls["n"] == 3  # initial attempt + 2 chunk retries
+
+
+# --------------------------------------------- process-backend degradation
+
+
+@pytest.mark.parametrize("return_errors", [True, False])
+def test_explain_batch_process_backend_poisoned_rows(return_errors, background):
+    """Poisoned rows inside forked workers degrade exactly like serial ones."""
+    explainer = _PoisonRowExplainer(linear_model)
+    X = background[:6].copy()
+    X[2, 0] = 1e9  # poison
+    before = metrics.counter("robust.rows_failed").value
+
+    if return_errors:
+        results, errors = explainer.explain_batch(
+            X, backend="process", n_procs=3, return_errors=True
+        )
+        assert len(results) == 6
+        assert results[2] is None
+        assert all(results[i] is not None for i in (0, 1, 3, 4, 5))
+        assert [e.index for e in errors] == [2]
+        # The worker's exception does not cross the pickle boundary as a
+        # live object, but its type name and message survive verbatim.
+        assert errors[0].error_type == "ModelEvaluationError"
+        assert "poisoned row" in str(errors[0].error)
+        assert metrics.counter("robust.rows_failed").value == before + 1
+    else:
+        with pytest.raises(PartialBatchError) as excinfo:
+            explainer.explain_batch(X, backend="process", n_procs=3)
+        partial = excinfo.value
+        assert partial.completed_indices == [0, 1, 3, 4, 5]
+        assert partial.partial[2] is None
+        assert partial.partial[0].method == "poison_probe"
+
+
+class _WorkerKillerExplainer(AttributionExplainer):
+    """Explainer that hard-kills its own process on a marked row."""
+
+    method_name = "worker_killer"
+
+    def explain(self, x, **kwargs):
+        import os as _os
+
+        from repro.core.explanation import FeatureAttribution
+        from repro.exec import in_worker
+
+        x = np.asarray(x, dtype=float).ravel()
+        if x[0] > 1e5 and in_worker():
+            _os._exit(13)  # simulates a segfaulting / OOM-killed worker
+        return FeatureAttribution(
+            values=np.zeros(x.shape[0]),
+            feature_names=[f"x{i}" for i in range(x.shape[0])],
+            base_value=0.0,
+            prediction=0.0,
+            method=self.method_name,
+        )
+
+
+def test_explain_batch_worker_death_surfaces_as_partial(background):
+    """A worker dying mid-shard fails that shard's rows; no hang, no loss
+    of the batch contract (one outcome per input row)."""
+    explainer = _WorkerKillerExplainer(linear_model)
+    X = background[:6].copy()
+    X[1, 0] = 1e9  # kills whichever worker draws shard 0
+    results, errors = explainer.explain_batch(
+        X, backend="process", n_procs=2, return_errors=True
+    )
+    assert len(results) == 6
+    assert results[1] is None
+    failed = {e.index for e in errors}
+    assert 1 in failed
+    # A broken pool may take sibling shards down with it, but every row
+    # is accounted for either way.
+    assert all((results[i] is None) == (i in failed) for i in range(6))
+    assert any("ShardError" == e.error_type or "shard" in str(e.error).lower()
+               for e in errors)
+
+
+def test_worker_robust_counters_merge_into_parent(background):
+    """robust.* counters incremented inside forked workers show up in the
+    parent's metrics snapshot after the join."""
+    flaky = FaultyModel(linear_model, error_rate=0.3, seed=11)
+    explainer = KernelShapExplainer(
+        flaky, background, n_samples=16, seed=0,
+        guard=GuardConfig(retries=10, backoff_s=0.0),
+    )
+    before = metrics.counter("robust.retries").value
+    results = explainer.explain_batch(background[:4], backend="process",
+                                      n_procs=2)
+    assert len(results) == 4 and all(r is not None for r in results)
+    assert metrics.counter("robust.retries").value > before
