@@ -15,7 +15,10 @@ Telemetry: every call to :func:`emit` now writes, atomically,
   counters it spent (``repro.obs`` meter deltas) and per-explainer span
   aggregates;
 * ``BENCH_summary.json`` at the repository root — the rolling perf
-  trajectory mapping experiment id → latest entry.
+  trajectory mapping experiment id → latest entry, stamped with
+  ``git_sha``/``schema_version`` and carrying p50/p95/p99 explain
+  latency from the quantile histograms (the ``p95_ms`` the
+  ``scripts/bench_compare.py`` guard compares).
 """
 
 from __future__ import annotations
@@ -61,8 +64,31 @@ def _obs_window():
     _WINDOW["t0"] = time.perf_counter()
     _WINDOW["counters"] = _counter_values()
     _WINDOW["span_mark"] = obs.get_tracer().mark()
+    _WINDOW["histograms"] = obs.histogram_states()
     yield
     _WINDOW.clear()
+
+
+# Explain-call latency histograms folded into each experiment's summary
+# entry as p50/p95/p99 (what scripts/bench_compare.py guards as p95_ms).
+_LATENCY_HISTOGRAMS = ("explain.wall_ms", "explain_batch.wall_ms")
+
+
+def _latency_quantiles(before: dict) -> dict | None:
+    """p50/p95/p99 (ms) of this test's explain calls, or None if none ran."""
+    deltas = obs.histogram_deltas(before)
+    window = obs.Histogram("window.explain_ms")
+    for name in _LATENCY_HISTOGRAMS:
+        if name in deltas:
+            window.merge_state(deltas[name])
+    if window.count == 0:
+        return None
+    return {
+        "count": window.count,
+        "p50_ms": round(window.p50, 3),
+        "p95_ms": round(window.p95, 3),
+        "p99_ms": round(window.p99, 3),
+    }
 
 
 def emit(experiment: str, lines: list[str], data=None) -> None:
@@ -81,6 +107,7 @@ def emit(experiment: str, lines: list[str], data=None) -> None:
     wall_s = None
     counters: dict[str, int] = {}
     spans: list[dict] = []
+    latency = None
     if _WINDOW:
         wall_s = time.perf_counter() - _WINDOW["t0"]
         before = _WINDOW["counters"]
@@ -91,6 +118,7 @@ def emit(experiment: str, lines: list[str], data=None) -> None:
         spans = obs.summary_dict(
             obs.get_tracer().spans_since(_WINDOW["span_mark"])
         )
+        latency = _latency_quantiles(_WINDOW["histograms"])
     timestamp = obs.bench.utc_timestamp()
     json_path = obs.bench.write_benchmark_result(
         RESULTS_DIR,
@@ -109,6 +137,7 @@ def emit(experiment: str, lines: list[str], data=None) -> None:
             "timestamp": timestamp,
             "wall_s": None if wall_s is None else round(wall_s, 6),
             **counters,
+            **(latency or {}),
             "result_json": os.path.relpath(
                 json_path, os.path.dirname(BENCH_SUMMARY)
             ),

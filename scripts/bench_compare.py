@@ -8,6 +8,12 @@ wall time exceeds the baseline by more than ``--max-regression``
 (default 25%) *and* by more than ``--min-delta-s`` absolute seconds (so
 timer noise on sub-second experiments cannot trip the guard).
 
+Since telemetry v2 the guard also compares **p95 explain latency**
+(``p95_ms``, computed from the quantile histograms by the benchmark
+conftest) wherever both files recorded it, with its own, looser
+tolerances — and every knob can be overridden per experiment via the
+``TOLERANCES`` table.
+
 Experiments missing from either file are skipped — benchmarks are not
 part of tier-1, so a fresh checkout that never ran them must pass. A
 guarded experiment that *was* freshly run but has no committed baseline
@@ -15,7 +21,8 @@ entry is also skipped, with a stderr warning naming it, so a newly added
 benchmark cannot silently escape the guard forever. The perf-sensitive
 experiments guarded by default are the Shapley hot paths: E2 (kernel
 convergence), E3 (TreeSHAP speed), E37 (the coalition engine itself),
-E38 (fault-tolerance overhead) and E39 (the games layer).
+E38 (fault-tolerance overhead), E39 (the games layer), E40 (the process
+backend) and E41 (telemetry overhead).
 
 Exit status 0 when clean, 1 with a listing otherwise. Enforced in tier-1
 via ``tests/test_obs_lint_and_bench.py``, alongside ``check_no_print.py``.
@@ -32,16 +39,31 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "benchmarks", "BENCH_baseline.json")
 DEFAULT_FRESH = os.path.join(REPO_ROOT, "BENCH_summary.json")
 
-GUARDED_EXPERIMENTS = (
-    "E2_kernel_convergence",
-    "E3_treeshap_speed",
-    "E37_coalition_engine",
-    "E38_fault_tolerance",
-    "E39_games_layer",
-    "E40_process_backend",
-)
+# Per-experiment tolerance overrides. Keys are the guarded experiments;
+# values override the global knobs below for that experiment only:
+#   max_regression      relative wall-time slack (0.25 = +25%)
+#   min_delta_s         absolute wall-time floor in seconds
+#   p95_max_regression  relative p95-latency slack
+#   min_delta_p95_ms    absolute p95-latency floor in milliseconds
+# p95 tolerances are looser than wall-time ones by default: a p95 over a
+# handful of explain calls is a noisy order statistic, and the guard is
+# after step changes (a new O(n) in the hot path), not scheduler jitter.
+TOLERANCES: dict = {
+    "E2_kernel_convergence": {},
+    "E3_treeshap_speed": {},
+    "E37_coalition_engine": {},
+    "E38_fault_tolerance": {},
+    # Pool spin-up cost varies with machine load; keep the absolute
+    # floors a bit higher for the fork-heavy experiments.
+    "E39_games_layer": {"min_delta_s": 1.0},
+    "E40_process_backend": {"min_delta_s": 1.0, "min_delta_p95_ms": 1000.0},
+    "E41_telemetry_overhead": {"min_delta_s": 1.0},
+}
+GUARDED_EXPERIMENTS = tuple(TOLERANCES)
 MAX_REGRESSION = 0.25
 MIN_DELTA_S = 0.75
+P95_MAX_REGRESSION = 0.50
+MIN_DELTA_P95_MS = 500.0
 
 
 def load_summary(path: str) -> dict:
@@ -61,24 +83,48 @@ def regressions(
     experiments=GUARDED_EXPERIMENTS,
     max_regression: float = MAX_REGRESSION,
     min_delta_s: float = MIN_DELTA_S,
+    p95_max_regression: float = P95_MAX_REGRESSION,
+    min_delta_p95_ms: float = MIN_DELTA_P95_MS,
 ) -> list[str]:
-    """Human-readable findings for every guarded experiment that slowed."""
+    """Human-readable findings for every guarded experiment that slowed.
+
+    Two checks per experiment, each gated by both a relative and an
+    absolute tolerance (so noise on fast experiments cannot trip the
+    guard): mean wall time (``wall_s``) and — when both sides recorded
+    it — the p95 explain latency (``p95_ms``, from the quantile
+    histograms). The :data:`TOLERANCES` table may tighten or loosen any
+    knob per experiment.
+    """
     found: list[str] = []
     for experiment in experiments:
+        tolerance = TOLERANCES.get(experiment, {})
         base = baseline.get(experiment) or {}
         new = fresh.get(experiment) or {}
         base_wall = base.get("wall_s")
         new_wall = new.get("wall_s")
-        if not base_wall or not new_wall:
-            continue
-        if (
-            new_wall > base_wall * (1.0 + max_regression)
-            and new_wall - base_wall > min_delta_s
+        max_reg = tolerance.get("max_regression", max_regression)
+        if base_wall and new_wall and (
+            new_wall > base_wall * (1.0 + max_reg)
+            and new_wall - base_wall
+            > tolerance.get("min_delta_s", min_delta_s)
         ):
             found.append(
                 f"{experiment}: wall_s {base_wall:.3f} -> {new_wall:.3f} "
                 f"(+{(new_wall / base_wall - 1.0) * 100.0:.0f}%, "
-                f"limit +{max_regression * 100.0:.0f}%)"
+                f"limit +{max_reg * 100.0:.0f}%)"
+            )
+        base_p95 = base.get("p95_ms")
+        new_p95 = new.get("p95_ms")
+        p95_reg = tolerance.get("p95_max_regression", p95_max_regression)
+        if base_p95 and new_p95 and (
+            new_p95 > base_p95 * (1.0 + p95_reg)
+            and new_p95 - base_p95
+            > tolerance.get("min_delta_p95_ms", min_delta_p95_ms)
+        ):
+            found.append(
+                f"{experiment}: p95_ms {base_p95:.1f} -> {new_p95:.1f} "
+                f"(+{(new_p95 / base_p95 - 1.0) * 100.0:.0f}%, "
+                f"limit +{p95_reg * 100.0:.0f}%)"
             )
     return found
 

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Lint: metric naming + the blessed-timing rule, inside ``src/repro``.
+
+Two rules keep the telemetry surface coherent:
+
+1. **Metric names are dotted lowercase.** Every literal first argument
+   to ``counter(...)`` / ``gauge(...)`` / ``histogram(...)`` (bare or
+   attribute-qualified, e.g. ``metrics.counter``) must match
+   ``segment(.segment)+`` with segments of ``[a-z0-9_]`` — so the
+   Prometheus exposition, the summary tables, and ``grep`` all agree on
+   what a metric is called. Non-literal names are ignored (registry
+   helpers pass names through variables).
+2. **No ad-hoc ``time.perf_counter()`` timing outside ``repro/obs``.**
+   Latency measured with a bare perf counter is invisible to the
+   histograms, the ledger, and ``/metrics``; use
+   ``repro.obs.metrics.observe_duration`` or a span instead. A line may
+   opt out with a ``# obs: allow`` comment when the raw duration value
+   itself is the payload (the exec pool's shard gauges, experiment
+   scripts measuring their *subject*).
+
+AST-based; exit 0 when clean, 1 with a ``path:line`` listing otherwise.
+Enforced in tier-1 via ``scripts/run_tier1.sh`` and
+``tests/test_obs_lint_and_bench.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+import sys
+
+METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+ALLOW_MARK = "# obs: allow"
+# The obs package owns the timing primitives; within it perf_counter is
+# the implementation, not an escape.
+EXEMPT_DIR = os.path.join("repro", "obs")
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_perf_counter(node: ast.Call) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "perf_counter":
+        return True
+    return isinstance(func, ast.Name) and func.id == "perf_counter"
+
+
+def check_file(path: str) -> list[str]:
+    """``path:line reason`` offences for one Python file."""
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    tree = ast.parse(source, filename=path)
+    source_lines = source.splitlines()
+
+    def allowed(lineno: int) -> bool:
+        line = source_lines[lineno - 1] if lineno <= len(source_lines) else ""
+        return ALLOW_MARK in line
+
+    timing_exempt = EXEMPT_DIR in os.path.normpath(path)
+    out: list[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name in METRIC_FACTORIES and node.args:
+            first = node.args[0]
+            if (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+                and not NAME_RE.match(first.value)
+            ):
+                out.append(
+                    f"{path}:{node.lineno} metric name {first.value!r} is "
+                    "not dotted lowercase (want e.g. 'model.latency_ms')"
+                )
+        if (
+            not timing_exempt
+            and _is_perf_counter(node)
+            and not allowed(node.lineno)
+        ):
+            out.append(
+                f"{path}:{node.lineno} ad-hoc time.perf_counter() timing — "
+                "use obs.metrics.observe_duration / obs.span, or mark the "
+                "line '# obs: allow'"
+            )
+    return out
+
+
+def offenders(root: str) -> list[str]:
+    """All offences under ``root``, sorted by path."""
+    out: list[str] = []
+    for dirpath, __, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            out.extend(check_file(os.path.join(dirpath, name)))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    default_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+        "repro",
+    )
+    root = argv[0] if argv else default_root
+    found = offenders(root)
+    if found:
+        sys.stderr.write("metric-name / timing lint failures:\n")
+        for offence in found:
+            sys.stderr.write(f"  {offence}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

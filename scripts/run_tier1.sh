@@ -21,6 +21,9 @@ python scripts/check_exception_hygiene.py
 echo "== tier-1: lint (no bespoke shapley loops) =="
 python scripts/check_no_bespoke_shapley.py
 
+echo "== tier-1: lint (metric names + blessed timing) =="
+python scripts/check_metric_names.py
+
 echo "== tier-1: benchmark regression guard =="
 python scripts/bench_compare.py
 

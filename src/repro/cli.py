@@ -15,7 +15,16 @@ Commands
     Run any other command with observability forced on; writes the span
     stream as JSONL and prints the per-explainer cost summary. The same
     effect is available on every command via the global ``--trace OUT``
-    flag, e.g. ``python -m repro --trace demo.jsonl demo``.
+    flag, e.g. ``python -m repro --trace demo.jsonl demo``. Exits
+    nonzero (with a warning footer) if the run swallowed
+    instrumentation failures (``obs.internal_errors``).
+``metrics``
+    Telemetry utilities: ``metrics serve`` starts the live exposition
+    endpoint (``/metrics`` Prometheus text, ``/health``,
+    ``/ledger/tail``) and blocks until interrupted.
+``profile``
+    Render a trace JSONL file as a phase-level wall/CPU profile, or as
+    folded stacks (``--folded``) for flamegraph tooling.
 """
 
 from __future__ import annotations
@@ -140,6 +149,7 @@ def _run_traced(argv: list[str], out_path: str) -> int:
     obs.set_enabled(True)
     tracer = obs.get_tracer()
     mark = tracer.mark()
+    errors_before = obs.counter("obs.internal_errors").value
     tracer.start_export(out_path)
     try:
         rc = main(argv)
@@ -152,7 +162,56 @@ def _run_traced(argv: list[str], out_path: str) -> int:
     rows = obs.counter("model.rows").value
     print(f"model evals (process totals): {calls} calls, {rows} rows")
     print(f"trace written to {out_path}")
+    swallowed = obs.counter("obs.internal_errors").value - errors_before
+    if swallowed:
+        print(
+            f"WARNING: {swallowed} instrumentation failure(s) swallowed "
+            "during this run (obs.internal_errors) — the trace and the "
+            "summary above may undercount"
+        )
+        if rc == 0:
+            rc = 1
     return rc
+
+
+def cmd_metrics(args) -> int:
+    from . import obs
+
+    if args.metrics_command != "serve":
+        print("usage: repro metrics serve [--port PORT]")
+        return 2
+    host, port = obs.start_metrics_server(port=args.port)
+    print(f"serving /metrics, /health, /ledger/tail on http://{host}:{port}")
+    print("press Ctrl-C to stop")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        obs.stop_metrics_server()
+        print("stopped")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from . import obs
+
+    if not os.path.isfile(args.trace_file):
+        print(f"no such trace file: {args.trace_file}")
+        return 2
+    if args.folded:
+        print(obs.folded_from_jsonl(args.trace_file, weight=args.weight))
+        return 0
+    import json as _json
+
+    records = []
+    with open(args.trace_file, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(_json.loads(line))
+    print(obs.phase_table(records))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -216,6 +275,31 @@ def main(argv: list[str] | None = None) -> int:
                          help="JSONL output path (default: trace.jsonl)")
     trace_p.add_argument("rest", nargs=argparse.REMAINDER,
                          help="command (and arguments) to run traced")
+    metrics_p = sub.add_parser(
+        "metrics", help="telemetry utilities (metrics serve)"
+    )
+    metrics_p.add_argument(
+        "metrics_command", nargs="?", default="serve",
+        help="subcommand (only `serve` for now)",
+    )
+    metrics_p.add_argument(
+        "--port", default=int(os.environ.get("REPRO_METRICS_PORT") or 0),
+        type=int,
+        help="port to bind (default: REPRO_METRICS_PORT, else an "
+             "OS-assigned free port)",
+    )
+    profile_p = sub.add_parser(
+        "profile", help="phase profile / folded stacks from a trace JSONL"
+    )
+    profile_p.add_argument("trace_file", help="trace JSONL path")
+    profile_p.add_argument(
+        "--folded", action="store_true",
+        help="emit collapsed flamegraph stacks instead of the phase table",
+    )
+    profile_p.add_argument(
+        "--weight", default="wall_ms", choices=("wall_ms", "cpu_ms"),
+        help="clock used for folded-stack weights",
+    )
     args = parser.parse_args(argv)
     # Budget/retry flags become env knobs so the guard composed inside
     # every as_predict_fn picks them up, whatever the command constructs.
@@ -238,6 +322,8 @@ def main(argv: list[str] | None = None) -> int:
         "examples": cmd_examples,
         "demo": cmd_demo,
         "trace": cmd_trace,
+        "metrics": cmd_metrics,
+        "profile": cmd_profile,
     }
     if args.command is None:
         parser.print_help()

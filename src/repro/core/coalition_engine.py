@@ -264,23 +264,24 @@ class CoalitionEngine:
         n_chunks = 0
         for start in range(0, n_c, per_chunk):
             chunk = coalitions[start : start + per_chunk]
-            rows = broadcast_expand(x, chunk, self.background)
-            attempt = 0
-            while True:
-                try:
-                    preds = np.asarray(model_fn(rows), dtype=float).ravel()
-                    break
-                except ModelEvaluationError:
-                    # Chunk-level retry: re-enter the guard with a fresh
-                    # allowance. BudgetExceededError is not a
-                    # ModelEvaluationError and propagates immediately.
-                    attempt += 1
-                    if attempt > self.chunk_retries:
-                        raise
-                    metrics.counter(_CHUNK_RETRIES).inc()
-            values[start : start + chunk.shape[0]] = preds.reshape(
-                chunk.shape[0], n_b
-            ).mean(axis=1)
+            with metrics.observe_duration("coalition.chunk_ms"):
+                rows = broadcast_expand(x, chunk, self.background)
+                attempt = 0
+                while True:
+                    try:
+                        preds = np.asarray(model_fn(rows), dtype=float).ravel()
+                        break
+                    except ModelEvaluationError:
+                        # Chunk-level retry: re-enter the guard with a fresh
+                        # allowance. BudgetExceededError is not a
+                        # ModelEvaluationError and propagates immediately.
+                        attempt += 1
+                        if attempt > self.chunk_retries:
+                            raise
+                        metrics.counter(_CHUNK_RETRIES).inc()
+                values[start : start + chunk.shape[0]] = preds.reshape(
+                    chunk.shape[0], n_b
+                ).mean(axis=1)
             n_chunks += 1
         sp.set_attr("chunk_coalitions", per_chunk)
         sp.set_attr("chunk_rows", per_chunk * n_b)

@@ -18,11 +18,14 @@ never forks grandchildren.
 
 Three runtime layers are marshalled back per shard and merged on join:
 
-* **metrics** — the worker snapshots every counter before running and
-  ships the deltas; the parent re-increments its own registry, so
-  ``coalition.cache.*``, ``datavalue.cache.*``, ``model.*`` and
-  ``robust.*`` counters aggregate exactly as they would have serially
-  (process-local undercounting was the PR 5 bug this path fixes);
+* **metrics** — the worker snapshots every counter *and histogram*
+  before running and ships the deltas; the parent re-increments its own
+  registry, so ``coalition.cache.*``, ``datavalue.cache.*``,
+  ``model.*`` and ``robust.*`` counters — and latency histograms like
+  ``model.latency_ms`` / ``coalition.chunk_ms``, whose fixed shared
+  bucket boundaries make their deltas additive — aggregate exactly as
+  they would have serially (process-local undercounting was the PR 5
+  bug this path fixes);
 * **spans** — the worker ships the span records it closed; the parent
   adopts them with fresh ids, preserving worker-internal parent links
   and re-parenting the roots under the caller's open span
@@ -41,6 +44,11 @@ the affected shards come back as :class:`ShardError` outcomes rather
 than raising, so callers degrade to partial results instead of losing
 the shards that finished.
 
+Every join also emits pool-health telemetry: per-shard wall time into
+the ``exec.shard_ms`` histogram, plus the ``exec.utilization``,
+``exec.imbalance`` and ``exec.idle_s`` gauges derived from the gang's
+duration profile (:func:`repro.exec.sharding.shard_utilization`).
+
 The thread backend runs the same contract on a ``ThreadPoolExecutor``
 with context-copied workers — metrics and spans need no marshalling
 (shared address space), only the budget split applies.
@@ -51,6 +59,7 @@ from __future__ import annotations
 import contextvars
 import multiprocessing
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool, ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -61,6 +70,7 @@ from ..obs.trace import adopt_span_records, get_tracer
 from ..robust.errors import ModelEvaluationError
 from ..robust.guard import GuardScope, current_scope, push_scope
 from .backend import fork_available, resolve_n_procs, worker_mode
+from .sharding import shard_utilization
 
 __all__ = [
     "ShardError",
@@ -85,7 +95,8 @@ class ShardOutcome:
     ``value`` is ``run_shard``'s return value (``None`` when the shard
     errored); ``error`` carries the exception for a failed shard;
     ``rows_spent`` / ``retries`` are the budget charges the shard's
-    scope accumulated (0 when no scope was split).
+    scope accumulated (0 when no scope was split); ``duration_s`` is
+    the shard's wall time inside its worker (``None`` for lost shards).
     """
 
     index: int
@@ -94,6 +105,8 @@ class ShardOutcome:
     rows_spent: int = 0
     retries: int = 0
     counter_deltas: dict = field(default_factory=dict)
+    histogram_deltas: dict = field(default_factory=dict)
+    duration_s: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -146,13 +159,22 @@ def _scope_shares(n_shards: int) -> list[tuple[float | None, int | None]] | None
 
 
 def _settle(outcomes: list[ShardOutcome]) -> list[ShardOutcome]:
-    """Charge shard budget spends back to the ambient scope, in order."""
+    """Charge budgets back to the ambient scope and emit pool telemetry."""
     scope = current_scope()
     if scope is not None:
         for outcome in outcomes:
             scope.rows_spent += outcome.rows_spent
             scope.retries += outcome.retries
     metrics.counter(_SHARDS_RUN).inc(len(outcomes))
+    durations = [o.duration_s for o in outcomes if o.duration_s is not None]
+    if durations:
+        shard_ms = metrics.histogram("exec.shard_ms")
+        for d in durations:
+            shard_ms.observe(d * 1000.0)
+        utilization, imbalance, idle_s = shard_utilization(durations)
+        metrics.gauge("exec.utilization").set(utilization)
+        metrics.gauge("exec.imbalance").set(imbalance)
+        metrics.gauge("exec.idle_s").set(idle_s)
     return outcomes
 
 
@@ -161,11 +183,13 @@ def _settle(outcomes: list[ShardOutcome]) -> list[ShardOutcome]:
 
 def _thread_entry(run_shard, args, share):
     scope = None if share is None else GuardScope(share[0], share[1])
+    t0 = time.perf_counter()  # obs: allow — raw shard duration feeds gauges
     with push_scope(scope) if scope is not None else _noop():
         value = run_shard(args)
+    duration = time.perf_counter() - t0  # obs: allow
     if scope is None:
-        return value, 0, 0
-    return value, scope.rows_spent, scope.retries
+        return value, 0, 0, duration
+    return value, scope.rows_spent, scope.retries, duration
 
 
 class _noop:
@@ -191,13 +215,17 @@ def _map_thread(run_shard, shard_args, n_workers, shares):
         outcomes = []
         for k, future in enumerate(futures):
             try:
-                value, rows, retries = future.result()
+                value, rows, retries, duration = future.result()
             except Exception as e:  # per-shard containment, like explain_batch
                 outcomes.append(ShardOutcome(index=k, error=e))
             else:
                 outcomes.append(
                     ShardOutcome(
-                        index=k, value=value, rows_spent=rows, retries=retries
+                        index=k,
+                        value=value,
+                        rows_spent=rows,
+                        retries=retries,
+                        duration_s=duration,
                     )
                 )
     return outcomes
@@ -219,9 +247,11 @@ def _worker_init() -> None:
 
 def _process_entry(args, share):
     baseline = _counter_values()
+    hist_baseline = metrics.histogram_states()
     tracer = get_tracer()
     mark = tracer.mark()
     run_shard = _PAYLOAD
+    t0 = time.perf_counter()  # obs: allow — raw shard duration feeds gauges
     if share is None:
         value = run_shard(args)
         rows = retries = 0
@@ -230,12 +260,15 @@ def _process_entry(args, share):
         with push_scope(scope):
             value = run_shard(args)
         rows, retries = scope.rows_spent, scope.retries
+    duration = time.perf_counter() - t0  # obs: allow
     return {
         "value": value,
         "counters": _counter_deltas(baseline),
+        "histograms": metrics.histogram_deltas(hist_baseline),
         "spans": [s.to_dict() for s in tracer.spans_since(mark)],
         "rows_spent": rows,
         "retries": retries,
+        "duration_s": duration,
     }
 
 
@@ -284,14 +317,17 @@ def _map_process(run_shard, shard_args, n_workers, shares):
                                 rows_spent=payload["rows_spent"],
                                 retries=payload["retries"],
                                 counter_deltas=payload["counters"],
+                                histogram_deltas=payload["histograms"],
+                                duration_s=payload["duration_s"],
                             )
                         )
         finally:
             _PAYLOAD = None
-    # Counter merges happen outside the span adoption loop so a failed
+    # Metric merges happen outside the span adoption loop so a failed
     # shard cannot interleave half-merged state.
     for outcome in outcomes:
         merge_counter_deltas(outcome.counter_deltas)
+        metrics.merge_histogram_deltas(outcome.histogram_deltas)
     return outcomes
 
 

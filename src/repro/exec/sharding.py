@@ -26,7 +26,38 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ShardPlan", "plan_shards"]
+__all__ = ["ShardPlan", "plan_shards", "shard_utilization"]
+
+
+def shard_utilization(durations_s) -> tuple[float, float, float]:
+    """Pool-health signals from per-shard wall durations.
+
+    Returns ``(utilization, imbalance, idle_s)`` for a gang of shards
+    that start together and join on the slowest one:
+
+    * ``utilization`` — busy fraction of the pool's wall·worker area,
+      ``sum(d) / (n * max(d))`` — 1.0 means perfectly balanced shards;
+    * ``imbalance`` — ``max(d) / mean(d)`` — 1.0 is perfect balance,
+      2.0 means the slowest shard ran twice the mean (stragglers);
+    * ``idle_s`` — the total idle tail, ``sum(max(d) - d)`` — worker
+      seconds wasted waiting on the slowest shard.
+
+    Degenerate inputs (no durations, all-zero durations) report the
+    optimistic fixpoint ``(1.0, 1.0, 0.0)`` rather than dividing by
+    zero.
+    """
+    durations = [float(d) for d in durations_s if d is not None]
+    n = len(durations)
+    if n == 0:
+        return 1.0, 1.0, 0.0
+    longest = max(durations)
+    total = sum(durations)
+    if longest <= 0.0:
+        return 1.0, 1.0, 0.0
+    utilization = total / (n * longest)
+    imbalance = longest / (total / n)
+    idle_s = n * longest - total
+    return utilization, imbalance, idle_s
 
 
 @dataclass(frozen=True)

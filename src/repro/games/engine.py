@@ -170,14 +170,15 @@ def game_value_function(
         n_chunks = 0
         for start in range(0, indices.shape[0], per_chunk):
             sel = indices[start : start + per_chunk]
-            out[start : start + sel.shape[0]] = _evaluate_chunk(
-                game,
-                pos[sel] if positional else None,
-                coalitions[sel],
-                guarded,
-                rows_per,
-                chunk_retries,
-            )
+            with metrics.observe_duration("coalition.chunk_ms"):
+                out[start : start + sel.shape[0]] = _evaluate_chunk(
+                    game,
+                    pos[sel] if positional else None,
+                    coalitions[sel],
+                    guarded,
+                    rows_per,
+                    chunk_retries,
+                )
             n_chunks += 1
         sp.set_attr("chunk_coalitions", per_chunk)
         sp.set_attr("chunk_rows", per_chunk * rows_per)

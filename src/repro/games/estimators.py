@@ -54,6 +54,8 @@ import numpy as np
 
 from ..exec import in_worker, map_shards, plan_shards, resolve_backend, \
     resolve_n_procs
+from ..obs import metrics
+from ..obs.trace import enabled as _obs_enabled
 from ..robust.errors import BudgetExceededError
 from .base import as_game, walk_masks
 from .engine import game_value_function
@@ -408,9 +410,23 @@ def permutation_estimator(
     truncated_at: list[int] = []
     n_walks = 0
     budget_error: BudgetExceededError | None = None
+    # Per-walk convergence stream: each accumulated walk observes the
+    # largest per-player shift of the running estimate into the
+    # ``games.step_delta`` histogram (and bumps ``games.walks``), so the
+    # exposition endpoint and the run ledger can see *how settled* an
+    # estimate was, not just how long it took. Purely passive — the
+    # estimate itself never reads these — and skipped when observability
+    # is off.
+    telemetry = _obs_enabled()
+    running = np.zeros(n)
+    if telemetry:
+        # Resolve the metric objects once, outside the per-walk path: the
+        # registry lookup takes a lock, and accumulate runs per walk.
+        walks_counter = metrics.counter("games.walks")
+        step_histogram = metrics.histogram("games.step_delta")
 
     def accumulate(contrib, local_counts, scanned):
-        nonlocal n_walks, sums, counts
+        nonlocal n_walks, sums, counts, running
         if scanned is not None:
             truncated_at.append(scanned)
         if aggregate == "mean_walks":
@@ -419,6 +435,14 @@ def permutation_estimator(
             sums += contrib
             counts += local_counts
         n_walks += 1
+        if telemetry:
+            if aggregate == "mean_walks":
+                estimate = running + (contrib - running) / n_walks
+            else:
+                estimate = sums / np.maximum(counts, min_count)
+            walks_counter.inc()
+            step_histogram.observe(float(np.max(np.abs(estimate - running))))
+            running = estimate
 
     backend_name = resolve_backend(backend)
     sharded = walk_fn is None and _shard_eligible(game, backend_name, n_batches)

@@ -22,14 +22,46 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import subprocess
 import tempfile
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "git_sha",
     "utc_timestamp",
     "atomic_write_text",
     "write_benchmark_result",
     "update_bench_summary",
 ]
+
+# Bump when the result/summary payload shape changes. v1: the implicit
+# PR 1 shape (no version field). v2: git_sha + schema_version headers,
+# latency quantiles in entries.
+SCHEMA_VERSION = 2
+
+_GIT_SHA: str | None | bool = False  # False = not resolved yet
+
+
+def git_sha() -> str | None:
+    """The repo's short HEAD sha, or ``None`` outside a git checkout.
+
+    Resolved once per process: benchmark writers stamp every result
+    with it so the perf trajectory is attributable to commits.
+    """
+    global _GIT_SHA
+    if _GIT_SHA is False:
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = None
+    return _GIT_SHA
 
 
 def utc_timestamp() -> str:
@@ -84,6 +116,8 @@ def write_benchmark_result(
     )
     payload = {
         "experiment": experiment,
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": git_sha(),
         "timestamp": timestamp,
         "wall_s": None if wall_s is None else round(float(wall_s), 6),
         "lines": list(lines),
@@ -118,6 +152,8 @@ def update_bench_summary(summary_path: str, experiment: str, entry: dict
     experiments[experiment] = entry
     merged["updated"] = entry.get("timestamp") or utc_timestamp()
     merged["n_experiments"] = len(experiments)
+    merged["schema_version"] = SCHEMA_VERSION
+    merged["git_sha"] = git_sha()
     atomic_write_text(summary_path, json.dumps(merged, indent=2,
                                                sort_keys=True) + "\n")
     return merged

@@ -20,12 +20,20 @@ from __future__ import annotations
 
 import functools
 
-from .metrics import counter
-from .trace import enabled, span
+from .ledger import record_run
+from .metrics import counter, histogram
+from .trace import current_span, enabled, span
 
 __all__ = ["instrument_explainer"]
 
 _METHODS = ("explain", "explain_batch")
+
+# Latency histograms auto-fed by the wrappers (dotted-lowercase names,
+# see scripts/check_metric_names.py).
+_WALL_HISTOGRAMS = {
+    "explain": "explain.wall_ms",
+    "explain_batch": "explain_batch.wall_ms",
+}
 
 
 def _instance_size(value) -> int | None:
@@ -63,8 +71,26 @@ def _wrap(method_name: str, fn):
             size = _instance_size(target)
             if size is not None:
                 attrs[size_attr] = size
-        with span(method_name, **attrs):
-            return fn(self, *args, **kwargs)
+        # A per-row explain inside explain_batch is a sub-call, not a
+        # run: only top-level entry points feed the latency histograms
+        # and the run ledger (nesting under a user experiment span is
+        # still a run).
+        outer = current_span()
+        is_run = outer is None or outer.name not in _METHODS
+        sp = None
+        try:
+            with span(method_name, **attrs) as sp:
+                result = fn(self, *args, **kwargs)
+        except Exception as exc:
+            if is_run and sp is not None:
+                record_run(sp, explainer=self, error=exc)
+            raise
+        if is_run:
+            wall_ms = getattr(sp, "wall_ms", None)
+            if wall_ms is not None:
+                histogram(_WALL_HISTOGRAMS[method_name]).observe(wall_ms)
+            record_run(sp, explainer=self, result=result)
+        return result
 
     traced.__repro_traced__ = True
     return traced

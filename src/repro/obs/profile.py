@@ -1,0 +1,190 @@
+"""Phase-level profiles and folded-stack exports from span trees.
+
+The span tracer records *what happened*; this module answers *where the
+time went*. Two views, both derived purely from closed span records
+(live :class:`~repro.obs.trace.Span` objects or their ``to_dict()`` /
+JSONL rows — the two are interchangeable everywhere here):
+
+* :func:`phase_profile` — per-phase (span name) totals of wall and CPU
+  milliseconds, split into *total* (the span's own clock) and *self*
+  (total minus the time attributed to child spans), plus call counts
+  and model-eval rollups. ``self`` is the number that tells you which
+  layer to optimize: an ``explain`` phase with almost no self-time is
+  pure orchestration, a fat ``coalition_eval`` self-time is the model.
+* :func:`folded_stacks` / :func:`render_folded` /
+  :func:`folded_from_jsonl` — the Brendan Gregg collapsed-stack text
+  format (``root;child;leaf <weight>``, one line per unique stack),
+  which every flamegraph renderer accepts. Weights are integer
+  microseconds of *self* time, so the flame widths add up exactly to
+  the profile totals.
+
+Wall and CPU diverge exactly where they should: a span that sleeps (a
+throttled model, backoff retries) is wide in wall and thin in CPU; a
+span whose children ran in forked workers carries the workers' wall
+time via span adoption while the parent's CPU stays flat.
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import trace
+
+__all__ = [
+    "phase_profile",
+    "phase_table",
+    "folded_stacks",
+    "render_folded",
+    "folded_from_jsonl",
+]
+
+_WEIGHTS = ("wall_ms", "cpu_ms")
+
+
+def _records(spans=None) -> list[dict]:
+    """Normalize input to span-record dicts (default: the global tracer)."""
+    if spans is None:
+        spans = trace.get_tracer().spans()
+    return [s if isinstance(s, dict) else s.to_dict() for s in spans]
+
+
+def _tree(records: list[dict]):
+    """``(roots, children_by_id)`` — records whose parent wasn't shipped
+    (or who have none) are roots."""
+    by_id = {r["span_id"]: r for r in records}
+    children: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for r in records:
+        pid = r.get("parent_id")
+        if pid in by_id:
+            children.setdefault(pid, []).append(r)
+        else:
+            roots.append(r)
+    return roots, children
+
+
+def _self_ms(rec: dict, children: dict, key: str) -> float:
+    """The record's ``key`` time minus its children's (floored at 0 —
+    adopted worker spans can legitimately out-wall their parent)."""
+    total = rec.get(key) or 0.0
+    spent = sum(c.get(key) or 0.0 for c in children.get(rec["span_id"], ()))
+    return max(0.0, total - spent)
+
+
+def phase_profile(spans=None) -> list[dict]:
+    """Per-phase wall/CPU attribution, heaviest self-wall first.
+
+    Each row: ``{phase, count, wall_ms, self_wall_ms, cpu_ms,
+    self_cpu_ms, model_evals, rows_evaluated}``. Totals sum the spans'
+    own clocks (so nested phases overlap by design); self columns are
+    disjoint and sum to the roots' totals.
+    """
+    records = _records(spans)
+    __, children = _tree(records)
+    phases: dict[str, dict] = {}
+    for r in records:
+        row = phases.setdefault(
+            r["name"],
+            {
+                "phase": r["name"],
+                "count": 0,
+                "wall_ms": 0.0,
+                "self_wall_ms": 0.0,
+                "cpu_ms": 0.0,
+                "self_cpu_ms": 0.0,
+                "model_evals": 0,
+                "rows_evaluated": 0,
+            },
+        )
+        row["count"] += 1
+        row["wall_ms"] += r.get("wall_ms") or 0.0
+        row["cpu_ms"] += r.get("cpu_ms") or 0.0
+        row["self_wall_ms"] += _self_ms(r, children, "wall_ms")
+        row["self_cpu_ms"] += _self_ms(r, children, "cpu_ms")
+        row["model_evals"] += int(r.get("model_evals") or 0)
+        row["rows_evaluated"] += int(r.get("rows_evaluated") or 0)
+    return sorted(
+        phases.values(), key=lambda row: row["self_wall_ms"], reverse=True
+    )
+
+
+def phase_table(spans=None) -> str:
+    """The phase profile as an aligned text table (CLI rendering)."""
+    rows = phase_profile(spans)
+    if not rows:
+        return "(no spans recorded)"
+    header = (
+        "phase", "count", "wall_ms", "self_ms", "cpu_ms", "self_cpu", "evals"
+    )
+    cells = [header] + [
+        (
+            row["phase"],
+            str(row["count"]),
+            f"{row['wall_ms']:.1f}",
+            f"{row['self_wall_ms']:.1f}",
+            f"{row['cpu_ms']:.1f}",
+            f"{row['self_cpu_ms']:.1f}",
+            str(row["model_evals"]),
+        )
+        for row in rows
+    ]
+    widths = [max(len(line[i]) for line in cells) for i in range(len(header))]
+    lines = []
+    for k, line in enumerate(cells):
+        lines.append(
+            "  ".join(
+                c.ljust(widths[i]) if i == 0 else c.rjust(widths[i])
+                for i, c in enumerate(line)
+            )
+        )
+        if k == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def folded_stacks(spans=None, weight: str = "wall_ms") -> dict[str, float]:
+    """Self-time (ms) per unique root-to-node stack path.
+
+    Keys are ``;``-joined span names from a root down; values are the
+    milliseconds spent in that node *itself* (children excluded), summed
+    over every occurrence of the path. ``weight`` selects the clock
+    (``wall_ms`` or ``cpu_ms``).
+    """
+    if weight not in _WEIGHTS:
+        raise ValueError(f"weight must be one of {_WEIGHTS}, got {weight!r}")
+    records = _records(spans)
+    roots, children = _tree(records)
+    folded: dict[str, float] = {}
+    stack = [(root, "") for root in roots]
+    while stack:
+        rec, prefix = stack.pop()
+        path = f"{prefix};{rec['name']}" if prefix else rec["name"]
+        folded[path] = folded.get(path, 0.0) + _self_ms(rec, children, weight)
+        for child in children.get(rec["span_id"], ()):
+            stack.append((child, path))
+    return folded
+
+
+def render_folded(folded: dict[str, float]) -> str:
+    """Collapsed-stack text: ``stack <integer microseconds>`` per line.
+
+    The format flamegraph renderers consume; zero-weight pure-frame
+    stacks are kept (width 0) so the hierarchy stays visible to tools
+    that reconstruct it.
+    """
+    return "\n".join(
+        f"{path} {max(0, round(ms * 1000.0))}"
+        for path, ms in sorted(folded.items())
+    )
+
+
+def folded_from_jsonl(path: str, weight: str = "wall_ms") -> str:
+    """Folded-stack text from a trace JSONL file (``repro trace`` output,
+    :meth:`Tracer.export`, or a streamed export)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return render_folded(folded_stacks(records, weight=weight))

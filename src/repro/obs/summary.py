@@ -14,9 +14,15 @@ children plus one parent.
 
 from __future__ import annotations
 
+from .metrics import counter
 from .trace import Span, get_tracer
 
-__all__ = ["aggregate", "summary", "summary_dict"]
+__all__ = ["aggregate", "summary", "summary_dict", "internal_errors"]
+
+
+def internal_errors() -> int:
+    """Swallowed instrumentation failures so far (``obs.internal_errors``)."""
+    return counter("obs.internal_errors").value
 
 
 def _key(s: Span) -> tuple[str, str]:
@@ -86,4 +92,10 @@ def summary(spans: list[Span] | None = None) -> str:
         f"{'total':<16} {'':<24} {sum(r['count'] for r in rows):>6} "
         f"{total_ms:>10.1f} {total_evals:>8} {total_rows:>10}"
     )
+    swallowed = internal_errors()
+    if swallowed:
+        lines.append(
+            f"WARNING: obs.internal_errors={swallowed} — instrumentation "
+            "swallowed failures; the totals above may undercount"
+        )
     return "\n".join(lines)

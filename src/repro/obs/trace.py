@@ -48,6 +48,8 @@ __all__ = [
     "adopt_span_records",
     "enabled",
     "set_enabled",
+    "trace_sample",
+    "set_trace_sample",
 ]
 
 _TRUTHY_OFF = ("0", "false", "off", "no")
@@ -64,6 +66,51 @@ def set_enabled(flag: bool) -> None:
     """Programmatically enable/disable recording (overrides the env var)."""
     global _enabled
     _enabled = bool(flag)
+
+
+def _parse_sample(raw: str | None) -> int:
+    """Sampling stride from a keep-rate string (1.0 → 1, 0.1 → 10)."""
+    if not raw:
+        return 1
+    try:
+        rate = float(raw)
+    except ValueError:
+        return 1
+    if rate >= 1.0:
+        return 1
+    if rate <= 0.0:
+        return 0
+    return max(1, round(1.0 / rate))
+
+
+# Trace sampling (env REPRO_TRACE_SAMPLE, a keep rate in [0, 1]) bounds
+# the cost of always-on tracing: only every Nth *root* span tree is
+# handed to the tracer / JSONL export. Sampling is deterministic
+# (a stride counter, not a coin flip) and structural — children follow
+# their root's fate, so sampled traces are always complete trees.
+# Metrics (histograms, counters, the model-eval meter) are never
+# sampled; they observe every event regardless.
+_sample_stride = _parse_sample(os.environ.get("REPRO_TRACE_SAMPLE"))
+_sample_counter = itertools.count()
+
+
+def trace_sample() -> float:
+    """The effective trace keep-rate (1.0 = keep every root span)."""
+    return 0.0 if _sample_stride == 0 else 1.0 / _sample_stride
+
+
+def set_trace_sample(rate: float | None) -> None:
+    """Programmatically set the trace keep-rate (overrides the env var)."""
+    global _sample_stride
+    _sample_stride = _parse_sample(None if rate is None else str(rate))
+
+
+def _sample_keep() -> bool:
+    if _sample_stride == 1:
+        return True
+    if _sample_stride == 0:
+        return False
+    return next(_sample_counter) % _sample_stride == 0
 
 
 _span_ids = itertools.count(1)
@@ -102,11 +149,14 @@ class Span:
         "attrs",
         "t_start",
         "_t0",
+        "_c0",
         "wall_ms",
+        "cpu_ms",
         "model_evals",
         "rows_evaluated",
         "retries",
         "status",
+        "sampled",
     )
 
     def __init__(self, name: str, attrs: dict, parent_id: int | None) -> None:
@@ -116,11 +166,14 @@ class Span:
         self.attrs = attrs
         self.t_start = time.time()
         self._t0 = time.perf_counter()
+        self._c0 = time.thread_time()
         self.wall_ms: float | None = None
+        self.cpu_ms: float | None = None
         self.model_evals = 0
         self.rows_evaluated = 0
         self.retries = 0
         self.status = "ok"
+        self.sampled = True
 
     def add_model_evals(self, calls: int, rows: int) -> None:
         """Attribute ``calls`` predict-fn calls batching ``rows`` rows.
@@ -148,6 +201,7 @@ class Span:
             "name": self.name,
             "t_start": self.t_start,
             "wall_ms": self.wall_ms,
+            "cpu_ms": self.cpu_ms,
             "model_evals": self.model_evals,
             "rows_evaluated": self.rows_evaluated,
             "retries": self.retries,
@@ -305,7 +359,10 @@ def adopt_span_records(records: list[dict]) -> None:
         s.attrs = dict(rec.get("attrs") or {})
         s.t_start = rec.get("t_start", 0.0)
         s._t0 = 0.0
+        s._c0 = 0.0
+        s.sampled = True
         s.wall_ms = rec.get("wall_ms")
+        s.cpu_ms = rec.get("cpu_ms")
         s.model_evals = int(rec.get("model_evals") or 0)
         s.rows_evaluated = int(rec.get("rows_evaluated") or 0)
         s.retries = int(rec.get("retries") or 0)
@@ -343,6 +400,13 @@ class span:
             dict(self._attrs),
             parent.span_id if parent is not None else None,
         )
+        # Children follow their root's sampling fate so recorded traces
+        # are always complete trees; the span object itself still exists
+        # either way (rollups, the eval meter and the wall-time
+        # histograms see every event — sampling only gates the tracer).
+        self._span.sampled = (
+            parent.sampled if parent is not None else _sample_keep()
+        )
         self._token = _current.set(self._span)
         return self._span
 
@@ -351,6 +415,7 @@ class span:
             return False
         s = self._span
         s.wall_ms = (time.perf_counter() - s._t0) * 1000.0
+        s.cpu_ms = (time.thread_time() - s._c0) * 1000.0
         if exc_type is not None:
             s.status = f"error:{exc_type.__name__}"
         _current.reset(self._token)
@@ -359,6 +424,7 @@ class span:
             parent.add_model_evals(s.model_evals, s.rows_evaluated)
             if s.retries:
                 parent.add_retries(s.retries)
-        _tracer.record(s)
+        if s.sampled:
+            _tracer.record(s)
         self._span = None
         return False

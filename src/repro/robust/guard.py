@@ -34,7 +34,8 @@ immediately above it and charges the same row counts.
 
 Telemetry: ``robust.retries``, ``robust.nonfinite``, ``robust.imputed``
 and ``robust.budget_exhausted`` counters export through
-:mod:`repro.obs.metrics`; retries additionally roll up through open
+:mod:`repro.obs.metrics`; each *successful* model call also times into
+the ``model.latency_ms`` histogram; retries additionally roll up through open
 spans (``Span.retries``), so an ``explain_batch`` span reports the total
 retry bill of its rows.
 """
@@ -338,7 +339,10 @@ def guard_predict_fn(fn, config: GuardConfig | None | bool = None):
             if scope is not None:
                 scope.check(n_rows)
             try:
-                out = np.asarray(fn(X), dtype=float).ravel()
+                # Successful attempts feed the model-latency histogram
+                # (observe_duration skips the failed ones by design).
+                with metrics.observe_duration("model.latency_ms"):
+                    out = np.asarray(fn(X), dtype=float).ravel()
             except (BudgetExceededError, InputValidationError):
                 raise
             except cfg.transient as e:

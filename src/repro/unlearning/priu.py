@@ -177,14 +177,16 @@ def timed_deletion_comparison(
     for the logistic model (the interesting, approximate case).
     """
     inc = IncrementalLogistic(alpha=alpha).fit(X, y)
-    t0 = time.perf_counter()
+    # The durations below are the experiment's *measurements*, not
+    # telemetry — raw perf counters are the right tool.
+    t0 = time.perf_counter()  # obs: allow
     inc.delete(delete_indices)
-    t_incremental = time.perf_counter() - t0
+    t_incremental = time.perf_counter() - t0  # obs: allow
     keep = np.ones(X.shape[0], dtype=bool)
     keep[delete_indices] = False
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # obs: allow
     LogisticRegression(alpha=alpha).fit(X[keep], y[keep])
-    t_retrain = time.perf_counter() - t0
+    t_retrain = time.perf_counter() - t0  # obs: allow
     return {
         "t_incremental": t_incremental,
         "t_retrain": t_retrain,

@@ -374,6 +374,64 @@ def test_datavalue_counters_aggregate_across_workers(background,
     assert u.n_evaluations == evals_before
 
 
+def test_worker_histograms_merge_and_pool_gauges(background):
+    """Worker-side histogram deltas (per-chunk coalition timing) merge on
+    join, and the settle path publishes the pool-health gauges."""
+    chunk_before = metrics.histogram("coalition.chunk_ms").count
+    shard_before = metrics.histogram("exec.shard_ms").count
+    phi = exact_enumeration(make_game("masking", background, None),
+                            backend="process", n_shards=2, n_procs=2)
+    assert phi.shape == (N_FEATURES,)
+    # The chunk-latency observations happened inside forked workers; the
+    # parent registry sees them only through the shipped bucket deltas.
+    assert metrics.histogram("coalition.chunk_ms").count > chunk_before
+    assert metrics.histogram("coalition.chunk_ms").sum > 0.0
+    # Shard timings observed parent-side, one per shard.
+    assert metrics.histogram("exec.shard_ms").count >= shard_before + 2
+    assert 0.0 < metrics.gauge("exec.utilization").value <= 1.0
+    assert metrics.gauge("exec.imbalance").value >= 1.0
+    assert metrics.gauge("exec.idle_s").value >= 0.0
+
+
+def test_shard_utilization_math():
+    from repro.exec.sharding import shard_utilization
+
+    utilization, imbalance, idle_s = shard_utilization([1.0, 1.0, 2.0])
+    assert np.isclose(utilization, 4.0 / 6.0)
+    assert np.isclose(imbalance, 1.5)
+    assert np.isclose(idle_s, 2.0)
+    # Perfect balance: fully utilized, zero idle.
+    assert shard_utilization([3.0, 3.0]) == (1.0, 1.0, 0.0)
+    # Degenerate inputs answer neutral values, never divide by zero.
+    assert shard_utilization([]) == (1.0, 1.0, 0.0)
+    assert shard_utilization([None, None]) == (1.0, 1.0, 0.0)
+    assert shard_utilization([0.0, 0.0]) == (1.0, 1.0, 0.0)
+
+
+def test_folded_stacks_cover_adopted_worker_spans(tmp_path, background):
+    """A multi-backend trace (parent span + adopted worker spans) folds
+    into root-prefixed stacks — the flamegraph sees across the fork."""
+    tracer = obs.get_tracer()
+    tracer.reset()
+    try:
+        with obs.span("explain.folded"):
+            exact_enumeration(make_game("masking", background, None),
+                              backend="process", n_shards=2, n_procs=2)
+        out = tmp_path / "trace.jsonl"
+        tracer.export(str(out))
+        folded_text = obs.folded_from_jsonl(str(out))
+        paths = [line.rsplit(" ", 1)[0]
+                 for line in folded_text.splitlines()]
+        weights = [int(line.rsplit(" ", 1)[1])
+                   for line in folded_text.splitlines()]
+        assert "explain.folded" in paths
+        # Worker spans re-parented under the caller show up as children.
+        assert any(p.startswith("explain.folded;") for p in paths)
+        assert all(w >= 0 for w in weights)
+    finally:
+        tracer.reset()
+
+
 def test_worker_spans_reparent_under_caller(background):
     tracer = obs.get_tracer()
     tracer.reset()

@@ -1,0 +1,421 @@
+"""Telemetry v2: quantile histograms, profiling exports, the run ledger,
+and the Prometheus exposition endpoint (served in-process over HTTP).
+
+The load-bearing invariants:
+
+* histogram quantiles track numpy ground truth within one log-bucket
+  width, and histogram states merge additively (the property the
+  process backend's worker-delta shipping rests on);
+* trace sampling is a deterministic stride over *root* spans and
+  structural (children follow their root), while metrics see everything;
+* ledger rows round-trip bit-identically between the in-memory ring and
+  the ``REPRO_LEDGER`` JSONL sink, and real ``explain()`` calls land in
+  both the ledger and the ``explain.wall_ms`` histogram;
+* ``/metrics`` emits parseable Prometheus text exposition 0.0.4 with
+  cumulative bucket series and precomputed quantile gauges;
+* folded-stack and phase-profile exports partition a span tree's wall
+  time exactly (self + children == total).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import bench, metrics
+from repro.obs.ledger import record_run
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.get_tracer().reset()
+    metrics.reset_metrics()
+    obs.reset_ledger()
+    yield
+    obs.get_tracer().reset()
+    metrics.reset_metrics()
+    obs.reset_ledger()
+    obs.set_trace_sample(None)
+    obs.set_enabled(True)
+
+
+# ------------------------------------------------------ quantile histograms
+
+
+def test_histogram_quantiles_track_numpy():
+    rng = np.random.default_rng(0)
+    samples = rng.lognormal(mean=3.0, sigma=1.2, size=5000)
+    h = obs.Histogram("latency.ms")
+    for value in samples:
+        h.observe(value)
+    # Relative error is bounded by one bucket width (10^(1/8) ≈ 1.33);
+    # within-bucket interpolation usually does far better.
+    for q in (0.50, 0.95, 0.99):
+        truth = float(np.quantile(samples, q))
+        assert abs(h.quantile(q) - truth) / truth < 0.34, q
+    assert h.quantile(0.0) == samples.min()
+    assert h.quantile(1.0) == samples.max()
+    assert math.isclose(h.mean, samples.mean(), rel_tol=1e-9)
+
+
+def test_histogram_single_observation_is_exact():
+    h = obs.Histogram("one.ms")
+    h.observe(42.5)
+    assert h.p50 == h.p95 == h.p99 == 42.5
+
+
+def test_histogram_merge_is_exactly_additive():
+    rng = np.random.default_rng(1)
+    fast = rng.exponential(5.0, size=400)
+    slow = rng.exponential(500.0, size=300)
+    combined = obs.Histogram("combined.ms")
+    a = obs.Histogram("a.ms")
+    b = obs.Histogram("b.ms")
+    for v in fast:
+        a.observe(v)
+        combined.observe(v)
+    for v in slow:
+        b.observe(v)
+        combined.observe(v)
+    a.merge_state(b.state())
+    assert a.count == combined.count
+    assert a.buckets == combined.buckets
+    assert a.min == combined.min and a.max == combined.max
+    # Same buckets + same clamp window ⇒ identical quantile readout.
+    assert a.p50 == combined.p50
+    assert a.p95 == combined.p95
+    assert a.p99 == combined.p99
+
+
+def test_histogram_deltas_and_merge_roundtrip():
+    metrics.histogram("d.ms").observe(5.0)
+    before = metrics.histogram_states()
+    metrics.histogram("d.ms").observe(50.0)
+    metrics.histogram("e.ms").observe(1.0)
+    deltas = metrics.histogram_deltas(before)
+    assert set(deltas) == {"d.ms", "e.ms"}
+    assert deltas["d.ms"]["count"] == 1
+    assert deltas["d.ms"]["sum"] == 50.0
+    # Merging the deltas into a fresh registry reproduces the increment.
+    metrics.reset_metrics()
+    metrics.merge_histogram_deltas(deltas)
+    assert metrics.histogram("d.ms").count == 1
+    assert metrics.histogram("e.ms").count == 1
+
+
+def test_observe_duration_records_on_clean_exit_only():
+    with metrics.observe_duration("blk.ms"):
+        time.sleep(0.001)
+    assert metrics.histogram("blk.ms").count == 1
+    assert metrics.histogram("blk.ms").min >= 1.0
+    with pytest.raises(ValueError):
+        with metrics.observe_duration("blk.ms"):
+            raise ValueError("attempt, not a latency sample")
+    assert metrics.histogram("blk.ms").count == 1
+    obs.set_enabled(False)
+    with metrics.observe_duration("blk.ms"):
+        pass
+    assert metrics.histogram("blk.ms").count == 1
+
+
+# ----------------------------------------------------------- trace sampling
+
+
+def test_trace_sampling_is_a_deterministic_stride_over_roots():
+    obs.set_trace_sample(0.25)
+    for __ in range(8):
+        with obs.span("root"):
+            with obs.span("child"):
+                pass
+    spans = obs.get_tracer().spans()
+    roots = [s for s in spans if s.name == "root"]
+    children = [s for s in spans if s.name == "child"]
+    # A stride of 4 keeps exactly 2 of 8 consecutive roots, whatever the
+    # counter's phase — and children follow their root's fate, so every
+    # sampled trace is a complete tree.
+    assert len(roots) == 2
+    assert len(children) == 2
+    kept_ids = {s.span_id for s in roots}
+    assert all(c.parent_id in kept_ids for c in children)
+
+
+def test_sampling_never_gates_metrics():
+    obs.set_trace_sample(0.0)  # drop every trace
+    with obs.span("explain"):
+        with metrics.observe_duration("work.ms"):
+            pass
+    assert obs.get_tracer().spans() == []
+    assert metrics.histogram("work.ms").count == 1
+
+
+def test_span_cpu_time_diverges_from_wall_on_sleep():
+    with obs.span("sleepy"):
+        time.sleep(0.02)
+    (rec,) = obs.get_tracer().spans()
+    assert rec.wall_ms >= 20.0
+    assert rec.cpu_ms is not None and rec.cpu_ms < rec.wall_ms
+
+
+# --------------------------------------------------------------- run ledger
+
+
+def test_ledger_ring_and_file_roundtrip(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    led = obs.reset_ledger(str(path))
+    led.record({"kind": "explain", "wall_ms": 1.5})
+    led.record({"kind": "explain_batch", "wall_ms": 2.5})
+    rows = led.tail(10)
+    assert [r["kind"] for r in rows] == ["explain", "explain_batch"]
+    assert all("ts" in r for r in rows)
+    file_rows = [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+    assert file_rows == rows
+    assert len(led) == 2 and led.recorded == 2
+
+
+def test_ledger_ring_evicts_oldest():
+    led = obs.RunLedger(ring_size=2)
+    for k in range(3):
+        led.record({"k": k})
+    assert [r["k"] for r in led.tail(10)] == [1, 2]
+    assert led.recorded == 3
+
+
+def test_params_hash_stable_and_scalar_only():
+    class Cfg:
+        def __init__(self):
+            self.n_permutations = 100
+            self.seed = 3
+            self._model = object()  # private: excluded
+            self.background = np.zeros(4)  # non-scalar: excluded
+
+    a, b = obs.params_hash(Cfg()), obs.params_hash(Cfg())
+    assert a == b and re.fullmatch(r"[0-9a-f]{12}", a)
+    other = Cfg()
+    other.seed = 4
+    assert obs.params_hash(other) != a
+    assert obs.params_hash(object()) is None
+
+
+def test_explain_run_lands_in_ledger_and_histogram(loan_logistic, loan_data):
+    from repro.shapley import SamplingShapleyExplainer
+
+    led = obs.get_ledger()
+    explainer = SamplingShapleyExplainer(
+        loan_logistic, loan_data.X[:40], n_permutations=4, seed=0
+    )
+    explainer.explain(loan_data.X[0])
+    (row,) = led.tail(5)
+    assert row["kind"] == "explain"
+    assert row["status"] == "ok"
+    assert row["wall_ms"] > 0.0
+    assert row["model_calls"] > 0 and row["model_rows"] > 0
+    assert row["params_hash"]
+    assert row["n_features"] == loan_data.X.shape[1]
+    assert metrics.histogram("explain.wall_ms").count == 1
+
+
+def test_record_run_failure_is_swallowed_and_counted():
+    with obs.span("explain", explainer="unit") as sp:
+        pass
+    record_run(object(), explainer=None)  # no .attrs/.name: must not raise
+    assert metrics.counter("obs.internal_errors").value == 1
+    record_run(sp, explainer=None)
+    assert obs.get_ledger().tail(1)[0]["kind"] == "explain"
+
+
+# ------------------------------------------------------- profiling exports
+
+
+def test_phase_profile_self_times_partition_the_tree():
+    with obs.span("explain", explainer="unit"):
+        with obs.span("coalition_eval"):
+            time.sleep(0.02)
+        with obs.span("solve"):
+            pass
+    rows = {r["phase"]: r for r in obs.phase_profile()}
+    assert set(rows) == {"explain", "coalition_eval", "solve"}
+    root = rows["explain"]
+    spent = rows["coalition_eval"]["wall_ms"] + rows["solve"]["wall_ms"]
+    assert math.isclose(root["self_wall_ms"], root["wall_ms"] - spent,
+                        abs_tol=1e-9)
+    # The sleeping phase is wide in wall, thin in CPU.
+    assert rows["coalition_eval"]["cpu_ms"] < rows["coalition_eval"]["wall_ms"]
+    table = obs.phase_table()
+    assert table.splitlines()[0].startswith("phase")
+    assert "coalition_eval" in table
+
+
+def test_folded_stacks_and_render(tmp_path):
+    with obs.span("explain"):
+        with obs.span("coalition_eval"):
+            time.sleep(0.002)
+        with obs.span("coalition_eval"):
+            pass
+        with obs.span("solve"):
+            pass
+    folded = obs.folded_stacks()
+    assert set(folded) == {
+        "explain", "explain;coalition_eval", "explain;solve"
+    }
+    assert folded["explain;coalition_eval"] > 1.5  # both occurrences summed
+    rendered = obs.render_folded(folded)
+    for line in rendered.splitlines():
+        path, weight = line.rsplit(" ", 1)
+        assert int(weight) >= 0 and path
+    # The JSONL round trip renders identically.
+    out = tmp_path / "trace.jsonl"
+    obs.get_tracer().export(str(out))
+    assert obs.folded_from_jsonl(str(out)) == rendered
+    with pytest.raises(ValueError):
+        obs.folded_stacks(weight="bogus_ms")
+
+
+# ------------------------------------------------- the exposition endpoint
+
+
+_SAMPLE_LINE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{le="([^"]+)"\})? (\S+)$'
+)
+
+
+def _parse_exposition(body: str) -> dict[str, list[tuple[str | None, float]]]:
+    """{metric name: [(le label or None, value)]}; asserts the grammar."""
+    series: dict[str, list[tuple[str | None, float]]] = {}
+    for line in body.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert re.match(r"^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ", line
+                            ), line
+            continue
+        m = _SAMPLE_LINE.match(line)
+        assert m, f"unparseable exposition line: {line!r}"
+        name, le, raw = m.groups()
+        value = float("inf") if raw == "+Inf" else float(raw)
+        series.setdefault(name, []).append((le, value))
+    return series
+
+
+def _get(host: str, port: int, route: str) -> tuple[int, str]:
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{route}", timeout=10
+    ) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def test_metrics_endpoint_serves_valid_prometheus():
+    metrics.counter("model.calls").inc(3)
+    metrics.gauge("exec.utilization").set(0.75)
+    h = metrics.histogram("explain.wall_ms")
+    for v in (12.0, 180.0, 950.0, 40.0):
+        h.observe(v)
+    host, port = obs.start_metrics_server(port=0)
+    try:
+        status, body = _get(host, port, "/metrics")
+    finally:
+        obs.stop_metrics_server()
+    assert status == 200
+    series = _parse_exposition(body)
+    assert series["repro_model_calls"] == [(None, 3.0)]
+    assert series["repro_exec_utilization"] == [(None, 0.75)]
+    buckets = series["repro_explain_wall_ms_bucket"]
+    # Cumulative, le-sorted, ending at +Inf == _count.
+    les = [float("inf") if le == "+Inf" else float(le) for le, __ in buckets]
+    counts = [v for __, v in buckets]
+    assert les == sorted(les) and les[-1] == float("inf")
+    assert counts == sorted(counts) and counts[-1] == 4.0
+    assert series["repro_explain_wall_ms_count"] == [(None, 4.0)]
+    assert math.isclose(series["repro_explain_wall_ms_sum"][0][1], 1182.0)
+    p50 = series["repro_explain_wall_ms_p50"][0][1]
+    p95 = series["repro_explain_wall_ms_p95"][0][1]
+    p99 = series["repro_explain_wall_ms_p99"][0][1]
+    assert p50 <= p95 <= p99 <= 950.0
+
+
+def test_health_and_ledger_tail_endpoints():
+    led = obs.get_ledger()
+    led.record({"kind": "explain", "wall_ms": 3.0})
+    led.record({"kind": "explain", "wall_ms": 4.0})
+    host, port = obs.start_metrics_server(port=0)
+    try:
+        status, body = _get(host, port, "/health")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["obs_enabled"] is True
+        assert health["ledger_rows"] == 2
+        assert health["internal_errors"] == 0
+        assert health["trace_sample"] == 1.0
+        status, body = _get(host, port, "/ledger/tail?n=1")
+        assert status == 200
+        rows = [json.loads(line) for line in body.splitlines() if line]
+        assert len(rows) == 1 and rows[0]["wall_ms"] == 4.0
+        with pytest.raises(urllib.error.HTTPError):
+            _get(host, port, "/nope")
+        # Idempotent start: a second call reuses the running server.
+        assert obs.start_metrics_server() == (host, port)
+        assert obs.metrics_server_address() == (host, port)
+    finally:
+        obs.stop_metrics_server()
+    assert obs.metrics_server_address() is None
+
+
+# ------------------------------------------------------- summary + bench
+
+
+def test_summary_footer_flags_internal_errors():
+    with obs.span("explain", explainer="unit"):
+        pass
+    assert "WARNING" not in obs.summary()
+    metrics.counter("obs.internal_errors").inc()
+    text = obs.summary()
+    assert "obs.internal_errors=1" in text
+    assert obs.internal_errors() == 1
+
+
+def test_cli_trace_fails_when_instrumentation_swallows(tmp_path, capsys,
+                                                       monkeypatch):
+    from repro import cli
+    from repro.obs import ledger as ledger_mod
+
+    def broken_ledger():
+        raise RuntimeError("ledger sink down")
+
+    monkeypatch.setattr(ledger_mod, "get_ledger", broken_ledger)
+    rc = cli.main(
+        ["trace", "--out", str(tmp_path / "t.jsonl"), "demo",
+         "--instance", "1"]
+    )
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "WARNING" in captured.out + captured.err
+    assert "obs.internal_errors" in captured.out + captured.err
+
+
+def test_bench_payloads_carry_schema_and_git_provenance(tmp_path):
+    sha = bench.git_sha()
+    assert sha is None or re.fullmatch(r"[0-9a-f]{4,40}", sha)
+    json_path = bench.write_benchmark_result(
+        str(tmp_path), "E99_provenance", ["row one"], wall_s=1.0
+    )
+    payload = json.loads(open(json_path, encoding="utf-8").read())
+    assert payload["schema_version"] == bench.SCHEMA_VERSION
+    assert payload["git_sha"] == sha
+    summary_path = tmp_path / "SUMMARY.json"
+    bench.update_bench_summary(str(summary_path), "E99_provenance",
+                               {"wall_s": 1.0})
+    merged = json.loads(summary_path.read_text(encoding="utf-8"))
+    assert merged["schema_version"] == bench.SCHEMA_VERSION
+    assert merged["git_sha"] == sha
+    assert merged["experiments"]["E99_provenance"]["wall_s"] == 1.0
