@@ -91,12 +91,15 @@ def _latency_quantiles(before: dict) -> dict | None:
     }
 
 
-def emit(experiment: str, lines: list[str], data=None) -> None:
+def emit(experiment: str, lines: list[str], data=None, summary=None) -> None:
     """Print a result table and persist it under benchmarks/results/.
 
     ``data`` optionally carries the structured rows behind the formatted
     table (any JSON-serializable value); it lands verbatim in the
-    experiment's ``.json`` record.
+    experiment's ``.json`` record. ``summary`` optionally adds flat
+    headline numbers (e.g. speedup ratios) to the experiment's
+    ``BENCH_summary.json`` entry, where ``scripts/bench_compare.py``
+    floors can guard them.
     """
     banner = f"==== {experiment} ===="
     print()
@@ -138,6 +141,7 @@ def emit(experiment: str, lines: list[str], data=None) -> None:
             "wall_s": None if wall_s is None else round(wall_s, 6),
             **counters,
             **(latency or {}),
+            **(summary or {}),
             "result_json": os.path.relpath(
                 json_path, os.path.dirname(BENCH_SUMMARY)
             ),

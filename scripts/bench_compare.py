@@ -22,7 +22,15 @@ benchmark cannot silently escape the guard forever. The perf-sensitive
 experiments guarded by default are the Shapley hot paths: E2 (kernel
 convergence), E3 (TreeSHAP speed), E37 (the coalition engine itself),
 E38 (fault-tolerance overhead), E39 (the games layer), E40 (the process
-backend) and E41 (telemetry overhead).
+backend), E41 (telemetry overhead) and E42 (amortized batch
+explanation).
+
+Beyond wall-time ratios against the baseline, the guard also enforces
+**absolute speedup floors** (``FLOORS``) on headline ratios the
+benchmarks publish into their summary entries: E42's amortized batch
+paths must stay ≥3× their per-row loops regardless of what the baseline
+recorded — an eroding speedup is a regression even when wall time drifts
+slowly enough to duck the relative check.
 
 Exit status 0 when clean, 1 with a listing otherwise. Enforced in tier-1
 via ``tests/test_obs_lint_and_bench.py``, alongside ``check_no_print.py``.
@@ -58,8 +66,17 @@ TOLERANCES: dict = {
     "E39_games_layer": {"min_delta_s": 1.0},
     "E40_process_backend": {"min_delta_s": 1.0, "min_delta_p95_ms": 1000.0},
     "E41_telemetry_overhead": {"min_delta_s": 1.0},
+    "E42_amortized_batch": {"min_delta_s": 1.0},
 }
 GUARDED_EXPERIMENTS = tuple(TOLERANCES)
+
+# Absolute floors on headline ratios published by the benchmarks into
+# BENCH_summary.json (via conftest emit(summary=...)). Checked on the
+# fresh summary only — no baseline needed — and skipped when the
+# experiment (or the key) was not freshly run.
+FLOORS: dict = {
+    "E42_amortized_batch": {"sampling_speedup": 3.0, "tree_speedup": 3.0},
+}
 MAX_REGRESSION = 0.25
 MIN_DELTA_S = 0.75
 P95_MAX_REGRESSION = 0.50
@@ -129,6 +146,27 @@ def regressions(
     return found
 
 
+def floor_shortfalls(fresh: dict, floors: dict | None = None) -> list[str]:
+    """Headline ratios that fell below their absolute floor.
+
+    Floors bind whenever the experiment was freshly run and recorded the
+    keyed ratio; a missing experiment or key is skipped (the benchmarks
+    are not part of tier-1), so this degrades exactly like the relative
+    guard on checkouts that never ran the suite.
+    """
+    found: list[str] = []
+    for experiment, keys in sorted((floors or FLOORS).items()):
+        entry = fresh.get(experiment) or {}
+        for key, floor in sorted(keys.items()):
+            value = entry.get(key)
+            if value is not None and value < floor:
+                found.append(
+                    f"{experiment}: {key} {value:.2f} below the "
+                    f"{floor:.1f}x floor"
+                )
+    return found
+
+
 def missing_baselines(baseline: dict, fresh: dict,
                       experiments=GUARDED_EXPERIMENTS) -> list[str]:
     """Guarded experiments with fresh timings but no committed baseline.
@@ -172,6 +210,7 @@ def main(argv: list[str] | None = None) -> int:
         max_regression=args.max_regression,
         min_delta_s=args.min_delta_s,
     )
+    found.extend(floor_shortfalls(fresh))
     if found:
         sys.stderr.write(
             "benchmark wall-time regressions vs committed baseline "

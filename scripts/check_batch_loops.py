@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Lint: forbid per-row ``explain()`` loops in library code.
+
+PR 7's amortized batch path only pays off if callers actually go through
+``explain_batch``: a shared coalition plan is drawn once per batch, the
+TreeSHAP precompute is reused across rows, and fused model calls replace
+per-row re-sampling. The failure mode this lint guards against is the
+easy regression — a new aggregation helper writing
+``for x in X: explainer.explain(x)`` and silently forfeiting the
+amortization (plus its ``coalition.plan.*`` telemetry).
+
+Detection is AST-based: any ``<something>.explain(...)`` call whose
+enclosing statement sits inside a ``for``/``while`` loop or a
+comprehension is an offence. Nested function definitions reset the
+search (a worker callable *defined* in a loop is dispatch machinery, not
+a per-row loop). Legitimate per-row sites opt out with a trailing
+``# batch: allow`` on the call line or on the loop header line — the
+marker is reserved for loops the batch path cannot serve: stability
+sweeps that vary the seed per run, metrics that need per-row companion
+computations, and the sanctioned per-row fallback itself.
+
+Scope is ``src/repro`` only; tests, benchmarks and examples may loop
+freely. Exit status 0 when clean, 1 with a ``path:line reason`` listing
+otherwise. Enforced in tier-1 via ``scripts/run_tier1.sh``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+ALLOW_MARKER = "# batch: allow"
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _explain_calls(node: ast.AST):
+    """``(line, col)`` of each ``*.explain(...)`` call under ``node``,
+    not descending into nested function definitions (fresh loop scope).
+    """
+    stack = [node]
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, _FUNCTIONS):
+            continue
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "explain"
+        ):
+            yield sub.func.lineno
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+def find_violations(path: str) -> list[tuple[int, str]]:
+    """``(line, reason)`` pairs for one Python file."""
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+
+    def allowed(line: int) -> bool:
+        return line <= len(lines) and ALLOW_MARKER in lines[line - 1]
+
+    out: set[tuple[int, str]] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, _LOOPS):
+            header, bodies = node.lineno, node.body + node.orelse
+        elif isinstance(node, _COMPREHENSIONS):
+            header, bodies = node.lineno, [node]
+        else:
+            continue
+        for body in bodies:
+            for line in _explain_calls(body):
+                if allowed(line) or allowed(header):
+                    continue
+                out.add((
+                    line,
+                    "per-row explain() inside a loop "
+                    f"(loop at line {header}); use explain_batch so the "
+                    "amortized path (shared plans, tree precompute) "
+                    "applies",
+                ))
+    return sorted(out)
+
+
+def offenders(root: str) -> list[str]:
+    """All ``path:line reason`` offences under ``root``."""
+    out: list[str] = []
+    for dirpath, __, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            out.extend(
+                f"{path}:{line} {reason}"
+                for line, reason in find_violations(path)
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    default_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+        "repro",
+    )
+    root = argv[0] if argv else default_root
+    found = offenders(root)
+    if found:
+        sys.stderr.write(
+            "per-row explain() loop found (route batches through "
+            "explain_batch, or mark a loop the amortized path cannot "
+            f"serve with `{ALLOW_MARKER}`):\n"
+        )
+        for offence in found:
+            sys.stderr.write(f"  {offence}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

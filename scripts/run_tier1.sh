@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Tier-1 gate, runnable locally and in CI: the full test suite, the
-# three source lints, and the benchmark wall-time regression guard.
+# source lints, and the benchmark wall-time regression guard.
 # Referenced from ROADMAP.md ("Tier-1 verify"); exits non-zero on the
 # first failing step.
 set -eu
@@ -23,6 +23,9 @@ python scripts/check_no_bespoke_shapley.py
 
 echo "== tier-1: lint (metric names + blessed timing) =="
 python scripts/check_metric_names.py
+
+echo "== tier-1: lint (no per-row explain loops) =="
+python scripts/check_batch_loops.py
 
 echo "== tier-1: benchmark regression guard =="
 python scripts/bench_compare.py

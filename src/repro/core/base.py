@@ -42,13 +42,37 @@ from ..exec import map_shards, plan_shards, resolve_backend, resolve_n_procs
 from ..obs import metrics
 from ..obs.instrument import instrument_explainer
 from ..obs.metrics import meter_predict_fn
+from ..obs.trace import current_span
 from ..robust.errors import BatchRowError, InputValidationError, PartialBatchError
-from ..robust.guard import GuardConfig, guard_predict_fn, guard_scope
+from ..robust.guard import (
+    GuardConfig,
+    guard_predict_fn,
+    guard_scope,
+    resolve_deadline_s,
+    resolve_query_budget,
+)
 from .explanation import FeatureAttribution
 
 __all__ = ["as_predict_fn", "Explainer", "AttributionExplainer", "resolve_n_jobs"]
 
 _ROWS_FAILED = "robust.rows_failed"
+_PLAN_FALLBACKS = "coalition.plan.fallbacks"
+
+
+def _budgets_configured(guard) -> bool:
+    """Whether a guard deadline or model-query budget is in force.
+
+    The amortized batch path evaluates many rows inside one guard
+    scope, which would silently convert per-*row* budgets into a
+    per-*batch* budget; explainers with an active deadline or query
+    budget therefore keep the per-row loop, whose scope-per-row
+    semantics the robust tests pin down.
+    """
+    cfg = guard if isinstance(guard, GuardConfig) else None
+    return (
+        resolve_deadline_s(cfg.deadline_s if cfg else None) is not None
+        or resolve_query_budget(cfg.query_budget if cfg else None) is not None
+    )
 
 
 def resolve_n_jobs(n_jobs: int | None = None) -> int:
@@ -222,6 +246,19 @@ class AttributionExplainer(Explainer):
         result list, and any failure raises
         :class:`repro.robust.PartialBatchError` carrying the same
         partial results. Failed rows increment ``robust.rows_failed``.
+
+        Amortization: explainers implementing the ``_amortized_context``
+        / ``_amortized_rows`` hook pair (the sampling/kernel/QII/
+        conditional SHAP family) serve the whole batch from one shared
+        :class:`repro.games.plan.CoalitionPlan` — bitwise-identical
+        seeded attributions without per-row re-sampling. The fused path
+        is skipped in favour of the per-row loop (``amortized=False`` on
+        the batch span) when ``REPRO_BATCH_PLAN=0``, when the batch has
+        a single row, when extra ``explain`` kwargs beyond
+        ``feature_names`` are passed, or when guard deadlines/query
+        budgets are configured (those are per-row semantics the fused
+        path cannot honour); a mid-fuse failure increments
+        ``coalition.plan.fallbacks`` and falls back to the loop.
         """
         try:
             X = np.atleast_2d(np.asarray(X, dtype=float))
@@ -237,6 +274,10 @@ class AttributionExplainer(Explainer):
         n_jobs = resolve_n_jobs(n_jobs)
         if backend_name == "thread":
             n_jobs = max(n_jobs, resolve_n_procs(n_procs))
+
+        results = self._try_amortized(X, backend_name, n_jobs, n_procs, kwargs)
+        if results is not None:
+            return (results, []) if return_errors else results
 
         def run_row(i: int, x: np.ndarray):
             try:
@@ -263,6 +304,85 @@ class AttributionExplainer(Explainer):
             return results, errors
         if errors:
             raise PartialBatchError(partial=results, errors=errors)
+        return results
+
+    def _try_amortized(self, X, backend_name, n_jobs, n_procs, kwargs):
+        """Run the shared-plan batch path if eligible, else ``None``.
+
+        Eligibility gates keep the fused path strictly
+        behaviour-preserving; any exception inside it counts a
+        ``coalition.plan.fallbacks`` and yields the per-row loop. The
+        ambient batch span gets an ``amortized`` attribute either way.
+        """
+        # Deferred import: repro.games imports the engine/exec layers at
+        # package-init time, so a module-level import here would cycle.
+        from ..games.plan import resolve_batch_plan
+
+        amortized = False
+        results = None
+        if (
+            X.shape[0] >= 2
+            and hasattr(self, "_amortized_rows")
+            and set(kwargs) <= {"feature_names"}
+            and resolve_batch_plan()
+            and self._amortized_supported()
+            and not _budgets_configured(self.guard_config)
+        ):
+            try:
+                results = self._run_amortized(
+                    X, backend_name, n_jobs, n_procs, **kwargs
+                )
+                amortized = True
+            except Exception:
+                metrics.counter(_PLAN_FALLBACKS).inc()
+                results = None
+        sp = current_span()
+        if sp is not None:
+            sp.set_attr("amortized", amortized)
+        return results
+
+    def _amortized_supported(self) -> bool:
+        """Explainer-specific veto for the amortized path (default: on)."""
+        return True
+
+    def _run_amortized(self, X, backend_name, n_jobs, n_procs, **kwargs):
+        """Shared-plan batch execution: one context, row-sharded evaluation.
+
+        ``_amortized_context`` builds everything row-independent (the
+        coalition plan, precomputed structures) parent-side exactly
+        once; ``_amortized_rows`` then evaluates a contiguous row range
+        against it. On the process backend the context ships to forked
+        workers via copy-on-write memory — once per worker, not per
+        shard — and the thread backend shares it in-process.
+        """
+        ctx = self._amortized_context(X, **kwargs)
+        n_rows = X.shape[0]
+        if backend_name == "serial" and n_jobs > 1:
+            backend_name = "thread"
+            workers = n_jobs
+        elif backend_name != "serial":
+            workers = max(resolve_n_procs(n_procs), n_jobs)
+        else:
+            workers = 1
+        if backend_name == "serial" or workers < 2:
+            return self._amortized_rows(X, 0, n_rows, ctx, **kwargs)
+        plan = plan_shards(n_rows, workers)
+        if plan.n_shards < 2:
+            return self._amortized_rows(X, 0, n_rows, ctx, **kwargs)
+
+        def run_shard(bounds):
+            lo, hi = bounds
+            return self._amortized_rows(X, lo, hi, ctx, **kwargs)
+
+        outcomes = map_shards(
+            run_shard, list(plan.slices), backend=backend_name,
+            n_procs=workers, split_scope=False,
+        )
+        results = []
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise outcome.error
+            results.extend(outcome.value)
         return results
 
     def _run_batch_process(self, X, run_row, n_procs):

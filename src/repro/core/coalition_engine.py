@@ -288,6 +288,73 @@ class CoalitionEngine:
         sp.set_attr("n_chunks", n_chunks)
         return values
 
+    def batch_value_matrix(
+        self,
+        model_fn: Callable[[np.ndarray], np.ndarray],
+        X: np.ndarray,
+        coalitions: np.ndarray,
+    ) -> np.ndarray:
+        """Fused ``v(S)`` over a batch of instances × shared coalitions.
+
+        Returns a ``(n_instances, n_coalitions)`` matrix: entry
+        ``[r, c]`` is the mean model output over the background with
+        coalition ``c`` fixed to instance ``r`` — exactly what
+        ``value_function(model_fn, X[r])(coalitions)[c]`` computes, but
+        evaluated as one flattened ``instance × coalition`` grid so
+        chunks can span row boundaries and small per-row mask sets no
+        longer pay one model call each. Each coalition block is averaged
+        over its own background rows only, so values are bitwise
+        independent of the chunk geometry (the same invariant
+        :func:`batched_predict` relies on); the amortized
+        ``explain_batch`` parity tests assert this against the per-row
+        path. Callers pass pre-deduplicated coalitions (a
+        :class:`repro.games.plan.CoalitionPlan`); no value cache is
+        consulted here.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))
+        n_rows, n_c = X.shape[0], coalitions.shape[0]
+        n_b = self.n_background
+        total = n_rows * n_c
+        per_chunk = max(1, self.max_batch_rows // n_b)
+        out = np.empty(total, dtype=float)
+        with span(
+            "coalition_eval", n_coalitions=total, n_background=n_b,
+            fused_rows=n_rows,
+        ) as sp:
+            n_chunks = 0
+            for start in range(0, total, per_chunk):
+                stop = min(start + per_chunk, total)
+                slots = np.arange(start, stop)
+                row_ids = slots // n_c
+                coal_ids = slots - row_ids * n_c
+                with metrics.observe_duration("coalition.chunk_ms"):
+                    rows = np.where(
+                        coalitions[coal_ids][:, None, :],
+                        X[row_ids][:, None, :],
+                        self.background[None, :, :],
+                    ).reshape((stop - start) * n_b, X.shape[1])
+                    attempt = 0
+                    while True:
+                        try:
+                            preds = np.asarray(
+                                model_fn(rows), dtype=float
+                            ).ravel()
+                            break
+                        except ModelEvaluationError:
+                            attempt += 1
+                            if attempt > self.chunk_retries:
+                                raise
+                            metrics.counter(_CHUNK_RETRIES).inc()
+                    out[start:stop] = preds.reshape(
+                        stop - start, n_b
+                    ).mean(axis=1)
+                n_chunks += 1
+            sp.set_attr("chunk_coalitions", per_chunk)
+            sp.set_attr("chunk_rows", per_chunk * n_b)
+            sp.set_attr("n_chunks", n_chunks)
+        return out.reshape(n_rows, n_c)
+
     def value_function(
         self,
         model_fn: Callable[[np.ndarray], np.ndarray],

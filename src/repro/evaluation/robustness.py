@@ -33,7 +33,7 @@ def _perturbed_attributions(
         delta = rng.uniform(-radius, radius, x.shape[0])
         neighbor = x + delta
         values = np.asarray(
-            explainer.explain(neighbor, **explain_kwargs).values
+            explainer.explain(neighbor, **explain_kwargs).values  # batch: allow
         )
         pairs.append((neighbor, values))
     return base, pairs

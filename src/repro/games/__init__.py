@@ -23,15 +23,25 @@ from .adapters import (
     sample_topological_order,
 )
 from .base import BaseGame, FunctionGame, Game, as_game, walk_masks
-from .engine import game_value_function
+from .engine import amortized_plan_values, game_value_function
 from .estimators import (
+    EstimatorState,
     PermutationEstimate,
     all_coalitions,
     exact_enumeration,
     kernel_wls_estimator,
     permutation_estimator,
     shapley_kernel_weight,
+    solve_kernel_wls,
     stratified_estimator,
+)
+from .plan import (
+    CoalitionPlan,
+    kernel_plan,
+    mean_walks_reduce,
+    permutation_plan,
+    resolve_batch_plan,
+    shared_plan,
 )
 
 __all__ = [
@@ -41,6 +51,15 @@ __all__ = [
     "as_game",
     "walk_masks",
     "game_value_function",
+    "amortized_plan_values",
+    "CoalitionPlan",
+    "resolve_batch_plan",
+    "permutation_plan",
+    "kernel_plan",
+    "shared_plan",
+    "mean_walks_reduce",
+    "EstimatorState",
+    "solve_kernel_wls",
     "PermutationEstimate",
     "all_coalitions",
     "exact_enumeration",

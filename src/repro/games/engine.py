@@ -32,6 +32,15 @@ instead of mask alone: their randomness is keyed to the batch row (the
 interventional SCM value function seeds ``seed + row``), so the same
 mask at the same walk position is deterministic — and cacheable —
 while masks at different positions stay distinct.
+
+The amortized ``explain_batch`` path (PR 7) evaluates a shared
+:class:`repro.games.plan.CoalitionPlan` instead of re-sampling per row:
+masking-family explainers go through
+:meth:`repro.core.coalition_engine.CoalitionEngine.batch_value_matrix`
+(one fused ``batch × coalitions`` grid), and game-shaped value
+functions without an engine go through :func:`amortized_plan_values`
+here — one ``coalition_eval`` span per row covering every unique mask
+the whole walk schedule visits.
 """
 
 from __future__ import annotations
@@ -62,9 +71,30 @@ from ..robust.guard import (
 )
 from .base import as_game
 
-__all__ = ["game_value_function"]
+__all__ = ["game_value_function", "amortized_plan_values"]
 
 _CHUNK_RETRIES = "robust.chunk_retries"
+
+
+def amortized_plan_values(value_fn, plan) -> np.ndarray:
+    """Evaluate one row's value function over a plan's unique coalitions.
+
+    The fused counterpart of calling ``value_fn`` once per walk: every
+    distinct mask the plan's walk schedule visits is evaluated in a
+    single batched call (the value function's own internal batching —
+    e.g. the conditional explainer's stacked neighbor blocks — then
+    collapses the whole schedule into O(1) model calls). Per-mask
+    values are bitwise-identical to the per-walk path because each
+    mask's value never depends on what else is in the batch.
+    """
+    masks = plan.unique_masks
+    with span(
+        "coalition_eval", n_coalitions=masks.shape[0], game="plan",
+        amortized=True,
+    ) as sp:
+        vals = np.asarray(value_fn(masks), dtype=float).ravel()
+        sp.set_attr("plan_kind", plan.kind)
+    return vals
 
 
 def _evaluate_chunk(game, positions, masks, guarded, rows_per, chunk_retries):

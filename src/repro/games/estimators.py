@@ -61,11 +61,13 @@ from .base import as_game, walk_masks
 from .engine import game_value_function
 
 __all__ = [
+    "EstimatorState",
     "PermutationEstimate",
     "all_coalitions",
     "exact_enumeration",
     "permutation_estimator",
     "kernel_wls_estimator",
+    "solve_kernel_wls",
     "stratified_estimator",
     "shapley_kernel_weight",
 ]
@@ -255,6 +257,67 @@ def exact_enumeration(
 
 
 @dataclass
+class EstimatorState:
+    """Resumable accumulation state of :func:`permutation_estimator`.
+
+    An anytime-estimation handle: every estimate carries the state it
+    ended in (``PermutationEstimate.state``), and passing it back via
+    ``permutation_estimator(resume_state=...)`` continues the walk
+    sequence from ``n_walks`` instead of restarting — the already-drawn
+    permutations are re-drawn from the same seeded stream (cheap) and
+    skipped, so a budget-exhausted partial estimate topped up to the
+    full walk budget is **bitwise-identical** to an uninterrupted run.
+
+    ``params`` pins what must match on resume (player count, seed,
+    antithetic pairing, aggregation mode, position/truncation flavour);
+    a mismatch raises ``ValueError`` rather than silently mixing
+    incompatible walk streams. ``to_dict``/``from_dict`` round-trip the
+    state through JSON-safe plain types for persistence across
+    processes or runs.
+    """
+
+    n_walks: int
+    aggregate: str
+    contributions: list = field(default_factory=list)
+    sums: np.ndarray | None = None
+    counts: np.ndarray | None = None
+    truncated_at: list = field(default_factory=list)
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_walks": int(self.n_walks),
+            "aggregate": self.aggregate,
+            "contributions": [np.asarray(c).tolist() for c in self.contributions],
+            "sums": None if self.sums is None else np.asarray(self.sums).tolist(),
+            "counts": (
+                None if self.counts is None else np.asarray(self.counts).tolist()
+            ),
+            "truncated_at": [int(t) for t in self.truncated_at],
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EstimatorState":
+        return cls(
+            n_walks=int(d["n_walks"]),
+            aggregate=d["aggregate"],
+            contributions=[np.asarray(c, dtype=float)
+                           for c in d.get("contributions", [])],
+            sums=(
+                None if d.get("sums") is None
+                else np.asarray(d["sums"], dtype=float)
+            ),
+            counts=(
+                None if d.get("counts") is None
+                else np.asarray(d["counts"], dtype=float)
+            ),
+            truncated_at=list(d.get("truncated_at", [])),
+            params=dict(d.get("params", {})),
+        )
+
+
+@dataclass
 class PermutationEstimate:
     """Result of :func:`permutation_estimator`.
 
@@ -264,12 +327,15 @@ class PermutationEstimate:
     ``diagnostics`` always carries the PR 3 convergence contract
     (``converged``/``n_walks_completed``/``n_walks_requested``/
     ``budget_error``) plus ``mean_truncation_position`` when truncation
-    was active.
+    was active. ``state`` is the resumable accumulation handle —
+    feed it back as ``resume_state=`` (typically after a budget
+    interruption, with a larger or replenished budget) to continue.
     """
 
     values: np.ndarray
     std_err: np.ndarray | None
     diagnostics: dict = field(default_factory=dict)
+    state: EstimatorState | None = None
 
 
 def permutation_estimator(
@@ -291,6 +357,7 @@ def permutation_estimator(
     backend: str | None = None,
     n_shards: int | None = None,
     n_procs: int | None = None,
+    resume_state: EstimatorState | dict | None = None,
 ) -> PermutationEstimate:
     """Estimate Shapley values (or semivalues) from permutation walks.
 
@@ -343,6 +410,20 @@ def permutation_estimator(
     walks up to the first exhausted shard (serial-style prefix
     semantics — walks a later shard completed are dropped rather than
     leaving holes in the accumulation order).
+
+    Resumption: ``resume_state=`` (an :class:`EstimatorState` or its
+    ``to_dict`` form, usually taken from a previous call's
+    ``PermutationEstimate.state``) restores the accumulated walks and
+    continues the *same* seeded walk sequence — completed batches are
+    re-drawn from the stream and skipped, a half-finished antithetic
+    pair resumes at its second walk, and the final estimate is
+    bitwise-identical to an uninterrupted run with the same total walk
+    budget, on serial and sharded backends alike. Resuming requires the
+    same design parameters (players, seed, antithetic, aggregate,
+    weighting/truncation flavour); a mismatch raises ``ValueError``.
+    Resume is only meaningful with the seeded stream — passing an
+    explicit ``rng`` together with ``resume_state`` is rejected because
+    the skipped draws could not be replayed from it.
     """
     if aggregate not in ("mean_walks", "sum_counts"):
         raise ValueError(
@@ -356,6 +437,11 @@ def permutation_estimator(
         if walk_fn is not None
         else game_value_function(game, cache=cache, max_batch_rows=max_batch_rows)
     )
+    if rng is not None and resume_state is not None:
+        raise ValueError(
+            "resume_state requires the seeded stream; an explicit rng "
+            "cannot replay the draws the completed walks consumed"
+        )
     rng = rng if rng is not None else np.random.default_rng(seed)
     sampler = permutation_sampler or getattr(game, "permutation_sampler", None)
     if sampler is None:
@@ -374,6 +460,23 @@ def permutation_estimator(
     pair = antithetic and n_permutations > 1
     n_batches = n_permutations // 2 if pair else n_permutations
     walks_per_batch = 2 if pair else 1
+
+    params = {
+        "n_players": n,
+        "seed": seed,
+        "antithetic": bool(antithetic),
+        "aggregate": aggregate,
+        "weighted": position_weights is not None,
+        "truncating": bool(truncating),
+    }
+    if isinstance(resume_state, dict):
+        resume_state = EstimatorState.from_dict(resume_state)
+    if resume_state is not None:
+        if resume_state.params and resume_state.params != params:
+            raise ValueError(
+                f"resume_state was produced under {resume_state.params}, "
+                f"cannot continue with {params}"
+            )
 
     def run_walk(p):
         """One walk → ``(contrib, local_counts, scanned)`` — the exact
@@ -409,6 +512,16 @@ def permutation_estimator(
     counts = np.zeros(n)
     truncated_at: list[int] = []
     n_walks = 0
+    start_walks = 0
+    if resume_state is not None:
+        start_walks = n_walks = int(resume_state.n_walks)
+        contributions = [np.asarray(c, dtype=float)
+                         for c in resume_state.contributions]
+        if resume_state.sums is not None:
+            sums = np.asarray(resume_state.sums, dtype=float).copy()
+        if resume_state.counts is not None:
+            counts = np.asarray(resume_state.counts, dtype=float).copy()
+        truncated_at = list(resume_state.truncated_at)
     budget_error: BudgetExceededError | None = None
     # Per-walk convergence stream: each accumulated walk observes the
     # largest per-player shift of the running estimate into the
@@ -419,6 +532,14 @@ def permutation_estimator(
     # is off.
     telemetry = _obs_enabled()
     running = np.zeros(n)
+    if telemetry and n_walks:
+        # Resumed estimates re-enter the step-delta stream at the
+        # estimate they left off with, not at zero.
+        running = (
+            np.stack(contributions).mean(axis=0)
+            if aggregate == "mean_walks"
+            else sums / np.maximum(counts, min_count)
+        )
     if telemetry:
         # Resolve the metric objects once, outside the per-walk path: the
         # registry lookup takes a lock, and accumulate runs per walk.
@@ -445,18 +566,34 @@ def permutation_estimator(
             running = estimate
 
     backend_name = resolve_backend(backend)
-    sharded = walk_fn is None and _shard_eligible(game, backend_name, n_batches)
+    # Actual walks per executed batch (a lone antithetic permutation
+    # still runs both directions, whatever the diagnostics contract
+    # calls a "requested" walk), so resume lands on the right batch.
+    skip_batches, mid_walks = divmod(start_walks, 2 if antithetic else 1)
+    sharded = walk_fn is None and _shard_eligible(
+        game, backend_name, n_batches - skip_batches
+    )
     if sharded:
         budget_error = _run_sharded_walks(
             run_walk, accumulate, sampler, rng, game, value_fn,
             n_batches, antithetic, backend_name, n_shards, n_procs, seed,
+            start_walks=start_walks,
         )
         if budget_error is not None and n_walks == 0:
             raise budget_error
     else:
-        for __ in range(n_batches):
+        for b in range(n_batches):
+            # Draw every batch's permutation — including ones a resumed
+            # state already completed — so the stream stays in the exact
+            # serial order; only the walk evaluation is skipped.
             perm = sampler(rng)
+            if b < skip_batches:
+                continue
             perms = [perm, perm[::-1]] if antithetic else [perm]
+            if b == skip_batches and mid_walks:
+                # A half-finished antithetic pair: its first walk is
+                # already accumulated, resume at the reverse.
+                perms = perms[mid_walks:]
             try:
                 for p in perms:
                     accumulate(*run_walk(p))
@@ -474,19 +611,29 @@ def permutation_estimator(
     }
     if truncated_at:
         diagnostics["mean_truncation_position"] = float(np.mean(truncated_at))
+    state = EstimatorState(
+        n_walks=n_walks,
+        aggregate=aggregate,
+        contributions=list(contributions),
+        sums=sums if aggregate == "sum_counts" else None,
+        counts=counts if aggregate == "sum_counts" else None,
+        truncated_at=list(truncated_at),
+        params=params,
+    )
     if aggregate == "mean_walks":
         stacked = np.stack(contributions)
         phi = stacked.mean(axis=0)
         std_err = stacked.std(axis=0, ddof=1) / np.sqrt(stacked.shape[0]) \
             if stacked.shape[0] > 1 else np.zeros(n)
-        return PermutationEstimate(phi, std_err, diagnostics)
+        return PermutationEstimate(phi, std_err, diagnostics, state)
     phi = sums / np.maximum(counts, min_count)
-    return PermutationEstimate(phi, None, diagnostics)
+    return PermutationEstimate(phi, None, diagnostics, state)
 
 
 def _run_sharded_walks(
     run_walk, accumulate, sampler, rng, game, value_fn,
     n_batches, antithetic, backend_name, n_shards, n_procs, seed,
+    start_walks=0,
 ):
     """Shard the permutation walks; returns the budget error, if any.
 
@@ -501,10 +648,22 @@ def _run_sharded_walks(
     accumulation stops at the first exhausted shard (prefix semantics),
     but cache/utility state from *all* completed shards still merges —
     that work really happened and the counters should say so.
+
+    Resume (``start_walks`` > 0): the full permutation stream is still
+    drawn, but only the batches after the resumed walk count are
+    sharded and evaluated — a half-finished antithetic pair's remaining
+    walk runs in the first shard. Per-walk results are independent of
+    the shard partition, so resuming re-joins the serial walk order
+    bitwise no matter how the remaining batches split.
     """
+    walks_per_batch = 2 if antithetic else 1
+    skip_batches, mid_walks = divmod(start_walks, walks_per_batch)
     perms = [sampler(rng) for __ in range(n_batches)]
+    remaining = n_batches - skip_batches
+    if remaining <= 0:
+        return None
     plan = plan_shards(
-        n_batches,
+        remaining,
         n_shards if n_shards is not None else resolve_n_procs(n_procs),
         seed=seed,
     )
@@ -520,11 +679,14 @@ def _run_sharded_walks(
         )
         walks, err = [], None
         try:
-            for b in range(lo, hi):
+            for b in range(skip_batches + lo, skip_batches + hi):
                 perm = perms[b]
                 # `antithetic`, not the pair flag: n_permutations=1 with
                 # antithetic=True runs 2 walks serially, and must here.
-                for p in ([perm, perm[::-1]] if antithetic else [perm]):
+                batch = [perm, perm[::-1]] if antithetic else [perm]
+                if b == skip_batches and mid_walks:
+                    batch = batch[mid_walks:]
+                for p in batch:
                     walks.append(run_walk(p))
         except BudgetExceededError as e:
             err = {
@@ -541,7 +703,7 @@ def _run_sharded_walks(
         )
 
     if plan.n_shards < 2:
-        payload = run_shard((0, n_batches))
+        payload = run_shard((0, remaining))
         for walk in payload["walks"]:
             accumulate(*walk)
         return None if payload["error"] is None else rebuild(payload["error"])
@@ -666,6 +828,37 @@ def _enumerate_coalitions(
     return np.array(masks, dtype=bool), np.asarray(weights, dtype=float)
 
 
+def solve_kernel_wls(
+    masks: np.ndarray,
+    weights: np.ndarray,
+    values: np.ndarray,
+    v_empty: float,
+    v_full: float,
+) -> np.ndarray:
+    """The Kernel SHAP weighted least-squares solve, design → ``phi``.
+
+    Exactly the estimator's closed-form step, factored out so the
+    amortized batch path (one shared coalition design, many rows of
+    values) can reuse it bitwise: imposes Σφ = v_full − v_empty by
+    eliminating the last player, then solves the kernel-weighted normal
+    equations with the same 1e-12 ridge.
+    """
+    n_players = masks.shape[1]
+    # Impose Σφ = v_full − v_empty by eliminating the last player:
+    # model y − z_last·(v_full − v_empty) = (Z_front − z_last)·φ_front.
+    Z = masks.astype(float)
+    y = values - v_empty
+    total = v_full - v_empty
+    z_last = Z[:, -1]
+    A = Z[:, :-1] - z_last[:, None]
+    b = y - z_last * total
+    W = weights
+    lhs = A.T @ (W[:, None] * A)
+    rhs = A.T @ (W * b)
+    phi_front = np.linalg.solve(lhs + 1e-12 * np.eye(n_players - 1), rhs)
+    return np.append(phi_front, total - phi_front.sum())
+
+
 def kernel_wls_estimator(
     game_or_fn,
     n_players: int | None = None,
@@ -700,20 +893,7 @@ def kernel_wls_estimator(
         value_fn, game, masks, resolve_backend(backend), n_shards, n_procs,
         seed=seed,
     )
-
-    # Impose Σφ = v_full − v_empty by eliminating the last player:
-    # model y − z_last·(v_full − v_empty) = (Z_front − z_last)·φ_front.
-    Z = masks.astype(float)
-    y = values - v_empty
-    total = v_full - v_empty
-    z_last = Z[:, -1]
-    A = Z[:, :-1] - z_last[:, None]
-    b = y - z_last * total
-    W = weights
-    lhs = A.T @ (W[:, None] * A)
-    rhs = A.T @ (W * b)
-    phi_front = np.linalg.solve(lhs + 1e-12 * np.eye(n_players - 1), rhs)
-    phi = np.append(phi_front, total - phi_front.sum())
+    phi = solve_kernel_wls(masks, weights, values, v_empty, v_full)
     return phi, v_empty
 
 

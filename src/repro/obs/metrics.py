@@ -37,6 +37,13 @@ Telemetry v2 adds the ops vocabulary the future service layer needs:
 
 Metric names are dotted lowercase (``model.latency_ms``,
 ``exec.shard_ms``) — enforced by the same lint.
+
+Amortized-batch counters (PR 7): ``coalition.plan.built`` /
+``coalition.plan.reused`` count shared-coalition-plan construction vs
+rows served from an existing plan (hit rate =
+``reused / (built + reused)``), and ``coalition.plan.fallbacks`` counts
+batches that fell back to the per-row loop after a fused-path failure.
+The batch span carries a matching ``amortized`` attribute.
 """
 
 from __future__ import annotations

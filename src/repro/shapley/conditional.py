@@ -22,6 +22,8 @@ import numpy as np
 from ..core.base import AttributionExplainer
 from ..core.coalition_engine import CoalitionValueCache, batched_predict
 from ..core.explanation import FeatureAttribution
+from ..games.engine import amortized_plan_values
+from ..games.plan import mean_walks_reduce, permutation_plan, shared_plan
 from ..robust.guard import check_instance
 from .sampling import permutation_shapley
 
@@ -182,3 +184,72 @@ class ConditionalShapExplainer(AttributionExplainer):
             method=self.method_name,
             meta={"std_err": std_err, "k": self.k, "convergence": convergence},
         )
+
+    # -- amortized batch path (shared coalition plan) ----------------------
+
+    def _amortized_context(self, X: np.ndarray, feature_names=None):
+        """Shared walk plan plus the row-independent ∅ value.
+
+        v(∅) is the mean prediction over the reference sample — the
+        same number for every row — so it is computed once here and
+        seeded into each row's value cache instead of re-averaging the
+        whole dataset per row.
+        """
+        n = X.shape[1]
+        key = ("permutation", n, self.n_permutations, True, self.seed)
+        plan = shared_plan(
+            self,
+            key,
+            lambda: permutation_plan(
+                n, n_permutations=self.n_permutations, seed=self.seed
+            ),
+            X.shape[0],
+        )
+        empty_value = float(np.mean(
+            batched_predict(self.predict_fn, self.data, self.max_batch_rows)
+        ))
+        return plan, empty_value
+
+    def _amortized_rows(self, X, lo, hi, ctx, feature_names=None):
+        """Rows ``[lo, hi)``: every unique coalition in one fused call.
+
+        The conditional value function is deterministic in the mask, so
+        evaluating the plan's deduplicated masks once per row and
+        gathering through ``value_index`` reproduces exactly the cached
+        per-walk values the serial estimator saw.
+        """
+        plan, empty_value = ctx
+        rows = X[lo:hi]
+        n = X.shape[1]
+        names = feature_names or [f"x{i}" for i in range(n)]
+        empty_key = np.packbits(np.zeros(n, dtype=bool)).tobytes()
+        pair = self.n_permutations > 1
+        n_batches = self.n_permutations // 2 if pair else self.n_permutations
+        convergence = {
+            "converged": True,
+            "n_walks_completed": plan.n_walks,
+            "n_walks_requested": n_batches * (2 if pair else 1),
+            "budget_error": None,
+        }
+        out = []
+        for r in range(rows.shape[0]):
+            x = rows[r]
+            v = empirical_conditional_value_function(
+                self.predict_fn, self.data, x, k=self.k,
+                max_batch_rows=self.max_batch_rows,
+            )
+            v.cache.values[empty_key] = empty_value
+            prediction = float(self.predict_fn(x[None, :])[0])
+            vals = amortized_plan_values(v, plan)
+            walk_values = vals[plan.value_index]
+            phi, std_err = mean_walks_reduce(walk_values, plan.walk_perms)
+            out.append(FeatureAttribution(
+                values=phi,
+                feature_names=names,
+                base_value=float(vals[plan.empty_index]),
+                prediction=prediction,
+                method=self.method_name,
+                meta={"std_err": std_err, "k": self.k,
+                      "convergence": dict(convergence)},
+            ))
+        return out

@@ -52,16 +52,24 @@ class GlobalAttribution:
 def aggregate_attributions(
     explainer, X: np.ndarray, feature_names: list[str] | None = None, **kwargs
 ) -> GlobalAttribution:
-    """Run ``explainer.explain`` on every row and aggregate.
+    """Explain every row and aggregate.
 
     Any explainer with the standard ``explain(x) -> FeatureAttribution``
     interface works, so global LIME and global SHAP come from the same
-    call.
+    call. Explainers offering ``explain_batch`` are aggregated through
+    it, so amortized batch paths (shared coalition plans, TreeSHAP
+    precompute) kick in — the attributions are identical either way.
     """
     X = np.atleast_2d(np.asarray(X, dtype=float))
     rows = []
     names = feature_names
-    for x in X:
+    batch_fn = getattr(explainer, "explain_batch", None)
+    if batch_fn is not None:
+        for attribution in batch_fn(X, **kwargs):
+            rows.append(attribution.values)
+            names = names or attribution.feature_names
+        return GlobalAttribution(np.stack(rows), names or [])
+    for x in X:  # batch: allow
         attribution: FeatureAttribution = explainer.explain(x, **kwargs)
         rows.append(attribution.values)
         names = names or attribution.feature_names

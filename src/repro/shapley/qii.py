@@ -22,6 +22,8 @@ import numpy as np
 from ..core.base import AttributionExplainer
 from ..core.coalition_engine import batched_predict
 from ..core.explanation import FeatureAttribution
+from ..games.base import walk_masks
+from ..games.plan import mean_walks_reduce, permutation_plan, shared_plan
 from ..robust.guard import check_instance
 from .sampling import permutation_shapley
 
@@ -189,3 +191,82 @@ class QIIExplainer(AttributionExplainer):
             method=self.method_name,
             meta={"convergence": convergence},
         )
+
+    # -- amortized batch path (shared coalition plan) ----------------------
+
+    def _amortized_context(self, X: np.ndarray, feature_names=None):
+        """Share the walk schedule; interventions stay per-row.
+
+        QII's value function is *stochastic* — each row's evaluation
+        consumes draws from its own ``default_rng(seed)`` in mask order
+        — so masks are never deduplicated here. The plan contributes
+        the shared permutation draws; the rows replay the intervention
+        stream exactly and fuse all model calls into one batch.
+        """
+        n = X.shape[1]
+        key = ("permutation", n, self.n_permutations, True, self.seed)
+        plan = shared_plan(
+            self,
+            key,
+            lambda: permutation_plan(
+                n, n_permutations=self.n_permutations, seed=self.seed
+            ),
+            X.shape[0],
+        )
+        # The per-occurrence mask sequence, in the serial estimator's
+        # exact walk order (dedup would desynchronize the rng stream).
+        walk_mask_seq = [walk_masks(p) for p in plan.walk_perms]
+        return plan, walk_mask_seq
+
+    def _amortized_rows(self, X, lo, hi, ctx, feature_names=None):
+        plan, walk_mask_seq = ctx
+        rows = X[lo:hi]
+        n = X.shape[1]
+        names = feature_names or [f"x{i}" for i in range(n)]
+        pair = self.n_permutations > 1
+        n_batches = self.n_permutations // 2 if pair else self.n_permutations
+        convergence = {
+            "converged": True,
+            "n_walks_completed": plan.n_walks,
+            "n_walks_requested": n_batches * (2 if pair else 1),
+            "budget_error": None,
+        }
+        out = []
+        for r in range(rows.shape[0]):
+            x = rows[r]
+            prediction = float(self.predict_fn(x[None, :])[0])
+            # Fresh per-row generator, consumed in the serial mask
+            # order: every walk's masks, each mask's absent features in
+            # index order — the exact stream `shapley_qii` would draw.
+            rng = np.random.default_rng(self.seed)
+            values = np.empty((plan.n_walks, n + 1))
+            blocks: list[np.ndarray] = []
+            slots: list[tuple[int, int]] = []
+            for w, masks in enumerate(walk_mask_seq):
+                for k, mask in enumerate(masks):
+                    absent = [j for j in range(n) if not mask[j]]
+                    if not absent:
+                        values[w, k] = prediction
+                        continue
+                    blocks.append(_resample_features(
+                        x, self.background, absent, self.n_samples, rng
+                    ))
+                    slots.append((w, k))
+            if blocks:
+                preds = batched_predict(
+                    self.predict_fn, np.concatenate(blocks),
+                    self.max_batch_rows,
+                )
+                means = preds.reshape(len(slots), self.n_samples).mean(axis=1)
+                for (w, k), m in zip(slots, means):
+                    values[w, k] = m
+            phi, __ = mean_walks_reduce(values, plan.walk_perms)
+            out.append(FeatureAttribution(
+                values=phi,
+                feature_names=names,
+                base_value=prediction - float(phi.sum()),
+                prediction=prediction,
+                method=self.method_name,
+                meta={"convergence": dict(convergence)},
+            ))
+        return out

@@ -16,19 +16,67 @@ suite checks the fast algorithm against exact enumeration through it.
 Supported models: both CART trees, :class:`RandomForestClassifier`
 (explains the averaged class-1 probability) and the gradient boosting
 models (explains the raw additive score — log-odds for the classifier).
+
+Amortization (PR 7): the recursion's *structure* — node arrays, leaf
+scalars, per-child cover fractions, the ensemble expected value — does
+not depend on the instance, so :class:`TreePrecompute` extracts it once
+per model (cached across explainer instances, inherited read-only by
+process-backend shards via fork) and
+:func:`batch_tree_shap_values` then runs one traversal with the numeric
+path state held as per-row *vectors*: the whole batch is explained in a
+single O(nodes · depth²) pass instead of a full re-traversal per row.
+Hot/cold asymmetry between instances lives entirely in the
+``one_fraction`` entries (the ``zero_fraction`` chain is cover-only and
+row-independent), so every elementwise operation reproduces the scalar
+algorithm's arithmetic exactly; the fused pass visits children in fixed
+left-then-right order (the scalar path recurses hot-first), which can
+differ from :func:`tree_shap_values` in the last ulp of the leaf
+accumulation. Since the kernel is elementwise per row, fused results are
+bitwise-identical across backends, batch splits and batch sizes; only
+the scalar-vs-fused comparison carries the ulp caveat. Single-row
+``explain`` stays on the scalar kernel (numpy per-node overhead only
+amortizes across rows); ``explain_batch`` uses the fused kernel, and
+``REPRO_PRECOMPUTE=0`` restores the per-instance scalar path there too.
 """
 
 from __future__ import annotations
 
+import os
+import weakref
+from dataclasses import dataclass
+
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..exec import map_shards, plan_shards, resolve_backend, resolve_n_procs
 from ..obs import instrument_explainer
+from ..obs.trace import current_span
 from ..models.boosting import GradientBoostingClassifier, GradientBoostingRegressor
 from ..models.forest import RandomForestClassifier
 from ..models.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeStructure
 
-__all__ = ["tree_shap_values", "tree_expected_value", "TreeShapExplainer"]
+__all__ = [
+    "tree_shap_values",
+    "tree_expected_value",
+    "batch_tree_shap_values",
+    "resolve_precompute",
+    "TreePrecompute",
+    "TreeShapExplainer",
+]
+
+
+def resolve_precompute(value: bool = True) -> bool:
+    """Whether the per-model TreeSHAP precompute path is enabled.
+
+    ``REPRO_PRECOMPUTE=0`` (or ``false``/``off``/``no``) force-disables
+    it, restoring the per-instance scalar recursion — the A/B lever the
+    E42 benchmark uses to separate precompute cost from per-instance
+    cost. An explicit ``value=False`` at a call site always wins.
+    """
+    if not value:
+        return False
+    env = os.environ.get("REPRO_PRECOMPUTE", "").strip().lower()
+    return env not in ("0", "false", "off", "no")
 
 
 def _leaf_scalar(tree: TreeStructure, node: int, class_index: int | None) -> float:
@@ -211,6 +259,211 @@ def _tree_base_value(tree: TreeStructure, class_index: int | None) -> float:
     return recurse(0)
 
 
+# -- per-model precompute + fused batch kernel --------------------------------
+
+
+class _TreeArrays:
+    """One tree's instance-independent structure, flattened for the kernel.
+
+    ``frac[c]`` is child ``c``'s cover fraction of its parent — the
+    multiplier the scalar algorithm recomputes as
+    ``n_node_samples[c] / n_node_samples[parent]`` at every visit.
+    ``value`` holds each leaf's explained scalar (the ``class_index``
+    column already selected); internal nodes carry 0.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "is_leaf",
+                 "value", "frac")
+
+    def __init__(self, tree: TreeStructure, class_index: int | None) -> None:
+        self.feature = np.asarray(tree.feature, dtype=np.intp)
+        self.threshold = np.asarray(tree.threshold, dtype=float)
+        self.left = np.asarray(tree.children_left, dtype=np.intp)
+        self.right = np.asarray(tree.children_right, dtype=np.intp)
+        self.is_leaf = self.feature == -1
+        n_nodes = self.feature.shape[0]
+        self.value = np.zeros(n_nodes)
+        for node in range(n_nodes):
+            if self.is_leaf[node]:
+                self.value[node] = _leaf_scalar(tree, node, class_index)
+        cover = np.asarray(tree.n_node_samples, dtype=float)
+        self.frac = np.ones(n_nodes)
+        for node in range(n_nodes):
+            if not self.is_leaf[node]:
+                self.frac[self.left[node]] = cover[self.left[node]] / cover[node]
+                self.frac[self.right[node]] = (
+                    cover[self.right[node]] / cover[node]
+                )
+
+
+def _vec_unwind(feats, zeros, ones, ws, depth, index) -> None:
+    """Vectorized UNWIND: remove path entry ``index``, rebinding only.
+
+    The scalar algorithm branches on ``one_fraction != 0`` per instance;
+    here both branch expressions are computed over the whole batch with
+    masked (division-safe) denominators and selected per row — the
+    arithmetic of each selected element is literally the scalar
+    branch's. Entry fields shift down exactly as the scalar version
+    does: feature/zero/one slide, pweights do not.
+    """
+    one = ones[index]
+    zero = zeros[index]
+    hot = one != 0.0
+    next_one = ws[depth]
+    for i in range(depth - 1, -1, -1):
+        safe = np.where(hot, (i + 1) * one, 1.0)
+        cand_hot = next_one * (depth + 1) / safe
+        cand_cold = ws[i] * (depth + 1) / (zero * (depth - i))
+        next_one = np.where(
+            hot, ws[i] - cand_hot * zero * (depth - i) / (depth + 1), next_one
+        )
+        ws[i] = np.where(hot, cand_hot, cand_cold)
+    for i in range(index, depth):
+        feats[i] = feats[i + 1]
+        zeros[i] = zeros[i + 1]
+        ones[i] = ones[i + 1]
+
+
+def _vec_unwound_sum(zeros, ones, ws, depth, index):
+    """Vectorized UNWOUND-SUM: entry ``index``'s total unwound weight."""
+    one = ones[index]
+    zero = zeros[index]
+    hot = one != 0.0
+    next_one = ws[depth]
+    total = np.zeros(next_one.shape[0])
+    for i in range(depth - 1, -1, -1):
+        safe = np.where(hot, (i + 1) * one, 1.0)
+        tmp = next_one * (depth + 1) / safe
+        total = total + np.where(
+            hot, tmp, ws[i] * (depth + 1) / (zero * (depth - i))
+        )
+        next_one = np.where(
+            hot, ws[i] - tmp * zero * (depth - i) / (depth + 1), next_one
+        )
+    return total
+
+
+def batch_tree_shap_values(arrays: _TreeArrays, X: np.ndarray) -> np.ndarray:
+    """Path-dependent TreeSHAP of one tree for every row of ``X`` at once.
+
+    One traversal of the tree explains the whole batch: the path's
+    ``one_fraction`` and ``pweight`` entries are ``(n_rows,)`` vectors
+    (``zero_fraction`` is cover-only, hence a scalar), children are
+    visited in fixed left-then-right order, and each row's hot/cold
+    role is encoded by zeroing its ``one_fraction`` on the cold side —
+    exactly the scalar EXTEND/UNWIND arithmetic, elementwise. Path
+    state is copy-on-descend with rebind-only updates, so sibling
+    subtrees never alias each other's vectors.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    n_rows, n_features = X.shape
+    phi = np.zeros((n_rows, n_features))
+
+    def recurse(node, feats, zeros, ones, ws, depth,
+                zero_fraction, one_fraction, split_feature):
+        feats = list(feats)
+        zeros = list(zeros)
+        ones = list(ones)
+        ws = list(ws)
+        while len(feats) <= depth:
+            feats.append(-1)
+            zeros.append(0.0)
+            ones.append(None)
+            ws.append(None)
+        # EXTEND
+        feats[depth] = split_feature
+        zeros[depth] = zero_fraction
+        ones[depth] = one_fraction
+        ws[depth] = np.ones(n_rows) if depth == 0 else np.zeros(n_rows)
+        for i in range(depth - 1, -1, -1):
+            ws[i + 1] = ws[i + 1] + one_fraction * ws[i] * (i + 1) / (depth + 1)
+            ws[i] = zero_fraction * ws[i] * (depth - i) / (depth + 1)
+        if arrays.is_leaf[node]:
+            leaf_value = arrays.value[node]
+            for i in range(1, depth + 1):
+                w = _vec_unwound_sum(zeros, ones, ws, depth, i)
+                phi[:, feats[i]] += w * (ones[i] - zeros[i]) * leaf_value
+            return
+        f = int(arrays.feature[node])
+        left, right = int(arrays.left[node]), int(arrays.right[node])
+        goes_left = X[:, f] <= arrays.threshold[node]
+        incoming_zero = 1.0
+        incoming_one = one_ones
+        new_depth = depth
+        for i in range(1, depth + 1):
+            if feats[i] == f:
+                incoming_zero = zeros[i]
+                incoming_one = ones[i]
+                _vec_unwind(feats, zeros, ones, ws, depth, i)
+                new_depth = depth - 1
+                break
+        recurse(
+            left, feats, zeros, ones, ws, new_depth + 1,
+            incoming_zero * arrays.frac[left],
+            np.where(goes_left, incoming_one, 0.0), f,
+        )
+        recurse(
+            right, feats, zeros, ones, ws, new_depth + 1,
+            incoming_zero * arrays.frac[right],
+            np.where(goes_left, 0.0, incoming_one), f,
+        )
+
+    one_ones = np.ones(n_rows)
+    recurse(0, [], [], [], [], 0, 1.0, one_ones, -1)
+    return phi
+
+
+# Per-model precompute store: one TreePrecompute per live model object,
+# shared by every explainer built on it (and by forked process-backend
+# workers, which inherit it copy-on-write). Weak keys keep the store
+# from pinning models in memory.
+_PRECOMPUTE_STORE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+@dataclass
+class TreePrecompute:
+    """Everything instance-independent about one tree model's TreeSHAP.
+
+    Built once per model (see :func:`tree_precompute`): the flattened
+    node arrays with leaf scalars and cover fractions per component
+    tree, the per-component ensemble weights, and the cover-weighted
+    expected value. ``shap_values`` is then O(nodes · depth²) for an
+    entire batch.
+    """
+
+    trees: list
+    weights: list
+    expected_value: float
+
+    def shap_values(self, X: np.ndarray) -> np.ndarray:
+        """Ensemble Shapley values for every row of ``X``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        phi = np.zeros((X.shape[0], X.shape[1]))
+        for arrays, weight in zip(self.trees, self.weights):
+            phi += weight * batch_tree_shap_values(arrays, X)
+        return phi
+
+
+def tree_precompute(model, components, expected_value: float) -> TreePrecompute:
+    """The model's cached :class:`TreePrecompute`, built on first use."""
+    try:
+        cached = _PRECOMPUTE_STORE.get(model)
+    except TypeError:
+        cached = None
+    if cached is not None:
+        return cached
+    pre = TreePrecompute(
+        trees=[_TreeArrays(tree, ci) for tree, __, ci in components],
+        weights=[weight for __, weight, __ci in components],
+        expected_value=float(expected_value),
+    )
+    try:
+        _PRECOMPUTE_STORE[model] = pre
+    except TypeError:
+        pass
+    return pre
+
+
 @instrument_explainer
 class TreeShapExplainer:
     """Path-dependent TreeSHAP over any tree model in :mod:`repro.models`.
@@ -225,6 +478,17 @@ class TreeShapExplainer:
     def __init__(self, model) -> None:
         self.model = model
         self._components = self._decompose(model)
+        # Hoisted init-time precompute: the ensemble expected value used
+        # to be recomputed by full recursion on every explain call.
+        base = sum(
+            weight * _tree_base_value(tree, ci)
+            for tree, weight, ci in self._components
+        )
+        if isinstance(model, (GradientBoostingClassifier,
+                              GradientBoostingRegressor)):
+            base += model.init_raw_
+        self._expected_value = float(base)
+        self._precompute: TreePrecompute | None = None
 
     @staticmethod
     def _decompose(model) -> list[tuple[TreeStructure, float, int | None]]:
@@ -254,25 +518,41 @@ class TreeShapExplainer:
 
     @property
     def expected_value(self) -> float:
-        """Base value: the ensemble's cover-weighted expected output."""
-        base = sum(
-            weight * _tree_base_value(tree, ci)
-            for tree, weight, ci in self._components
-        )
-        if isinstance(self.model, (GradientBoostingClassifier, GradientBoostingRegressor)):
-            base += self.model.init_raw_
-        return float(base)
+        """Base value: the ensemble's cover-weighted expected output.
+
+        Computed once at construction (it is a pure function of the
+        fitted trees), not re-derived per explanation.
+        """
+        return self._expected_value
+
+    def precompute(self) -> TreePrecompute:
+        """This model's shared :class:`TreePrecompute`, built lazily."""
+        if self._precompute is None:
+            self._precompute = tree_precompute(
+                self.model, self._components, self._expected_value
+            )
+        return self._precompute
 
     def _model_output(self, x: np.ndarray) -> float:
+        return float(self._model_output_batch(x[None, :])[0])
+
+    def _model_output_batch(self, X: np.ndarray) -> np.ndarray:
         if isinstance(self.model, GradientBoostingClassifier):
-            return float(self.model.decision_function(x[None, :])[0])
-        if isinstance(self.model, (DecisionTreeRegressor, GradientBoostingRegressor)):
-            return float(self.model.predict(x[None, :])[0])
-        proba = self.model.predict_proba(x[None, :])[0]
-        return float(proba[-1])
+            return np.asarray(self.model.decision_function(X), dtype=float)
+        if isinstance(self.model, (DecisionTreeRegressor,
+                                   GradientBoostingRegressor)):
+            return np.asarray(self.model.predict(X), dtype=float)
+        return np.asarray(self.model.predict_proba(X)[:, -1], dtype=float)
 
     def explain(self, x: np.ndarray, feature_names: list[str] | None = None
                 ) -> FeatureAttribution:
+        """One instance through the scalar per-tree recursion.
+
+        Single rows deliberately stay on the scalar kernel: the
+        vectorized batch kernel pays numpy per-node overhead that only
+        amortizes across many rows (it is ~8× slower at ``n_rows=1``).
+        Batches go through :meth:`explain_batch` for the fused path.
+        """
         x = np.asarray(x, dtype=float).ravel()
         n = x.shape[0]
         phi = np.zeros(n)
@@ -287,6 +567,73 @@ class TreeShapExplainer:
             method=self.method_name,
             meta={"n_trees": len(self._components)},
         )
+
+    def explain_batch(
+        self,
+        X: np.ndarray,
+        feature_names: list[str] | None = None,
+        backend: str | None = None,
+        n_procs: int | None = None,
+    ) -> list[FeatureAttribution]:
+        """Explain every row through one fused traversal per tree.
+
+        The precompute is built (or fetched) once; each component tree
+        is then walked a single time with vectorized path state, so the
+        per-row marginal cost is the O(depth²) leaf bookkeeping rather
+        than a full recursion. ``backend="process"``/``"thread"``
+        shards contiguous row ranges — the precompute ships to forked
+        workers once via copy-on-write, not per shard. Results are
+        bitwise-identical across backends and batch splits (the kernel
+        is elementwise per row); against per-row ``explain`` they agree
+        to float accumulation order (the fused kernel visits children
+        left-then-right, the scalar recursion hot-child-first). With
+        ``REPRO_PRECOMPUTE=0`` this degrades to the plain per-row
+        scalar loop.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        use_pre = resolve_precompute()
+        sp = current_span()
+        if sp is not None:
+            sp.set_attr("amortized", bool(use_pre))
+        if not use_pre:
+            return [self.explain(x, feature_names=feature_names) for x in X]  # batch: allow
+        pre = self.precompute()
+        names = feature_names or [f"x{i}" for i in range(X.shape[1])]
+        n_trees = len(self._components)
+
+        def run_rows(bounds):
+            lo, hi = bounds
+            phi = pre.shap_values(X[lo:hi])
+            preds = self._model_output_batch(X[lo:hi])
+            return [
+                FeatureAttribution(
+                    values=phi[r],
+                    feature_names=names,
+                    base_value=self._expected_value,
+                    prediction=float(preds[r]),
+                    method=self.method_name,
+                    meta={"n_trees": n_trees},
+                )
+                for r in range(hi - lo)
+            ]
+
+        backend_name = resolve_backend(backend)
+        n_rows = X.shape[0]
+        if backend_name == "serial" or n_rows < 2:
+            return run_rows((0, n_rows))
+        plan = plan_shards(n_rows, resolve_n_procs(n_procs))
+        if plan.n_shards < 2:
+            return run_rows((0, n_rows))
+        outcomes = map_shards(
+            run_rows, list(plan.slices), backend=backend_name,
+            n_procs=n_procs, split_scope=False,
+        )
+        results: list[FeatureAttribution] = []
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise outcome.error
+            results.extend(outcome.value)
+        return results
 
     def value_function(self, x: np.ndarray):
         """The ensemble's EXPVALUE game as a batched coalition function.

@@ -66,7 +66,8 @@ def test_raw_requires_decision_function():
         as_predict_fn(OnlyPredict(), output="raw")
 
 
-def test_explain_batch_matches_rowwise_explain(loan_gbm, loan_data):
+def test_explain_batch_matches_rowwise_explain(monkeypatch, loan_gbm,
+                                               loan_data):
     from repro import obs
     from repro.shapley import KernelShapExplainer
 
@@ -87,6 +88,23 @@ def test_explain_batch_matches_rowwise_explain(loan_gbm, loan_data):
         assert len(parents) == 1
         (parent,) = parents
         assert parent.attrs["n_rows"] == 3
+        # The amortized path evaluates rows against one shared plan, so
+        # there are no per-row child explain spans — the batch span
+        # carries the eval counters itself.
+        assert parent.attrs["amortized"] is True
+        assert parent.model_evals > 0
+        assert parent.rows_evaluated > 0
+
+        # With the shared-plan path disabled, the per-row loop is
+        # restored: child spans reappear and their counters roll up.
+        monkeypatch.setenv("REPRO_BATCH_PLAN", "0")
+        obs.get_tracer().reset()
+        looped = explainer.explain_batch(X)
+        for amortized_att, looped_att in zip(batch, looped):
+            assert np.array_equal(amortized_att.values, looped_att.values)
+        spans = obs.get_tracer().spans()
+        (parent,) = [s for s in spans if s.name == "explain_batch"]
+        assert parent.attrs["amortized"] is False
         children = [s for s in spans
                     if s.name == "explain" and s.parent_id == parent.span_id]
         assert len(children) == 3

@@ -515,3 +515,59 @@ def test_map_shards_process_returns_in_shard_order():
     # Shards genuinely ran in worker mode (unless fork degraded to
     # threads, in which case they ran under worker thread scopes).
     assert all(o.ok for o in outcomes)
+
+
+# -------------------------------------------- resumable estimators (PR 7)
+
+
+@pytest.mark.parametrize("family", ["masking", "datavalue"])
+@pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+def test_resumed_walks_rejoin_bitwise_across_backends(family, backend,
+                                                      background,
+                                                      utility_parts):
+    """A budget-style partial resumed on any backend == uninterrupted.
+
+    Per-walk results are independent of the shard partition, so only
+    the *remaining* batches are sharded on resume and the joined stream
+    must match the serial uninterrupted run bit for bit.
+    """
+    kwargs = {"n_permutations": 9, "seed": 4}
+    full = permutation_estimator(
+        make_game(family, background, utility_parts), **kwargs
+    )
+    partial = permutation_estimator(
+        make_game(family, background, utility_parts),
+        n_permutations=4, seed=4,
+    )
+    assert partial.state.n_walks < full.state.n_walks
+    resumed = permutation_estimator(
+        make_game(family, background, utility_parts),
+        backend=backend, n_shards=2, n_procs=2,
+        resume_state=partial.state, **kwargs,
+    )
+    assert np.array_equal(resumed.values, full.values), (family, backend)
+    assert np.array_equal(resumed.std_err, full.std_err)
+    assert resumed.diagnostics["n_walks_completed"] == \
+        full.diagnostics["n_walks_completed"]
+
+
+def test_resume_state_crosses_process_boundary_as_dict(background,
+                                                       utility_parts):
+    """to_dict() state persisted by a worker run resumes in the parent."""
+    import json
+
+    kwargs = {"n_permutations": 7, "antithetic": False, "seed": 8}
+    full = permutation_estimator(
+        make_game("masking", background, utility_parts), **kwargs
+    )
+    partial = permutation_estimator(
+        make_game("masking", background, utility_parts),
+        n_permutations=3, antithetic=False, seed=8,
+        backend="process", n_shards=2, n_procs=2,
+    )
+    payload = json.loads(json.dumps(partial.state.to_dict()))
+    resumed = permutation_estimator(
+        make_game("masking", background, utility_parts),
+        resume_state=payload, **kwargs,
+    )
+    assert np.array_equal(resumed.values, full.values)

@@ -438,3 +438,107 @@ class TestGracefulDegradationAcrossGames:
                     game, n_permutations=5, antithetic=False, seed=0,
                     empty_value=game.empty_value, aggregate="sum_counts",
                 )
+
+
+class TestResumableEstimators:
+    """Anytime estimation: resumed walk streams re-join bitwise."""
+
+    @pytest.mark.parametrize("aggregate", ["mean_walks", "sum_counts"])
+    @pytest.mark.parametrize("antithetic", [True, False])
+    def test_partial_plus_resume_is_bitwise(self, aggregate, antithetic):
+        v = _quadratic_game(5)
+        kwargs = dict(n_players=5, antithetic=antithetic, seed=3,
+                      aggregate=aggregate)
+        full = permutation_estimator(v, n_permutations=20, **kwargs)
+        partial = permutation_estimator(v, n_permutations=8, **kwargs)
+        resumed = permutation_estimator(
+            v, n_permutations=20, resume_state=partial.state, **kwargs
+        )
+        assert np.array_equal(resumed.values, full.values)
+        if full.std_err is not None:
+            assert np.array_equal(resumed.std_err, full.std_err)
+        assert resumed.state.n_walks == full.state.n_walks
+        assert resumed.diagnostics["n_walks_completed"] == \
+            full.diagnostics["n_walks_completed"]
+
+    def test_state_roundtrips_through_json_dict(self):
+        v = _quadratic_game(4)
+        kwargs = dict(n_players=4, antithetic=True, seed=11)
+        full = permutation_estimator(v, n_permutations=12, **kwargs)
+        partial = permutation_estimator(v, n_permutations=6, **kwargs)
+        import json
+
+        payload = json.loads(json.dumps(partial.state.to_dict()))
+        resumed = permutation_estimator(
+            v, n_permutations=12, resume_state=payload, **kwargs
+        )
+        assert np.array_equal(resumed.values, full.values)
+
+    def test_mid_antithetic_pair_resume(self):
+        from repro.games import EstimatorState
+
+        v = _quadratic_game(5)
+        kwargs = dict(n_players=5, antithetic=True, seed=9)
+        full = permutation_estimator(v, n_permutations=10, **kwargs)
+        # A state cut mid-pair: 5 completed walks = 2.5 antithetic
+        # batches, so the resume must re-enter at the reverse walk of
+        # the third permutation.
+        state = full.state
+        cut = EstimatorState(
+            n_walks=5,
+            aggregate="mean_walks",
+            contributions=[np.array(c) for c in state.contributions[:5]],
+            params=dict(state.params),
+        )
+        resumed = permutation_estimator(
+            v, n_permutations=10, resume_state=cut, **kwargs
+        )
+        assert np.array_equal(resumed.values, full.values)
+
+    def test_budget_exhausted_partial_resumes_to_full(self, tiny_utility_pair):
+        game = DataValueGame(tiny_utility_pair())
+        kwargs = dict(n_permutations=6, antithetic=False, seed=2,
+                      empty_value=game.empty_value, aggregate="sum_counts")
+        full = permutation_estimator(game, **kwargs)
+
+        flaky_game = DataValueGame(tiny_utility_pair())
+        with guard_scope(GuardConfig(query_budget=30)):
+            partial = permutation_estimator(flaky_game, **kwargs)
+        assert partial.diagnostics["converged"] is False
+        assert 0 < partial.state.n_walks < 6
+
+        resume_game = DataValueGame(tiny_utility_pair())
+        resumed = permutation_estimator(
+            resume_game, resume_state=partial.state.to_dict(), **kwargs
+        )
+        assert resumed.diagnostics["converged"] is True
+        assert np.array_equal(resumed.values, full.values)
+
+    def test_param_mismatch_rejected(self):
+        v = _quadratic_game(4)
+        partial = permutation_estimator(v, n_players=4, n_permutations=4,
+                                        antithetic=True, seed=1)
+        with pytest.raises(ValueError, match="resume_state"):
+            permutation_estimator(v, n_players=4, n_permutations=8,
+                                  antithetic=True, seed=2,
+                                  resume_state=partial.state)
+
+    def test_explicit_rng_rejected_with_resume(self):
+        v = _quadratic_game(4)
+        partial = permutation_estimator(v, n_players=4, n_permutations=4,
+                                        seed=1)
+        with pytest.raises(ValueError, match="rng"):
+            permutation_estimator(
+                v, n_players=4, n_permutations=8, seed=1,
+                rng=np.random.default_rng(1), resume_state=partial.state,
+            )
+
+    def test_fully_complete_state_is_a_no_op_resume(self):
+        v = _quadratic_game(4)
+        kwargs = dict(n_players=4, antithetic=True, seed=6)
+        full = permutation_estimator(v, n_permutations=8, **kwargs)
+        resumed = permutation_estimator(
+            v, n_permutations=8, resume_state=full.state, **kwargs
+        )
+        assert np.array_equal(resumed.values, full.values)
+        assert resumed.state.n_walks == full.state.n_walks
