@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Lint: no untimed blocking calls inside ``src/repro/serve``.
+
+The serve layer's contract is "no hung sockets, no hung requests":
+every wait is bounded by a timeout that chains back to a request
+deadline or a config knob. One unbounded ``.wait()`` quietly breaks the
+whole overload story, and nothing in the test suite fails until a
+production-shaped traffic pattern finds it. So the contract is linted,
+not just remembered:
+
+1. **No zero-argument blocking primitives.** A call spelled
+   ``x.wait()`` / ``x.acquire()`` / ``x.join()`` / ``x.get()`` /
+   ``x.result()`` / ``x.read()`` / ``x.recv()`` / ``x.accept()`` with
+   no arguments at all blocks until its peer acts; passing a timeout
+   (positionally or by keyword) or ``blocking=False`` is what bounds
+   it. Calls with any argument are accepted — the reviewer's job is to
+   check the bound is right, the linter's job is to make sure there is
+   one.
+2. **No ``settimeout(None)``.** That is how a bounded socket becomes an
+   unbounded one after the fact.
+3. **No bare ``sleep`` outside backoff helpers.** ``time.sleep`` in a
+   request path is a hidden latency floor; the only blessed sleeps live
+   in functions with ``backoff`` in their name (the retry path, where
+   the guard already caps the delay by the scope's remaining deadline).
+
+A line may opt out with a ``# serve: allow`` comment when the blocking
+call is deliberate and bounded by construction elsewhere.
+
+AST-based; exit 0 when clean, 1 with a ``path:line`` listing otherwise.
+Enforced in tier-1 via ``scripts/run_tier1.sh``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+BLOCKING_METHODS = {
+    "wait", "acquire", "join", "get", "result", "read", "recv", "accept",
+}
+ALLOW_MARK = "# serve: allow"
+DEFAULT_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src", "repro", "serve",
+)
+
+
+def _attr_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _is_settimeout_none(node: ast.Call) -> bool:
+    if _attr_name(node) != "settimeout":
+        return False
+    args = list(node.args) + [kw.value for kw in node.keywords]
+    return any(
+        isinstance(a, ast.Constant) and a.value is None for a in args
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: list[str]) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.func_stack: list[str] = []
+        self.out: list[str] = []
+
+    def _allowed(self, lineno: int) -> bool:
+        line = self.lines[lineno - 1] if lineno <= len(self.lines) else ""
+        return ALLOW_MARK in line
+
+    def _flag(self, node: ast.AST, reason: str) -> None:
+        if not self._allowed(node.lineno):
+            self.out.append(f"{self.path}:{node.lineno} {reason}")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _in_backoff_helper(self) -> bool:
+        return any("backoff" in name for name in self.func_stack)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _attr_name(node)
+        if name == "sleep" and not self._in_backoff_helper():
+            self._flag(
+                node,
+                "bare sleep() outside a backoff helper — bound the wait "
+                "by a deadline, or mark the line '# serve: allow'",
+            )
+        elif _is_settimeout_none(node):
+            self._flag(
+                node,
+                "settimeout(None) makes a socket unbounded — pass a "
+                "finite timeout",
+            )
+        elif (
+            name in BLOCKING_METHODS
+            and isinstance(node.func, ast.Attribute)
+            and not node.args
+            and not node.keywords
+        ):
+            self._flag(
+                node,
+                f"untimed blocking call .{name}() — pass a timeout (or "
+                "blocking=False), or mark the line '# serve: allow'",
+            )
+        self.generic_visit(node)
+
+
+def check_file(path: str) -> list[str]:
+    """``path:line reason`` offences for one Python file."""
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    visitor = _Visitor(path, source.splitlines())
+    visitor.visit(ast.parse(source, filename=path))
+    return visitor.out
+
+
+def offenders(root: str) -> list[str]:
+    """All offences under ``root`` (or a single file), sorted by path."""
+    if os.path.isfile(root):
+        return check_file(root)
+    out: list[str] = []
+    for dirpath, __, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                out.extend(check_file(os.path.join(dirpath, name)))
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = argv[0] if argv else DEFAULT_ROOT
+    found = offenders(root)
+    if found:
+        sys.stderr.write("blocking-io lint failures:\n")
+        for offence in found:
+            sys.stderr.write(f"  {offence}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,10 @@ obs
 robust
     Fault tolerance: typed errors, guarded predict functions (retry,
     budgets, output validation), deterministic fault injection.
+serve
+    Fault-contained explanation service: admission control, request
+    coalescing, warm caching, a load-shedding degradation ladder, and
+    per-model circuit breakers over stdlib HTTP.
 """
 
 __version__ = "1.0.0"
@@ -74,6 +78,7 @@ from . import (
     unlearning,
     unstructured,
 )
+from . import serve  # after the explainer packages it composes
 
 __all__ = [
     "core",
@@ -97,6 +102,7 @@ __all__ = [
     "io",
     "obs",
     "robust",
+    "serve",
     "render",
     "report",
     "__version__",

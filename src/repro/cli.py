@@ -22,6 +22,11 @@ Commands
     Telemetry utilities: ``metrics serve`` starts the live exposition
     endpoint (``/metrics`` Prometheus text, ``/health``,
     ``/ledger/tail``) and blocks until interrupted.
+``serve``
+    The explanation service (``repro.serve``): hosts the demo loan
+    model behind ``POST /explain`` with admission control, request
+    coalescing, a warm cache, the degradation ladder, and per-model
+    circuit breakers. Tunable via ``REPRO_SERVE_*`` env knobs.
 ``profile``
     Render a trace JSONL file as a phase-level wall/CPU profile, or as
     folded stacks (``--folded``) for flamegraph tooling.
@@ -193,6 +198,38 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .datasets import make_loan_dataset
+    from .models import GradientBoostingClassifier
+    from .serve import ExplainServer, ServeConfig
+
+    data = make_loan_dataset(500, seed=0)
+    model = GradientBoostingClassifier(
+        n_estimators=25, max_depth=3, seed=0
+    ).fit(data.X, data.y)
+    server = ExplainServer(ServeConfig(), port=args.port)
+    server.add_endpoint(
+        "loan", model, data.X[:100], feature_names=data.feature_names
+    )
+    host, port = server.start()
+    print(f"explanation service on http://{host}:{port}")
+    print("  POST /explain                {model, instance, tier?, params?, "
+          "deadline_ms?}")
+    print("  GET  /healthz                liveness + breaker states")
+    print("  GET  /serve/stats            admission/cache/coalesce/pressure")
+    print("  POST /models/<name>/version  {version} — bump + invalidate")
+    print(f"hosted models: {', '.join(server.registry.names())}")
+    print("press Ctrl-C to stop")
+    try:
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        server.stop()
+        print("stopped")
+    return 0
+
+
 def cmd_profile(args) -> int:
     from . import obs
 
@@ -288,6 +325,15 @@ def main(argv: list[str] | None = None) -> int:
         help="port to bind (default: REPRO_METRICS_PORT, else an "
              "OS-assigned free port)",
     )
+    serve_p = sub.add_parser(
+        "serve", help="explanation service hosting the demo loan model"
+    )
+    serve_p.add_argument(
+        "--port", default=int(os.environ.get("REPRO_SERVE_PORT") or 0),
+        type=int,
+        help="port to bind (default: REPRO_SERVE_PORT, else an "
+             "OS-assigned free port)",
+    )
     profile_p = sub.add_parser(
         "profile", help="phase profile / folded stacks from a trace JSONL"
     )
@@ -323,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": cmd_demo,
         "trace": cmd_trace,
         "metrics": cmd_metrics,
+        "serve": cmd_serve,
         "profile": cmd_profile,
     }
     if args.command is None:

@@ -33,6 +33,7 @@ __all__ = [
     "reset_ledger",
     "params_hash",
     "record_run",
+    "record_request",
 ]
 
 RING_SIZE = 4096
@@ -159,4 +160,39 @@ def record_run(span, explainer=None, result=None, error=None) -> None:
     except Exception:
         # The ledger must never take an explanation down with it, but the
         # swallow stays visible on the internal-errors counter.
+        metrics.counter("obs.internal_errors").inc()
+
+
+def record_request(
+    endpoint: str | None,
+    tier: str | None,
+    status: int,
+    wall_ms: float,
+    *,
+    cache: str = "miss",
+    degraded: bool = False,
+    error: BaseException | None = None,
+    deadline_ms: float | None = None,
+) -> None:
+    """Record one serve-layer request outcome (``kind="serve.request"``).
+
+    The service-side counterpart of :func:`record_run`: one row per
+    HTTP request, successful or shed, so overload behavior is auditable
+    after the fact. Best-effort like everything else here.
+    """
+    try:
+        row = {
+            "kind": "serve.request",
+            "endpoint": endpoint,
+            "tier": tier,
+            "status": int(status),
+            "wall_ms": round(float(wall_ms), 3),
+            "cache": cache,
+            "degraded": bool(degraded),
+            "error": None if error is None else type(error).__name__,
+        }
+        if deadline_ms is not None:
+            row["deadline_ms"] = round(float(deadline_ms), 1)
+        get_ledger().record(row)
+    except Exception:
         metrics.counter("obs.internal_errors").inc()

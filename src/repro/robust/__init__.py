@@ -41,13 +41,18 @@ from .guard import (
     GuardConfig,
     GuardScope,
     check_instance,
+    compose_deadline,
     current_scope,
+    envelope_remaining_s,
     guard_predict_fn,
     guard_scope,
+    remaining_s,
+    request_envelope,
     resolve_backoff,
     resolve_deadline_s,
     resolve_query_budget,
     resolve_retries,
+    seed_backoff_jitter,
 )
 from .faults import FaultyModel
 
@@ -66,6 +71,11 @@ __all__ = [
     "guard_predict_fn",
     "guard_scope",
     "current_scope",
+    "remaining_s",
+    "request_envelope",
+    "envelope_remaining_s",
+    "compose_deadline",
+    "seed_backoff_jitter",
     "check_instance",
     "resolve_retries",
     "resolve_backoff",

@@ -33,6 +33,7 @@ import time
 import numpy as np
 
 from .errors import TransientModelError
+from .guard import seed_backoff_jitter
 
 __all__ = ["FaultyModel"]
 
@@ -107,6 +108,9 @@ class FaultyModel:
         self.fault_log: list[tuple[int, str]] = []
         # as_predict_fn must not stack a second meter on this wrapper.
         self.__repro_metered__ = True
+        # Fault injection is active: make retry backoff jitter a pure
+        # function of the seed so fault-injected runs stay reproducible.
+        seed_backoff_jitter(seed)
 
     def _draw_fault(self, n_out: int) -> tuple[str | None, np.ndarray | None]:
         """Decide this call's fate; one uniform draw keeps the stream flat."""
@@ -157,6 +161,7 @@ class FaultyModel:
             self.calls = 0
             self.fault_counts = {kind: 0 for kind in _FAULT_KINDS}
             self.fault_log.clear()
+        seed_backoff_jitter(self.seed)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         rates = {k: v for k, v in self.rates.items() if v}

@@ -14,8 +14,14 @@ function in the library passes through it. For each model call it
   ``GuardConfig.impute_value``);
 * retries *transient* failures (:class:`TransientModelError`,
   connection/timeout errors) with capped exponential backoff
-  (``REPRO_RETRIES`` attempts, ``REPRO_BACKOFF`` base seconds).
-  Non-transient exceptions fail fast as
+  (``REPRO_RETRIES`` attempts, ``REPRO_BACKOFF`` base seconds) and
+  **full jitter**: each sleep is a uniform draw in ``[0, capped delay]``
+  so concurrent retries against the same flaky model de-synchronize
+  instead of herding (deterministic sleeps re-align every waiter onto
+  the same retry schedule). The jitter stream is seeded whenever fault
+  injection is active (:class:`repro.robust.faults.FaultyModel` calls
+  :func:`seed_backoff_jitter` with its own seed), keeping seeded test
+  runs reproducible. Non-transient exceptions fail fast as
   :class:`ModelEvaluationError` — a deterministic numpy broadcast bug
   does not deserve three retries;
 * enforces the ambient :class:`GuardScope`'s wall-clock deadline
@@ -45,6 +51,8 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import os
+import random
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -71,6 +79,11 @@ __all__ = [
     "guard_scope",
     "push_scope",
     "current_scope",
+    "remaining_s",
+    "request_envelope",
+    "envelope_remaining_s",
+    "compose_deadline",
+    "seed_backoff_jitter",
     "guard_predict_fn",
     "check_instance",
     "resolve_retries",
@@ -240,6 +253,80 @@ def current_scope() -> GuardScope | None:
     return _SCOPE.get()
 
 
+def remaining_s() -> float | None:
+    """Remaining wall-clock budget of the ambient scope, in seconds.
+
+    ``None`` means unbounded — either no scope is open on this context
+    or the open scope carries no deadline. Contextvars are per-thread
+    (and per copied context), so concurrent request threads each read
+    their *own* scope's remainder; ``tests/test_robust.py`` pins down
+    that two overlapping scopes on different threads never see each
+    other's budget.
+    """
+    scope = _SCOPE.get()
+    if scope is None:
+        return None
+    return scope.remaining_s()
+
+
+_ENVELOPE: contextvars.ContextVar[GuardScope | None] = contextvars.ContextVar(
+    "repro_robust_request_envelope", default=None
+)
+
+
+@contextlib.contextmanager
+def request_envelope(deadline_s: float | None,
+                     query_budget: int | None = None):
+    """Open an outer *request* budget that nested guard scopes clip to.
+
+    The serve layer opens one envelope per request at arrival time.
+    Unlike :func:`guard_scope` — where nested scopes deliberately reset
+    (each row of a batch budgets independently) — the envelope is
+    *composed into* every scope opened within its extent: a scope's
+    deadline becomes ``min(its own deadline, envelope remaining)``. The
+    remaining time is measured from envelope open, so seconds spent in
+    the admission queue are seconds the explanation no longer has.
+    """
+    scope = GuardScope(resolve_deadline_s(deadline_s),
+                       resolve_query_budget(query_budget))
+    token = _ENVELOPE.set(scope)
+    try:
+        yield scope
+    finally:
+        _ENVELOPE.reset(token)
+
+
+def envelope_remaining_s() -> float | None:
+    """Remaining wall-clock of the ambient request envelope, if any."""
+    envelope = _ENVELOPE.get()
+    if envelope is None:
+        return None
+    return envelope.remaining_s()
+
+
+def compose_deadline(deadline_s: float | None) -> float | None:
+    """The tightest of a requested deadline and every ambient budget.
+
+    Returns ``min(deadline_s, ambient scope remaining, request-envelope
+    remaining)``, treating ``None`` as unbounded everywhere. This is
+    the deadline a *nested* scope should open with: the serve layer
+    relies on it so a request's queue wait eats into the compute budget
+    (the explanation's scope gets the request deadline *minus* time
+    already spent), and an inner explanation can never outlive the
+    envelope that carries it.
+    """
+    candidates = [
+        value
+        for value in (
+            None if deadline_s is None else float(deadline_s),
+            remaining_s(),
+            envelope_remaining_s(),
+        )
+        if value is not None
+    ]
+    return min(candidates) if candidates else None
+
+
 @contextlib.contextmanager
 def guard_scope(config: GuardConfig | None | bool = None):
     """Open a fresh per-explanation budget scope.
@@ -257,8 +344,19 @@ def guard_scope(config: GuardConfig | None | bool = None):
             _SCOPE.reset(token)
         return
     cfg = config if isinstance(config, GuardConfig) else None
+    deadline = resolve_deadline_s(cfg.deadline_s if cfg else None)
+    # An ambient request envelope (the serve layer's per-request budget)
+    # clips every scope opened inside it: the fresh scope gets at most
+    # the envelope's *remaining* wall clock, so time spent queueing is
+    # time the computation no longer has.
+    envelope_left = envelope_remaining_s()
+    if envelope_left is not None:
+        deadline = (
+            envelope_left if deadline is None
+            else min(deadline, envelope_left)
+        )
     scope = GuardScope(
-        resolve_deadline_s(cfg.deadline_s if cfg else None),
+        deadline,
         resolve_query_budget(cfg.query_budget if cfg else None),
     )
     token = _SCOPE.set(scope)
@@ -295,10 +393,39 @@ def _note_retry(scope: GuardScope | None) -> None:
         active.add_retries(1)
 
 
+# Retry-jitter stream. Unseeded by default (each process de-synchronizes
+# naturally); FaultyModel seeds it on construction/reset so fault-injected
+# runs draw a reproducible sleep sequence.
+_jitter_lock = threading.Lock()
+_jitter_rng = random.Random()
+
+
+def seed_backoff_jitter(seed: int | None) -> None:
+    """(Re)seed the retry-jitter stream; ``None`` returns it to entropy.
+
+    Called by :class:`repro.robust.faults.FaultyModel` whenever fault
+    injection is activated or reset, so seeded tests and the E38/E43
+    benchmarks observe a deterministic backoff schedule even though
+    production retries are fully jittered.
+    """
+    global _jitter_rng
+    with _jitter_lock:
+        _jitter_rng = random.Random(seed) if seed is not None else random.Random()
+
+
 def _backoff_sleep(cfg: GuardConfig, backoff: float, failures: int,
                    scope: GuardScope | None) -> None:
-    """Exponential backoff, capped and clipped to the remaining deadline."""
-    delay = min(backoff * (2.0 ** (failures - 1)), BACKOFF_CAP_S)
+    """Full-jitter exponential backoff, clipped to the remaining deadline.
+
+    The capped exponential ``backoff · 2^(failures−1)`` is the *ceiling*
+    of a uniform draw, not the sleep itself ("full jitter", AWS
+    architecture-blog style): N concurrent callers retrying the same
+    flaky model spread over the window instead of thundering back in
+    lockstep at identical offsets.
+    """
+    cap = min(backoff * (2.0 ** (failures - 1)), BACKOFF_CAP_S)
+    with _jitter_lock:
+        delay = _jitter_rng.uniform(0.0, cap) if cap > 0 else 0.0
     if scope is not None:
         remaining = scope.remaining_s()
         if remaining is not None:

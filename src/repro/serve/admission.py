@@ -1,0 +1,140 @@
+"""Admission control: a bounded queue in front of a fixed worker budget.
+
+The server accepts connections freely (``ThreadingHTTPServer`` gives
+each one a thread), but *computation* is rationed: at most
+``max_inflight`` explanations run at once, and at most ``queue_limit``
+requests may wait for a slot. Everything beyond that is refused
+immediately — the two refusals are deliberately different:
+
+* **queue full** → :class:`~repro.serve.errors.QueueFullError` (HTTP
+  429), raised without sleeping a single millisecond. A full queue
+  means the server is already behind; the kindest thing to do with the
+  marginal request is to bounce it with a ``Retry-After`` hint while it
+  still has its whole client-side budget left to retry elsewhere.
+* **queue timeout** → :class:`~repro.serve.errors.AdmissionTimeoutError`
+  (HTTP 503): the request waited its turn, but no slot freed within its
+  *remaining* deadline. The wait is bounded by the request budget, so a
+  queued request can never hang past the deadline it advertised.
+
+Telemetry: ``serve.admitted`` / ``serve.rejected.queue_full`` /
+``serve.rejected.timeout`` counters, ``serve.queue.depth`` /
+``serve.inflight`` gauges (sampled on every transition), and the
+``serve.queue.wait_ms`` histogram — the ladder reads the depth gauge's
+underlying count as its pressure signal.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from ..obs import metrics
+from .errors import AdmissionTimeoutError, QueueFullError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting-semaphore admission with a bounded, deadline-aware queue."""
+
+    def __init__(self, max_inflight: int, queue_limit: int,
+                 retry_after_s: float = 1.0) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = int(max_inflight)
+        self.queue_limit = max(0, int(queue_limit))
+        self.retry_after_s = float(retry_after_s)
+        self._slots = threading.Semaphore(self.max_inflight)
+        self._lock = threading.Lock()
+        self._waiting = 0
+        self._inflight = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for a slot."""
+        with self._lock:
+            return self._waiting
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding an execution slot."""
+        with self._lock:
+            return self._inflight
+
+    def queue_fraction(self) -> float:
+        """Queue occupancy in [0, 1] — the ladder's load signal."""
+        if self.queue_limit == 0:
+            return 0.0
+        with self._lock:
+            return min(1.0, self._waiting / self.queue_limit)
+
+    def _gauges(self) -> None:
+        metrics.gauge("serve.queue.depth").set(self._waiting)
+        metrics.gauge("serve.inflight").set(self._inflight)
+
+    # -- the admission protocol --------------------------------------------
+
+    @contextlib.contextmanager
+    def admit(self, timeout_s: float):
+        """Hold one execution slot for the ``with`` block.
+
+        ``timeout_s`` is the request's remaining budget: the queue wait
+        is capped by it, so deadline spent queueing is deadline the
+        compute phase no longer has (the caller re-derives the remainder
+        after admission). Raises :class:`QueueFullError` without
+        waiting when the queue is at capacity, and
+        :class:`AdmissionTimeoutError` when the wait times out.
+        """
+        # Fast path: a free slot admits immediately, whatever the queue
+        # capacity (queue_limit=0 means "no waiting", not "no serving").
+        acquired = self._slots.acquire(blocking=False)
+        queued = False
+        if not acquired:
+            with self._lock:
+                if self._waiting >= self.queue_limit:
+                    metrics.counter("serve.rejected.queue_full").inc()
+                    raise QueueFullError(
+                        f"request queue full ({self._waiting} waiting, "
+                        f"limit {self.queue_limit})",
+                        retry_after_s=self.retry_after_s,
+                    )
+                self._waiting += 1
+                queued = True
+                self._gauges()
+        try:
+            if not acquired:
+                try:
+                    with metrics.observe_duration("serve.queue.wait_ms"):
+                        acquired = self._slots.acquire(
+                            timeout=max(0.0, timeout_s)
+                        )
+                finally:
+                    with self._lock:
+                        self._waiting -= 1
+                        queued = False
+                        self._gauges()
+                if not acquired:
+                    metrics.counter("serve.rejected.timeout").inc()
+                    raise AdmissionTimeoutError(
+                        f"no execution slot within {timeout_s:.3f}s "
+                        f"({self.max_inflight} inflight, "
+                        f"{self.waiting} still queued)",
+                        retry_after_s=self.retry_after_s,
+                    )
+            with self._lock:
+                self._inflight += 1
+                self._gauges()
+            metrics.counter("serve.admitted").inc()
+            yield self
+        finally:
+            if queued:
+                with self._lock:
+                    self._waiting -= 1
+                    self._gauges()
+            if acquired:
+                with self._lock:
+                    self._inflight -= 1
+                    self._gauges()
+                self._slots.release()

@@ -1,0 +1,153 @@
+"""Per-model circuit breaker fed by the ``repro.robust`` error types.
+
+A model that fails every call is worse than a slow one: each doomed
+request still burns its full retry budget, an execution slot, and a
+client's patience. The breaker turns a persistently failing endpoint
+into a fast, honest refusal:
+
+* **closed** (healthy): requests pass; each
+  :class:`~repro.robust.ModelEvaluationError` (the guard's verdict that
+  the model itself failed — retries exhausted, NaN output, wrong shape)
+  increments a consecutive-failure count, and any success resets it.
+  Budget and validation errors do *not* count: a deadline miss is load,
+  not model sickness.
+* **open**: after ``threshold`` consecutive failures the breaker trips.
+  Every request is refused with
+  :class:`~repro.serve.errors.BreakerOpenError` (HTTP 503,
+  ``Retry-After`` = cooldown remainder) without touching the model.
+* **half-open**: once the cooldown elapses, exactly **one** probe
+  request is allowed through; concurrent requests keep getting the
+  open-circuit refusal. A successful probe closes the breaker; a failed
+  probe re-opens it for a fresh cooldown.
+
+Counters: ``serve.breaker.opened`` / ``serve.breaker.closed`` /
+``serve.breaker.probes`` / ``serve.breaker.rejected``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..obs import metrics
+from ..robust.errors import ModelEvaluationError
+from .errors import BreakerOpenError
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open single-probe recovery."""
+
+    def __init__(self, endpoint: str, threshold: int = 5,
+                 cooldown_s: float = 5.0) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.endpoint = endpoint
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def peek(self) -> None:
+        """Fast-fail check that never takes the half-open probe slot.
+
+        The server calls this at request arrival, *before* coalescing
+        and admission, so an open circuit refuses in microseconds
+        instead of after a queue wait. Open-with-cooldown-elapsed
+        passes (the post-admission :meth:`allow` will run the probe).
+        """
+        with self._lock:
+            if self._state != OPEN:
+                return
+            elapsed = time.monotonic() - self._opened_at
+            if elapsed < self.cooldown_s:
+                metrics.counter("serve.breaker.rejected").inc()
+                raise BreakerOpenError(
+                    f"circuit open for model {self.endpoint!r} "
+                    f"({self._consecutive_failures} consecutive failures)",
+                    retry_after_s=self.cooldown_s - elapsed,
+                )
+
+    def allow(self) -> None:
+        """Gate one request; raises :class:`BreakerOpenError` when open.
+
+        In half-open state the first caller wins the probe slot; the
+        caller *must* then report the attempt via :meth:`record_success`
+        / :meth:`record_failure` (the server does so in a ``finally``-
+        adjacent path) or the probe slot would leak.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return
+            now = time.monotonic()
+            if self._state == OPEN:
+                elapsed = now - self._opened_at
+                if elapsed < self.cooldown_s:
+                    metrics.counter("serve.breaker.rejected").inc()
+                    raise BreakerOpenError(
+                        f"circuit open for model {self.endpoint!r} "
+                        f"({self._consecutive_failures} consecutive "
+                        "failures)",
+                        retry_after_s=self.cooldown_s - elapsed,
+                    )
+                self._state = HALF_OPEN
+                self._probe_inflight = False
+            # Half-open: exactly one probe at a time.
+            if self._probe_inflight:
+                metrics.counter("serve.breaker.rejected").inc()
+                raise BreakerOpenError(
+                    f"circuit half-open for model {self.endpoint!r}; "
+                    "a probe is already in flight",
+                    retry_after_s=self.cooldown_s,
+                )
+            self._probe_inflight = True
+            metrics.counter("serve.breaker.probes").inc()
+
+    def record_success(self) -> None:
+        """A model call succeeded: close the circuit, reset the count."""
+        with self._lock:
+            if self._state != CLOSED:
+                metrics.counter("serve.breaker.closed").inc()
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+
+    def record_failure(self, error: BaseException) -> None:
+        """Account one failed computation; trips or re-opens the circuit.
+
+        Only :class:`ModelEvaluationError` (and subclasses) count — the
+        guard raises it when the model, not the request, is at fault.
+        """
+        if not isinstance(error, ModelEvaluationError):
+            with self._lock:
+                # A non-model failure still ends a half-open probe; the
+                # model neither proved nor disproved itself, so return
+                # to open and let the next cooldown retry.
+                if self._state == HALF_OPEN:
+                    self._state = OPEN
+                    self._opened_at = time.monotonic()
+                    self._probe_inflight = False
+            return
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.threshold
+            ):
+                self._state = OPEN
+                self._opened_at = time.monotonic()
+                self._probe_inflight = False
+                metrics.counter("serve.breaker.opened").inc()

@@ -1,0 +1,96 @@
+"""The warm explanation cache: TTL + LRU, invalidated on model change.
+
+Explanations are pure functions of ``(model version, instance, tier,
+params)`` — exactly the coalescing key (:func:`repro.serve.protocol
+.request_key`) — so the service can serve repeat traffic from memory.
+Two forces bound the cache:
+
+* **LRU capacity** (``REPRO_SERVE_CACHE_SIZE``): the hot working set
+  stays, the long tail is evicted oldest-first;
+* **TTL** (``REPRO_SERVE_CACHE_TTL_S``): an entry older than the TTL is
+  dropped on lookup. The TTL is a freshness backstop for everything the
+  key cannot see (a background sample refreshed in place, a model
+  mutated without a version bump).
+
+Version discipline is the *primary* invalidation mechanism: the key
+embeds the endpoint's ``model_version``, so bumping the version makes
+every old entry unreachable instantly, and :meth:`ExplanationCache
+.invalidate_endpoint` reclaims the memory eagerly (called by the server
+whenever a version changes).
+
+Counters: ``serve.cache.hits`` / ``serve.cache.misses`` /
+``serve.cache.expired`` / ``serve.cache.evictions`` /
+``serve.cache.invalidated``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from ..obs import metrics
+
+__all__ = ["ExplanationCache"]
+
+
+class ExplanationCache:
+    """Thread-safe TTL + LRU map from request keys to response payloads."""
+
+    def __init__(self, max_entries: int, ttl_s: float) -> None:
+        self.max_entries = max(0, int(max_entries))
+        self.ttl_s = float(ttl_s)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, tuple[float, dict]] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple) -> dict | None:
+        """The cached payload, freshened to most-recently-used, or None."""
+        now = time.monotonic()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                metrics.counter("serve.cache.misses").inc()
+                return None
+            stored_at, payload = entry
+            if self.ttl_s > 0 and now - stored_at > self.ttl_s:
+                del self._entries[key]
+                metrics.counter("serve.cache.expired").inc()
+                metrics.counter("serve.cache.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            metrics.counter("serve.cache.hits").inc()
+            return payload
+
+    def put(self, key: tuple, payload: dict) -> None:
+        """Store a payload, evicting least-recently-used beyond capacity."""
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = (time.monotonic(), payload)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                metrics.counter("serve.cache.evictions").inc()
+
+    def invalidate_endpoint(self, endpoint: str) -> int:
+        """Eagerly drop every entry for one endpoint (any version).
+
+        The version bump already made stale keys unreachable; this
+        reclaims their memory and returns how many were dropped.
+        """
+        with self._lock:
+            doomed = [k for k in self._entries if k and k[0] == endpoint]
+            for k in doomed:
+                del self._entries[k]
+        if doomed:
+            metrics.counter("serve.cache.invalidated").inc(len(doomed))
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (tests; full redeploys)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,118 @@
+"""Request coalescing: identical in-flight requests share one computation.
+
+A hot instance under load is the service's best case *if* it computes
+the explanation once — and its worst case if every duplicate request
+occupies an execution slot recomputing it. The coalescer is a
+single-flight map keyed by :func:`repro.serve.protocol.request_key`:
+
+* the **first** request for a key becomes the *leader*: it takes an
+  admission slot, computes, and publishes the outcome;
+* every concurrent duplicate becomes a *waiter*: it takes **no**
+  admission slot (coalesced demand exerts no queue pressure — that is
+  the point), blocks on the flight with its own remaining deadline, and
+  receives the leader's result — or the leader's typed error, exactly
+  once per waiter, exactly as the leader saw it;
+* the flight is removed in the leader's ``finally``, so the *next*
+  request for the key after completion starts fresh (and normally hits
+  the cache instead).
+
+A waiter whose deadline lapses before the leader finishes raises its
+own :class:`~repro.robust.BudgetExceededError` — one slow leader must
+not convert N waiters into N hung sockets.
+
+Counters: ``serve.coalesce.leaders`` / ``serve.coalesce.waiters`` /
+``serve.coalesce.timeouts``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..obs import metrics
+from ..robust.errors import BudgetExceededError
+from .errors import CoalesceAbandonedError
+
+__all__ = ["Flight", "Coalescer"]
+
+
+class Flight:
+    """One in-flight computation and the outcome it publishes."""
+
+    __slots__ = ("_done", "result", "error", "waiters")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self.result: dict | None = None
+        self.error: BaseException | None = None
+        self.waiters = 0
+
+    def resolve(self, result: dict) -> None:
+        self.result = result
+        self._done.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._done.set()
+
+    def abandon(self) -> None:
+        """Wake waiters with a typed failure if nothing was published."""
+        if not self._done.is_set():
+            self.error = CoalesceAbandonedError(
+                "coalesced computation ended without publishing an outcome"
+            )
+            self._done.set()
+
+    def wait(self, timeout_s: float) -> dict:
+        """Block until the leader publishes; re-raise its typed error.
+
+        Raises :class:`BudgetExceededError` when ``timeout_s`` (the
+        waiter's own remaining deadline) lapses first.
+        """
+        if not self._done.wait(timeout=max(0.0, timeout_s)):
+            metrics.counter("serve.coalesce.timeouts").inc()
+            raise BudgetExceededError(
+                f"deadline of {timeout_s:.3f}s lapsed waiting on a "
+                "coalesced computation",
+                kind="deadline",
+                spent=timeout_s,
+                budget=timeout_s,
+            )
+        if self.error is not None:
+            raise self.error
+        if self.result is None:
+            raise CoalesceAbandonedError(
+                "coalesced computation resolved with no result"
+            )
+        return self.result
+
+
+class Coalescer:
+    """Single-flight registry: at most one computation per request key."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[tuple, Flight] = {}
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._flights)
+
+    def join(self, key: tuple) -> tuple[Flight, bool]:
+        """``(flight, is_leader)`` — leaders compute, waiters wait."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                metrics.counter("serve.coalesce.waiters").inc()
+                return flight, False
+            flight = Flight()
+            self._flights[key] = flight
+            metrics.counter("serve.coalesce.leaders").inc()
+            return flight, True
+
+    def finish(self, key: tuple, flight: Flight) -> None:
+        """Leader cleanup: deregister and wake any unresolved waiters."""
+        with self._lock:
+            if self._flights.get(key) is flight:
+                del self._flights[key]
+        flight.abandon()

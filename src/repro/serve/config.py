@@ -1,0 +1,133 @@
+"""Service configuration: every knob, one env var, one default.
+
+All knobs resolve at :class:`ServeConfig` construction from
+``REPRO_SERVE_*`` environment variables (explicit constructor arguments
+win), so `repro serve` deployments are tunable without code and the
+tests can build tiny servers (1 slot, 2-entry cache) directly.
+
+=============================== ============================= =========
+constructor field               environment variable          default
+=============================== ============================= =========
+``max_inflight``                ``REPRO_SERVE_MAX_INFLIGHT``  4
+``queue_limit``                 ``REPRO_SERVE_QUEUE_LIMIT``   16
+``default_deadline_s``          ``REPRO_SERVE_DEADLINE_S``    10.0
+``cache_size``                  ``REPRO_SERVE_CACHE_SIZE``    512
+``cache_ttl_s``                 ``REPRO_SERVE_CACHE_TTL_S``   300.0
+``coalesce_enabled``            ``REPRO_SERVE_COALESCE``      1 (on)
+``breaker_threshold``           ``REPRO_SERVE_BREAKER_THRESHOLD``  5
+``breaker_cooldown_s``          ``REPRO_SERVE_BREAKER_COOLDOWN_S`` 5.0
+``ladder_enabled``              ``REPRO_SERVE_LADDER``        1 (on)
+``degrade_pressure``            ``REPRO_SERVE_DEGRADE_AT``    0.5
+``shed_pressure``               ``REPRO_SERVE_SHED_AT``       0.85
+``socket_timeout_s``            ``REPRO_SERVE_SOCKET_TIMEOUT_S`` 30.0
+=============================== ============================= =========
+
+``degrade_pressure`` / ``shed_pressure`` are the two rungs of the
+degradation ladder (:mod:`repro.serve.ladder`): below the first the
+request's own explainer choice is honored, between them the service
+downgrades one tier and trims sampling budgets, above the second it
+serves the cheapest tier only.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["ServeConfig"]
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
+
+
+def _env_bool(name: str, default: bool) -> bool:
+    raw = os.environ.get(name, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "false", "no", "off")
+
+
+@dataclass
+class ServeConfig:
+    """Resolved service knobs (``None`` fields pull their env default)."""
+
+    max_inflight: int | None = None
+    queue_limit: int | None = None
+    default_deadline_s: float | None = None
+    cache_size: int | None = None
+    cache_ttl_s: float | None = None
+    coalesce_enabled: bool | None = None
+    breaker_threshold: int | None = None
+    breaker_cooldown_s: float | None = None
+    ladder_enabled: bool | None = None
+    degrade_pressure: float | None = None
+    shed_pressure: float | None = None
+    socket_timeout_s: float | None = None
+    # Sampling-tier budget bounds the ladder scales within.
+    sampling_permutations: int = 60
+    min_sampling_permutations: int = 8
+    # Exact enumeration is refused above this feature count regardless
+    # of what the client asked for (2^n coalitions is not a request, it
+    # is an outage).
+    exact_max_features: int = 12
+    retry_after_s: float = field(default=1.0)
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is None:
+            self.max_inflight = _env_int("REPRO_SERVE_MAX_INFLIGHT", 4)
+        if self.queue_limit is None:
+            self.queue_limit = _env_int("REPRO_SERVE_QUEUE_LIMIT", 16)
+        if self.default_deadline_s is None:
+            self.default_deadline_s = _env_float("REPRO_SERVE_DEADLINE_S", 10.0)
+        if self.cache_size is None:
+            self.cache_size = _env_int("REPRO_SERVE_CACHE_SIZE", 512)
+        if self.cache_ttl_s is None:
+            self.cache_ttl_s = _env_float("REPRO_SERVE_CACHE_TTL_S", 300.0)
+        if self.coalesce_enabled is None:
+            self.coalesce_enabled = _env_bool("REPRO_SERVE_COALESCE", True)
+        if self.breaker_threshold is None:
+            self.breaker_threshold = _env_int(
+                "REPRO_SERVE_BREAKER_THRESHOLD", 5
+            )
+        if self.breaker_cooldown_s is None:
+            self.breaker_cooldown_s = _env_float(
+                "REPRO_SERVE_BREAKER_COOLDOWN_S", 5.0
+            )
+        if self.ladder_enabled is None:
+            self.ladder_enabled = _env_bool("REPRO_SERVE_LADDER", True)
+        if self.degrade_pressure is None:
+            self.degrade_pressure = _env_float("REPRO_SERVE_DEGRADE_AT", 0.5)
+        if self.shed_pressure is None:
+            self.shed_pressure = _env_float("REPRO_SERVE_SHED_AT", 0.85)
+        if self.socket_timeout_s is None:
+            self.socket_timeout_s = _env_float(
+                "REPRO_SERVE_SOCKET_TIMEOUT_S", 30.0
+            )
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        if self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be > 0")
+        if not 0.0 < self.degrade_pressure <= self.shed_pressure:
+            raise ValueError(
+                "need 0 < degrade_pressure <= shed_pressure, got "
+                f"{self.degrade_pressure} / {self.shed_pressure}"
+            )

@@ -1,0 +1,85 @@
+"""Service-layer typed errors, extending the ``repro.robust`` hierarchy.
+
+Everything the service deliberately refuses to do gets its own exception
+type rooted at :class:`repro.robust.ReproError`, so the protocol layer
+(:mod:`repro.serve.protocol`) can map *any* failure — an explainer's
+:class:`~repro.robust.ModelEvaluationError` or the server's own
+admission decisions — onto one status-code table, and in-process callers
+(tests, the benchmark load generator) can catch them without parsing
+HTTP bodies.
+
+Overload refusals (:class:`QueueFullError`, :class:`AdmissionTimeoutError`,
+:class:`BreakerOpenError`) carry a ``retry_after_s`` hint that the HTTP
+layer surfaces as a ``Retry-After`` header — a shed request tells the
+client *when* trying again has a chance, instead of inviting an
+immediate hammer-retry.
+"""
+
+from __future__ import annotations
+
+from ..robust.errors import ReproError
+
+__all__ = [
+    "ServeError",
+    "UnknownEndpointError",
+    "QueueFullError",
+    "AdmissionTimeoutError",
+    "BreakerOpenError",
+    "CoalesceAbandonedError",
+]
+
+
+class ServeError(ReproError):
+    """Base class for failures originating in the service layer itself."""
+
+
+class UnknownEndpointError(ServeError):
+    """The request named a model endpoint the server does not host."""
+
+
+class QueueFullError(ServeError):
+    """Fast-fail admission refusal: the bounded request queue is full.
+
+    Raised *without waiting* — a full queue means every queued request
+    is already at risk of missing its deadline, and adding more only
+    makes the tail worse. Maps to HTTP 429.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class AdmissionTimeoutError(ServeError):
+    """The request queued but no execution slot freed up within budget.
+
+    The wait is bounded by the request's *remaining* deadline, so this
+    is raised while there is still time to tell the client cleanly.
+    Maps to HTTP 503.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class BreakerOpenError(ServeError):
+    """The endpoint's circuit breaker is open: the model is failing.
+
+    Requests are refused without touching the model until the cooldown
+    elapses and a half-open probe succeeds. Maps to HTTP 503 with
+    ``Retry-After`` set to the cooldown remainder.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class CoalesceAbandonedError(ServeError):
+    """A coalesced flight ended without a result or error.
+
+    Defensive: the leader's ``finally`` always resolves the flight, so
+    waiters should never see this — but a waiter woken by an abandoned
+    flight must fail loudly rather than return nothing. Maps to 500.
+    """

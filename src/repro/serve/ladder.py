@@ -1,0 +1,149 @@
+"""The load-shedding degradation ladder: exact → sampling → surrogate.
+
+"Understanding User Preferences in XAI" (PAPERS.md) motivates letting
+each request choose its explainer; under overload that same choice is
+the service's relief valve. Rather than queueing requests it cannot
+serve in time (or bouncing them outright), the ladder substitutes a
+cheaper explainer and *says so* in the response ``meta`` — a degraded
+answer a client can see is degraded beats a timeout every time.
+
+Tiers, cheapest last::
+
+    exact      exhaustive Shapley enumeration (2^n coalitions)
+    sampling   permutation-sampling Shapley; the per-request
+               n_permutations budget itself shrinks with pressure
+    surrogate  a local LIME fit — one linear regression's worth of
+               model queries
+
+The pressure signal combines the two things the service can observe
+about itself (both already maintained by :mod:`repro.obs`):
+
+* **queue occupancy** — ``waiting / queue_limit`` from the admission
+  controller, the leading indicator;
+* **latency headroom** — recent p95 of ``serve.compute_ms`` (the
+  quantile-histogram readout) against the default request deadline, the
+  trailing indicator that catches a slow model before the queue fills.
+
+``pressure = max(queue_fraction, p95_fraction)``, then::
+
+    pressure < degrade_pressure   honor the requested tier
+    pressure < shed_pressure      degrade one tier below the request,
+                                  and scale the sampling budget down
+    otherwise                     cheapest tier only (surrogate)
+
+Explicit tier requests are never *upgraded*: a client asking for
+``surrogate`` gets surrogate at any load. ``tier="auto"`` starts from
+the endpoint's best available tier. Degradations count
+``serve.shed.degraded``; the chosen rung is recorded on every response
+(``meta.tier`` / ``meta.requested_tier`` / ``meta.degraded``).
+"""
+
+from __future__ import annotations
+
+from ..obs import metrics
+from ..robust.errors import InputValidationError
+from .config import ServeConfig
+
+__all__ = ["TIERS", "DegradationLadder"]
+
+# Order matters: index 0 is the most faithful, last is the cheapest.
+TIERS: tuple[str, ...] = ("exact", "sampling", "surrogate")
+
+
+class DegradationLadder:
+    """Chooses the served tier (and budget) from load and the request."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+
+    # -- the pressure signal ----------------------------------------------
+
+    def pressure(self, queue_fraction: float) -> float:
+        """Combined load signal in [0, 1]."""
+        p95_fraction = 0.0
+        h = metrics.histogram("serve.compute_ms")
+        if h.count >= 8:  # too few samples and p95 is folklore
+            deadline_ms = self.config.default_deadline_s * 1000.0
+            if deadline_ms > 0:
+                p95_fraction = min(1.0, h.p95 / deadline_ms)
+        return max(float(queue_fraction), p95_fraction)
+
+    # -- tier choice -------------------------------------------------------
+
+    def choose(
+        self,
+        requested: str | None,
+        available: tuple[str, ...],
+        queue_fraction: float,
+    ) -> tuple[str, dict, dict]:
+        """``(tier, param_overrides, meta)`` for one request.
+
+        ``available`` is the endpoint's tier set (an endpoint with too
+        many features for exact enumeration simply never offers it).
+        Raises :class:`InputValidationError` for a tier the service does
+        not know, so the client gets a 400, not a silent substitution.
+        """
+        requested = (requested or "auto").strip().lower()
+        if requested != "auto" and requested not in TIERS:
+            raise InputValidationError(
+                f"unknown explainer tier {requested!r}; "
+                f"expected auto|{'|'.join(TIERS)}"
+            )
+        if not available:
+            raise InputValidationError("endpoint offers no explainer tiers")
+        base = requested if requested != "auto" else available[0]
+        effective = base
+        if effective not in available:
+            # e.g. exact requested on a wide endpoint: the nearest
+            # cheaper tier stands in (never a more expensive one).
+            effective = next(
+                (t for t in available
+                 if TIERS.index(t) > TIERS.index(effective)),
+                available[-1],
+            )
+        pressure = self.pressure(queue_fraction)
+        tier = effective
+        if self.config.ladder_enabled:
+            if pressure >= self.config.shed_pressure:
+                tier = available[-1]
+            elif pressure >= self.config.degrade_pressure:
+                lower = [
+                    t for t in available
+                    if TIERS.index(t) > TIERS.index(effective)
+                ]
+                tier = lower[0] if lower else effective
+        overrides = self._budget_overrides(tier, pressure)
+        squeezed = (
+            overrides.get("n_permutations", self.config.sampling_permutations)
+            < self.config.sampling_permutations
+        )
+        # Degraded means "not what the request would get on an idle
+        # server", *including* the stand-in for an unavailable tier.
+        degraded = tier != base or squeezed
+        if degraded:
+            metrics.counter("serve.shed.degraded").inc()
+        meta = {
+            "requested_tier": requested,
+            "tier": tier,
+            "degraded": degraded,
+            "pressure": round(pressure, 4),
+        }
+        return tier, overrides, meta
+
+    def _budget_overrides(self, tier: str, pressure: float) -> dict:
+        """Pressure-scaled parameter overrides for the chosen tier."""
+        if tier != "sampling":
+            return {}
+        cfg = self.config
+        if not cfg.ladder_enabled or pressure < cfg.degrade_pressure:
+            return {"n_permutations": cfg.sampling_permutations}
+        # Linear squeeze: full budget at the degrade rung, the floor at
+        # pressure 1.0.
+        span = max(1e-9, 1.0 - cfg.degrade_pressure)
+        scale = max(0.0, 1.0 - (pressure - cfg.degrade_pressure) / span)
+        budget = int(
+            cfg.min_sampling_permutations
+            + scale * (cfg.sampling_permutations
+                       - cfg.min_sampling_permutations)
+        )
+        return {"n_permutations": max(cfg.min_sampling_permutations, budget)}

@@ -1,0 +1,161 @@
+"""Wire protocol: request keys, response payloads, the error envelope.
+
+The contract the service keeps with clients, whatever goes wrong inside:
+
+* every response is JSON;
+* every failure is a **typed error envelope** —
+  ``{"error": {"type", "status", "message", "retry_after_s"?}}`` — whose
+  ``type`` is the :mod:`repro.robust` / :mod:`repro.serve` exception
+  class name, mapped to an HTTP status by :data:`STATUS_BY_ERROR`. Stack
+  traces never cross the wire; unexpected exceptions collapse to a
+  generic ``InternalError`` with a constant message;
+* every success carries ``meta`` describing *what the client actually
+  got*: the served tier (and whether the ladder degraded the request),
+  cache/coalescing provenance, the model version, and the milliseconds
+  of deadline that were left when the response was built.
+
+Status mapping (most specific class wins)::
+
+    InputValidationError            400   the caller's request is malformed
+    UnknownEndpointError            404   no such model endpoint
+    QueueFullError                  429   bounded queue full (Retry-After)
+    AdmissionTimeoutError           503   no slot within budget (Retry-After)
+    BreakerOpenError                503   model circuit open (Retry-After)
+    BudgetExceededError             504   deadline ran out server-side
+    ModelEvaluationError (+subs)    502   the model failed; not our fault
+    TransientModelError             502   ditto, retryable flavor
+    ReproError / anything else      500   the service's fault
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+
+from ..core.explanation import FeatureAttribution
+from ..robust.errors import (
+    BudgetExceededError,
+    InputValidationError,
+    ModelEvaluationError,
+    ReproError,
+    TransientModelError,
+)
+from .errors import (
+    AdmissionTimeoutError,
+    BreakerOpenError,
+    CoalesceAbandonedError,
+    QueueFullError,
+    ServeError,
+    UnknownEndpointError,
+)
+
+__all__ = [
+    "STATUS_BY_ERROR",
+    "instance_hash",
+    "params_key",
+    "request_key",
+    "attribution_payload",
+    "status_for",
+    "error_envelope",
+]
+
+# Ordered most-specific-first; the first isinstance match wins.
+STATUS_BY_ERROR: tuple[tuple[type, int], ...] = (
+    (InputValidationError, 400),
+    (UnknownEndpointError, 404),
+    (QueueFullError, 429),
+    (AdmissionTimeoutError, 503),
+    (BreakerOpenError, 503),
+    (BudgetExceededError, 504),
+    (ModelEvaluationError, 502),
+    (TransientModelError, 502),
+    (CoalesceAbandonedError, 500),
+    (ServeError, 500),
+    (ReproError, 500),
+)
+
+
+def instance_hash(x) -> str:
+    """Short stable hash of one explained instance's float contents."""
+    arr = np.ascontiguousarray(np.asarray(x, dtype=float).ravel())
+    return hashlib.sha1(arr.tobytes()).hexdigest()[:16]
+
+
+def params_key(params: dict | None) -> str:
+    """Canonical string for the request's effective explainer params."""
+    if not params:
+        return "{}"
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def request_key(endpoint: str, model_version: str, x, tier: str,
+                params: dict | None) -> tuple:
+    """The identity under which requests coalesce and results cache.
+
+    Two requests share one computation (and one cache entry) iff they
+    name the same endpoint at the same model version, the same instance
+    bytes, the same served tier, and the same effective parameters.
+    The *served* tier — not the requested one — keys the entry, so a
+    degraded response never shadows the full-fidelity one.
+    """
+    return (
+        endpoint, model_version, instance_hash(x), tier, params_key(params)
+    )
+
+
+def attribution_payload(attribution: FeatureAttribution) -> dict:
+    """JSON-safe body of a :class:`FeatureAttribution` result."""
+    meta = {}
+    for key, value in (attribution.meta or {}).items():
+        if isinstance(value, np.ndarray):
+            value = value.tolist()
+        try:
+            json.dumps(value)
+        except (TypeError, ValueError):
+            value = repr(value)
+        meta[key] = value
+    return {
+        "values": [float(v) for v in attribution.values],
+        "feature_names": list(attribution.feature_names),
+        "base_value": float(attribution.base_value),
+        "prediction": (
+            None if attribution.prediction is None
+            else float(attribution.prediction)
+        ),
+        "method": attribution.method,
+        "meta": meta,
+    }
+
+
+def status_for(error: BaseException) -> int:
+    """HTTP status for a failure (500 for anything unrecognized)."""
+    for cls, status in STATUS_BY_ERROR:
+        if isinstance(error, cls):
+            return status
+    return 500
+
+
+def error_envelope(error: BaseException) -> tuple[int, dict, dict]:
+    """``(status, body, headers)`` for any failure.
+
+    Known (typed) errors expose their class name and message; anything
+    else — a bug, not a contract — is reported as ``InternalError``
+    with a constant message so internals never leak to clients.
+    """
+    status = status_for(error)
+    known = isinstance(error, ReproError)
+    body: dict = {
+        "error": {
+            "type": type(error).__name__ if known else "InternalError",
+            "status": status,
+            "message": str(error) if known else "internal error",
+        }
+    }
+    headers: dict = {}
+    retry_after = getattr(error, "retry_after_s", None)
+    if retry_after is not None:
+        body["error"]["retry_after_s"] = round(float(retry_after), 3)
+        headers["Retry-After"] = str(max(1, int(round(retry_after))))
+    return status, body, headers

@@ -588,3 +588,119 @@ def test_worker_robust_counters_merge_into_parent(background):
                                       n_procs=2)
     assert len(results) == 4 and all(r is not None for r in results)
     assert metrics.counter("robust.retries").value > before
+
+
+# ------------------------------------------- backoff jitter + scope threads
+
+
+def test_backoff_jitter_is_seeded_deterministic_and_capped():
+    """Full-jitter delays replay exactly under a seed and never exceed
+    the capped-exponential envelope."""
+    from repro.robust import seed_backoff_jitter
+    from repro.robust.guard import BACKOFF_CAP_S
+
+    def run_once() -> list[float]:
+        delays: list[float] = []
+
+        def always_down(X):
+            raise TransientModelError("503")
+
+        guarded = guard_predict_fn(
+            always_down,
+            GuardConfig(retries=4, backoff_s=0.1, sleep=delays.append),
+        )
+        with pytest.raises(ModelEvaluationError):
+            guarded(np.zeros((1, 3)))
+        return delays
+
+    seed_backoff_jitter(1234)
+    first = run_once()
+    seed_backoff_jitter(1234)
+    second = run_once()
+    try:
+        assert first == second  # seeded: bitwise-replayable
+        assert len(first) == 4
+        for attempt, delay in enumerate(first, start=1):
+            cap = min(0.1 * 2.0 ** (attempt - 1), BACKOFF_CAP_S)
+            assert 0.0 <= delay <= cap
+        # Full jitter actually jitters: four draws are not all equal.
+        assert len(set(first)) > 1
+    finally:
+        seed_backoff_jitter(None)
+
+
+def test_faulty_model_seeds_the_backoff_jitter():
+    """Fault injection pins the jitter stream, so fault-injected runs
+    (and their golden assertions) replay exactly."""
+    from repro.robust import seed_backoff_jitter
+    from repro.robust import guard as guard_mod
+
+    try:
+        FaultyModel(linear_model, error_rate=0.1, seed=77)
+        first = [guard_mod._jitter_rng.uniform(0, 1) for __ in range(3)]
+        FaultyModel(linear_model, error_rate=0.1, seed=77)
+        second = [guard_mod._jitter_rng.uniform(0, 1) for __ in range(3)]
+        assert first == second
+    finally:
+        seed_backoff_jitter(None)
+
+
+def test_overlapping_scopes_on_threads_do_not_leak_budget():
+    """Two guard scopes open concurrently on different threads each see
+    their own deadline; neither clock leaks into the other."""
+    import threading
+    import time
+
+    from repro.robust import remaining_s
+
+    seen: dict[str, float | None] = {}
+    barrier = threading.Barrier(2)
+
+    def worker(name: str, deadline_s: float) -> None:
+        with guard_scope(GuardConfig(deadline_s=deadline_s)):
+            barrier.wait()      # both scopes are open at the same time
+            time.sleep(0.05)
+            seen[name] = remaining_s()
+            barrier.wait()      # neither exits before the other measured
+
+    threads = [
+        threading.Thread(target=worker, args=("short", 0.2)),
+        threading.Thread(target=worker, args=("long", 30.0)),
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+    assert seen["short"] is not None and seen["short"] < 0.2
+    # The long scope still has essentially all its budget: the short
+    # scope's 0.2 s deadline did not clip it.
+    assert seen["long"] is not None and seen["long"] > 25.0
+
+
+def test_request_envelope_clips_nested_scopes_and_stays_thread_local():
+    import threading
+    import time
+
+    from repro.robust import request_envelope
+    from repro.robust.guard import envelope_remaining_s
+
+    with request_envelope(0.5) as envelope:
+        time.sleep(0.1)
+        # A scope with a *larger* own deadline is clipped to what is
+        # left of the envelope (queue wait eats the compute budget)...
+        with guard_scope(GuardConfig(deadline_s=60.0)) as scope:
+            assert scope.deadline_s is not None
+            assert scope.deadline_s <= 0.41
+        # ...while a tighter own deadline survives.
+        with guard_scope(GuardConfig(deadline_s=0.01)) as scope:
+            assert scope.deadline_s <= 0.01
+        # Envelopes are thread-local: another thread sees none.
+        elsewhere: list = []
+        t = threading.Thread(
+            target=lambda: elsewhere.append(envelope_remaining_s())
+        )
+        t.start()
+        t.join(timeout=10)
+        assert elsewhere == [None]
+        assert envelope.remaining_s() is not None
+    assert envelope_remaining_s() is None
