@@ -70,6 +70,7 @@ TOLERANCES: dict = {
     # Thread-scheduling latency under deliberate contention is noisy;
     # the load-bearing checks are the FLOORS ratios below.
     "E43_serve_load": {"min_delta_s": 1.0, "min_delta_p95_ms": 1000.0},
+    "E44_persist": {"min_delta_s": 1.0},
 }
 GUARDED_EXPERIMENTS = tuple(TOLERANCES)
 
@@ -86,6 +87,10 @@ FLOORS: dict = {
         "hot_key_p95_improvement": 5.0,
         "overload_resolved_fraction": 1.0,
     },
+    # A coalition-cache snapshot must make the repeat evaluation at
+    # least 2× faster than the cold run (in practice it is orders of
+    # magnitude: every mask answers from the snapshot, zero model rows).
+    "E44_persist": {"prewarm_speedup": 2.0},
 }
 MAX_REGRESSION = 0.25
 MIN_DELTA_S = 0.75

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Lint: the persist protocol's two structural invariants, by AST.
+
+1. Every class decorated ``@register_serializable(...)`` must *have*
+   both ``to_dict`` and ``from_dict`` — defined in its own body or
+   inherited from a base that has them (``Serializable`` supplies the
+   generic pair). Registration without the pair is a latent
+   ``PersistError`` that only fires on the first save/load.
+
+2. ``pickle`` stays out of :mod:`repro` except under ``exec/`` — the
+   spawn backend's transport is the one sanctioned use. Everything else
+   must go through the persist envelope (versioned, canonical,
+   dependency-free); an ad-hoc pickle is an unversioned artifact no
+   registry can validate. A deliberate exception is granted by putting
+   ``# persist: allow`` on the import line.
+
+Inheritance is resolved by name across all scanned modules (the
+repo's registered classes live in single-module hierarchies), with
+``Serializable`` as the axiom. AST-based, so strings and comments
+can't trip it. Exit 0 when clean, 1 with a ``path:line`` listing.
+Enforced in tier-1 via ``scripts/run_tier1.sh``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+ALLOW_MARK = "# persist: allow"
+PICKLE_ALLOWED_DIRS = {"exec"}
+# Base classes that provide to_dict/from_dict outside scanned sources.
+PROVIDERS = {"Serializable"}
+
+
+def _decorator_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _base_names(cls: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Attribute):
+            names.append(base.attr)
+        elif isinstance(base, ast.Name):
+            names.append(base.id)
+    return names
+
+
+def _scan_file(path: str):
+    """(registered classes, all classes, pickle import lines) of one file."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    registered, classes, pickle_lines = [], {}, []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            methods = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            classes[node.name] = (methods, _base_names(node))
+            if any(
+                _decorator_name(d) == "register_serializable"
+                for d in node.decorator_list
+            ):
+                registered.append((node.name, node.lineno))
+        elif isinstance(node, ast.Import):
+            if any(alias.name.split(".")[0] == "pickle"
+                   for alias in node.names):
+                pickle_lines.append(node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "pickle":
+                pickle_lines.append(node.lineno)
+    pickle_lines = [
+        line for line in pickle_lines
+        if ALLOW_MARK not in lines[line - 1]
+    ]
+    return registered, classes, pickle_lines
+
+
+def _provides(name: str, classes: dict, seen: set | None = None) -> bool:
+    """Whether class ``name`` has both to_dict and from_dict."""
+    if name in PROVIDERS:
+        return True
+    seen = seen or set()
+    if name in seen or name not in classes:
+        return False
+    seen.add(name)
+    methods, bases = classes[name]
+    if "to_dict" in methods and "from_dict" in methods:
+        return True
+    # The pair may be split across the hierarchy (a base's generic pair
+    # with one side overridden locally); what matters is that *both*
+    # resolve somewhere on the MRO.
+    def has(method: str, cls: str, trail: set) -> bool:
+        if cls in PROVIDERS:
+            return True
+        if cls in trail or cls not in classes:
+            return False
+        trail.add(cls)
+        cls_methods, cls_bases = classes[cls]
+        if method in cls_methods:
+            return True
+        return any(has(method, base, trail) for base in cls_bases)
+
+    return (has("to_dict", name, set()) and has("from_dict", name, set()))
+
+
+def offenders(root: str) -> list[str]:
+    out: list[str] = []
+    all_classes: dict = {}
+    file_registered: list[tuple[str, str, int]] = []
+    for dirpath, __, filenames in sorted(os.walk(root)):
+        rel = os.path.relpath(dirpath, root)
+        top = rel.split(os.sep)[0]
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            registered, classes, pickle_lines = _scan_file(path)
+            all_classes.update(classes)
+            file_registered.extend(
+                (path, cls, line) for cls, line in registered
+            )
+            if top not in PICKLE_ALLOWED_DIRS:
+                out.extend(
+                    f"{path}:{line}: pickle import outside exec/ "
+                    f"(use repro.persist, or mark '{ALLOW_MARK}')"
+                    for line in pickle_lines
+                )
+    for path, cls, line in file_registered:
+        if not _provides(cls, all_classes):
+            out.append(
+                f"{path}:{line}: @register_serializable class {cls!r} "
+                "has no to_dict/from_dict pair (define them or inherit "
+                "Serializable)"
+            )
+    return sorted(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    default_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+        "repro",
+    )
+    root = argv[0] if argv else default_root
+    found = offenders(root)
+    if found:
+        sys.stderr.write("persist protocol lint failures:\n")
+        for offence in found:
+            sys.stderr.write(f"  {offence}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,12 @@
 """Regenerate the frozen golden attributions under tests/goldens/.
 
-Each case is a fully seeded end-to-end explanation; the JSON files are
-the frozen outputs ``tests/test_goldens.py`` compares against at 1e-12.
-The test module imports *this* file for the case definitions, so the
-fixtures can never drift apart from the goldens they regenerate.
+Each case is a fully seeded end-to-end explanation; the golden files are
+**persist artifacts** — the explanation object itself, serialized
+through :mod:`repro.persist` (type-tag envelope, canonical b64 float64
+encoding) — and ``tests/test_goldens.py`` loads them back through
+``from_dict`` before comparing at 1e-12. The test module imports *this*
+file for the case definitions, so the fixtures can never drift apart
+from the goldens they regenerate.
 
 Usage::
 
@@ -17,7 +20,6 @@ diff with the change that caused it.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 
@@ -40,34 +42,40 @@ def _classification_parts():
     return model, background, x, data
 
 
-def case_kernel_shap(backend: str | None = None) -> dict:
+def case_kernel_shap(backend: str | None = None):
     from repro.shapley.kernel import KernelShapExplainer
 
     model, background, x, __ = _classification_parts()
-    attr = KernelShapExplainer(model, background, n_samples=64, seed=0,
+    return KernelShapExplainer(model, background, n_samples=64, seed=0,
                                backend=backend, n_procs=2).explain(x)
+
+
+def view_kernel_shap(attr) -> dict:
     return {
-        "values": attr.values.tolist(),
-        "base_value": attr.base_value,
-        "prediction": attr.prediction,
+        "values": np.asarray(attr.values, dtype=float).tolist(),
+        "base_value": float(attr.base_value),
+        "prediction": float(attr.prediction),
     }
 
 
-def case_sampling_shap(backend: str | None = None) -> dict:
+def case_sampling_shap(backend: str | None = None):
     from repro.shapley.sampling import SamplingShapleyExplainer
 
     model, background, x, __ = _classification_parts()
-    attr = SamplingShapleyExplainer(model, background, n_permutations=16,
+    return SamplingShapleyExplainer(model, background, n_permutations=16,
                                     seed=0, backend=backend,
                                     n_procs=2).explain(x)
+
+
+def view_sampling_shap(attr) -> dict:
     return {
-        "values": attr.values.tolist(),
-        "base_value": attr.base_value,
-        "std_err": attr.meta["std_err"].tolist(),
+        "values": np.asarray(attr.values, dtype=float).tolist(),
+        "base_value": float(attr.base_value),
+        "std_err": np.asarray(attr.meta["std_err"], dtype=float).tolist(),
     }
 
 
-def case_tmc_datashapley(backend: str | None = None) -> dict:
+def case_tmc_datashapley(backend: str | None = None):
     from repro.datavalue.data_shapley import tmc_shapley
     from repro.datavalue.utility import UtilityFunction
     from repro.datasets import make_classification
@@ -79,16 +87,21 @@ def case_tmc_datashapley(backend: str | None = None) -> dict:
     Xtr, Xv, ytr, yv = train_test_split(data.X, data.y, test_size=0.4, seed=0)
     utility = UtilityFunction(lambda: LogisticRegression(alpha=1.0),
                               Xtr[:10], ytr[:10], Xv, yv)
-    attr = tmc_shapley(utility, n_permutations=12, seed=3,
+    return tmc_shapley(utility, n_permutations=12, seed=3,
                        backend=backend, n_procs=2)
+
+
+def view_tmc_datashapley(attr) -> dict:
     return {
-        "values": attr.values.tolist(),
-        "full_score": attr.meta["full_score"],
-        "mean_truncation_position": attr.meta["mean_truncation_position"],
+        "values": np.asarray(attr.values, dtype=float).tolist(),
+        "full_score": float(attr.meta["full_score"]),
+        "mean_truncation_position": float(
+            attr.meta["mean_truncation_position"]
+        ),
     }
 
 
-def case_tuple_shapley(backend: str | None = None) -> dict:
+def case_tuple_shapley(backend: str | None = None):
     from repro.db.relation import Relation
     from repro.db.tuple_shapley import shapley_of_tuples
 
@@ -101,12 +114,12 @@ def case_tuple_shapley(backend: str | None = None) -> dict:
                                 n_permutations=24, seed=5,
                                 backend=backend, n_procs=2)
     return {
-        "exact": [exact[i] for i in sorted(exact)],
-        "sampled": [sampled[i] for i in sorted(sampled)],
+        "exact": [float(exact[i]) for i in sorted(exact)],
+        "sampled": [float(sampled[i]) for i in sorted(sampled)],
     }
 
 
-def case_causal_shapley(backend: str | None = None) -> dict:
+def case_causal_shapley(backend: str | None = None):
     from repro.causal.causal_shapley import CausalShapleyExplainer
     from repro.causal.scm import StructuralCausalModel, linear_mechanism
 
@@ -121,16 +134,19 @@ def case_causal_shapley(backend: str | None = None) -> dict:
     explainer = CausalShapleyExplainer(model, scm, ["a", "b", "c"],
                                        n_permutations=8, n_samples=60,
                                        seed=2, backend=backend, n_procs=2)
-    attr = explainer.explain(np.array([1.0, 2.0, 0.5]))
+    return explainer.explain(np.array([1.0, 2.0, 0.5]))
+
+
+def view_causal_shapley(attr) -> dict:
     return {
-        "values": attr.values.tolist(),
-        "direct": attr.meta["direct"].tolist(),
-        "indirect": attr.meta["indirect"].tolist(),
-        "base_value": attr.base_value,
+        "values": np.asarray(attr.values, dtype=float).tolist(),
+        "direct": np.asarray(attr.meta["direct"], dtype=float).tolist(),
+        "indirect": np.asarray(attr.meta["indirect"], dtype=float).tolist(),
+        "base_value": float(attr.base_value),
     }
 
 
-def case_lime(backend: str | None = None) -> dict:
+def case_lime(backend: str | None = None):
     # LIME never consumes the coalition estimators, so the backend knob
     # must be a no-op for it — the golden freezes exactly that.
     from repro.core.dataset import TabularDataset
@@ -138,11 +154,14 @@ def case_lime(backend: str | None = None) -> dict:
 
     model, background, x, data = _classification_parts()
     dataset = TabularDataset(data.X, data.y)
-    attr = LimeTabularExplainer(model, dataset, n_samples=120,
+    return LimeTabularExplainer(model, dataset, n_samples=120,
                                 seed=11).explain(x)
+
+
+def view_lime(attr) -> dict:
     return {
-        "values": attr.values.tolist(),
-        "prediction": attr.prediction,
+        "values": np.asarray(attr.values, dtype=float).tolist(),
+        "prediction": float(attr.prediction),
     }
 
 
@@ -155,17 +174,34 @@ CASES = {
     "lime": case_lime,
 }
 
+# Numeric projection compared at 1e-12; identity for plain-dict cases.
+VIEWS = {
+    "kernel_shap": view_kernel_shap,
+    "sampling_shap": view_sampling_shap,
+    "tmc_datashapley": view_tmc_datashapley,
+    "causal_shapley": view_causal_shapley,
+    "lime": view_lime,
+}
+
+
+def golden_view(name: str, output) -> dict:
+    """The numeric dict a case's output is compared by."""
+    view = VIEWS.get(name)
+    return view(output) if view is not None else output
+
 
 def regenerate(names=None) -> list[str]:
-    """Write the golden JSON for each named case; returns written paths."""
+    """Persist each named case's artifact golden; returns written paths."""
+    from repro.persist import dumps
+
     os.makedirs(GOLDEN_DIR, exist_ok=True)
     written = []
     for name in names or sorted(CASES):
-        payload = {"case": name, "outputs": CASES[name]()}
+        payload = {"case": name, "artifact": CASES[name]()}
         path = os.path.join(GOLDEN_DIR, f"{name}.json")
+        text = dumps(payload, indent=2) + "\n"
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+            fh.write(text)
         written.append(path)
     return written
 

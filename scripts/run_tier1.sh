@@ -30,6 +30,9 @@ python scripts/check_batch_loops.py
 echo "== tier-1: lint (no untimed blocking io in serve) =="
 python scripts/check_blocking_io.py
 
+echo "== tier-1: lint (persist protocol: to_dict/from_dict pairs, no stray pickle) =="
+python scripts/check_serializable.py
+
 echo "== tier-1: benchmark regression guard =="
 python scripts/bench_compare.py
 

@@ -230,6 +230,51 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_registry(args) -> int:
+    from .persist import dumps, loads
+    from .persist.errors import PersistError
+    from .persist.registry import ArtifactRegistry
+
+    store = ArtifactRegistry(args.dir)
+    action = args.registry_command
+    try:
+        if action == "push":
+            with open(args.file, encoding="utf-8") as fh:
+                obj = loads(fh.read())
+            record = store.push(
+                args.name, obj, version=args.version, note=args.note
+            )
+            print(f"pushed {record['name']}@{record['version']} "
+                  f"(digest {record['digest'][:12]}) to {store.root}")
+        elif action == "list":
+            names = [args.name] if args.name else store.names()
+            if not names:
+                print(f"registry {store.root} is empty")
+            for name in names:
+                latest = store.latest_version(name)
+                for version in store.versions(name):
+                    record = store.describe(name, version)
+                    marker = "*" if version == latest else " "
+                    line = (f"{marker} {name}@{version}  "
+                            f"{record['digest'][:12]}  {record['pushed_at']}")
+                    if record.get("note"):
+                        line += f"  {record['note']}"
+                    print(line)
+        else:  # get
+            obj = store.get(args.name, args.version)
+            text = dumps(obj, indent=2)
+            if args.out:
+                with open(args.out, "w", encoding="utf-8") as fh:
+                    fh.write(text + "\n")
+                print(f"wrote {args.out}")
+            else:
+                print(text)
+    except (PersistError, OSError) as e:
+        print(f"registry error: {e}")
+        return 2
+    return 0
+
+
 def cmd_profile(args) -> int:
     from . import obs
 
@@ -283,7 +328,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend", metavar="NAME", default=None,
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "spawn"),
         help="execution backend for estimators and explain_batch "
              "(sets REPRO_BACKEND; results are bitwise-identical "
              "whichever backend runs them)",
@@ -334,6 +379,37 @@ def main(argv: list[str] | None = None) -> int:
         help="port to bind (default: REPRO_SERVE_PORT, else an "
              "OS-assigned free port)",
     )
+    registry_p = sub.add_parser(
+        "registry", help="persist artifact registry (push / list / get)"
+    )
+    registry_sub = registry_p.add_subparsers(dest="registry_command")
+    push_p = registry_sub.add_parser(
+        "push", help="register a persist-envelope JSON file as an artifact"
+    )
+    push_p.add_argument("name", help="artifact name")
+    push_p.add_argument("file", help="persist envelope JSON to register")
+    push_p.add_argument("--version", default=None,
+                        help="version string (default: next integer)")
+    push_p.add_argument("--note", default="", help="manifest note")
+    list_p = registry_sub.add_parser(
+        "list", help="list registered artifacts and versions (* = latest)"
+    )
+    list_p.add_argument("name", nargs="?", default=None,
+                        help="limit to one artifact name")
+    get_p = registry_sub.add_parser(
+        "get", help="print (or write) one artifact's envelope JSON"
+    )
+    get_p.add_argument("name", help="artifact name")
+    get_p.add_argument("--version", default=None,
+                       help="version to fetch (default: latest)")
+    get_p.add_argument("--out", "-o", default=None,
+                       help="write to this path instead of stdout")
+    for registry_cmd in (push_p, list_p, get_p):
+        registry_cmd.add_argument(
+            "--dir", default=None,
+            help="registry root (default: REPRO_REGISTRY_DIR, else "
+                 ".repro_registry/)",
+        )
     profile_p = sub.add_parser(
         "profile", help="phase profile / folded stacks from a trace JSONL"
     )
@@ -370,10 +446,14 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "metrics": cmd_metrics,
         "serve": cmd_serve,
+        "registry": cmd_registry,
         "profile": cmd_profile,
     }
     if args.command is None:
         parser.print_help()
+        return 2
+    if args.command == "registry" and args.registry_command is None:
+        registry_p.print_help()
         return 2
     if args.trace and args.command != "trace":
         sub_argv = [args.command]

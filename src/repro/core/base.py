@@ -148,7 +148,12 @@ def as_predict_fn(model, output: str = "auto",
         fn = lambda X: np.asarray(
             model.predict(np.atleast_2d(X)), dtype=float
         ).ravel()
-    return guard_predict_fn(meter_predict_fn(fn), guard)
+    wrapped = guard_predict_fn(meter_predict_fn(fn), guard)
+    # Rebuild recipe for pickle-free transport: the spawn backend and the
+    # persist layer reconstruct an equivalent predict function from the
+    # underlying model rather than pickling the closure stack.
+    wrapped.__repro_spec__ = {"model": model, "output": output, "guard": guard}
+    return wrapped
 
 
 def _scope_wrap(fn):
@@ -285,8 +290,10 @@ class AttributionExplainer(Explainer):
             except Exception as e:
                 return None, BatchRowError(index=i, error=e)
 
-        if backend_name == "process" and X.shape[0] >= 2:
-            outcomes = self._run_batch_process(X, run_row, n_procs)
+        if backend_name in ("process", "spawn") and X.shape[0] >= 2:
+            outcomes = self._run_batch_process(
+                X, run_row, n_procs, backend=backend_name
+            )
         elif n_jobs == 1 or X.shape[0] <= 1:
             outcomes = [run_row(i, x) for i, x in enumerate(X)]
         else:
@@ -385,15 +392,17 @@ class AttributionExplainer(Explainer):
             results.extend(outcome.value)
         return results
 
-    def _run_batch_process(self, X, run_row, n_procs):
-        """Row-sharded ``explain_batch`` over forked worker processes.
+    def _run_batch_process(self, X, run_row, n_procs, backend="process"):
+        """Row-sharded ``explain_batch`` over worker processes.
 
         Each shard is a contiguous row range; workers ship back, per
         row, either the explanation or a JSON-safe error record (live
         exception objects do not reliably cross the pickle boundary).
         ``split_scope=False`` because budgets here are per *row*, not
         per batch: each ``explain`` call opens its own guard scope in
-        the worker exactly as it does serially.
+        the worker exactly as it does serially. Under ``spawn`` the
+        row closure cannot pickle, so :func:`repro.exec.map_shards`
+        degrades it to the thread pool — same results, shared memory.
         """
         plan = plan_shards(X.shape[0], resolve_n_procs(n_procs))
 
@@ -407,7 +416,7 @@ class AttributionExplainer(Explainer):
 
         shard_args = list(plan.slices)
         shard_outcomes = map_shards(
-            run_shard, shard_args, backend="process",
+            run_shard, shard_args, backend=backend,
             n_procs=n_procs, split_scope=False,
         )
         outcomes = []

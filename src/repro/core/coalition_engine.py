@@ -44,6 +44,7 @@ bitwise-identical expansions.
 
 from __future__ import annotations
 
+import base64
 import os
 from typing import Callable
 
@@ -51,6 +52,8 @@ import numpy as np
 
 from ..obs import metrics
 from ..obs.trace import span
+from ..persist.errors import PayloadError
+from ..persist.protocol import register_serializable
 from ..robust.errors import ModelEvaluationError
 
 __all__ = [
@@ -171,6 +174,7 @@ def batched_predict(
     return out
 
 
+@register_serializable("core.CoalitionValueCache")
 class CoalitionValueCache:
     """Memo of coalition values keyed by packed-bit masks.
 
@@ -199,7 +203,28 @@ class CoalitionValueCache:
         if misses:
             metrics.counter(_MISSES).inc(misses)
 
+    def to_dict(self) -> dict:
+        """Entries only; hit/miss statistics are ephemeral run state."""
+        return {
+            "entries": {
+                base64.b64encode(key).decode("ascii"): float(value)
+                for key, value in self.values.items()
+            }
+        }
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CoalitionValueCache":
+        out = cls()
+        try:
+            for key_b64, value in payload.get("entries", {}).items():
+                out.values[base64.b64decode(key_b64.encode("ascii"))] = \
+                    float(value)
+        except (ValueError, TypeError, AttributeError) as e:
+            raise PayloadError(f"malformed cache entries: {e}") from e
+        return out
+
+
+@register_serializable("core.CoalitionEngine")
 class CoalitionEngine:
     """Vectorized, cached, memory-bounded coalition evaluation.
 
@@ -240,6 +265,28 @@ class CoalitionEngine:
     @property
     def n_background(self) -> int:
         return self.background.shape[0]
+
+    def to_dict(self) -> dict:
+        return {
+            "background": self.background,
+            "max_batch_rows": self.max_batch_rows,
+            "chunk_retries": self.chunk_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CoalitionEngine":
+        background = np.atleast_2d(np.asarray(payload["background"],
+                                              dtype=float))
+        # The stored background was already subsampled at construction;
+        # passing its own row count as the cap keeps it verbatim instead
+        # of re-subsampling.
+        return cls(
+            background,
+            max_background=background.shape[0],
+            max_batch_rows=payload.get("max_batch_rows"),
+            chunk_retries=payload.get("chunk_retries",
+                                      DEFAULT_CHUNK_RETRIES),
+        )
 
     # -- expansion -----------------------------------------------------------
 
@@ -371,6 +418,15 @@ class CoalitionEngine:
         """
         x = np.asarray(x, dtype=float).ravel()
         store = CoalitionValueCache() if resolve_cache(cache) else None
+        if store is not None:
+            # Opt-in pre-warming from a persisted snapshot
+            # (REPRO_CACHE_SNAPSHOT). Scope tokens keep foreign snapshots
+            # out, and a broken snapshot never fails the explanation.
+            from ..persist.snapshot import (maybe_prewarm,
+                                            resolve_snapshot_path,
+                                            scope_token)
+            if resolve_snapshot_path() is not None:
+                maybe_prewarm(store, scope_token(x, self.background))
 
         def v(coalitions: np.ndarray) -> np.ndarray:
             coalitions = np.atleast_2d(np.asarray(coalitions, dtype=bool))

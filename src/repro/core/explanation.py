@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..persist.protocol import Serializable, register_serializable
+
 __all__ = [
     "FeatureAttribution",
     "Predicate",
@@ -28,8 +30,9 @@ __all__ = [
 ]
 
 
+@register_serializable("core.FeatureAttribution")
 @dataclass
-class FeatureAttribution:
+class FeatureAttribution(Serializable):
     """Per-feature importance scores for a single prediction.
 
     Attributes
@@ -55,6 +58,9 @@ class FeatureAttribution:
     prediction: float | None = None
     method: str = ""
     meta: dict = field(default_factory=dict)
+
+    __persist_init__ = ("values", "feature_names", "base_value",
+                        "prediction", "method", "meta")
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=float)
@@ -89,8 +95,9 @@ class FeatureAttribution:
         return f"FeatureAttribution[{self.method}]({parts}, ...)"
 
 
+@register_serializable("core.Predicate")
 @dataclass(frozen=True)
-class Predicate:
+class Predicate(Serializable):
     """An atomic condition on one feature: ``feature <op> value``.
 
     ``op`` is one of ``"=="``, ``"<="``, ``">"``, ``">="``, ``"<"``.
@@ -101,6 +108,8 @@ class Predicate:
     op: str
     value: float
     feature_name: str = ""
+
+    __persist_init__ = ("feature", "op", "value", "feature_name")
 
     _OPS = ("==", "<=", ">", ">=", "<", "!=")
 
@@ -128,8 +137,9 @@ class Predicate:
         return f"{name} {self.op} {self.value:g}"
 
 
+@register_serializable("core.RuleExplanation")
 @dataclass
-class RuleExplanation:
+class RuleExplanation(Serializable):
     """A conjunction of predicates with quality statistics.
 
     ``precision`` is P(model gives the explained outcome | rule holds),
@@ -143,6 +153,9 @@ class RuleExplanation:
     coverage: float
     method: str = ""
     meta: dict = field(default_factory=dict)
+
+    __persist_init__ = ("predicates", "outcome", "precision", "coverage",
+                        "method", "meta")
 
     def holds(self, X: np.ndarray) -> np.ndarray:
         """Boolean mask of rows satisfying every predicate."""
@@ -163,8 +176,9 @@ class RuleExplanation:
         )
 
 
+@register_serializable("core.CounterfactualExplanation")
 @dataclass
-class CounterfactualExplanation:
+class CounterfactualExplanation(Serializable):
     """A set of contrastive instances for one factual input.
 
     Each row of ``counterfactuals`` is an instance close to ``factual``
@@ -178,6 +192,9 @@ class CounterfactualExplanation:
     feature_names: list[str]
     method: str = ""
     meta: dict = field(default_factory=dict)
+
+    __persist_init__ = ("factual", "counterfactuals", "factual_outcome",
+                        "target_outcome", "feature_names", "method", "meta")
 
     def __post_init__(self) -> None:
         self.factual = np.asarray(self.factual, dtype=float).ravel()
@@ -203,8 +220,9 @@ class CounterfactualExplanation:
         return len(self.changes(index))
 
 
+@register_serializable("core.DataAttribution")
 @dataclass
-class DataAttribution:
+class DataAttribution(Serializable):
     """Per-training-point importance scores.
 
     ``values[i]`` scores training point ``i``; the semantics (Shapley value
@@ -215,6 +233,8 @@ class DataAttribution:
     values: np.ndarray
     method: str = ""
     meta: dict = field(default_factory=dict)
+
+    __persist_init__ = ("values", "method", "meta")
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=float)

@@ -8,7 +8,13 @@ latency); ``process`` forks workers and helps for CPU-bound pure-Python
 value functions (utility refits, relational queries) where threads gain
 nothing.
 
-Inside a forked worker :func:`resolve_backend` always answers
+``spawn`` starts fresh interpreter processes instead of forking: the
+shard runner travels by pickle (no inherited memory), which is the only
+process path on platforms without ``fork`` and the safe one in threaded
+parents. Runners that cannot pickle (closures over fitted models)
+degrade to ``thread`` with the same bitwise results.
+
+Inside a pool worker :func:`resolve_backend` always answers
 ``"serial"`` — a sharded estimator re-entered from a worker must not
 fork grandchildren (the fork-bomb guard). :func:`worker_mode` flips the
 flag for the worker's lifetime via the pool initializer.
@@ -28,7 +34,7 @@ __all__ = [
     "fork_available",
 ]
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "spawn")
 
 _IN_WORKER = False
 

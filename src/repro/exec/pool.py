@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import contextvars
 import multiprocessing
+import pickle
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -88,6 +89,7 @@ __all__ = [
 
 _FORK_UNAVAILABLE = "exec.fork_unavailable"
 _SHARDS_RUN = "exec.shards"
+_SPAWN_UNPICKLABLE = "exec.spawn_unpicklable"
 _WORKER_DEATHS = "exec.worker_deaths"
 
 
@@ -279,9 +281,54 @@ def _process_entry(args, share):
     }
 
 
+def _collect_futures(futures) -> list[ShardOutcome]:
+    """Drain process-pool futures into ordered :class:`ShardOutcome`s."""
+    outcomes: list[ShardOutcome] = []
+    for k, future in enumerate(futures):
+        try:
+            payload = future.result()
+        except BrokenProcessPool as e:
+            metrics.counter(_WORKER_DEATHS).inc()
+            outcomes.append(
+                ShardOutcome(
+                    index=k,
+                    error=ShardError(
+                        f"shard {k} lost: worker process died ({e})"
+                    ),
+                )
+            )
+        except Exception as e:
+            outcomes.append(ShardOutcome(index=k, error=e))
+        else:
+            adopt_span_records(payload["spans"])
+            outcomes.append(
+                ShardOutcome(
+                    index=k,
+                    value=payload["value"],
+                    rows_spent=payload["rows_spent"],
+                    retries=payload["retries"],
+                    counter_deltas=payload["counters"],
+                    histogram_deltas=payload["histograms"],
+                    duration_s=payload["duration_s"],
+                )
+            )
+    return outcomes
+
+
+def _merge_outcome_metrics(outcomes: list[ShardOutcome]) -> list[ShardOutcome]:
+    """Re-play worker metric deltas into the parent registry.
+
+    Happens outside the span adoption loop so a failed shard cannot
+    interleave half-merged state.
+    """
+    for outcome in outcomes:
+        merge_counter_deltas(outcome.counter_deltas)
+        metrics.merge_histogram_deltas(outcome.histogram_deltas)
+    return outcomes
+
+
 def _map_process(run_shard, shard_args, n_workers, shares):
     global _PAYLOAD
-    outcomes: list[ShardOutcome] = []
     with _POOL_LOCK:
         _PAYLOAD = run_shard
         try:
@@ -299,43 +346,59 @@ def _map_process(run_shard, shard_args, n_workers, shares):
                     )
                     for k, args in enumerate(shard_args)
                 ]
-                for k, future in enumerate(futures):
-                    try:
-                        payload = future.result()
-                    except BrokenProcessPool as e:
-                        metrics.counter(_WORKER_DEATHS).inc()
-                        outcomes.append(
-                            ShardOutcome(
-                                index=k,
-                                error=ShardError(
-                                    f"shard {k} lost: worker process died "
-                                    f"({e})"
-                                ),
-                            )
-                        )
-                    except Exception as e:
-                        outcomes.append(ShardOutcome(index=k, error=e))
-                    else:
-                        adopt_span_records(payload["spans"])
-                        outcomes.append(
-                            ShardOutcome(
-                                index=k,
-                                value=payload["value"],
-                                rows_spent=payload["rows_spent"],
-                                retries=payload["retries"],
-                                counter_deltas=payload["counters"],
-                                histogram_deltas=payload["histograms"],
-                                duration_s=payload["duration_s"],
-                            )
-                        )
+                outcomes = _collect_futures(futures)
         finally:
             _PAYLOAD = None
-    # Metric merges happen outside the span adoption loop so a failed
-    # shard cannot interleave half-merged state.
-    for outcome in outcomes:
-        merge_counter_deltas(outcome.counter_deltas)
-        metrics.merge_histogram_deltas(outcome.histogram_deltas)
-    return outcomes
+    return _merge_outcome_metrics(outcomes)
+
+
+# -- spawn backend ------------------------------------------------------------
+
+
+def _spawn_init(blob: bytes) -> None:
+    """Spawn-worker initializer: mark worker mode, unpickle the runner.
+
+    The runner lands in the same ``_PAYLOAD`` slot the fork path uses —
+    but in the *worker's* fresh interpreter, so no parent-side lock or
+    cleanup is needed and :func:`_process_entry` is shared verbatim.
+    """
+    global _PAYLOAD
+    worker_mode(True)
+    _PAYLOAD = pickle.loads(blob)
+
+
+def _map_spawn(run_shard, shard_args, n_workers, shares):
+    """Fork-free process backend: the runner crosses by pickle.
+
+    Unlike ``process`` there is no inherited memory, so ``run_shard``
+    must be picklable — a module-level callable or an instance of one
+    whose state rebuilds in the worker (the estimators' shard runners).
+    Unpicklable runners degrade to the thread backend (counted as
+    ``exec.spawn_unpicklable``), which is bitwise-identical by the
+    thread==serial contract.
+    """
+    try:
+        blob = pickle.dumps(run_shard)
+    except Exception:
+        metrics.counter(_SPAWN_UNPICKLABLE).inc()
+        return _map_thread(run_shard, shard_args, n_workers, shares)
+    ctx = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        mp_context=ctx,
+        initializer=_spawn_init,
+        initargs=(blob,),
+    ) as pool:
+        futures = [
+            pool.submit(
+                _process_entry,
+                args,
+                None if shares is None else shares[k],
+            )
+            for k, args in enumerate(shard_args)
+        ]
+        outcomes = _collect_futures(futures)
+    return _merge_outcome_metrics(outcomes)
 
 
 def map_shards(
@@ -347,16 +410,18 @@ def map_shards(
 ) -> list[ShardOutcome]:
     """Run ``run_shard`` over every shard; outcomes come back in order.
 
-    ``backend`` must be ``"thread"`` or ``"process"`` (serial execution
-    never reaches the pool — callers keep their own serial loop, which
-    is the bitwise reference). ``process`` degrades to ``thread`` when
-    the ``fork`` start method is unavailable (counted as
-    ``exec.fork_unavailable``), because the payload-inheritance design
-    requires fork. ``split_scope=False`` skips the budget split — used
-    by ``explain_batch``, whose rows open their own scopes.
+    ``backend`` must be ``"thread"``, ``"process"`` or ``"spawn"``
+    (serial execution never reaches the pool — callers keep their own
+    serial loop, which is the bitwise reference). ``process`` degrades
+    to ``thread`` when the ``fork`` start method is unavailable (counted
+    as ``exec.fork_unavailable``), because the payload-inheritance
+    design requires fork; ``spawn`` degrades to ``thread`` when the
+    runner cannot pickle (``exec.spawn_unpicklable``).
+    ``split_scope=False`` skips the budget split — used by
+    ``explain_batch``, whose rows open their own scopes.
     """
-    if backend not in ("thread", "process"):
-        raise ValueError(f"map_shards backend must be thread|process, "
+    if backend not in ("thread", "process", "spawn"):
+        raise ValueError(f"map_shards backend must be thread|process|spawn, "
                          f"got {backend!r}")
     if not shard_args:
         return []
@@ -367,4 +432,6 @@ def map_shards(
     shares = _scope_shares(len(shard_args)) if split_scope else None
     if backend == "thread":
         return _settle(_map_thread(run_shard, shard_args, n_workers, shares))
+    if backend == "spawn":
+        return _settle(_map_spawn(run_shard, shard_args, n_workers, shares))
     return _settle(_map_process(run_shard, shard_args, n_workers, shares))

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core.coalition_engine import CoalitionEngine
 from ..models.metrics import accuracy
+from ..persist.protocol import register_serializable
 from .base import BaseGame
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
 ]
 
 
+@register_serializable("games.FeatureMaskingGame")
 class FeatureMaskingGame(BaseGame):
     """Features vs. the interventional masking value function.
 
@@ -59,6 +61,17 @@ class FeatureMaskingGame(BaseGame):
     and span telemetry — so the game is ``self_evaluating`` and the
     games evaluator passes it through untouched (wrapping it again would
     double-count cache counters).
+
+    Transport: ``__getstate__`` reduces the game to its rebuild recipe —
+    the underlying *model* (via the predict function's
+    ``__repro_spec__``), the instance, the already-subsampled background
+    and the engine knobs. ``__setstate__`` re-normalizes the model and
+    rebuilds the engine and value function, so a spawn worker (or a
+    persisted copy) gets an equivalent game whose fresh, empty cache is
+    rebuilt lazily — values are deterministic, so worker evaluations are
+    bitwise-identical and new cache entries ship back as deltas. A raw
+    predict callable without a spec rides along as-is; if it cannot
+    pickle, the spawn backend degrades to threads.
     """
 
     deterministic = True
@@ -89,6 +102,8 @@ class FeatureMaskingGame(BaseGame):
         self.x = np.asarray(x, dtype=float).ravel()
         self.n_players = self.x.shape[0]
         self.rows_per_coalition = engine.n_background
+        self._predict_fn = predict_fn
+        self._cache_flag = cache
         self._v = engine.value_function(predict_fn, self.x, cache=cache)
 
     @property
@@ -97,6 +112,54 @@ class FeatureMaskingGame(BaseGame):
 
     def value(self, coalitions: np.ndarray) -> np.ndarray:
         return self._v(coalitions)
+
+    def __getstate__(self) -> dict:
+        spec = getattr(self._predict_fn, "__repro_spec__", None)
+        return {
+            "model": spec["model"] if spec else self._predict_fn,
+            "output": spec["output"] if spec else "auto",
+            "guard": spec["guard"] if spec else None,
+            "x": self.x,
+            "background": self.engine.background,
+            "max_batch_rows": self.engine.max_batch_rows,
+            "chunk_retries": self.engine.chunk_retries,
+            "cache": self._cache_flag,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        # Deferred import: core.base imports the exec layer at module
+        # init, which would cycle through games at package-import time.
+        from ..core.base import as_predict_fn
+
+        background = np.atleast_2d(np.asarray(state["background"],
+                                              dtype=float))
+        engine = CoalitionEngine(
+            background,
+            # Already subsampled at original construction; keep verbatim.
+            max_background=background.shape[0],
+            max_batch_rows=state["max_batch_rows"],
+            chunk_retries=state["chunk_retries"],
+        )
+        predict_fn = as_predict_fn(
+            state["model"], state["output"], guard=state["guard"]
+        )
+        self.__init__(predict_fn, state["x"], engine=engine,
+                      cache=state["cache"])
+
+    def to_dict(self) -> dict:
+        """Persist the rebuild recipe; needs a registered model.
+
+        A game over a bare closure has no serializable model — the
+        encode layer rejects it with a :class:`PayloadError` naming the
+        offending type.
+        """
+        return self.__getstate__()
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FeatureMaskingGame":
+        obj = cls.__new__(cls)
+        obj.__setstate__(payload)
+        return obj
 
 
 class DataValueGame(BaseGame):

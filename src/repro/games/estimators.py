@@ -56,6 +56,7 @@ from ..exec import in_worker, map_shards, plan_shards, resolve_backend, \
     resolve_n_procs
 from ..obs import metrics
 from ..obs.trace import enabled as _obs_enabled
+from ..persist.protocol import register_serializable
 from ..robust.errors import BudgetExceededError
 from .base import as_game, walk_masks
 from .engine import game_value_function
@@ -144,6 +145,46 @@ def _merge_worker_state(payload, store, game, stateful, state_before):
         game.merge_shard_state(state_before, payload["state_after"])
 
 
+class _MatrixShardRunner:
+    """Picklable shard runner: evaluate a row block of a coalition matrix.
+
+    A module-level class (not a closure) so the spawn backend can pickle
+    it: the game travels via its own ``__getstate__`` recipe and the
+    value function — a bound method on the *same* game for
+    self-evaluating adapters — rides the pickle memo, so the worker
+    rebuilds exactly one game. The mergeable store is re-derived from
+    the live objects inside :meth:`__call__`, never captured at
+    construction: under spawn the rebuilt game's fresh cache is the one
+    worker mutations must land on for the ``cache_new`` delta to ship
+    back (a parent-side store reference would be an orphaned copy).
+    """
+
+    def __init__(self, value_fn, game, masks, positional):
+        self.value_fn = value_fn
+        self.game = game
+        self.masks = masks
+        self.positional = positional
+
+    def __call__(self, bounds):
+        lo, hi = bounds
+        store, stateful = _mergeable_state(self.value_fn, self.game)
+        baseline = (
+            frozenset(store.values)
+            if store is not None and in_worker()
+            else ()
+        )
+        if self.positional:
+            vals = self.value_fn(
+                self.masks[lo:hi], positions=np.arange(lo, hi)
+            )
+        else:
+            vals = self.value_fn(self.masks[lo:hi])
+        payload = {"values": np.asarray(vals, dtype=float)}
+        return _capture_worker_state(
+            payload, store, baseline, self.game, stateful
+        )
+
+
 def _sharded_values(
     value_fn, game, masks, backend_name, n_shards, n_procs, seed=0
 ):
@@ -170,20 +211,7 @@ def _sharded_values(
     )
     store, stateful = _mergeable_state(value_fn, game)
     state_before = game.export_shard_state() if stateful else None
-
-    def run_shard(bounds):
-        lo, hi = bounds
-        baseline = (
-            frozenset(store.values)
-            if store is not None and in_worker()
-            else ()
-        )
-        if positional:
-            vals = value_fn(masks[lo:hi], positions=np.arange(lo, hi))
-        else:
-            vals = value_fn(masks[lo:hi])
-        payload = {"values": np.asarray(vals, dtype=float)}
-        return _capture_worker_state(payload, store, baseline, game, stateful)
+    run_shard = _MatrixShardRunner(value_fn, game, masks, positional)
 
     outcomes = map_shards(
         run_shard, list(plan.slices), backend=backend_name, n_procs=n_procs
@@ -256,6 +284,7 @@ def exact_enumeration(
 # -- permutation sampling -----------------------------------------------------
 
 
+@register_serializable("games.EstimatorState")
 @dataclass
 class EstimatorState:
     """Resumable accumulation state of :func:`permutation_estimator`.
@@ -393,13 +422,15 @@ def permutation_estimator(
         Clamp for the ``sum_counts`` denominator (1.0 for TMC counts,
         1e-12 for Beta weight totals).
     backend:
-        Execution backend (``serial``/``thread``/``process``; default
-        ``REPRO_BACKEND``, then serial). Non-serial backends shard the
-        walk batches across workers — the permutations themselves are
-        all drawn in the parent first, and the per-walk contribution
-        vectors are re-accumulated in global walk order, so the
-        estimate is bitwise-identical to serial. Whole-walk, stochastic
-        or stateful games fall back to serial silently.
+        Execution backend (``serial``/``thread``/``process``/``spawn``;
+        default ``REPRO_BACKEND``, then serial). Non-serial backends
+        shard the walk batches across workers — the permutations
+        themselves are all drawn in the parent first, and the per-walk
+        contribution vectors are re-accumulated in global walk order,
+        so the estimate is bitwise-identical to serial. Whole-walk,
+        stochastic or stateful games fall back to serial silently;
+        under ``spawn`` a runner whose game cannot pickle degrades to
+        the thread pool with the same results.
 
     Budget exhaustion (:class:`~repro.robust.BudgetExceededError`)
     mid-estimate keeps the completed walks as a partial estimate
@@ -484,28 +515,10 @@ def permutation_estimator(
         (``scanned`` is ``None`` unless truncation was active)."""
         if walk_fn is not None:
             return np.asarray(walk_fn(p), dtype=float), np.ones(n), None
-        if truncating:
-            return _truncated_walk(
-                value_fn, p, empty_value, position_weights,
-                truncation_target, truncation_tolerance,
-            )
-        masks = walk_masks(p, include_empty=empty_value is None)
-        values = np.asarray(value_fn(masks), dtype=float)
-        if empty_value is None:
-            diffs = values[1:] - values[:-1]
-        else:
-            diffs = np.empty(n)
-            diffs[0] = values[0] - empty_value
-            diffs[1:] = values[1:] - values[:-1]
-        contrib = np.zeros(n)
-        if position_weights is None:
-            contrib[p] = diffs
-            local_counts = np.ones(n)
-        else:
-            contrib[p] = position_weights * diffs
-            local_counts = np.zeros(n)
-            local_counts[p] = position_weights
-        return contrib, local_counts, None
+        return _run_one_walk(
+            value_fn, p, empty_value, position_weights,
+            truncating, truncation_target, truncation_tolerance,
+        )
 
     contributions: list[np.ndarray] = []
     sums = np.zeros(n)
@@ -575,9 +588,10 @@ def permutation_estimator(
     )
     if sharded:
         budget_error = _run_sharded_walks(
-            run_walk, accumulate, sampler, rng, game, value_fn,
+            accumulate, sampler, rng, game, value_fn,
             n_batches, antithetic, backend_name, n_shards, n_procs, seed,
-            start_walks=start_walks,
+            empty_value, position_weights, truncating, truncation_target,
+            truncation_tolerance, start_walks=start_walks,
         )
         if budget_error is not None and n_walks == 0:
             raise budget_error
@@ -630,10 +644,107 @@ def permutation_estimator(
     return PermutationEstimate(phi, None, diagnostics, state)
 
 
+def _run_one_walk(
+    value_fn, p, empty_value, position_weights,
+    truncating, truncation_target, truncation_tolerance,
+):
+    """One value-fn walk → ``(contrib, local_counts, scanned)``.
+
+    The exact per-walk operations of the serial loop, extracted to
+    module level so the picklable shard runner and the in-process
+    ``run_walk`` closure share one body (whole-walk games never reach
+    here — their walks stay serial behind ``walk_contributions``).
+    """
+    n = p.shape[0]
+    if truncating:
+        return _truncated_walk(
+            value_fn, p, empty_value, position_weights,
+            truncation_target, truncation_tolerance,
+        )
+    masks = walk_masks(p, include_empty=empty_value is None)
+    values = np.asarray(value_fn(masks), dtype=float)
+    if empty_value is None:
+        diffs = values[1:] - values[:-1]
+    else:
+        diffs = np.empty(n)
+        diffs[0] = values[0] - empty_value
+        diffs[1:] = values[1:] - values[:-1]
+    contrib = np.zeros(n)
+    if position_weights is None:
+        contrib[p] = diffs
+        local_counts = np.ones(n)
+    else:
+        contrib[p] = position_weights * diffs
+        local_counts = np.zeros(n)
+        local_counts[p] = position_weights
+    return contrib, local_counts, None
+
+
+class _WalkShardRunner:
+    """Picklable shard runner: evaluate a contiguous block of walks.
+
+    Module-level for the same reason as :class:`_MatrixShardRunner` —
+    the spawn backend pickles the runner, rebuilding the game (and the
+    bound value function on it) in a fresh worker. All permutations are
+    pre-drawn parent-side and ship as data; the mergeable store is
+    re-derived from the live objects inside :meth:`__call__` so worker
+    cache mutations land on the rebuilt cache that ships back.
+    """
+
+    def __init__(self, value_fn, game, perms, skip_batches, mid_walks,
+                 antithetic, empty_value, position_weights, truncating,
+                 truncation_target, truncation_tolerance):
+        self.value_fn = value_fn
+        self.game = game
+        self.perms = perms
+        self.skip_batches = skip_batches
+        self.mid_walks = mid_walks
+        self.antithetic = antithetic
+        self.empty_value = empty_value
+        self.position_weights = position_weights
+        self.truncating = truncating
+        self.truncation_target = truncation_target
+        self.truncation_tolerance = truncation_tolerance
+
+    def __call__(self, bounds):
+        lo, hi = bounds
+        store, stateful = _mergeable_state(self.value_fn, self.game)
+        baseline = (
+            frozenset(store.values)
+            if store is not None and in_worker()
+            else ()
+        )
+        walks, err = [], None
+        try:
+            for b in range(self.skip_batches + lo, self.skip_batches + hi):
+                perm = self.perms[b]
+                # `antithetic`, not the pair flag: n_permutations=1 with
+                # antithetic=True runs 2 walks serially, and must here.
+                batch = [perm, perm[::-1]] if self.antithetic else [perm]
+                if b == self.skip_batches and self.mid_walks:
+                    batch = batch[self.mid_walks:]
+                for p in batch:
+                    walks.append(_run_one_walk(
+                        self.value_fn, p, self.empty_value,
+                        self.position_weights, self.truncating,
+                        self.truncation_target, self.truncation_tolerance,
+                    ))
+        except BudgetExceededError as e:
+            err = {
+                "message": str(e), "kind": e.kind,
+                "spent": e.spent, "budget": e.budget,
+            }
+        payload = {"walks": walks, "error": err}
+        return _capture_worker_state(
+            payload, store, baseline, self.game, stateful
+        )
+
+
 def _run_sharded_walks(
-    run_walk, accumulate, sampler, rng, game, value_fn,
+    accumulate, sampler, rng, game, value_fn,
     n_batches, antithetic, backend_name, n_shards, n_procs, seed,
-    start_walks=0,
+    empty_value, position_weights, truncating, truncation_target,
+    truncation_tolerance, start_walks=0,
 ):
     """Shard the permutation walks; returns the budget error, if any.
 
@@ -669,32 +780,11 @@ def _run_sharded_walks(
     )
     store, stateful = _mergeable_state(value_fn, game)
     state_before = game.export_shard_state() if stateful else None
-
-    def run_shard(bounds):
-        lo, hi = bounds
-        baseline = (
-            frozenset(store.values)
-            if store is not None and in_worker()
-            else ()
-        )
-        walks, err = [], None
-        try:
-            for b in range(skip_batches + lo, skip_batches + hi):
-                perm = perms[b]
-                # `antithetic`, not the pair flag: n_permutations=1 with
-                # antithetic=True runs 2 walks serially, and must here.
-                batch = [perm, perm[::-1]] if antithetic else [perm]
-                if b == skip_batches and mid_walks:
-                    batch = batch[mid_walks:]
-                for p in batch:
-                    walks.append(run_walk(p))
-        except BudgetExceededError as e:
-            err = {
-                "message": str(e), "kind": e.kind,
-                "spent": e.spent, "budget": e.budget,
-            }
-        payload = {"walks": walks, "error": err}
-        return _capture_worker_state(payload, store, baseline, game, stateful)
+    run_shard = _WalkShardRunner(
+        value_fn, game, perms, skip_batches, mid_walks, antithetic,
+        empty_value, position_weights, truncating, truncation_target,
+        truncation_tolerance,
+    )
 
     def rebuild(err):
         return BudgetExceededError(

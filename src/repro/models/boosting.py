@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..persist.protocol import Serializable, register_serializable
 from .base import BaseModel, ClassifierMixin, RegressorMixin
 from .logistic import sigmoid
 from .tree import DecisionTreeRegressor
@@ -20,7 +21,11 @@ from .tree import DecisionTreeRegressor
 __all__ = ["GradientBoostingRegressor", "GradientBoostingClassifier"]
 
 
-class _BaseGBM(BaseModel):
+class _BaseGBM(Serializable, BaseModel):
+    __persist_init__ = ("n_estimators", "learning_rate", "max_depth",
+                        "min_samples_leaf", "subsample", "seed")
+    __persist_state__ = ("init_raw_", "estimators_")
+
     def __init__(
         self,
         n_estimators: int = 100,
@@ -56,6 +61,7 @@ class _BaseGBM(BaseModel):
             yield out
 
 
+@register_serializable("models.GradientBoostingRegressor")
 class GradientBoostingRegressor(RegressorMixin, _BaseGBM):
     """Least-squares boosting: each stage fits the current residuals."""
 
@@ -85,6 +91,7 @@ class GradientBoostingRegressor(RegressorMixin, _BaseGBM):
         return self._raw_predict(X)
 
 
+@register_serializable("models.GradientBoostingClassifier")
 class GradientBoostingClassifier(ClassifierMixin, _BaseGBM):
     """Binary logistic boosting with Newton-step leaf values.
 
@@ -93,6 +100,9 @@ class GradientBoostingClassifier(ClassifierMixin, _BaseGBM):
     negative gradient (y − p) and ``h = p(1 − p)`` the Hessian — the form
     the LeafInfluence-style explainer differentiates.
     """
+
+    __persist_init__ = _BaseGBM.__persist_init__ + ("leaf_l2",)
+    __persist_state__ = _BaseGBM.__persist_state__ + ("classes_",)
 
     def __init__(
         self,

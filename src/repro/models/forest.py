@@ -4,13 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..persist.protocol import Serializable, register_serializable
 from .base import BaseModel, ClassifierMixin
 from .tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
 
 
-class RandomForestClassifier(ClassifierMixin, BaseModel):
+@register_serializable("models.RandomForestClassifier")
+class RandomForestClassifier(Serializable, ClassifierMixin, BaseModel):
     """Ensemble of CART trees on bootstrap resamples.
 
     Parameters
@@ -24,6 +26,10 @@ class RandomForestClassifier(ClassifierMixin, BaseModel):
         every tree sees the full data (diversity then comes only from
         feature subsampling).
     """
+
+    __persist_init__ = ("n_estimators", "max_depth", "min_samples_leaf",
+                        "max_features", "bootstrap", "seed")
+    __persist_state__ = ("classes_", "estimators_", "_sample_indices")
 
     def __init__(
         self,

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.explanation import FeatureAttribution
+from ..persist.protocol import Serializable, register_serializable
 from .base import BaseModel, ClassifierMixin
 from .logistic import sigmoid
 from .tree import DecisionTreeRegressor
@@ -22,7 +23,8 @@ from .tree import DecisionTreeRegressor
 __all__ = ["ExplainableBoostingClassifier"]
 
 
-class ExplainableBoostingClassifier(ClassifierMixin, BaseModel):
+@register_serializable("models.ExplainableBoostingClassifier")
+class ExplainableBoostingClassifier(Serializable, ClassifierMixin, BaseModel):
     """Binary GAM classifier with per-feature shape functions.
 
     Parameters
@@ -36,6 +38,11 @@ class ExplainableBoostingClassifier(ClassifierMixin, BaseModel):
         Depth of the per-feature stumps (1 = piecewise-constant shapes
         with a single split per round).
     """
+
+    __persist_init__ = ("n_rounds", "learning_rate", "max_bins_depth",
+                        "min_leaf_fraction", "seed")
+    __persist_state__ = ("classes_", "intercept_", "n_features_",
+                         "_offsets", "_stages")
 
     def __init__(
         self,

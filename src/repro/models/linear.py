@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..persist.protocol import Serializable, register_serializable
 from .base import DifferentiableModel, RegressorMixin
 
 __all__ = ["LinearRegression", "RidgeRegression"]
 
 
-class RidgeRegression(RegressorMixin, DifferentiableModel):
+@register_serializable("models.RidgeRegression")
+class RidgeRegression(Serializable, RegressorMixin, DifferentiableModel):
     """Closed-form L2-regularized least squares.
 
     Parameters
@@ -30,6 +32,9 @@ class RidgeRegression(RegressorMixin, DifferentiableModel):
         ``fit`` accepts per-sample weights, which PrIU uses to express
         deletions as down-weighting.
     """
+
+    __persist_init__ = ("alpha",)
+    __persist_state__ = ("coef_", "intercept_", "_n_features")
 
     def __init__(self, alpha: float = 1.0) -> None:
         if alpha < 0:
@@ -95,8 +100,11 @@ class RidgeRegression(RegressorMixin, DifferentiableModel):
         return H + reg
 
 
+@register_serializable("models.LinearRegression")
 class LinearRegression(RidgeRegression):
     """Ordinary least squares (ridge with λ = 0)."""
+
+    __persist_init__ = ()
 
     def __init__(self) -> None:
         super().__init__(alpha=0.0)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..persist.protocol import Serializable, register_serializable
 from .base import ClassifierMixin, DifferentiableModel
 
 __all__ = ["LogisticRegression", "sigmoid"]
@@ -30,7 +31,8 @@ def sigmoid(z: np.ndarray) -> np.ndarray:
     return out
 
 
-class LogisticRegression(ClassifierMixin, DifferentiableModel):
+@register_serializable("models.LogisticRegression")
+class LogisticRegression(Serializable, ClassifierMixin, DifferentiableModel):
     """Binary classifier with Newton/IRLS optimization.
 
     Parameters
@@ -41,6 +43,9 @@ class LogisticRegression(ClassifierMixin, DifferentiableModel):
     max_iter, tol:
         Newton iteration budget and gradient-norm stopping tolerance.
     """
+
+    __persist_init__ = ("alpha", "max_iter", "tol")
+    __persist_state__ = ("classes_", "coef_", "intercept_", "_n_features")
 
     def __init__(self, alpha: float = 1.0, max_iter: int = 100, tol: float = 1e-8):
         if alpha < 0:

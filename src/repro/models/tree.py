@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..persist.protocol import Serializable, register_serializable
 from .base import BaseModel, ClassifierMixin, RegressorMixin
 
 __all__ = ["TreeStructure", "DecisionTreeClassifier", "DecisionTreeRegressor"]
@@ -24,6 +25,7 @@ __all__ = ["TreeStructure", "DecisionTreeClassifier", "DecisionTreeRegressor"]
 _LEAF = -1
 
 
+@register_serializable("models.TreeStructure")
 @dataclass
 class TreeStructure:
     """Flat array representation of a fitted binary tree.
@@ -117,6 +119,38 @@ class TreeStructure:
     def used_features(self) -> set[int]:
         """Feature indices tested anywhere in the tree."""
         return {f for f in self.feature if f != _LEAF}
+
+    def to_dict(self) -> dict:
+        """Persist payload: the six parallel arrays, values stacked 2-D.
+
+        Every node of one tree carries a value vector of the same width
+        (class probabilities or a scalar), so the per-node list stacks
+        losslessly into one ``(n_nodes, k)`` array.
+        """
+        if self.value:
+            value = np.stack([np.asarray(v, dtype=float) for v in self.value])
+        else:
+            value = np.zeros((0, 1))
+        return {
+            "feature": [int(f) for f in self.feature],
+            "threshold": [float(t) for t in self.threshold],
+            "children_left": [int(c) for c in self.children_left],
+            "children_right": [int(c) for c in self.children_right],
+            "value": value,
+            "n_node_samples": [float(s) for s in self.n_node_samples],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TreeStructure":
+        value = np.atleast_2d(np.asarray(payload["value"], dtype=float))
+        return cls(
+            feature=[int(f) for f in payload["feature"]],
+            threshold=[float(t) for t in payload["threshold"]],
+            children_left=[int(c) for c in payload["children_left"]],
+            children_right=[int(c) for c in payload["children_right"]],
+            value=[np.array(row, dtype=float) for row in value[: len(payload["feature"])]],
+            n_node_samples=[float(s) for s in payload["n_node_samples"]],
+        )
 
 
 class _BaseDecisionTree(BaseModel):
@@ -237,8 +271,13 @@ class _BaseDecisionTree(BaseModel):
         return best
 
 
-class DecisionTreeClassifier(ClassifierMixin, _BaseDecisionTree):
+@register_serializable("models.DecisionTreeClassifier")
+class DecisionTreeClassifier(Serializable, ClassifierMixin, _BaseDecisionTree):
     """CART classifier with gini or entropy impurity."""
+
+    __persist_init__ = ("max_depth", "min_samples_split", "min_samples_leaf",
+                        "max_features", "criterion", "seed")
+    __persist_state__ = ("classes_", "n_classes_", "n_features_", "tree_")
 
     def __init__(
         self,
@@ -299,8 +338,13 @@ class DecisionTreeClassifier(ClassifierMixin, _BaseDecisionTree):
         return self.tree_.predict_value(self._check_X(X))
 
 
-class DecisionTreeRegressor(RegressorMixin, _BaseDecisionTree):
+@register_serializable("models.DecisionTreeRegressor")
+class DecisionTreeRegressor(Serializable, RegressorMixin, _BaseDecisionTree):
     """CART regressor minimizing weighted squared error."""
+
+    __persist_init__ = ("max_depth", "min_samples_split", "min_samples_leaf",
+                        "max_features", "seed")
+    __persist_state__ = ("n_features_", "tree_")
 
     def fit(self, X, y, sample_weight=None) -> "DecisionTreeRegressor":
         X, y = self._check_Xy(X, y)

@@ -1,0 +1,81 @@
+"""``repro.persist`` — dependency-free serialization + artifact registry.
+
+Three layers (see DESIGN.md "Persistence & artifact registry"):
+
+* :mod:`~repro.persist.protocol` / :mod:`~repro.persist.codec` — the
+  ``@register_serializable`` type-tag envelope protocol with canonical
+  (bitwise for float64) numpy encoding and equivalent-copy semantics;
+* :mod:`~repro.persist.registry` — the content-addressed, versioned
+  on-disk artifact store behind ``REPRO_REGISTRY_DIR`` that feeds the
+  serve layer and the ``python -m repro registry`` CLI;
+* :mod:`~repro.persist.snapshot` — coalition-cache snapshots
+  (``REPRO_CACHE_SNAPSHOT``) for pre-warming repeat runs and workers.
+"""
+
+from .codec import decode_array, decode_value, encode_array, encode_value
+from .errors import (
+    ArtifactConflictError,
+    ArtifactNotFoundError,
+    PayloadError,
+    PersistError,
+    UnknownTypeError,
+    UnsupportedVersionError,
+)
+from .protocol import (
+    Serializable,
+    dumps,
+    from_envelope,
+    is_envelope,
+    is_registered_instance,
+    load,
+    loads,
+    register_serializable,
+    registered_class,
+    registered_types,
+    save,
+    to_envelope,
+)
+from .registry import ArtifactRegistry, resolve_registry_dir
+from .snapshot import (
+    load_cache_snapshot,
+    maybe_prewarm,
+    prewarm_cache,
+    restore_cache,
+    save_cache_snapshot,
+    scope_token,
+    snapshot_cache,
+)
+
+__all__ = [
+    "encode_array",
+    "decode_array",
+    "encode_value",
+    "decode_value",
+    "PersistError",
+    "PayloadError",
+    "UnknownTypeError",
+    "UnsupportedVersionError",
+    "ArtifactNotFoundError",
+    "ArtifactConflictError",
+    "Serializable",
+    "register_serializable",
+    "registered_types",
+    "registered_class",
+    "is_registered_instance",
+    "is_envelope",
+    "to_envelope",
+    "from_envelope",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+    "ArtifactRegistry",
+    "resolve_registry_dir",
+    "scope_token",
+    "snapshot_cache",
+    "restore_cache",
+    "save_cache_snapshot",
+    "load_cache_snapshot",
+    "prewarm_cache",
+    "maybe_prewarm",
+]

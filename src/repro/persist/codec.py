@@ -1,0 +1,145 @@
+"""Canonical JSON encoding for numpy values.
+
+The persistence protocol reduces every payload to JSON basic types; this
+module owns the one non-trivial case — numpy arrays — plus the recursive
+``encode_value`` / ``decode_value`` pair the envelope layer applies to
+whole payloads.
+
+Arrays encode as a tagged object::
+
+    {"__ndarray__": true, "dtype": "<f8", "shape": [3, 2],
+     "data_b64": "..."}            # default: base64 of canonical bytes
+    {"__ndarray__": true, "dtype": "<f8", "shape": [4],
+     "data": [0.1, ...]}           # mode="list": human-readable goldens
+
+Both modes round-trip **bitwise** for float64: the base64 form stores
+the raw little-endian bytes, and the list form relies on CPython's
+``repr`` float round-trip guarantee (``float(repr(x)) == x``), which
+``json`` inherits. The stored dtype is always the little-endian
+canonical spelling, and decoding always lands on the platform's native
+byte order — a big-endian array round-trips to an equal, natively
+usable array rather than resurrecting its original endianness.
+
+Scalars of numpy types (``np.float64(…)``, ``np.int64(…)``, ``np.bool_``)
+are demoted to plain Python scalars — exact for float64, int and bool.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+from .errors import PayloadError
+
+__all__ = ["encode_array", "decode_array", "encode_value", "decode_value",
+           "is_encoded_array"]
+
+_ARRAY_TAG = "__ndarray__"
+
+
+def _canonical_dtype(dtype: np.dtype) -> np.dtype:
+    """The little-endian (or order-free) spelling persisted to disk."""
+    return dtype.newbyteorder("<") if dtype.byteorder == ">" else dtype
+
+
+def encode_array(arr: np.ndarray, mode: str = "b64") -> dict:
+    """One array as a JSON-safe tagged object (see module docstring)."""
+    arr = np.asarray(arr)
+    if arr.dtype == object:
+        raise PayloadError("object-dtype arrays are not serializable")
+    if mode not in ("b64", "list"):
+        raise PayloadError(f"array mode must be b64|list, got {mode!r}")
+    canonical = np.ascontiguousarray(arr.astype(_canonical_dtype(arr.dtype),
+                                                copy=False))
+    out = {
+        _ARRAY_TAG: True,
+        "dtype": canonical.dtype.str,
+        "shape": list(arr.shape),
+    }
+    if mode == "b64":
+        out["data_b64"] = base64.b64encode(canonical.tobytes()).decode("ascii")
+    else:
+        out["data"] = canonical.tolist()
+    return out
+
+
+def is_encoded_array(value) -> bool:
+    return isinstance(value, dict) and value.get(_ARRAY_TAG) is True
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    """Invert :func:`encode_array`; always native byte order out."""
+    try:
+        dtype = np.dtype(payload["dtype"])
+        shape = tuple(int(s) for s in payload["shape"])
+    except (KeyError, TypeError, ValueError) as e:
+        raise PayloadError(f"malformed array payload: {e}") from e
+    if "data_b64" in payload:
+        try:
+            raw = base64.b64decode(payload["data_b64"].encode("ascii"))
+            arr = np.frombuffer(raw, dtype=dtype).reshape(shape)
+        except (ValueError, TypeError) as e:
+            raise PayloadError(f"malformed array bytes: {e}") from e
+    elif "data" in payload:
+        arr = np.asarray(payload["data"], dtype=dtype).reshape(shape)
+    else:
+        raise PayloadError("array payload carries neither data_b64 nor data")
+    native = dtype.newbyteorder("=")
+    # frombuffer views are read-only; copy to a mutable native array.
+    return np.ascontiguousarray(arr.astype(native, copy=True))
+
+
+def encode_value(value, mode: str = "b64"):
+    """Recursively reduce a payload value to JSON basic types.
+
+    Handles dicts (string keys only), lists/tuples (both land as JSON
+    arrays), numpy arrays and scalars, plain scalars and ``None``.
+    Registered serializable objects are the envelope layer's business —
+    it intercepts them *before* delegating here.
+    """
+    # Deferred import: protocol imports this module.
+    from .protocol import is_registered_instance, to_envelope
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return encode_array(value, mode=mode)
+    if is_registered_instance(value):
+        return to_envelope(value, mode=mode)
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise PayloadError(
+                    f"dict keys must be strings, got {type(key).__name__}"
+                )
+            out[key] = encode_value(item, mode=mode)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item, mode=mode) for item in value]
+    raise PayloadError(
+        f"{type(value).__name__} is not serializable; register it with "
+        "@register_serializable or reduce it to basic types"
+    )
+
+
+def decode_value(value):
+    """Invert :func:`encode_value` (envelopes revive via the registry)."""
+    from .protocol import from_envelope, is_envelope
+
+    if isinstance(value, dict):
+        if is_encoded_array(value):
+            return decode_array(value)
+        if is_envelope(value):
+            return from_envelope(value)
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value

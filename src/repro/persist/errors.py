@@ -1,0 +1,60 @@
+"""Typed persistence errors, rooted at the :mod:`repro.robust` hierarchy.
+
+Everything the (de)serialization engine and the artifact registry refuse
+to do raises one of these — callers (tests, the serve layer, the CLI)
+catch them by type, and the serve protocol maps them onto its status
+table like any other :class:`~repro.robust.ReproError`.
+"""
+
+from __future__ import annotations
+
+from ..robust.errors import ReproError
+
+__all__ = [
+    "PersistError",
+    "PayloadError",
+    "UnknownTypeError",
+    "UnsupportedVersionError",
+    "ArtifactNotFoundError",
+    "ArtifactConflictError",
+]
+
+
+class PersistError(ReproError):
+    """Base class for serialization/registry failures."""
+
+
+class PayloadError(PersistError):
+    """A payload is malformed or contains unserializable values."""
+
+
+class UnknownTypeError(PersistError):
+    """An envelope names a ``_type`` no registered class claims."""
+
+
+class UnsupportedVersionError(PersistError):
+    """An envelope's ``_version`` is newer than the registered class.
+
+    Older versions migrate through the class's ``migrate`` hook when it
+    has one; a *newer* version always refuses — this build cannot know
+    fields from the future.
+    """
+
+
+class ArtifactNotFoundError(PersistError):
+    """The registry holds no artifact under the requested name/version."""
+
+    def __init__(self, message: str, name: str = "",
+                 available: list[str] | None = None) -> None:
+        super().__init__(message)
+        self.name = name
+        self.available = list(available or [])
+
+
+class ArtifactConflictError(PersistError):
+    """A push names an existing version with different content.
+
+    Registry versions are immutable: re-pushing identical content is an
+    idempotent no-op, but silently replacing a version's bytes would
+    invalidate every cache keyed on it without any signal.
+    """

@@ -60,6 +60,7 @@ from typing import Callable
 import numpy as np
 
 from ..obs import metrics, trace
+from ..persist.protocol import Serializable, register_serializable
 from .errors import (
     BudgetExceededError,
     InputValidationError,
@@ -170,13 +171,18 @@ def resolve_query_budget(value: int | None = None) -> int | None:
     return int(value)
 
 
+@register_serializable("robust.GuardConfig")
 @dataclass
-class GuardConfig:
+class GuardConfig(Serializable):
     """Knobs for one guarded predict function / explainer.
 
     Every ``None`` field falls back to its environment variable at call
     time (so tests and the CLI can flip ``REPRO_*`` without rebuilding
     explainers), then to the library default.
+
+    Persistence note: ``transient`` (exception classes) and ``sleep``
+    (a callable) are ephemeral — a revived config carries the library
+    defaults for both, which is the equivalent-copy contract.
     """
 
     retries: int | None = None          # REPRO_RETRIES, default 2
@@ -187,6 +193,9 @@ class GuardConfig:
     impute_value: float | None = None   # fallback when a whole batch is bad
     transient: tuple = TRANSIENT_DEFAULT
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    __persist_init__ = ("retries", "backoff_s", "deadline_s", "query_budget",
+                        "on_nonfinite", "impute_value")
 
     def __post_init__(self) -> None:
         if self.on_nonfinite not in ("raise", "requery", "impute"):

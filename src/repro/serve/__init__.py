@@ -41,6 +41,7 @@ from .errors import (
     AdmissionTimeoutError,
     BreakerOpenError,
     CoalesceAbandonedError,
+    ModelNotFoundError,
     QueueFullError,
     ServeError,
     UnknownEndpointError,
@@ -63,6 +64,7 @@ __all__ = [
     "ExplainServer",
     "ExplanationCache",
     "Flight",
+    "ModelNotFoundError",
     "QueueFullError",
     "ServeConfig",
     "ServeError",

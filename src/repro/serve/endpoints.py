@@ -101,6 +101,20 @@ class Endpoint:
             self._explainers.clear()
             return self._version
 
+    def set_model(self, model, version: str) -> str:
+        """Swap in a registry-loaded model under a new version string.
+
+        The version-bump route resolves ``(name, version)`` through the
+        persist artifact registry and installs the loaded model here;
+        the cleared explainer cache guarantees the next request is
+        explained against the new artifact, not a stale predict_fn.
+        """
+        with self._lock:
+            self.model = model
+            self._version = str(version)
+            self._explainers.clear()
+            return self._version
+
     # -- tiers -------------------------------------------------------------
 
     @property

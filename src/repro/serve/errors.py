@@ -22,6 +22,7 @@ from ..robust.errors import ReproError
 __all__ = [
     "ServeError",
     "UnknownEndpointError",
+    "ModelNotFoundError",
     "QueueFullError",
     "AdmissionTimeoutError",
     "BreakerOpenError",
@@ -35,6 +36,26 @@ class ServeError(ReproError):
 
 class UnknownEndpointError(ServeError):
     """The request named a model endpoint the server does not host."""
+
+
+class ModelNotFoundError(ServeError):
+    """The request pinned a model version the registry does not hold.
+
+    Carries the versions that *are* available so the 404 envelope can
+    list them — the client learns what to ask for instead of guessing.
+    Raised both by version bumps that name an unregistered artifact
+    version and by explain requests that pin a stale ``model_version``.
+    """
+
+    def __init__(self, name: str, version: str,
+                 available: list[str] | None = None) -> None:
+        self.model = str(name)
+        self.requested_version = str(version)
+        self.available = [str(v) for v in (available or [])]
+        message = f"model {name!r} has no version {version!r}"
+        if self.available:
+            message += f"; available: {', '.join(self.available)}"
+        super().__init__(message)
 
 
 class QueueFullError(ServeError):

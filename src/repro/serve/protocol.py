@@ -17,6 +17,8 @@ The contract the service keeps with clients, whatever goes wrong inside:
 Status mapping (most specific class wins)::
 
     InputValidationError            400   the caller's request is malformed
+    ModelNotFoundError              404   no such registered model version
+                                          (body lists available versions)
     UnknownEndpointError            404   no such model endpoint
     QueueFullError                  429   bounded queue full (Retry-After)
     AdmissionTimeoutError           503   no slot within budget (Retry-After)
@@ -46,6 +48,7 @@ from .errors import (
     AdmissionTimeoutError,
     BreakerOpenError,
     CoalesceAbandonedError,
+    ModelNotFoundError,
     QueueFullError,
     ServeError,
     UnknownEndpointError,
@@ -64,6 +67,7 @@ __all__ = [
 # Ordered most-specific-first; the first isinstance match wins.
 STATUS_BY_ERROR: tuple[tuple[type, int], ...] = (
     (InputValidationError, 400),
+    (ModelNotFoundError, 404),
     (UnknownEndpointError, 404),
     (QueueFullError, 429),
     (AdmissionTimeoutError, 503),
@@ -153,6 +157,11 @@ def error_envelope(error: BaseException) -> tuple[int, dict, dict]:
             "message": str(error) if known else "internal error",
         }
     }
+    available = getattr(error, "available", None)
+    if known and available is not None:
+        # A 404 that lists what the registry *does* hold (satellite of
+        # the persist refactor): the client's next request can succeed.
+        body["error"]["available_versions"] = [str(v) for v in available]
     headers: dict = {}
     retry_after = getattr(error, "retry_after_s", None)
     if retry_after is not None:

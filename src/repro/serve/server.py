@@ -35,6 +35,7 @@ Routes: ``POST /explain``, ``GET /healthz``, ``GET /serve/stats``,
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -43,6 +44,8 @@ import numpy as np
 
 from ..obs import metrics
 from ..obs.ledger import record_request
+from ..persist.errors import ArtifactNotFoundError
+from ..persist.registry import ArtifactRegistry, resolve_registry_dir
 from ..robust.errors import BudgetExceededError, InputValidationError
 from ..robust.guard import request_envelope
 from .admission import AdmissionController
@@ -51,7 +54,7 @@ from .cache import ExplanationCache
 from .coalesce import Coalescer
 from .config import ServeConfig
 from .endpoints import Endpoint, EndpointRegistry
-from .errors import UnknownEndpointError
+from .errors import ModelNotFoundError, UnknownEndpointError
 from .ladder import DegradationLadder
 from .protocol import attribution_payload, error_envelope, request_key
 
@@ -64,11 +67,20 @@ class ExplainServer:
     """Admission-controlled, coalescing, degradable explanation service."""
 
     def __init__(self, config: ServeConfig | None = None,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 artifacts: ArtifactRegistry | str | None = None) -> None:
         self.config = config or ServeConfig()
         self.host = host
         self.port = int(port)
         self.registry = EndpointRegistry()
+        # The persist artifact registry that feeds version bumps. An
+        # explicit ArtifactRegistry (or root path) wins; otherwise the
+        # ambient root (REPRO_REGISTRY_DIR > .repro_registry) is picked
+        # up lazily, and only if it exists on disk — servers that never
+        # pushed an artifact keep the label-only version-bump behavior.
+        if isinstance(artifacts, str):
+            artifacts = ArtifactRegistry(artifacts)
+        self._artifacts = artifacts
         self.admission = AdmissionController(
             self.config.max_inflight,
             self.config.queue_limit,
@@ -119,12 +131,83 @@ class ExplainServer:
                 self._breakers[name] = found
             return found
 
+    def artifact_store(self) -> ArtifactRegistry | None:
+        """The persist registry feeding version bumps, if one exists."""
+        if self._artifacts is not None:
+            return self._artifacts
+        root = resolve_registry_dir()
+        if os.path.isdir(root):
+            self._artifacts = ArtifactRegistry(root)
+        return self._artifacts
+
+    def add_endpoint_from_registry(
+        self,
+        name: str,
+        background: np.ndarray,
+        feature_names: list[str] | None = None,
+        version: str | None = None,
+    ) -> Endpoint:
+        """Host a registered artifact under its registry name.
+
+        Loads ``(name, version)`` — latest when ``version`` is None —
+        from the persist artifact registry and hosts the deserialized
+        model. Unknown names or versions raise the typed 404.
+        """
+        store = self.artifact_store()
+        if store is None:
+            raise ModelNotFoundError(name, version or "latest")
+        try:
+            if version is None:
+                version = store.latest_version(name)
+            model = store.get(name, version)
+        except ArtifactNotFoundError as exc:
+            raise ModelNotFoundError(
+                name, str(version),
+                available=getattr(exc, "available", None)
+                or store.versions(name),
+            ) from exc
+        metrics.counter("serve.registry.loads").inc()
+        return self.add_endpoint(
+            name, model, background,
+            feature_names=feature_names, version=version,
+        )
+
     def set_model_version(self, name: str, version: str) -> str:
-        """Bump an endpoint's model version and drain its cache entries."""
+        """Bump an endpoint's model version and drain its cache entries.
+
+        When the persist artifact registry holds artifacts under
+        ``name``, the bump is *real*: the registered artifact for
+        ``version`` is loaded and swapped into the endpoint, and an
+        unknown version is a typed 404 listing what the registry does
+        hold. Endpoints with no registered artifact keep the label-only
+        bump (the hosted model object is unchanged).
+        """
         endpoint = self.registry.get(name)
-        new_version = endpoint.set_version(version)
+        store = self.artifact_store()
+        if store is not None and name in store.names():
+            try:
+                model = store.get(name, version)
+            except ArtifactNotFoundError as exc:
+                raise ModelNotFoundError(
+                    name, version,
+                    available=getattr(exc, "available", None)
+                    or store.versions(name),
+                ) from exc
+            metrics.counter("serve.registry.loads").inc()
+            new_version = endpoint.set_model(model, version)
+        else:
+            new_version = endpoint.set_version(version)
         self.cache.invalidate_endpoint(name)
         return new_version
+
+    def _available_versions(self, endpoint: Endpoint) -> list[str]:
+        """Registry versions for one endpoint, live version included."""
+        store = self.artifact_store()
+        versions = store.versions(endpoint.name) if store is not None else []
+        live = endpoint.version
+        if live not in versions:
+            versions.append(live)
+        return versions
 
     # -- the request core (no sockets; tests call this directly) -----------
 
@@ -182,6 +265,19 @@ class ExplainServer:
         if "instance" not in body:
             raise InputValidationError("request must carry an 'instance'")
         x = endpoint.validate_instance(body["instance"])
+        pinned = body.get("model_version")
+        if pinned is not None:
+            if not isinstance(pinned, str) or not pinned:
+                raise InputValidationError(
+                    "model_version must be a non-empty string"
+                )
+            if pinned != endpoint.version:
+                # The pin names a version this endpoint is not serving:
+                # a typed 404 that lists the registry's versions beats
+                # silently answering from the wrong model.
+                raise ModelNotFoundError(
+                    name, pinned, available=self._available_versions(endpoint)
+                )
         deadline_s = self._deadline_s(body)
         ctx["deadline_ms"] = deadline_s * 1000.0
         breaker = self.breaker(endpoint.name)
