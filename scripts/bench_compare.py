@@ -22,8 +22,9 @@ benchmark cannot silently escape the guard forever. The perf-sensitive
 experiments guarded by default are the Shapley hot paths: E2 (kernel
 convergence), E3 (TreeSHAP speed), E37 (the coalition engine itself),
 E38 (fault-tolerance overhead), E39 (the games layer), E40 (the process
-backend), E41 (telemetry overhead), E42 (amortized batch explanation)
-and E43 (the explanation service under load).
+backend), E41 (telemetry overhead), E42 (amortized batch explanation),
+E43 (the explanation service under load), E44 (persist round-trips) and
+E45 (indexed provenance queries).
 
 Beyond wall-time ratios against the baseline, the guard also enforces
 **absolute speedup floors** (``FLOORS``) on headline ratios the
@@ -71,6 +72,7 @@ TOLERANCES: dict = {
     # the load-bearing checks are the FLOORS ratios below.
     "E43_serve_load": {"min_delta_s": 1.0, "min_delta_p95_ms": 1000.0},
     "E44_persist": {"min_delta_s": 1.0},
+    "E45_indexed_provenance": {"min_delta_s": 1.0},
 }
 GUARDED_EXPERIMENTS = tuple(TOLERANCES)
 
@@ -91,6 +93,10 @@ FLOORS: dict = {
     # least 2× faster than the cold run (in practice it is orders of
     # magnitude: every mask answers from the snapshot, zero model rows).
     "E44_persist": {"prewarm_speedup": 2.0},
+    # Interval-encoded lineage-support queries must stay ≥10× faster
+    # than the naive per-root DAG walks at the largest scale (10^5 base
+    # tuples; in practice the gap is three orders of magnitude).
+    "E45_indexed_provenance": {"indexed_speedup": 10.0},
 }
 MAX_REGRESSION = 0.25
 MIN_DELTA_S = 0.75

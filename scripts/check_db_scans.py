@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Lint: forbid naive ``Relation.rows`` scans in the db layer.
+
+PR 10's indexed-provenance work only pays off if the db consumers
+actually route through the planner: selections through access paths
+(hash/sort indexes with residual filters), joins through the physical
+join operators, lineage questions through the interval index. The
+failure mode this lint guards against is the easy regression — a new
+helper writing ``for i, row in enumerate(relation.rows): ...`` and
+silently reintroducing the O(n) scan the planner was built to kill.
+
+Detection is AST-based: any ``for`` loop or comprehension whose
+iterable mentions a ``<something>.rows`` attribute is an offence,
+including scans wrapped in ``enumerate``/``zip``/``sorted``/
+``reversed``/``range(len(...))``. Three sanctioned escapes:
+
+* the storage/planner layer itself — ``relation.py``, ``index.py`` and
+  ``planner.py`` hold the physical operators and may scan freely;
+* functions named ``legacy_*`` — the naive oracles kept forever for
+  the differential tests; and
+* a trailing ``# db: allow`` marker on the loop header or scan line,
+  reserved for loops that are not selections at all (e.g. formatting
+  every row of an already-reduced result).
+
+Scope is ``src/repro/db`` only; tests, benchmarks and examples may
+scan freely. Exit status 0 when clean, 1 with a ``path:line reason``
+listing otherwise. Enforced in tier-1 via ``scripts/run_tier1.sh``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+ALLOW_MARKER = "# db: allow"
+
+# The physical layer: these files *are* the sanctioned scan sites.
+EXEMPT_FILES = {"relation.py", "index.py", "planner.py"}
+
+_LOOPS = (ast.For, ast.AsyncFor)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _mentions_rows(node: ast.AST) -> int | None:
+    """Line of the first ``<expr>.rows`` mention under ``node``, or None."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr == "rows":
+            return sub.lineno
+    return None
+
+
+def _iter_scans(node: ast.AST):
+    """``(header_line, scan_line)`` for each rows-iterating loop under
+    ``node``, not descending into nested function definitions (those are
+    visited with their own legacy/non-legacy context).
+    """
+    stack = [node]
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, _FUNCTIONS):
+            continue
+        if isinstance(sub, _LOOPS):
+            line = _mentions_rows(sub.iter)
+            if line is not None:
+                yield sub.lineno, line
+        elif isinstance(sub, _COMPREHENSIONS):
+            for generator in sub.generators:
+                line = _mentions_rows(generator.iter)
+                if line is not None:
+                    yield sub.lineno, line
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+def find_violations(path: str) -> list[tuple[int, str]]:
+    """``(line, reason)`` pairs for one Python file."""
+    with open(path, encoding="utf-8") as f:
+        source = f.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+
+    def allowed(line: int) -> bool:
+        return line <= len(lines) and ALLOW_MARKER in lines[line - 1]
+
+    out: set[tuple[int, str]] = set()
+
+    def visit(node: ast.AST, in_legacy: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, _FUNCTIONS):
+                visit(child, in_legacy or child.name.startswith("legacy_"))
+                continue
+            if not in_legacy:
+                for header, line in _iter_scans(child):
+                    if allowed(line) or allowed(header):
+                        continue
+                    out.add((
+                        line,
+                        "O(n) scan over Relation.rows "
+                        f"(loop at line {header}); route selections and "
+                        "joins through the planner / index layer, or "
+                        "keep the naive path in a legacy_* oracle",
+                    ))
+                # _iter_scans stops at nested defs; recurse past this
+                # statement only for the function defs inside it.
+            visit(child, in_legacy)
+
+    visit(tree, False)
+    return sorted(out)
+
+
+def offenders(root: str) -> list[str]:
+    """All ``path:line reason`` offences under ``root``."""
+    out: list[str] = []
+    for dirpath, __, filenames in sorted(os.walk(root)):
+        for name in sorted(filenames):
+            if not name.endswith(".py") or name in EXEMPT_FILES:
+                continue
+            path = os.path.join(dirpath, name)
+            out.extend(
+                f"{path}:{line} {reason}"
+                for line, reason in find_violations(path)
+            )
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    default_root = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "src",
+        "repro",
+        "db",
+    )
+    root = argv[0] if argv else default_root
+    found = offenders(root)
+    if found:
+        sys.stderr.write(
+            "naive Relation.rows scan found (use the planner / index "
+            "layer, move the loop into a legacy_* oracle, or mark a "
+            f"non-selection loop with `{ALLOW_MARKER}`):\n"
+        )
+        for offence in found:
+            sys.stderr.write(f"  {offence}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,9 +14,11 @@
    registry can validate. A deliberate exception is granted by putting
    ``# persist: allow`` on the import line.
 
-Inheritance is resolved by name across all scanned modules (the
-repo's registered classes live in single-module hierarchies), with
-``Serializable`` as the axiom. AST-based, so strings and comments
+Inheritance is resolved by name, preferring classes defined in the
+registered class's own module over same-named classes elsewhere (the
+repo's registered hierarchies are single-module, but unrelated modules
+may reuse a class name — e.g. ``db.planner.Predicate`` vs the
+registered ``core.Predicate``), with ``Serializable`` as the axiom. AST-based, so strings and comments
 can't trip it. Exit 0 when clean, 1 with a ``path:line`` listing.
 Enforced in tier-1 via ``scripts/run_tier1.sh``.
 """
@@ -118,6 +120,7 @@ def _provides(name: str, classes: dict, seen: set | None = None) -> bool:
 def offenders(root: str) -> list[str]:
     out: list[str] = []
     all_classes: dict = {}
+    file_classes: dict[str, dict] = {}
     file_registered: list[tuple[str, str, int]] = []
     for dirpath, __, filenames in sorted(os.walk(root)):
         rel = os.path.relpath(dirpath, root)
@@ -128,6 +131,7 @@ def offenders(root: str) -> list[str]:
             path = os.path.join(dirpath, name)
             registered, classes, pickle_lines = _scan_file(path)
             all_classes.update(classes)
+            file_classes[path] = classes
             file_registered.extend(
                 (path, cls, line) for cls, line in registered
             )
@@ -138,7 +142,10 @@ def offenders(root: str) -> list[str]:
                     for line in pickle_lines
                 )
     for path, cls, line in file_registered:
-        if not _provides(cls, all_classes):
+        # Resolve names own-module-first: an unrelated class elsewhere
+        # reusing the name must not shadow the registered definition.
+        scoped = {**all_classes, **file_classes[path]}
+        if not _provides(cls, scoped):
             out.append(
                 f"{path}:{line}: @register_serializable class {cls!r} "
                 "has no to_dict/from_dict pair (define them or inherit "

@@ -165,6 +165,56 @@ def view_lime(attr) -> dict:
     }
 
 
+def case_db_plans(backend: str | None = None):
+    # The planner never touches the coalition estimators, so the backend
+    # knob must be a no-op; the golden freezes the explain_plan() text of
+    # eight representative queries, so planner rewrites show up as
+    # reviewed diffs rather than silent behavior changes.
+    from repro.db.planner import And, Eq, Not, Opaque, Query, Range
+    from repro.db.relation import Relation
+
+    emp = Relation(
+        ["name", "dept", "salary"],
+        [("ann", "eng", 100), ("bob", "eng", 90), ("cat", "ops", 80),
+         ("dan", "eng", 100), ("eve", "ops", 120)],
+        name="emp",
+    )
+    dept = Relation(
+        ["dept", "building"],
+        [("eng", "B1"), ("ops", "B2"), ("hr", "B3")],
+        name="dept",
+    )
+    contractors = Relation(
+        ["name", "dept", "salary"],
+        [("fay", "eng", 70), ("gil", "hr", 60)],
+        name="contractors",
+    )
+    sites = Relation(["site"], [("north",), ("south",)], name="sites")
+
+    queries = {
+        "point_select": Query(emp).select(Eq("dept", "eng")),
+        "range_select": Query(emp).select(Range("salary", 85, 110)),
+        "negated_select": Query(emp).select(Not(Eq("dept", "eng"))),
+        "residual_select": Query(emp).select(
+            And(Eq("dept", "eng"), Range("salary", 90, None))
+        ),
+        "opaque_select": Query(emp).select(
+            Opaque(lambda row: row["name"] < "d", "name < 'd'")
+        ),
+        "pushdown_index_join": Query(emp).join(dept).select(
+            Range("salary", 90, None)
+        ),
+        "pushdown_hash_join": Query(emp).join(dept).select(
+            And(Range("salary", 90, None), Eq("building", "B1"))
+        ),
+        "cartesian_join": Query(emp).project(["name"]).join(sites),
+        "union_pushdown": Query(emp).union(contractors).select(
+            Eq("dept", "eng")
+        ),
+    }
+    return {name: query.explain_plan() for name, query in queries.items()}
+
+
 CASES = {
     "kernel_shap": case_kernel_shap,
     "sampling_shap": case_sampling_shap,
@@ -172,6 +222,7 @@ CASES = {
     "tuple_shapley": case_tuple_shapley,
     "causal_shapley": case_causal_shapley,
     "lime": case_lime,
+    "db_plans": case_db_plans,
 }
 
 # Numeric projection compared at 1e-12; identity for plain-dict cases.

@@ -27,6 +27,9 @@ python scripts/check_metric_names.py
 echo "== tier-1: lint (no per-row explain loops) =="
 python scripts/check_batch_loops.py
 
+echo "== tier-1: lint (no naive row scans in the db layer) =="
+python scripts/check_db_scans.py
+
 echo "== tier-1: lint (no untimed blocking io in serve) =="
 python scripts/check_blocking_io.py
 

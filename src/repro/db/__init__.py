@@ -7,7 +7,32 @@ from .bias import (
     group_difference,
     stratified_difference,
 )
-from .complaints import Complaint, ComplaintDebugger
+from .complaints import (
+    Complaint,
+    ComplaintDebugger,
+    legacy_scope_from_relation,
+    scope_from_relation,
+)
+from .index import (
+    HashIndex,
+    IntervalIndex,
+    LineageSupportIndex,
+    ProvenanceDAG,
+    RelationIndexes,
+    SortIndex,
+    index_enabled,
+)
+from .planner import (
+    And,
+    Eq,
+    Not,
+    Opaque,
+    Predicate,
+    Query,
+    Range,
+    as_predicate,
+    matching_indices,
+)
 from .provenance import (
     BooleanSemiring,
     CountingSemiring,
@@ -15,14 +40,34 @@ from .provenance import (
     Semiring,
     WhySemiring,
 )
-from .query_explain import PredicateExplanation, explain_aggregate
+from .query_explain import (
+    PredicateExplanation,
+    explain_aggregate,
+    legacy_explain_aggregate,
+)
 from .repair import FunctionalDependency, greedy_repair, repair_responsibility
 from .relation import Relation
 from .tuple_shapley import shapley_of_tuples
-from .why_not import QueryStep, WhyNotResult, why_not
+from .why_not import QueryStep, WhyNotResult, legacy_why_not, why_not
 
 __all__ = [
     "Relation",
+    "RelationIndexes",
+    "HashIndex",
+    "SortIndex",
+    "ProvenanceDAG",
+    "IntervalIndex",
+    "LineageSupportIndex",
+    "index_enabled",
+    "Query",
+    "Predicate",
+    "Eq",
+    "Range",
+    "And",
+    "Not",
+    "Opaque",
+    "as_predicate",
+    "matching_indices",
     "Semiring",
     "BooleanSemiring",
     "CountingSemiring",
@@ -33,8 +78,11 @@ __all__ = [
     "repair_responsibility",
     "greedy_repair",
     "explain_aggregate",
+    "legacy_explain_aggregate",
     "PredicateExplanation",
     "Complaint",
+    "scope_from_relation",
+    "legacy_scope_from_relation",
     "BiasReport",
     "detect_simpsons_paradox",
     "group_difference",
@@ -42,5 +90,6 @@ __all__ = [
     "QueryStep",
     "WhyNotResult",
     "why_not",
+    "legacy_why_not",
     "ComplaintDebugger",
 ]

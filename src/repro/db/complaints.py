@@ -26,8 +26,34 @@ import numpy as np
 
 from ..influence.influence_functions import InfluenceFunctions
 from ..models.logistic import LogisticRegression, sigmoid
+from .planner import matching_indices
 
-__all__ = ["Complaint", "ComplaintDebugger"]
+__all__ = [
+    "Complaint",
+    "ComplaintDebugger",
+    "scope_from_relation",
+    "legacy_scope_from_relation",
+]
+
+
+def scope_from_relation(relation, predicate) -> np.ndarray:
+    """Boolean scope mask over a serving :class:`Relation`.
+
+    The SQL ``WHERE`` of the complained-about query, served through the
+    planner's index access paths (:func:`repro.db.planner.matching_indices`)
+    when the predicate is structured.
+    """
+    mask = np.zeros(len(relation), dtype=bool)
+    mask[matching_indices(relation, predicate)] = True
+    return mask
+
+
+def legacy_scope_from_relation(relation, predicate) -> np.ndarray:
+    """Full-scan scope mask — the differential-test oracle."""
+    mask = np.zeros(len(relation), dtype=bool)
+    for i, row in enumerate(relation.rows):
+        mask[i] = bool(predicate(dict(zip(relation.columns, row))))
+    return mask
 
 
 @dataclass
@@ -46,6 +72,13 @@ class Complaint:
         if self.direction not in ("lower", "higher"):
             raise ValueError("direction must be 'lower' or 'higher'")
         self.scope = np.asarray(self.scope, dtype=bool).ravel()
+
+    @classmethod
+    def from_relation(cls, relation, predicate,
+                      direction: str = "lower") -> "Complaint":
+        """Scope the complaint by a predicate over a serving relation
+        (index-served for structured predicates)."""
+        return cls(scope_from_relation(relation, predicate), direction)
 
 
 class ComplaintDebugger:

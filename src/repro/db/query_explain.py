@@ -11,6 +11,14 @@ Candidates are generated automatically: equality predicates on
 low-cardinality (categorical) attributes and quartile-range predicates on
 numeric ones, plus optional pairwise conjunctions, following the
 candidate spaces of the cited systems.
+
+Candidates are **structured** planner predicates
+(:class:`repro.db.planner.Eq` / :class:`~repro.db.planner.Range`), so the
+anti-selection of each intervention ("every tuple the predicate does
+*not* remove") runs through the planner's index access paths — a hash
+probe complement or sort-index window per candidate instead of a full
+row scan each. :func:`legacy_explain_aggregate` keeps the naive path as
+the differential-test oracle.
 """
 
 from __future__ import annotations
@@ -19,9 +27,14 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Callable
 
+from .planner import And, Eq, Not, Query, Range
 from .relation import Relation
 
-__all__ = ["PredicateExplanation", "explain_aggregate"]
+__all__ = [
+    "PredicateExplanation",
+    "explain_aggregate",
+    "legacy_explain_aggregate",
+]
 
 
 @dataclass
@@ -47,7 +60,7 @@ def _candidate_predicates(
     relation: Relation, max_categories: int = 12
 ) -> list[tuple[str, Callable[[dict], bool]]]:
     """Equality predicates on categorical-looking columns and quartile
-    ranges on numeric ones."""
+    ranges on numeric ones — structured, so the planner can index them."""
     candidates: list[tuple[str, Callable[[dict], bool]]] = []
     dicts = relation.to_dicts()
     for column in relation.columns:
@@ -57,10 +70,8 @@ def _candidate_predicates(
                       for v in values)
         if len(distinct) <= max_categories:
             for value in distinct:
-                candidates.append((
-                    f"{column} = {value!r}",
-                    (lambda c, v: lambda row: row[c] == v)(column, value),
-                ))
+                predicate = Eq(column, value)
+                candidates.append((predicate.describe(), predicate))
         elif numeric:
             ordered = sorted(values)
             quartiles = [
@@ -69,11 +80,53 @@ def _candidate_predicates(
             ]
             edges = [float("-inf"), *quartiles, float("inf")]
             for lo, hi in zip(edges[:-1], edges[1:]):
-                candidates.append((
-                    f"{lo:g} < {column} <= {hi:g}",
-                    (lambda c, a, b: lambda row: a < row[c] <= b)(column, lo, hi),
-                ))
+                predicate = Range(column, lo, hi)
+                candidates.append((predicate.describe(), predicate))
     return candidates
+
+
+def _rank_interventions(
+    relation: Relation,
+    query: Callable[[Relation], float],
+    direction: str,
+    top_k: int,
+    use_conjunctions: bool,
+    min_tuples: int,
+    normalize: bool,
+    anti_select: Callable[[Relation, Callable], Relation],
+) -> list[PredicateExplanation]:
+    if direction not in ("lower", "higher"):
+        raise ValueError("direction must be 'lower' or 'higher'")
+    original = float(query(relation))
+    singles = _candidate_predicates(relation)
+    candidates = list(singles)
+    if use_conjunctions:
+        for (d1, p1), (d2, p2) in combinations(singles, 2):
+            conjunction = And(p1, p2)
+            candidates.append((conjunction.describe(), conjunction))
+    explanations: list[PredicateExplanation] = []
+    for description, predicate in candidates:
+        remaining = anti_select(relation, predicate)
+        n_removed = len(relation) - len(remaining)
+        if n_removed < min_tuples or n_removed == len(relation):
+            continue
+        after = float(query(remaining))
+        delta = original - after if direction == "lower" else after - original
+        score = delta / n_removed if normalize else delta
+        explanations.append(PredicateExplanation(
+            description, predicate, n_removed, original, after, score
+        ))
+    explanations.sort(key=lambda e: -e.score)
+    return explanations[:top_k]
+
+
+def _planned_anti_select(relation: Relation, predicate) -> Relation:
+    """Rows the intervention keeps, through the planner's index paths."""
+    return Query(relation).select(Not(predicate)).execute()
+
+
+def _naive_anti_select(relation: Relation, predicate) -> Relation:
+    return relation.select(lambda row, p=predicate: not p(row))
 
 
 def explain_aggregate(
@@ -100,28 +153,28 @@ def explain_aggregate(
         Divide scores by the number of removed tuples (explanations
         should not win merely by deleting everything).
     """
-    if direction not in ("lower", "higher"):
-        raise ValueError("direction must be 'lower' or 'higher'")
-    original = float(query(relation))
-    singles = _candidate_predicates(relation)
-    candidates = list(singles)
-    if use_conjunctions:
-        for (d1, p1), (d2, p2) in combinations(singles, 2):
-            candidates.append((
-                f"{d1} AND {d2}",
-                (lambda a, b: lambda row: a(row) and b(row))(p1, p2),
-            ))
-    explanations: list[PredicateExplanation] = []
-    for description, predicate in candidates:
-        remaining = relation.select(lambda row, p=predicate: not p(row))
-        n_removed = len(relation) - len(remaining)
-        if n_removed < min_tuples or n_removed == len(relation):
-            continue
-        after = float(query(remaining))
-        delta = original - after if direction == "lower" else after - original
-        score = delta / n_removed if normalize else delta
-        explanations.append(PredicateExplanation(
-            description, predicate, n_removed, original, after, score
-        ))
-    explanations.sort(key=lambda e: -e.score)
-    return explanations[:top_k]
+    return _rank_interventions(
+        relation, query, direction, top_k, use_conjunctions, min_tuples,
+        normalize, anti_select=_planned_anti_select,
+    )
+
+
+def legacy_explain_aggregate(
+    relation: Relation,
+    query: Callable[[Relation], float],
+    direction: str = "lower",
+    top_k: int = 5,
+    use_conjunctions: bool = False,
+    min_tuples: int = 1,
+    normalize: bool = False,
+) -> list[PredicateExplanation]:
+    """The pre-planner path: every anti-selection is a full row scan.
+
+    Kept forever as the differential-test oracle for
+    :func:`explain_aggregate` (identical candidates, scores, and
+    ordering; only the access path differs).
+    """
+    return _rank_interventions(
+        relation, query, direction, top_k, use_conjunctions, min_tuples,
+        normalize, anti_select=_naive_anti_select,
+    )

@@ -9,6 +9,12 @@ merged duplicates, join ⊗s the participants.
 
 Rows are plain tuples over a named schema; values are arbitrary hashable
 Python objects (strings, numbers).
+
+Since the index/planner PR each relation also carries a lazy
+:class:`repro.db.index.RelationIndexes` container (``.indexes``). The
+invalidation protocol: ``insert``/``delete`` maintain built indexes
+incrementally; any other in-place mutation of ``rows``/``annotations``
+must call :meth:`Relation.invalidate_indexes`.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Callable
 
+from .index import RelationIndexes
 from .provenance import Semiring, WhySemiring
 
 __all__ = ["Relation"]
@@ -63,6 +70,8 @@ class Relation:
         if len(annotations) != len(self.rows):
             raise ValueError("annotations do not match rows")
         self.annotations = list(annotations)
+        self._indexes: RelationIndexes | None = None
+        self._tag_counter = len(self.rows)
 
     # -- helpers ---------------------------------------------------------------
 
@@ -71,7 +80,8 @@ class Relation:
             return self.columns.index(column)
         except ValueError:
             raise KeyError(
-                f"no column {column!r} in {self.columns}"
+                f"relation {self.name!r} has no column {column!r}; "
+                f"available columns: {self.columns}"
             ) from None
 
     def __len__(self) -> int:
@@ -85,6 +95,63 @@ class Relation:
 
     def __repr__(self) -> str:
         return f"Relation({self.name}, columns={self.columns}, n={len(self)})"
+
+    # -- indexes & mutation ----------------------------------------------------
+
+    @property
+    def indexes(self) -> RelationIndexes:
+        """Lazy per-relation index container (see :mod:`repro.db.index`)."""
+        if self._indexes is None:
+            self._indexes = RelationIndexes(self)
+        return self._indexes
+
+    def invalidate_indexes(self) -> None:
+        """Drop built indexes after an out-of-band mutation."""
+        if self._indexes is not None:
+            self._indexes.invalidate()
+
+    def insert(self, row, annotation=None) -> int:
+        """Append one tuple, maintaining built indexes incrementally.
+
+        Returns the new row id. When ``annotation`` is omitted the row
+        is tagged as a fresh base tuple (ids never reuse a deleted
+        tuple's tag).
+        """
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row {row} does not match schema {self.columns}"
+            )
+        if annotation is None:
+            annotation = self.semiring.tag(f"{self.name}:{self._tag_counter}")
+        self._tag_counter += 1
+        self.rows.append(row)
+        self.annotations.append(annotation)
+        if self._indexes is not None:
+            self._indexes.on_insert(len(self.rows) - 1, row)
+        return len(self.rows) - 1
+
+    def delete(self, index: int) -> tuple:
+        """Remove the tuple at ``index``; built indexes are patched in
+        place (posting removal + id shifts), not rebuilt."""
+        row = self.rows.pop(index)
+        self.annotations.pop(index)
+        if self._indexes is not None:
+            self._indexes.on_delete(index, row)
+        return row
+
+    def subset(self, indices) -> "Relation":
+        """O(k) sub-relation of the given row ids (shared schema and
+        semiring, validation skipped — rows are already schema-checked)."""
+        out = Relation.__new__(Relation)
+        out.columns = list(self.columns)
+        out.rows = [self.rows[i] for i in indices]
+        out.semiring = self.semiring
+        out.annotations = [self.annotations[i] for i in indices]
+        out.name = self.name
+        out._indexes = None
+        out._tag_counter = len(out.rows)
+        return out
 
     # -- operators ------------------------------------------------------------------
 

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .index import index_enabled, record_hit
 from .relation import Relation
 from .tuple_shapley import shapley_of_tuples
 
@@ -31,7 +32,13 @@ __all__ = ["FunctionalDependency", "repair_responsibility", "greedy_repair"]
 
 @dataclass(frozen=True)
 class FunctionalDependency:
-    """An FD ``lhs → rhs`` over attribute names."""
+    """An FD ``lhs → rhs`` over attribute names.
+
+    Violation checks group tuples by their LHS key. The main path reads
+    the relation's persistent hash index on the LHS columns (maintained
+    incrementally across ``greedy_repair`` deletions); the original
+    full-scan implementations are kept as ``legacy_*`` oracles.
+    """
 
     lhs: tuple[str, ...]
     rhs: tuple[str, ...]
@@ -39,8 +46,46 @@ class FunctionalDependency:
     def __str__(self) -> str:
         return f"{','.join(self.lhs)} -> {','.join(self.rhs)}"
 
+    def _key_groups(self, relation: Relation):
+        """LHS-key groups (ascending member row ids) via the hash index."""
+        record_hit()
+        return relation.indexes.hash_index(self.lhs).groups()
+
     def violations(self, relation: Relation) -> int:
         """Number of unordered tuple pairs violating the FD."""
+        if not index_enabled():
+            return self.legacy_violations(relation)
+        rhs_idx = [relation._col(c) for c in self.rhs]
+        total = 0
+        for __, members in self._key_groups(relation):
+            value_counts: dict[tuple, int] = defaultdict(int)
+            for i in members:
+                value_counts[
+                    tuple(relation.rows[i][j] for j in rhs_idx)
+                ] += 1
+            counts = list(value_counts.values())
+            group_size = sum(counts)
+            same = sum(c * (c - 1) // 2 for c in counts)
+            total += group_size * (group_size - 1) // 2 - same
+        return total
+
+    def violating_tuples(self, relation: Relation) -> set[int]:
+        """Indices of tuples participating in at least one violation."""
+        if not index_enabled():
+            return self.legacy_violating_tuples(relation)
+        rhs_idx = [relation._col(c) for c in self.rhs]
+        out: set[int] = set()
+        for __, members in self._key_groups(relation):
+            distinct = {
+                tuple(relation.rows[i][j] for j in rhs_idx)
+                for i in members
+            }
+            if len(distinct) > 1:
+                out.update(members)
+        return out
+
+    def legacy_violations(self, relation: Relation) -> int:
+        """Full-scan violation count — the differential-test oracle."""
         lhs_idx = [relation._col(c) for c in self.lhs]
         rhs_idx = [relation._col(c) for c in self.rhs]
         groups: dict[tuple, dict[tuple, int]] = defaultdict(
@@ -58,8 +103,8 @@ class FunctionalDependency:
             total += group_size * (group_size - 1) // 2 - same
         return total
 
-    def violating_tuples(self, relation: Relation) -> set[int]:
-        """Indices of tuples participating in at least one violation."""
+    def legacy_violating_tuples(self, relation: Relation) -> set[int]:
+        """Full-scan violating-tuple set — the differential-test oracle."""
         lhs_idx = [relation._col(c) for c in self.lhs]
         rhs_idx = [relation._col(c) for c in self.rhs]
         by_key: dict[tuple, list[int]] = defaultdict(list)
@@ -140,16 +185,9 @@ def greedy_repair(
         ranking = sorted(responsibility, key=lambda i: -responsibility[i])
     keep = list(range(len(relation)))
     deleted: list[int] = []
-    current = relation
-
-    def rebuild(indices: list[int]) -> Relation:
-        return Relation(
-            relation.columns,
-            [relation.rows[i] for i in indices],
-            relation.semiring,
-            [relation.annotations[i] for i in indices],
-            relation.name,
-        )
+    # One O(k) copy up front; each deletion then mutates it in place and
+    # the FD hash indexes are maintained incrementally (no rebuild).
+    current = relation.subset(keep)
 
     for candidate in ranking:
         if _total_violations(current, dependencies) == 0:
@@ -164,7 +202,7 @@ def greedy_repair(
             still_violating |= fd.violating_tuples(current)
         if position[candidate] not in still_violating:
             continue
+        current.delete(position[candidate])
         keep = [i for i in keep if i != candidate]
         deleted.append(candidate)
-        current = rebuild(keep)
     return current, deleted

@@ -53,14 +53,9 @@ def _database_value_fn(
                 exogenous + [endogenous[j] for j in range(len(endogenous))
                              if mask[j]]
             )
-            sub = Relation(
-                relation.columns,
-                [relation.rows[i] for i in keep],
-                relation.semiring,
-                [relation.annotations[i] for i in keep],
-                relation.name,
-            )
-            out[row] = float(query(sub))
+            # subset() skips schema re-validation per coalition — the
+            # hot allocation of exact enumeration / permutation walks.
+            out[row] = float(query(relation.subset(keep)))
         return out
 
     return v

@@ -9,6 +9,15 @@ operators over a :class:`Relation`; the tracer follows the candidate
 tuples (those matching the user's description in the *input*) through
 each stage and reports where each was eliminated and why (filtered out,
 failed to join, projected away from the description).
+
+Since the index/planner PR the per-stage survival check is served by a
+:class:`repro.db.index.LineageSupportIndex`: each stage's output is
+interval-encoded once, and "does candidate i still support some output"
+becomes a sorted-interval lookup instead of unioning every output
+annotation. Candidate discovery goes through
+:func:`repro.db.planner.matching_indices`, so structured candidate
+predicates hit the relation's indexes. :func:`legacy_why_not` keeps the
+naive path as the differential-test oracle.
 """
 
 from __future__ import annotations
@@ -16,10 +25,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from .index import LineageSupportIndex
+from .planner import matching_indices
 from .provenance import LineageSemiring
 from .relation import Relation
 
-__all__ = ["QueryStep", "WhyNotResult", "why_not"]
+__all__ = ["QueryStep", "WhyNotResult", "why_not", "legacy_why_not"]
 
 
 @dataclass
@@ -71,6 +82,43 @@ def _tracked(relation: Relation) -> Relation:
     )
 
 
+def _trace(
+    source: Relation,
+    steps: list[QueryStep],
+    candidates: list[int],
+) -> list[WhyNotResult]:
+    """Replay the pipeline, attributing each candidate's elimination."""
+    current = _tracked(source)
+    alive: dict[int, bool] = {i: True for i in candidates}
+    results: dict[int, WhyNotResult] = {}
+    for step in steps:
+        nxt = step.apply(current)
+        # Interval-encode this stage's derivations once; per-candidate
+        # survival is then a sorted-interval lookup, not an O(outputs)
+        # union of annotations.
+        support = LineageSupportIndex(nxt)
+        for i in candidates:
+            if alive[i] and not support.alive(i):
+                alive[i] = False
+                results[i] = WhyNotResult(
+                    candidate_index=i,
+                    candidate=source.rows[i],
+                    picky_step=step.name,
+                    detail=f"lineage lost at operator {step.name!r} "
+                           f"({len(current)} -> {len(nxt)} tuples)",
+                )
+        current = nxt
+    for i in candidates:
+        if alive[i]:
+            results[i] = WhyNotResult(
+                candidate_index=i,
+                candidate=source.rows[i],
+                picky_step=None,
+                detail="its lineage reaches the final result",
+            )
+    return [results[i] for i in candidates]
+
+
 def why_not(
     source: Relation,
     steps: list[QueryStep],
@@ -86,13 +134,32 @@ def why_not(
         The operator pipeline, applied in order.
     candidate_predicate:
         Describes the expected-but-missing answer in terms of the
-        *source* schema (e.g. ``lambda t: t["name"] == "ann"``).
+        *source* schema — a plain callable, or a structured
+        :class:`repro.db.planner.Predicate` served by the source's
+        indexes.
 
     Returns
     -------
     One :class:`WhyNotResult` per matching source tuple: the first
     operator whose output no longer carries the tuple's lineage, or a
     note that the tuple actually survives (the answer isn't missing).
+    """
+    candidates = matching_indices(source, candidate_predicate)
+    if not candidates:
+        raise ValueError("no source tuple matches the candidate description")
+    return _trace(source, steps, candidates)
+
+
+def legacy_why_not(
+    source: Relation,
+    steps: list[QueryStep],
+    candidate_predicate: Callable[[dict], bool],
+) -> list[WhyNotResult]:
+    """The pre-index tracer — the differential-test oracle.
+
+    Candidate discovery scans every source row, and each stage's
+    survival set is the union of all output annotations (O(total
+    lineage) per stage). Must agree with :func:`why_not` exactly.
     """
     candidates = [
         i for i, row in enumerate(source.rows)

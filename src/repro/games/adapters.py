@@ -258,14 +258,9 @@ class TupleProvenanceGame(BaseGame):
                 + [self.endogenous[j] for j in range(self.n_players)
                    if mask[j]]
             )
-            sub = type(relation)(
-                relation.columns,
-                [relation.rows[i] for i in keep],
-                relation.semiring,
-                [relation.annotations[i] for i in keep],
-                relation.name,
-            )
-            out[row] = float(self.query(sub))
+            # subset() shares the schema/semiring and skips per-row
+            # validation — the hot allocation of coalition evaluation.
+            out[row] = float(self.query(relation.subset(keep)))
         return out
 
 

@@ -111,3 +111,59 @@ def test_to_dicts(employees):
 def test_missing_column_keyerror(employees):
     with pytest.raises(KeyError):
         employees.project(["ghost"])
+
+
+def test_missing_column_error_names_relation_and_columns(employees):
+    # The KeyError must be actionable: which relation, which column,
+    # and what *is* available (not list.index's cryptic ValueError).
+    with pytest.raises(KeyError) as excinfo:
+        employees.project(["ghost"])
+    message = str(excinfo.value)
+    assert "'emp'" in message
+    assert "'ghost'" in message
+    assert "name" in message and "dept" in message and "salary" in message
+
+
+def test_join_no_shared_columns_is_cartesian_product(employees):
+    # No shared columns: the join hashes on the empty tuple, so every
+    # pair matches — a cartesian product with annotations still ⊗-ed.
+    sites = Relation(["site"], [("north",), ("south",)], name="sites")
+    product = employees.join(sites)
+    assert product.columns == ["name", "dept", "salary", "site"]
+    assert len(product) == len(employees) * len(sites)
+    assert product.rows[0] == ("ann", "cs", 100, "north")
+    assert product.rows[1] == ("ann", "cs", 100, "south")
+    # ⊗ of two why-tags is the joint witness set.
+    assert product.annotations[0] == frozenset([
+        frozenset(["emp:0", "sites:0"])
+    ])
+
+
+def test_insert_delete_maintain_indexes(employees):
+    dept_index = employees.indexes.hash_index(("dept",))
+    salary_index = employees.indexes.sort_index("salary")
+    assert dept_index.lookup(("cs",)) == [0, 1, 4]
+    new_id = employees.insert(("fay", "cs", 95))
+    assert new_id == 5
+    assert dept_index.lookup(("cs",)) == [0, 1, 4, 5]
+    assert 5 in salary_index.range_ids(90, 100)
+    employees.delete(0)  # ann; every later id shifts down by one
+    assert dept_index.lookup(("cs",)) == [0, 3, 4]
+    assert employees.rows[0] == ("bob", "cs", 120)
+
+
+def test_insert_tags_never_reuse_deleted_ids(employees):
+    employees.delete(4)
+    inserted = employees.insert(("zed", "me", 50))
+    annotation = employees.annotations[inserted]
+    assert annotation == frozenset([frozenset(["emp:5"])])
+
+
+def test_subset_shares_schema_and_annotations(employees):
+    sub = employees.subset([4, 0])
+    assert sub.columns == employees.columns
+    assert sub.rows == [employees.rows[4], employees.rows[0]]
+    assert sub.annotations == [employees.annotations[4],
+                               employees.annotations[0]]
+    assert sub.name == employees.name
+    assert sub.semiring is employees.semiring

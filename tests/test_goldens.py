@@ -52,7 +52,7 @@ BACKENDS = ("serial", "thread", "process", "spawn")
 
 # What each golden artifact must deserialize into — a registered
 # explanation class for the attribution families, a plain dict for the
-# tuple-Shapley scores.
+# tuple-Shapley scores and the frozen db planner explain_plan() texts.
 ARTIFACT_KINDS = {
     "kernel_shap": FeatureAttribution,
     "sampling_shap": FeatureAttribution,
@@ -60,6 +60,7 @@ ARTIFACT_KINDS = {
     "tuple_shapley": dict,
     "causal_shapley": FeatureAttribution,
     "lime": FeatureAttribution,
+    "db_plans": dict,
 }
 
 
@@ -73,6 +74,12 @@ def _assert_matches(expected, actual, context: str):
     assert set(expected) == set(actual), context
     for key, want in expected.items():
         got = actual[key]
+        if isinstance(want, str) or isinstance(got, str):
+            # The db plan goldens freeze explain_plan() text verbatim.
+            assert want == got, (
+                f"{context}[{key}]: expected {want!r}, got {got!r}"
+            )
+            continue
         assert np.allclose(np.asarray(want, dtype=float),
                            np.asarray(got, dtype=float),
                            atol=ATOL, rtol=0.0), (

@@ -17,6 +17,8 @@ HYGIENE = os.path.join(REPO_ROOT, "scripts", "check_exception_hygiene.py")
 SHAPLEY_LINT = os.path.join(
     REPO_ROOT, "scripts", "check_no_bespoke_shapley.py"
 )
+DB_SCAN_LINT = os.path.join(REPO_ROOT, "scripts", "check_db_scans.py")
+PERSIST_LINT = os.path.join(REPO_ROOT, "scripts", "check_serializable.py")
 BENCH_COMPARE = os.path.join(REPO_ROOT, "scripts", "bench_compare.py")
 
 
@@ -195,6 +197,93 @@ def test_shapley_lint_accepts_benign_uses(tmp_path):
     assert lint.offenders(str(tmp_path)) == []
 
 
+def test_src_repro_db_has_no_naive_row_scans():
+    """db consumers must go through the planner / index layer."""
+    result = subprocess.run(
+        [sys.executable, DB_SCAN_LINT],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+
+
+def test_db_scan_lint_catches_row_loops(tmp_path):
+    lint = _load_script(DB_SCAN_LINT, "check_db_scans")
+    bad = tmp_path / "module.py"
+    bad.write_text(
+        "def pick(relation, predicate):\n"
+        "    out = [i for i, r in enumerate(relation.rows)\n"
+        "           if predicate(r)]\n"
+        "    for row in sorted(relation.rows):\n"
+        "        out.append(row)\n"
+        "    return out\n",
+        encoding="utf-8",
+    )
+    found = lint.offenders(str(tmp_path))
+    # Both the comprehension and the sorted()-wrapped for loop.
+    assert len(found) == 2
+    assert all("O(n) scan over Relation.rows" in f for f in found)
+    assert any(f"{bad}:2 " in f for f in found)
+    assert any(f"{bad}:4 " in f for f in found)
+
+
+def test_db_scan_lint_accepts_sanctioned_scans(tmp_path):
+    lint = _load_script(DB_SCAN_LINT, "check_db_scans")
+    ok = tmp_path / "module.py"
+    ok.write_text(
+        # legacy_* oracles scan by design (differential-test baselines).
+        "def legacy_pick(relation, p):\n"
+        "    return [r for r in relation.rows if p(r)]\n"
+        # Point lookups over index-provided ids are not scans.
+        "def per_group(relation, members):\n"
+        "    return [relation.rows[i] for i in members]\n"
+        # Non-selection loops opt out with the marker.
+        "def render(relation):\n"
+        "    return [str(r) for r in relation.rows]  # db: allow\n",
+        encoding="utf-8",
+    )
+    assert lint.offenders(str(tmp_path)) == []
+    # The physical layer itself (relation/index/planner) is exempt.
+    physical = tmp_path / "planner.py"
+    physical.write_text(
+        "def scan(relation, p):\n"
+        "    return [r for r in relation.rows if p(r)]\n",
+        encoding="utf-8",
+    )
+    assert lint.offenders(str(tmp_path)) == []
+
+
+def test_persist_lint_resolves_names_own_module_first(tmp_path):
+    """An unrelated same-named class in another module must not shadow
+    a registered class's own definition (db.planner.Predicate vs the
+    registered core.Predicate)."""
+    lint = _load_script(PERSIST_LINT, "check_serializable")
+    good = tmp_path / "a_core.py"
+    good.write_text(
+        "@register_serializable('core.Thing')\n"
+        "class Thing(Serializable):\n"
+        "    pass\n",
+        encoding="utf-8",
+    )
+    shadow = tmp_path / "z_planner.py"
+    shadow.write_text(
+        "class Thing:\n"  # unregistered, no to_dict/from_dict — fine
+        "    pass\n",
+        encoding="utf-8",
+    )
+    assert lint.offenders(str(tmp_path)) == []
+    # A registered class genuinely missing the pair still fails.
+    bad = tmp_path / "a_core.py"
+    bad.write_text(
+        "@register_serializable('core.Thing')\n"
+        "class Thing:\n"
+        "    pass\n",
+        encoding="utf-8",
+    )
+    found = lint.offenders(str(tmp_path))
+    assert len(found) == 1 and "Thing" in found[0]
+
+
 def test_atomic_write_replaces_not_appends(tmp_path):
     target = tmp_path / "out.txt"
     bench.atomic_write_text(str(target), "first")
@@ -323,6 +412,21 @@ def test_bench_compare_tolerates_noise_and_gaps(tmp_path):
     bad.write_text("{not json")
     assert compare.load_summary(str(bad)) == {}
     assert compare.main(["--baseline", str(bad), "--fresh", str(bad)]) == 0
+
+
+def test_bench_compare_enforces_speedup_floors():
+    """Headline ratios (e.g. E45's indexed_speedup) have absolute floors."""
+    compare = _load_script(BENCH_COMPARE, "bench_compare")
+    assert compare.FLOORS["E45_indexed_provenance"]["indexed_speedup"] == 10.0
+    healthy = {"E45_indexed_provenance": {"indexed_speedup": 400.0}}
+    assert compare.floor_shortfalls(healthy) == []
+    eroded = {"E45_indexed_provenance": {"indexed_speedup": 4.0}}
+    found = compare.floor_shortfalls(eroded)
+    assert len(found) == 1
+    assert "indexed_speedup" in found[0] and "10.0x floor" in found[0]
+    # An experiment (or key) that was not freshly run is skipped.
+    assert compare.floor_shortfalls({"E45_indexed_provenance": {}}) == []
+    assert compare.floor_shortfalls({}) == []
 
 
 def test_bench_compare_warns_on_missing_baseline(tmp_path, capfd):
